@@ -1,0 +1,171 @@
+//! Exact k-nearest-neighbour search by linear scan.
+//!
+//! Used as the correctness oracle for [`crate::HnswIndex`], for the small
+//! per-tuple neighbourhood computations in the pruning phase, and as a simple
+//! fallback for tiny tables where building a graph index is not worth it.
+
+use crate::metric::Metric;
+use crate::{Neighbor, VectorIndex};
+
+/// Exact nearest-neighbour index backed by a flat array of vectors.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    metric: Metric,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl BruteForceIndex {
+    /// Create an empty index.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self { metric, dim, data: Vec::new() }
+    }
+
+    /// Create an index pre-populated with `vectors`.
+    ///
+    /// # Panics
+    /// Panics if any vector has the wrong dimensionality.
+    pub fn from_vectors<'a, I>(dim: usize, metric: Metric, vectors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut idx = Self::new(dim, metric);
+        for v in vectors {
+            idx.add(v);
+        }
+        idx
+    }
+
+    /// Add a vector; returns its index.
+    ///
+    /// # Panics
+    /// Panics if `vector.len() != dim`.
+    pub fn add(&mut self, vector: &[f32]) -> usize {
+        assert_eq!(vector.len(), self.dim, "vector dimensionality mismatch");
+        self.data.extend_from_slice(vector);
+        self.len() - 1
+    }
+
+    /// Search, excluding a specific stored index (useful for self-joins where
+    /// the query vector itself is part of the index).
+    pub fn search_excluding(&self, query: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut results: Vec<Neighbor> = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            if exclude == Some(i) {
+                continue;
+            }
+            let d = self.metric.distance(query, self.vector(i));
+            results.push(Neighbor::new(i, d));
+        }
+        results.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.index.cmp(&b.index))
+        });
+        results.truncate(k);
+        results
+    }
+}
+
+impl VectorIndex for BruteForceIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim
+        }
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_excluding(query, k, None)
+    }
+
+    fn vector(&self, index: usize) -> &[f32] {
+        let start = index * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_with(points: &[[f32; 2]]) -> BruteForceIndex {
+        let mut idx = BruteForceIndex::new(2, Metric::Euclidean);
+        for p in points {
+            idx.add(p);
+        }
+        idx
+    }
+
+    #[test]
+    fn returns_sorted_neighbors() {
+        let idx = index_with(&[[0.0, 0.0], [1.0, 0.0], [5.0, 0.0], [0.5, 0.0]]);
+        let res = idx.search(&[0.0, 0.0], 3);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].index, 0);
+        assert_eq!(res[1].index, 3);
+        assert_eq!(res[2].index, 1);
+        assert!(res[0].distance <= res[1].distance && res[1].distance <= res[2].distance);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let idx = index_with(&[[0.0, 0.0], [1.0, 0.0]]);
+        assert_eq!(idx.search(&[0.0, 0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let idx = index_with(&[[0.0, 0.0]]);
+        assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+        let empty = BruteForceIndex::new(2, Metric::Cosine);
+        assert!(empty.search(&[1.0, 0.0], 3).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn exclusion_skips_self() {
+        let idx = index_with(&[[0.0, 0.0], [1.0, 0.0]]);
+        let res = idx.search_excluding(&[0.0, 0.0], 1, Some(0));
+        assert_eq!(res[0].index, 1);
+    }
+
+    #[test]
+    fn vector_accessor_and_bytes() {
+        let idx = index_with(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(idx.vector(1), &[3.0, 4.0]);
+        assert_eq!(idx.dim(), 2);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.approx_bytes() >= 16);
+        assert_eq!(idx.metric(), Metric::Euclidean);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn add_rejects_wrong_dim() {
+        let mut idx = BruteForceIndex::new(3, Metric::Cosine);
+        idx.add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_break_by_index_for_determinism() {
+        let idx = index_with(&[[1.0, 0.0], [1.0, 0.0], [1.0, 0.0]]);
+        let res = idx.search(&[0.0, 0.0], 3);
+        let order: Vec<usize> = res.iter().map(|n| n.index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Approximate nearest-neighbour search substrate for MultiEM.
+//!
+//! The merging phase of MultiEM builds an ANN index over the embeddings of each
+//! table and queries *mutual top-K* neighbours with a distance threshold `m`
+//! (Eq. 1 of the paper). The paper uses hnswlib; this crate provides:
+//!
+//! * [`Metric`] — cosine / Euclidean / inner-product distances;
+//! * [`BruteForceIndex`] — exact k-NN, used for small inputs and as the
+//!   correctness oracle in tests and recall benchmarks;
+//! * [`HnswIndex`] — a from-scratch implementation of Hierarchical Navigable
+//!   Small World graphs (Malkov & Yashunin, TPAMI 2020) with heuristic
+//!   neighbour selection, `ef_construction` / `ef_search` control and
+//!   deterministic seeding;
+//! * [`mutual_top_k`] — the mutual top-K join used by the two-table merging
+//!   strategy (Algorithm 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod hnsw;
+pub mod metric;
+pub mod mutual;
+
+pub use bruteforce::BruteForceIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use metric::Metric;
+pub use mutual::{mutual_top_k, MutualMatch};
+
+use serde::{Deserialize, Serialize};
+
+/// One search result: the index of a stored vector and its distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Index of the matched vector within the index (insertion order).
+    pub index: usize,
+    /// Distance from the query to the matched vector under the index metric.
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Create a neighbor result.
+    pub fn new(index: usize, distance: f32) -> Self {
+        Self { index, distance }
+    }
+}
+
+/// Common interface over exact and approximate vector indexes.
+pub trait VectorIndex: Send + Sync {
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distance metric used by the index.
+    fn metric(&self) -> Metric;
+
+    /// Return (up to) the `k` nearest stored vectors to `query`, ordered by
+    /// increasing distance.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Borrow the stored vector at `index`.
+    fn vector(&self, index: usize) -> &[f32];
+
+    /// Approximate heap footprint of the index in bytes (memory accounting).
+    fn approx_bytes(&self) -> usize;
+}

@@ -1,0 +1,96 @@
+//! Distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Distance metric used by the vector indexes.
+///
+/// The paper uses cosine distance in the merging phase and Euclidean distance
+/// in the pruning phase (Section IV-A, implementation details).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Cosine distance `1 - cos(a, b)`, range `[0, 2]`.
+    #[default]
+    Cosine,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Negative inner product (so that smaller is closer).
+    InnerProduct,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors under this metric.
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Cosine => {
+                let mut dot = 0.0f32;
+                let mut na = 0.0f32;
+                let mut nb = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                    na += x * x;
+                    nb += y * y;
+                }
+                if na == 0.0 || nb == 0.0 {
+                    return 1.0;
+                }
+                (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+            }
+            Metric::Euclidean => {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+            }
+            Metric::InnerProduct => -a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>(),
+        }
+    }
+
+    /// Short name used in experiment records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Cosine => "cosine",
+            Metric::Euclidean => "euclidean",
+            Metric::InnerProduct => "inner-product",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_distance_properties() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let m = Metric::Cosine;
+        assert!(m.distance(&a, &a) < 1e-6);
+        assert!((m.distance(&a, &b) - 1.0).abs() < 1e-6);
+        // Opposite vectors: distance 2.
+        assert!((m.distance(&a, &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        // Zero vector convention.
+        assert_eq!(m.distance(&a, &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn euclidean_distance_matches_hand_computed() {
+        let m = Metric::Euclidean;
+        assert!((m.distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(m.distance(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn inner_product_is_negated() {
+        let m = Metric::InnerProduct;
+        assert_eq!(m.distance(&[1.0, 2.0], &[3.0, 4.0]), -11.0);
+        // Larger inner product = smaller (more negative) distance.
+        assert!(m.distance(&[1.0, 0.0], &[5.0, 0.0]) < m.distance(&[1.0, 0.0], &[1.0, 0.0]));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Metric::Cosine.name(), "cosine");
+        assert_eq!(Metric::Euclidean.name(), "euclidean");
+        assert_eq!(Metric::InnerProduct.name(), "inner-product");
+        assert_eq!(Metric::default(), Metric::Cosine);
+    }
+}

@@ -1,0 +1,164 @@
+//! Mutual top-K joins between two vector collections (Eq. 1 of the paper).
+//!
+//! The two-table merging strategy of MultiEM declares a pair `(e, e')` matched
+//! when `e' ∈ topK(e)`, `e ∈ topK(e')`, **and** `dist(e, e') ≤ m`. This module
+//! implements that join generically over any [`VectorIndex`] so it can run on
+//! the exact brute-force index (small tables) or the HNSW index (large tables).
+
+use crate::{Neighbor, VectorIndex};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One mutual match between row `left` of collection A and row `right` of
+/// collection B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MutualMatch {
+    /// Row index in the left collection.
+    pub left: usize,
+    /// Row index in the right collection.
+    pub right: usize,
+    /// Distance between the two vectors.
+    pub distance: f32,
+}
+
+/// Compute the mutual top-K matches between `left_vectors` and `right_vectors`.
+///
+/// * `left_index` must index exactly `left_vectors` (same order); likewise for
+///   the right side. The function only uses the indexes for searching and the
+///   raw slices for queries, so callers can pass HNSW or brute-force indexes.
+/// * `k` is the top-K bound of Eq. 1 (the paper uses `k = 1`).
+/// * `max_distance` is the threshold `m`; pairs farther apart are discarded.
+///
+/// The result is sorted by `(left, right)` for determinism.
+pub fn mutual_top_k<IL, IR>(
+    left_index: &IL,
+    right_index: &IR,
+    left_vectors: &[&[f32]],
+    right_vectors: &[&[f32]],
+    k: usize,
+    max_distance: f32,
+) -> Vec<MutualMatch>
+where
+    IL: VectorIndex,
+    IR: VectorIndex,
+{
+    if k == 0 || left_vectors.is_empty() || right_vectors.is_empty() {
+        return Vec::new();
+    }
+
+    // top-K of every left row in the right collection.
+    let left_to_right: Vec<Vec<Neighbor>> =
+        left_vectors.par_iter().map(|v| right_index.search(v, k)).collect();
+    // top-K of every right row in the left collection.
+    let right_to_left: Vec<Vec<Neighbor>> =
+        right_vectors.par_iter().map(|v| left_index.search(v, k)).collect();
+
+    let mut matches: Vec<MutualMatch> = Vec::new();
+    for (l, neighbors) in left_to_right.iter().enumerate() {
+        for n in neighbors {
+            if n.distance > max_distance {
+                continue;
+            }
+            let reciprocal = right_to_left[n.index].iter().any(|back| back.index == l);
+            if reciprocal {
+                matches.push(MutualMatch { left: l, right: n.index, distance: n.distance });
+            }
+        }
+    }
+    matches.sort_by(|a, b| a.left.cmp(&b.left).then(a.right.cmp(&b.right)));
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForceIndex;
+    use crate::hnsw::{HnswConfig, HnswIndex};
+    use crate::metric::Metric;
+
+    fn slices(v: &[Vec<f32>]) -> Vec<&[f32]> {
+        v.iter().map(|x| x.as_slice()).collect()
+    }
+
+    #[test]
+    fn simple_mutual_match() {
+        // Left: two clusters; Right: one point near left[0], one far away.
+        let left = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let right = vec![vec![0.1, 0.0], vec![50.0, 50.0]];
+        let li = BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0);
+        assert_eq!(m.len(), 1);
+        assert_eq!((m[0].left, m[0].right), (0, 0));
+    }
+
+    #[test]
+    fn threshold_filters_far_pairs() {
+        let left = vec![vec![0.0, 0.0]];
+        let right = vec![vec![5.0, 0.0]];
+        let li = BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        // Mutual nearest, but distance 5 > threshold 1 → no match.
+        assert!(mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0).is_empty());
+        // Raising the threshold admits it.
+        assert_eq!(mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 10.0).len(), 1);
+    }
+
+    #[test]
+    fn mutuality_is_required() {
+        // right[0] is closest to left[1], but left[1]'s nearest right point is
+        // right[1]; with k = 1 there is no mutual agreement for (1, 0).
+        let left = vec![vec![0.0], vec![2.0]];
+        let right = vec![vec![1.3], vec![2.1]];
+        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let matches = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 10.0);
+        assert_eq!(matches.len(), 1);
+        assert_eq!((matches[0].left, matches[0].right), (1, 1));
+    }
+
+    #[test]
+    fn k_zero_or_empty_inputs() {
+        let left: Vec<Vec<f32>> = vec![vec![0.0]];
+        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let empty: Vec<Vec<f32>> = Vec::new();
+        let ei = BruteForceIndex::new(1, Metric::Euclidean);
+        assert!(mutual_top_k(&li, &li, &slices(&left), &slices(&left), 0, 1.0).is_empty());
+        assert!(mutual_top_k(&li, &ei, &slices(&left), &slices(&empty), 1, 1.0).is_empty());
+    }
+
+    #[test]
+    fn larger_k_recovers_more_pairs() {
+        let left = vec![vec![0.0], vec![0.4]];
+        let right = vec![vec![0.1], vec![0.3]];
+        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let k1 = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0);
+        let k2 = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 2, 1.0);
+        assert!(k2.len() >= k1.len());
+        assert_eq!(k2.len(), 4);
+    }
+
+    #[test]
+    fn results_deterministically_sorted() {
+        let left = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let right = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 0.5);
+        let pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.left, x.right)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn works_with_hnsw_indexes() {
+        let left: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, 0.0]).collect();
+        let right: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 + 0.05, 0.0]).collect();
+        let li = HnswIndex::build(2, Metric::Euclidean, HnswConfig::small(), left.iter().map(|v| v.as_slice()));
+        let ri = HnswIndex::build(2, Metric::Euclidean, HnswConfig::small(), right.iter().map(|v| v.as_slice()));
+        let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 0.2);
+        // Every i should match its shifted counterpart.
+        assert!(m.len() >= 45, "HNSW mutual join found only {} of 50 pairs", m.len());
+        assert!(m.iter().all(|x| x.left == x.right));
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared, pre-computed inputs handed to every baseline.
+
+use multiem_core::{AttributeSelection, EmbeddingStore, MultiEmConfig};
+use multiem_embed::EmbeddingModel;
+use multiem_eval::LabeledPair;
+use multiem_table::{serialize_record, Dataset, EntityId, SerializeOptions};
+use std::collections::HashSet;
+
+/// Pre-computed context shared by all baselines on one dataset:
+/// entity embeddings (all attributes — baselines do not run attribute
+/// selection), serialized texts, token sets and the labelled sample available
+/// to supervised methods.
+pub struct MatchContext<'a> {
+    /// The dataset under evaluation.
+    pub dataset: &'a Dataset,
+    /// Embeddings of every entity (serialized with **all** attributes).
+    pub store: EmbeddingStore,
+    /// Serialized text per entity, indexed `[source][row]`.
+    pub texts: Vec<Vec<String>>,
+    /// Lowercased token sets per entity, indexed `[source][row]`.
+    pub token_sets: Vec<Vec<HashSet<String>>>,
+    /// Labelled pairs available to supervised baselines (empty for
+    /// unsupervised methods).
+    pub labeled: Vec<LabeledPair>,
+}
+
+impl<'a> MatchContext<'a> {
+    /// Build the context: serialize and embed every entity, tokenize the
+    /// serialized text, and attach the labelled sample.
+    pub fn build(
+        dataset: &'a Dataset,
+        encoder: &dyn EmbeddingModel,
+        labeled: Vec<LabeledPair>,
+    ) -> Self {
+        let opts = SerializeOptions::default();
+        let config = MultiEmConfig { serialize: opts.clone(), ..MultiEmConfig::default() };
+        let selection = AttributeSelection::all_attributes(dataset);
+        let store = EmbeddingStore::build(dataset, encoder, &selection.selected, &config);
+
+        let mut texts: Vec<Vec<String>> = Vec::with_capacity(dataset.num_sources());
+        let mut token_sets: Vec<Vec<HashSet<String>>> = Vec::with_capacity(dataset.num_sources());
+        for table in dataset.tables() {
+            let mut t_texts = Vec::with_capacity(table.len());
+            let mut t_tokens = Vec::with_capacity(table.len());
+            for (_, record) in table.iter() {
+                let text = serialize_record(record, &opts);
+                let tokens: HashSet<String> =
+                    text.split_whitespace().map(|t| t.to_string()).collect();
+                t_texts.push(text);
+                t_tokens.push(tokens);
+            }
+            texts.push(t_texts);
+            token_sets.push(t_tokens);
+        }
+        Self { dataset, store, texts, token_sets, labeled }
+    }
+
+    /// Serialized text of one entity.
+    pub fn text(&self, id: EntityId) -> &str {
+        &self.texts[id.source as usize][id.row as usize]
+    }
+
+    /// Token set of one entity.
+    pub fn tokens(&self, id: EntityId) -> &HashSet<String> {
+        &self.token_sets[id.source as usize][id.row as usize]
+    }
+
+    /// Embedding of one entity.
+    pub fn embedding(&self, id: EntityId) -> &[f32] {
+        self.store.embedding(id)
+    }
+
+    /// Token Jaccard similarity between two entities.
+    pub fn jaccard(&self, a: EntityId, b: EntityId) -> f32 {
+        let ta = self.tokens(a);
+        let tb = self.tokens(b);
+        if ta.is_empty() && tb.is_empty() {
+            return 0.0;
+        }
+        let inter = ta.intersection(tb).count() as f32;
+        let union = (ta.len() + tb.len()) as f32 - inter;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Cosine similarity between two entities' embeddings.
+    pub fn cosine(&self, a: EntityId, b: EntityId) -> f32 {
+        multiem_embed::cosine_similarity(self.embedding(a), self.embedding(b))
+    }
+
+    /// All entity ids of one source table.
+    pub fn source_entities(&self, source: u32) -> Vec<EntityId> {
+        (0..self.texts[source as usize].len() as u32)
+            .map(|row| EntityId::new(source, row))
+            .collect()
+    }
+
+    /// Accounted bytes of the context's large structures (embeddings + texts).
+    pub fn approx_bytes(&self) -> usize {
+        let text_bytes: usize =
+            self.texts.iter().flat_map(|t| t.iter().map(String::len)).sum();
+        let token_bytes: usize = self
+            .token_sets
+            .iter()
+            .flat_map(|t| t.iter().map(|s| s.iter().map(String::len).sum::<usize>()))
+            .sum();
+        self.store.approx_bytes() + text_bytes + token_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_embed::HashedLexicalEncoder;
+
+    fn dataset() -> Dataset {
+        let factory = Domain::Music.factory();
+        let corruptor = Corruptor::new(CorruptionConfig::light());
+        MultiSourceGenerator::new(GeneratorConfig::small_test("ctx", 3))
+            .generate(factory.as_ref(), &corruptor)
+    }
+
+    #[test]
+    fn context_exposes_texts_tokens_and_embeddings() {
+        let ds = dataset();
+        let encoder = HashedLexicalEncoder::default();
+        let ctx = MatchContext::build(&ds, &encoder, Vec::new());
+        let id = ds.entity_ids().next().unwrap();
+        assert!(!ctx.text(id).is_empty());
+        assert!(!ctx.tokens(id).is_empty());
+        assert_eq!(ctx.embedding(id).len(), encoder.dim());
+        assert_eq!(ctx.source_entities(0).len(), ds.table(0).unwrap().len());
+        assert!(ctx.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn jaccard_and_cosine_are_sane() {
+        let ds = dataset();
+        let encoder = HashedLexicalEncoder::default();
+        let ctx = MatchContext::build(&ds, &encoder, Vec::new());
+        let gt = ds.ground_truth().unwrap();
+        let (a, b) = *gt.pairs().iter().next().unwrap();
+        // Matched entities share tokens and embedding direction.
+        assert!(ctx.jaccard(a, b) > 0.2);
+        assert!(ctx.cosine(a, b) > 0.4);
+        // Self-similarity is maximal.
+        assert!((ctx.jaccard(a, a) - 1.0).abs() < 1e-6);
+        assert!(ctx.cosine(a, a) > 0.99);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark: HNSW vs brute-force nearest-neighbour search.
+//!
+//! Supports the merging-phase analysis: the ANN index is what keeps each
+//! two-table merge sub-quadratic. The benchmark measures build and query cost
+//! for both backends at increasing collection sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multiem_ann::{BruteForceIndex, HnswConfig, HnswIndex, Metric, VectorIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let dim = 64;
+    let mut group = c.benchmark_group("ann/build");
+    for &n in &[500usize, 2_000] {
+        let vectors = random_vectors(n, dim, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &vectors, |b, v| {
+            b.iter(|| {
+                HnswIndex::build(dim, Metric::Cosine, HnswConfig::default(), v.iter().map(|x| x.as_slice()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n), &vectors, |b, v| {
+            b.iter(|| BruteForceIndex::from_vectors(dim, Metric::Cosine, v.iter().map(|x| x.as_slice())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let dim = 64;
+    let n = 5_000;
+    let vectors = random_vectors(n, dim, 11);
+    let queries = random_vectors(100, dim, 13);
+    let hnsw = HnswIndex::build(dim, Metric::Cosine, HnswConfig::default(), vectors.iter().map(|v| v.as_slice()));
+    let brute = BruteForceIndex::from_vectors(dim, Metric::Cosine, vectors.iter().map(|v| v.as_slice()));
+
+    let mut group = c.benchmark_group("ann/query_top10");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("hnsw", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(hnsw.search(q, 10));
+            }
+        })
+    });
+    group.bench_function("bruteforce", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(brute.search(q, 10));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmark: encoder throughput.
+//!
+//! Supports the representation-phase (R) timings of Figure 5: how fast the
+//! hashed lexical encoder turns serialized entities into embeddings, as a
+//! function of batch size and embedding dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multiem_datagen::benchmark_dataset;
+use multiem_embed::{EmbeddingModel, EncoderConfig, HashedLexicalEncoder};
+use multiem_table::{serialize_record, SerializeOptions};
+
+fn bench_encode_batch(c: &mut Criterion) {
+    let data = benchmark_dataset("music-20", 0.02).expect("preset");
+    let opts = SerializeOptions::default();
+    let texts: Vec<String> = data
+        .dataset
+        .concat()
+        .iter()
+        .map(|(_, r)| serialize_record(r, &opts))
+        .collect();
+
+    let mut group = c.benchmark_group("embedding/encode_batch");
+    for &batch in &[64usize, 256, 1024] {
+        let slice: Vec<String> = texts.iter().take(batch).cloned().collect();
+        group.throughput(Throughput::Elements(slice.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &slice, |b, slice| {
+            let encoder = HashedLexicalEncoder::default();
+            b.iter(|| encoder.encode_batch(slice));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimensions(c: &mut Criterion) {
+    let text = "apple iphone 8 plus 5.5 64gb 4g unlocked sim free silver";
+    let mut group = c.benchmark_group("embedding/dimension");
+    for &dim in &[96usize, 384, 768] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let encoder = HashedLexicalEncoder::new(EncoderConfig { dim, ..EncoderConfig::default() });
+            b.iter(|| encoder.encode(text));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encode_batch, bench_dimensions
+}
+criterion_main!(benches);

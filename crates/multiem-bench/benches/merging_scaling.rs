@@ -1,0 +1,71 @@
+//! Criterion benchmark: hierarchical merging vs pairwise and chain matching as
+//! the number of source tables grows (the measured counterpart of Lemmas 1–3
+//! and the efficiency claims behind Table V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multiem_baselines::{ChainExtension, EmbeddingThresholdMatcher, MatchContext, MultiTableMatcher, PairwiseExtension};
+use multiem_core::{complexity, hierarchical_merge, MergedTable, MultiEmConfig};
+use multiem_core::{AttributeSelection, EmbeddingStore};
+use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};
+use multiem_table::Dataset;
+
+fn dataset_with_sources(sources: usize) -> Dataset {
+    let factory = Domain::Music.factory();
+    let corruptor = Corruptor::new(CorruptionConfig::light());
+    let cfg = GeneratorConfig {
+        name: format!("scaling-{sources}"),
+        num_sources: sources,
+        num_tuples: 150,
+        num_singletons: 60,
+        min_tuple_size: 2,
+        max_tuple_size: sources.min(4),
+        seed: 99,
+    };
+    MultiSourceGenerator::new(cfg).generate(factory.as_ref(), &corruptor)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let encoder = HashedLexicalEncoder::default();
+    let mut group = c.benchmark_group("merging/strategy_vs_sources");
+    group.sample_size(10);
+
+    for &sources in &[4usize, 8] {
+        let dataset = dataset_with_sources(sources);
+        let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+        let selection = AttributeSelection::all_attributes(&dataset);
+        let store = EmbeddingStore::build(&dataset, &encoder, &selection.selected, &config);
+        let tables: Vec<MergedTable> = (0..dataset.num_sources() as u32)
+            .map(|s| MergedTable::from_source(&dataset, s, &store))
+            .collect();
+        let ctx = MatchContext::build(&dataset, &encoder, Vec::new());
+
+        group.bench_with_input(BenchmarkId::new("hierarchical", sources), &tables, |b, t| {
+            b.iter(|| hierarchical_merge(t.clone(), &config, encoder.dim()))
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise", sources), &ctx, |b, ctx| {
+            b.iter(|| PairwiseExtension::new(EmbeddingThresholdMatcher::default()).run(ctx))
+        });
+        group.bench_with_input(BenchmarkId::new("chain", sources), &ctx, |b, ctx| {
+            b.iter(|| ChainExtension::new(EmbeddingThresholdMatcher::default()).run(ctx))
+        });
+
+        // Print the analytical prediction next to the measurements so the bench
+        // output can be read as "Lemma 1–3 expect this ordering".
+        let n = dataset.total_entities() / sources;
+        println!(
+            "[cost model] S={sources} n≈{n}: hierarchical {:.2e}  chain {:.2e}  pairwise {:.2e}",
+            complexity::hierarchical_cost(sources, n, 1),
+            complexity::chain_cost(sources, n, 1),
+            complexity::pairwise_cost(sources, n, 1),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark: the end-to-end MultiEM pipeline, sequential vs
+//! parallel (the MultiEM / MultiEM (parallel) rows of Table V in micro form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multiem_core::{MultiEm, MultiEmConfig};
+use multiem_datagen::benchmark_dataset;
+use multiem_embed::HashedLexicalEncoder;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/end_to_end");
+    group.sample_size(10);
+    for (name, scale) in [("geo", 0.05), ("music-20", 0.01), ("shopee", 0.01)] {
+        let data = benchmark_dataset(name, scale).expect("preset");
+        group.throughput(Throughput::Elements(data.stats.entities as u64));
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "sequential" };
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &data.dataset,
+                |b, dataset| {
+                    let config = MultiEmConfig { m: 0.35, parallel, ..MultiEmConfig::default() };
+                    b.iter(|| {
+                        MultiEm::new(config.clone(), HashedLexicalEncoder::default())
+                            .run(dataset)
+                            .expect("pipeline runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

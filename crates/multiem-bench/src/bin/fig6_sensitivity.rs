@@ -1,0 +1,142 @@
+//! Regenerates **Figure 6** — sensitivity of MultiEM to its hyper-parameters:
+//! (a) γ, (b) merge-order seed, (c)(d) m (F1 and normalised time),
+//! (e)(f) ε (F1 and normalised time).
+//!
+//! ```bash
+//! cargo run --release -p multiem-bench --bin fig6_sensitivity            # all panels
+//! cargo run --release -p multiem-bench --bin fig6_sensitivity -- gamma   # one panel
+//! ```
+
+use multiem_bench::HarnessConfig;
+use multiem_core::{MultiEm, MultiEmConfig};
+use multiem_datagen::BenchmarkDataset;
+use multiem_embed::HashedLexicalEncoder;
+use multiem_eval::{evaluate, TextTable};
+use std::time::{Duration, Instant};
+
+fn run(dataset: &multiem_table::Dataset, config: MultiEmConfig) -> (f64, Duration) {
+    let start = Instant::now();
+    let output = MultiEm::new(config, HashedLexicalEncoder::default())
+        .run(dataset)
+        .expect("pipeline runs");
+    let elapsed = start.elapsed();
+    let report = evaluate(&output.tuples, dataset.ground_truth().expect("ground truth"));
+    (report.tuple.f1 * 100.0, elapsed)
+}
+
+fn normalised(times: &[Duration]) -> Vec<String> {
+    let base = times.first().map(|d| d.as_secs_f64()).unwrap_or(1.0).max(1e-9);
+    times.iter().map(|d| format!("{:.2}", d.as_secs_f64() / base)).collect()
+}
+
+fn panel_gamma(datasets: &[BenchmarkDataset]) {
+    let gammas = [0.80f64, 0.85, 0.90, 0.95];
+    let mut table = TextTable::new(
+        "Figure 6(a) — F1 (%) vs gamma",
+        &["Dataset", "0.80", "0.85", "0.90", "0.95"],
+    );
+    for data in datasets {
+        let mut row = vec![data.stats.name.clone()];
+        for &gamma in &gammas {
+            let (f1, _) = run(&data.dataset, MultiEmConfig { gamma, ..MultiEmConfig::default() });
+            row.push(format!("{f1:.1}"));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+}
+
+fn panel_seed(datasets: &[BenchmarkDataset]) {
+    let seeds = [0u64, 1, 2, 3];
+    let mut table = TextTable::new(
+        "Figure 6(b) — F1 (%) vs merge-order seed",
+        &["Dataset", "0", "1", "2", "3"],
+    );
+    for data in datasets {
+        let mut row = vec![data.stats.name.clone()];
+        for &seed in &seeds {
+            let (f1, _) =
+                run(&data.dataset, MultiEmConfig { merge_seed: seed, ..MultiEmConfig::default() });
+            row.push(format!("{f1:.1}"));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+}
+
+fn panel_m(datasets: &[BenchmarkDataset]) {
+    let ms = [0.05f32, 0.2, 0.35, 0.5];
+    let mut quality = TextTable::new(
+        "Figure 6(c) — F1 (%) vs m",
+        &["Dataset", "0.05", "0.20", "0.35", "0.50"],
+    );
+    let mut time = TextTable::new(
+        "Figure 6(d) — normalised time vs m",
+        &["Dataset", "0.05", "0.20", "0.35", "0.50"],
+    );
+    for data in datasets {
+        let mut f1_row = vec![data.stats.name.clone()];
+        let mut times = Vec::new();
+        for &m in &ms {
+            let (f1, t) = run(&data.dataset, MultiEmConfig { m, ..MultiEmConfig::default() });
+            f1_row.push(format!("{f1:.1}"));
+            times.push(t);
+        }
+        quality.add_row(f1_row);
+        let mut t_row = vec![data.stats.name.clone()];
+        t_row.extend(normalised(&times));
+        time.add_row(t_row);
+    }
+    println!("{}", quality.render());
+    println!("{}", time.render());
+}
+
+fn panel_epsilon(datasets: &[BenchmarkDataset]) {
+    let eps = [0.7f32, 0.8, 0.9, 1.0];
+    let mut quality = TextTable::new(
+        "Figure 6(e) — F1 (%) vs epsilon",
+        &["Dataset", "0.7", "0.8", "0.9", "1.0"],
+    );
+    let mut time = TextTable::new(
+        "Figure 6(f) — normalised time vs epsilon",
+        &["Dataset", "0.7", "0.8", "0.9", "1.0"],
+    );
+    for data in datasets {
+        let mut f1_row = vec![data.stats.name.clone()];
+        let mut times = Vec::new();
+        for &epsilon in &eps {
+            let (f1, t) =
+                run(&data.dataset, MultiEmConfig { epsilon, ..MultiEmConfig::default() });
+            f1_row.push(format!("{f1:.1}"));
+            times.push(t);
+        }
+        quality.add_row(f1_row);
+        let mut t_row = vec![data.stats.name.clone()];
+        t_row.extend(normalised(&times));
+        time.add_row(t_row);
+    }
+    println!("{}", quality.render());
+    println!("{}", time.render());
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let datasets = harness.datasets();
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    if all || which.iter().any(|w| w == "gamma") {
+        panel_gamma(&datasets);
+    }
+    if all || which.iter().any(|w| w == "seed") {
+        panel_seed(&datasets);
+    }
+    if all || which.iter().any(|w| w == "m") {
+        panel_m(&datasets);
+    }
+    if all || which.iter().any(|w| w == "epsilon") {
+        panel_epsilon(&datasets);
+    }
+    println!("paper reference (shape): F1 is sensitive to m (each dataset has a sweet spot and");
+    println!("  running time decreases slightly as m grows), mildly sensitive to gamma, and");
+    println!("  stable across merge-order seeds (avg variation 1.4 F1) and across epsilon.");
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table V** — running-time comparison of every method.
+//!
+//! ```bash
+//! MULTIEM_SCALE=0.05 cargo run --release -p multiem-bench --bin table5_runtime
+//! ```
+//!
+//! Wall-clock runtimes are measured on this machine and are therefore not the
+//! paper's absolute numbers; the comparison to look at is the *relative*
+//! ordering (MultiEM and MultiEM (parallel) orders of magnitude below the
+//! pairwise / chain extensions and the clustering baselines, which are skipped
+//! entirely once the dataset exceeds their size guard — the analogue of the
+//! paper's 7-day timeouts).
+
+use multiem_bench::{run_baselines, run_multiem_variants, skip_marker, HarnessConfig};
+use multiem_eval::{format_duration, TextTable};
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let datasets = harness.datasets();
+
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    let mut headers: Vec<String> = vec!["Method".to_string()];
+
+    for data in &datasets {
+        headers.push(data.stats.name.clone());
+        let mut results = run_baselines(data, &harness);
+        results.extend(run_multiem_variants(&data.dataset));
+        for r in results {
+            let cell = if r.skipped.is_some() {
+                skip_marker()
+            } else {
+                format_duration(r.runtime)
+            };
+            match rows.iter_mut().find(|(m, _)| *m == r.method) {
+                Some((_, cells)) => cells.push(cell),
+                None => rows.push((r.method.clone(), vec![cell])),
+            }
+        }
+        // Pad methods missing from this dataset.
+        let expected = headers.len() - 1;
+        for (_, cells) in rows.iter_mut() {
+            while cells.len() < expected {
+                cells.push(skip_marker());
+            }
+        }
+    }
+
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        format!("Table V — running time (scale {})", harness.scale),
+        &header_refs,
+    );
+    for (method, cells) in rows {
+        let mut row = vec![method];
+        row.extend(cells);
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+    println!("paper reference: MultiEM 6.1s (geo) … 1.8h (person); baselines minutes-to-hours or");
+    println!("  unable to finish within 7 days on the large datasets (`\\`).");
+}

@@ -1,0 +1,413 @@
+//! Shared machinery for the experiment binaries that regenerate every table
+//! and figure of the MultiEM evaluation (Section IV).
+//!
+//! Each binary (one per table/figure) uses this crate to:
+//!
+//! * generate the six benchmark-dataset analogues at a configurable scale
+//!   ([`HarnessConfig`], environment variables `MULTIEM_SCALE` and
+//!   `MULTIEM_DATASETS`);
+//! * run MultiEM with the paper's per-dataset grid search over `m`, `γ` and
+//!   `ε` ([`run_multiem_grid`]);
+//! * run every baseline with the same guards the paper applies (quadratic /
+//!   cubic methods are skipped on datasets that are too large for them, which
+//!   is reported like the `-` / `\` entries of Tables IV–VI);
+//! * collect quality, runtime and accounted-memory numbers in a uniform
+//!   [`MethodResult`] record.
+
+#![forbid(unsafe_code)]
+
+use multiem_baselines::{
+    AlmserGb, AutoFjMatcher, ChainExtension, MatchContext, MscdAp, MscdHac, MultiTableMatcher,
+    PairwiseExtension, SupervisedMatcher,
+};
+use multiem_core::{MultiEm, MultiEmConfig, MultiEmOutput};
+use multiem_datagen::{benchmark_dataset, benchmark_specs, BenchmarkDataset};
+use multiem_embed::HashedLexicalEncoder;
+use multiem_eval::{evaluate, sample_labeled_pairs, EvaluationReport, SamplingConfig};
+use multiem_table::Dataset;
+use std::time::{Duration, Instant};
+
+/// Configuration of the experiment harness, read from the environment.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Scale factor applied to every dataset preset (`MULTIEM_SCALE`,
+    /// default 0.05). `1.0` reproduces the paper's cardinalities.
+    pub scale: f64,
+    /// Optional comma-separated dataset filter (`MULTIEM_DATASETS`).
+    pub datasets: Option<Vec<String>>,
+    /// Entity-count ceiling for the quadratic clustering baselines
+    /// (MSCD-AP, ALMSER-GB); larger datasets are skipped.
+    pub quadratic_limit: usize,
+    /// Entity-count ceiling for MSCD-HAC, whose naive agglomerative loop is
+    /// cubic (the paper likewise only obtains MSCD-HAC numbers on Geo).
+    pub hac_limit: usize,
+    /// Entity-count ceiling for the pairwise / chain two-table baselines.
+    pub pairwise_limit: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            datasets: None,
+            quadratic_limit: 4_000,
+            hac_limit: 800,
+            pairwise_limit: 30_000,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Read the configuration from `MULTIEM_SCALE` and `MULTIEM_DATASETS`.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(scale) = std::env::var("MULTIEM_SCALE") {
+            if let Ok(s) = scale.parse::<f64>() {
+                cfg.scale = s.clamp(0.0005, 1.0);
+            }
+        }
+        if let Ok(names) = std::env::var("MULTIEM_DATASETS") {
+            let list: Vec<String> =
+                names.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+            if !list.is_empty() {
+                cfg.datasets = Some(list);
+            }
+        }
+        cfg
+    }
+
+    /// Per-dataset scale: the huge presets (music-2000, person) get an extra
+    /// reduction so default harness runs stay laptop-sized.
+    pub fn scale_for(&self, name: &str) -> f64 {
+        match name {
+            "music-2000" => self.scale * 0.02,
+            "music-200" => self.scale * 0.2,
+            "person" => self.scale * 0.02,
+            _ => self.scale,
+        }
+    }
+
+    /// Generate every (selected) benchmark dataset at the configured scale.
+    pub fn datasets(&self) -> Vec<BenchmarkDataset> {
+        benchmark_specs()
+            .into_iter()
+            .filter(|spec| {
+                self.datasets
+                    .as_ref()
+                    .map(|list| list.iter().any(|n| n == &spec.name))
+                    .unwrap_or(true)
+            })
+            .map(|spec| {
+                benchmark_dataset(&spec.name, self.scale_for(&spec.name))
+                    .expect("preset exists")
+            })
+            .collect()
+    }
+}
+
+/// The hyper-parameter grid of Section IV-A.
+pub fn paper_grid() -> Vec<MultiEmConfig> {
+    let mut out = Vec::new();
+    for &m in &[0.2f32, 0.35, 0.5] {
+        for &gamma in &[0.8f64, 0.9] {
+            for &epsilon in &[0.8f32, 1.0] {
+                out.push(MultiEmConfig { m, gamma, epsilon, ..MultiEmConfig::default() });
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of one method on one dataset.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name as reported in the paper's tables.
+    pub method: String,
+    /// Quality metrics (`None` when the method was skipped).
+    pub report: Option<EvaluationReport>,
+    /// Wall-clock runtime of the method (excluding dataset generation).
+    pub runtime: Duration,
+    /// Accounted memory in bytes.
+    pub memory_bytes: usize,
+    /// Reason the method was skipped, if it was.
+    pub skipped: Option<String>,
+}
+
+impl MethodResult {
+    fn skipped(method: &str, reason: &str) -> Self {
+        Self {
+            method: method.to_string(),
+            report: None,
+            runtime: Duration::ZERO,
+            memory_bytes: 0,
+            skipped: Some(reason.to_string()),
+        }
+    }
+}
+
+/// MultiEM variants reported in Tables IV–VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiEmVariant {
+    /// The full pipeline.
+    Full,
+    /// The rayon-parallel pipeline (same output, different runtime/memory).
+    Parallel,
+    /// Ablation without enhanced entity representation.
+    WithoutEer,
+    /// Ablation without density-based pruning.
+    WithoutDp,
+}
+
+impl MultiEmVariant {
+    /// Display name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MultiEmVariant::Full => "MultiEM",
+            MultiEmVariant::Parallel => "MultiEM (parallel)",
+            MultiEmVariant::WithoutEer => "MultiEM w/o EER",
+            MultiEmVariant::WithoutDp => "MultiEM w/o DP",
+        }
+    }
+
+    fn apply(&self, mut config: MultiEmConfig) -> MultiEmConfig {
+        match self {
+            MultiEmVariant::Full => config,
+            MultiEmVariant::Parallel => {
+                config.parallel = true;
+                config
+            }
+            MultiEmVariant::WithoutEer => config.without_attribute_selection(),
+            MultiEmVariant::WithoutDp => config.without_pruning(),
+        }
+    }
+}
+
+/// Run MultiEM with the paper's grid search, returning the best run (by tuple
+/// F1) together with its configuration and evaluation.
+pub fn run_multiem_grid(
+    dataset: &Dataset,
+    variant: MultiEmVariant,
+) -> (MultiEmOutput, EvaluationReport, MultiEmConfig) {
+    let gt = dataset.ground_truth().expect("benchmark datasets carry ground truth");
+    let mut best: Option<(MultiEmOutput, EvaluationReport, MultiEmConfig)> = None;
+    for base in paper_grid() {
+        // Sample ratio follows the paper: 0.05 for the largest dataset, 0.2
+        // otherwise.
+        let sample_ratio = if dataset.total_entities() > 1_000_000 { 0.05 } else { 0.2 };
+        let config = variant.apply(MultiEmConfig { sample_ratio, ..base });
+        let pipeline = MultiEm::new(config.clone(), HashedLexicalEncoder::default());
+        let output = pipeline.run(dataset).expect("pipeline runs on benchmark data");
+        let report = evaluate(&output.tuples, gt);
+        let better = best
+            .as_ref()
+            .map(|(_, b, _)| report.tuple.f1 > b.tuple.f1)
+            .unwrap_or(true);
+        if better {
+            best = Some((output, report, config));
+        }
+    }
+    best.expect("grid is non-empty")
+}
+
+/// Run a single MultiEM configuration and measure it.
+pub fn run_multiem_once(dataset: &Dataset, config: MultiEmConfig) -> MethodResult {
+    let gt = dataset.ground_truth().expect("ground truth");
+    let start = Instant::now();
+    let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
+    let output = pipeline.run(dataset).expect("pipeline runs");
+    let runtime = start.elapsed();
+    MethodResult {
+        method: "MultiEM".to_string(),
+        report: Some(evaluate(&output.tuples, gt)),
+        runtime,
+        memory_bytes: output.total_memory_bytes(),
+        skipped: None,
+    }
+}
+
+/// The baseline methods of Table IV, with the entity-count guards that mirror
+/// the `-` (out of memory) and `\` (timeout) entries of the paper's tables.
+pub fn run_baselines(data: &BenchmarkDataset, harness: &HarnessConfig) -> Vec<MethodResult> {
+    let dataset = &data.dataset;
+    let gt = dataset.ground_truth().expect("ground truth");
+    let n = dataset.total_entities();
+    let encoder = HashedLexicalEncoder::default();
+
+    // Context shared by all baselines; its construction time is excluded from
+    // per-method runtimes (it corresponds to data loading / encoding that the
+    // paper also excludes for the supervised baselines' preprocessing).
+    let labeled = sample_labeled_pairs(dataset, &SamplingConfig::default());
+    let ctx = MatchContext::build(dataset, &encoder, labeled);
+    let ctx_bytes = ctx.approx_bytes();
+
+    let mut results = Vec::new();
+
+    // Supervised two-table matchers under both extensions.
+    for (label, factory) in [
+        ("PromptEM", SupervisedMatcher::promptem_like as fn() -> SupervisedMatcher),
+        ("Ditto", SupervisedMatcher::ditto_like as fn() -> SupervisedMatcher),
+    ] {
+        for (suffix, chain) in [("(pw)", false), ("(c)", true)] {
+            let name = format!("{label} {suffix}");
+            if n > harness.pairwise_limit {
+                results.push(MethodResult::skipped(&name, "skipped: exceeds pairwise limit"));
+                continue;
+            }
+            let mut matcher = factory();
+            let start = Instant::now();
+            matcher.train(&ctx);
+            let tuples = if chain {
+                ChainExtension::new(matcher).run(&ctx)
+            } else {
+                PairwiseExtension::new(matcher).run(&ctx)
+            };
+            results.push(MethodResult {
+                method: name,
+                report: Some(evaluate(&tuples, gt)),
+                runtime: start.elapsed(),
+                memory_bytes: ctx_bytes,
+                skipped: None,
+            });
+        }
+    }
+
+    // AutoFJ under both extensions.
+    for (suffix, chain) in [("(pw)", false), ("(c)", true)] {
+        let name = format!("AutoFJ {suffix}");
+        if n > harness.pairwise_limit {
+            results.push(MethodResult::skipped(&name, "skipped: exceeds pairwise limit"));
+            continue;
+        }
+        let start = Instant::now();
+        let tuples = if chain {
+            ChainExtension::new(AutoFjMatcher::default()).run(&ctx)
+        } else {
+            PairwiseExtension::new(AutoFjMatcher::default()).run(&ctx)
+        };
+        results.push(MethodResult {
+            method: name,
+            report: Some(evaluate(&tuples, gt)),
+            runtime: start.elapsed(),
+            memory_bytes: ctx_bytes,
+            skipped: None,
+        });
+    }
+
+    // ALMSER-GB (graph + active learning; candidate graph is quadratic-ish).
+    if n > harness.pairwise_limit {
+        results.push(MethodResult::skipped("ALMSER-GB", "skipped: exceeds pairwise limit"));
+    } else {
+        let start = Instant::now();
+        let tuples = AlmserGb::default().run(&ctx);
+        results.push(MethodResult {
+            method: "ALMSER-GB".to_string(),
+            report: Some(evaluate(&tuples, gt)),
+            runtime: start.elapsed(),
+            memory_bytes: ctx_bytes + n * n / 8,
+            skipped: None,
+        });
+    }
+
+    // MSCD-HAC and MSCD-AP (quadratic memory, cubic-ish time).
+    for (name, method) in [
+        ("MSCD-HAC", Box::new(MscdHac::default()) as Box<dyn MultiTableMatcher>),
+        ("MSCD-AP", Box::new(MscdAp::default()) as Box<dyn MultiTableMatcher>),
+    ] {
+        let limit = if name == "MSCD-HAC" { harness.hac_limit } else { harness.quadratic_limit };
+        if n > limit {
+            results.push(MethodResult::skipped(name, "skipped: exceeds clustering size limit"));
+            continue;
+        }
+        let start = Instant::now();
+        let tuples = method.run(&ctx);
+        results.push(MethodResult {
+            method: name.to_string(),
+            report: Some(evaluate(&tuples, gt)),
+            runtime: start.elapsed(),
+            // Dense pairwise distance / message matrices.
+            memory_bytes: ctx_bytes + n * n * 4,
+            skipped: None,
+        });
+    }
+
+    results
+}
+
+/// Run the four MultiEM variants of Tables IV–VI (grid-searched, like the paper).
+pub fn run_multiem_variants(dataset: &Dataset) -> Vec<MethodResult> {
+    let mut out = Vec::new();
+    for variant in [
+        MultiEmVariant::Full,
+        MultiEmVariant::Parallel,
+        MultiEmVariant::WithoutEer,
+        MultiEmVariant::WithoutDp,
+    ] {
+        let start = Instant::now();
+        let (output, report, _config) = run_multiem_grid(dataset, variant);
+        // Report the runtime of the *selected* configuration, not the whole
+        // grid: re-run it once in isolation.
+        let _ = start;
+        let single_start = Instant::now();
+        let rerun = MultiEm::new(_config.clone(), HashedLexicalEncoder::default())
+            .run(dataset)
+            .expect("rerun");
+        let runtime = single_start.elapsed();
+        out.push(MethodResult {
+            method: variant.name().to_string(),
+            report: Some(report),
+            runtime,
+            memory_bytes: rerun.total_memory_bytes().max(output.total_memory_bytes()),
+            skipped: None,
+        });
+    }
+    out
+}
+
+/// Percentage formatting helper (`90.9` style).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Render a skipped-method marker the way the paper does (`\` for timeouts /
+/// `-` for memory limits; we use a single marker plus a note).
+pub fn skip_marker() -> String {
+    "\\".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_config_scales_presets() {
+        let cfg = HarnessConfig::default();
+        assert!(cfg.scale_for("music-2000") < cfg.scale_for("music-20"));
+        assert_eq!(cfg.scale_for("geo"), cfg.scale);
+    }
+
+    #[test]
+    fn paper_grid_has_twelve_points() {
+        assert_eq!(paper_grid().len(), 12);
+    }
+
+    #[test]
+    fn grid_search_runs_on_tiny_geo() {
+        let data = benchmark_dataset("geo", 0.02).unwrap();
+        let (output, report, config) = run_multiem_grid(&data.dataset, MultiEmVariant::Full);
+        assert!(!output.tuples.is_empty());
+        assert!(report.tuple.f1 > 0.2);
+        assert!(config.m > 0.0);
+    }
+
+    #[test]
+    fn baselines_respect_limits() {
+        let data = benchmark_dataset("geo", 0.02).unwrap();
+        let harness =
+            HarnessConfig { quadratic_limit: 1, hac_limit: 1, ..HarnessConfig::default() };
+        let results = run_baselines(&data, &harness);
+        let hac = results.iter().find(|r| r.method == "MSCD-HAC").unwrap();
+        assert!(hac.skipped.is_some());
+        let autofj = results.iter().find(|r| r.method == "AutoFJ (pw)").unwrap();
+        assert!(autofj.report.is_some());
+    }
+}

@@ -1,0 +1,249 @@
+//! DBSCAN and density-based point classification.
+//!
+//! The pruning phase of MultiEM runs, per merged tuple, the density
+//! classification of Definitions 3–5: an entity is a **core** entity when at
+//! least `MinPts` entities of the tuple (itself included) lie within `ε`; a
+//! **reachable** entity is a non-core entity with at least one core entity in
+//! its `ε`-neighbourhood; everything else is an **outlier** and is pruned.
+//! [`classify_points`] implements exactly that (Algorithm 4), and [`dbscan`]
+//! provides the full clustering (assignments) used by baselines and tests.
+
+use crate::union_find::UnionFind;
+use multiem_ann::Metric;
+use serde::{Deserialize, Serialize};
+
+/// The density class of a point (Definitions 3–5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointClass {
+    /// Has at least `min_pts` neighbours within `eps` (itself included).
+    Core,
+    /// Not core, but has a core point within `eps`.
+    Reachable,
+    /// Neither core nor reachable; removed by the pruning phase.
+    Outlier,
+}
+
+/// Configuration of DBSCAN / density classification.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius `ε`.
+    pub eps: f32,
+    /// Minimum number of points (including the point itself) within `ε` for a
+    /// point to be a core point. The paper uses `MinPts = 2`.
+    pub min_pts: usize,
+    /// Distance metric (the paper uses Euclidean distance for pruning).
+    pub metric: Metric,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        Self { eps: 1.0, min_pts: 2, metric: Metric::Euclidean }
+    }
+}
+
+/// Result of a full DBSCAN clustering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbscanResult {
+    /// Cluster id per point; `None` marks noise (outliers).
+    pub assignment: Vec<Option<usize>>,
+    /// Density class per point.
+    pub classes: Vec<PointClass>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Materialise clusters as lists of point indices (noise excluded).
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, a) in self.assignment.iter().enumerate() {
+            if let Some(c) = a {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+}
+
+fn neighborhoods(points: &[&[f32]], config: &DbscanConfig) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut neigh = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if config.metric.distance(points[i], points[j]) <= config.eps {
+                neigh[i].push(j);
+            }
+        }
+    }
+    neigh
+}
+
+/// Classify every point as core / reachable / outlier (Algorithm 4).
+pub fn classify_points(points: &[&[f32]], config: &DbscanConfig) -> Vec<PointClass> {
+    let n = points.len();
+    let neigh = neighborhoods(points, config);
+    let mut classes = vec![PointClass::Outlier; n];
+    // First pass: core points.
+    for i in 0..n {
+        if neigh[i].len() >= config.min_pts {
+            classes[i] = PointClass::Core;
+        }
+    }
+    // Second pass: reachable points (non-core with a core neighbour).
+    for i in 0..n {
+        if classes[i] == PointClass::Core {
+            continue;
+        }
+        if neigh[i].iter().any(|&j| classes[j] == PointClass::Core) {
+            classes[i] = PointClass::Reachable;
+        }
+    }
+    classes
+}
+
+/// Full DBSCAN clustering: core points within `ε` of each other share a
+/// cluster, reachable points join the cluster of (one of) their core
+/// neighbours, outliers stay unassigned.
+pub fn dbscan(points: &[&[f32]], config: &DbscanConfig) -> DbscanResult {
+    let n = points.len();
+    let neigh = neighborhoods(points, config);
+    let classes = classify_points(points, config);
+
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        if classes[i] != PointClass::Core {
+            continue;
+        }
+        for &j in &neigh[i] {
+            if classes[j] == PointClass::Core {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    // Assign cluster ids to core components.
+    let mut cluster_of_root: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut num_clusters = 0usize;
+    for i in 0..n {
+        if classes[i] == PointClass::Core {
+            let root = uf.find(i);
+            let id = *cluster_of_root.entry(root).or_insert_with(|| {
+                let id = num_clusters;
+                num_clusters += 1;
+                id
+            });
+            assignment[i] = Some(id);
+        }
+    }
+    // Reachable (border) points adopt the cluster of their first core neighbour.
+    for i in 0..n {
+        if classes[i] == PointClass::Reachable {
+            if let Some(&core) = neigh[i].iter().find(|&&j| classes[j] == PointClass::Core) {
+                assignment[i] = assignment[core];
+            }
+        }
+    }
+
+    DbscanResult { assignment, classes, num_clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_refs(points: &[Vec<f32>]) -> Vec<&[f32]> {
+        points.iter().map(|p| p.as_slice()).collect()
+    }
+
+    #[test]
+    fn paper_figure4_outlier_detection() {
+        // Figure 4: e1, e2, e3 close together, e4 merged in later but far away.
+        let points = vec![vec![0.0, 0.0], vec![0.3, 0.0], vec![0.0, 0.3], vec![5.0, 5.0]];
+        let cfg = DbscanConfig { eps: 0.5, min_pts: 2, metric: Metric::Euclidean };
+        let classes = classify_points(&to_refs(&points), &cfg);
+        assert_eq!(classes[0], PointClass::Core);
+        assert_eq!(classes[1], PointClass::Core);
+        assert_eq!(classes[2], PointClass::Core);
+        assert_eq!(classes[3], PointClass::Outlier);
+    }
+
+    #[test]
+    fn reachable_points_are_detected() {
+        // Dense pair at origin; one point within eps of a core point but with
+        // only that single neighbour besides itself → reachable when min_pts=3.
+        let points = vec![vec![0.0], vec![0.1], vec![0.2], vec![0.65]];
+        let cfg = DbscanConfig { eps: 0.5, min_pts: 3, metric: Metric::Euclidean };
+        let classes = classify_points(&to_refs(&points), &cfg);
+        assert_eq!(classes[0], PointClass::Core);
+        assert_eq!(classes[1], PointClass::Core);
+        assert_eq!(classes[2], PointClass::Core);
+        assert_eq!(classes[3], PointClass::Reachable);
+    }
+
+    #[test]
+    fn all_isolated_points_are_outliers_with_min_pts_2() {
+        let points = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let cfg = DbscanConfig { eps: 1.0, min_pts: 2, metric: Metric::Euclidean };
+        let classes = classify_points(&to_refs(&points), &cfg);
+        assert!(classes.iter().all(|c| *c == PointClass::Outlier));
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let points = vec![vec![0.0], vec![10.0]];
+        let cfg = DbscanConfig { eps: 0.5, min_pts: 1, metric: Metric::Euclidean };
+        let classes = classify_points(&to_refs(&points), &cfg);
+        assert!(classes.iter().all(|c| *c == PointClass::Core));
+    }
+
+    #[test]
+    fn dbscan_separates_two_blobs() {
+        let mut points = Vec::new();
+        for i in 0..5 {
+            points.push(vec![0.0 + i as f32 * 0.1, 0.0]);
+        }
+        for i in 0..5 {
+            points.push(vec![10.0 + i as f32 * 0.1, 0.0]);
+        }
+        points.push(vec![100.0, 100.0]); // noise
+        let cfg = DbscanConfig { eps: 0.5, min_pts: 2, metric: Metric::Euclidean };
+        let result = dbscan(&to_refs(&points), &cfg);
+        assert_eq!(result.num_clusters, 2);
+        let clusters = result.clusters();
+        assert_eq!(clusters[0].len(), 5);
+        assert_eq!(clusters[1].len(), 5);
+        assert_eq!(result.assignment[10], None);
+        assert_eq!(result.classes[10], PointClass::Outlier);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = DbscanConfig::default();
+        let result = dbscan(&[], &cfg);
+        assert_eq!(result.num_clusters, 0);
+        assert!(result.assignment.is_empty());
+        assert!(classify_points(&[], &cfg).is_empty());
+    }
+
+    #[test]
+    fn cosine_metric_classification() {
+        // Two vectors pointing the same way, one orthogonal.
+        let points = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
+        let cfg = DbscanConfig { eps: 0.1, min_pts: 2, metric: Metric::Cosine };
+        let classes = classify_points(&to_refs(&points), &cfg);
+        assert_eq!(classes[0], PointClass::Core);
+        assert_eq!(classes[1], PointClass::Core);
+        assert_eq!(classes[2], PointClass::Outlier);
+    }
+
+    #[test]
+    fn reachable_points_join_core_cluster() {
+        let points = vec![vec![0.0], vec![0.1], vec![0.2], vec![0.6]];
+        let cfg = DbscanConfig { eps: 0.45, min_pts: 3, metric: Metric::Euclidean };
+        let result = dbscan(&to_refs(&points), &cfg);
+        assert_eq!(result.classes[3], PointClass::Reachable);
+        assert_eq!(result.assignment[3], result.assignment[2]);
+        assert_eq!(result.num_clusters, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Hierarchical agglomerative clustering (HAC).
+//!
+//! This is the substrate behind the MSCD-HAC baseline (Saeedi et al., KEOD
+//! 2021): entities from multiple *clean* sources are clustered bottom-up, with
+//! the optional constraint that a cluster may contain at most one entity per
+//! source. Complexity is cubic in the number of entities, which is exactly why
+//! the paper reports MSCD-HAC failing to finish on all but the smallest
+//! dataset — the runtime benchmark reproduces that behaviour.
+
+use multiem_ann::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion used when merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    #[default]
+    Average,
+}
+
+/// Configuration of [`AgglomerativeClustering`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HacConfig {
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// Stop merging once the closest pair of clusters is farther apart than
+    /// this threshold.
+    pub distance_threshold: f32,
+    /// Distance metric over the input vectors.
+    pub metric: Metric,
+    /// When `true`, two clusters are never merged if they contain entities
+    /// from the same source (the clean-source assumption of MSCD).
+    pub source_constraint: bool,
+}
+
+impl Default for HacConfig {
+    fn default() -> Self {
+        Self {
+            linkage: Linkage::Average,
+            distance_threshold: 0.5,
+            metric: Metric::Cosine,
+            source_constraint: false,
+        }
+    }
+}
+
+/// Bottom-up agglomerative clustering over dense vectors.
+#[derive(Debug, Clone)]
+pub struct AgglomerativeClustering {
+    config: HacConfig,
+}
+
+impl AgglomerativeClustering {
+    /// Create a clusterer with the given configuration.
+    pub fn new(config: HacConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HacConfig {
+        &self.config
+    }
+
+    /// Cluster `points`; `sources[i]` is the source id of point `i` (only used
+    /// when the source constraint is enabled — pass an empty slice otherwise).
+    ///
+    /// Returns the clusters as lists of point indices (singletons included),
+    /// ordered by smallest member.
+    pub fn cluster(&self, points: &[&[f32]], sources: &[u32]) -> Vec<Vec<usize>> {
+        let n = points.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(
+            !self.config.source_constraint || sources.len() == n,
+            "source labels required when the source constraint is enabled"
+        );
+
+        // Pairwise distance matrix between points (row-major upper storage).
+        let mut point_dist = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.config.metric.distance(points[i], points[j]);
+                point_dist[i * n + j] = d;
+                point_dist[j * n + i] = d;
+            }
+        }
+
+        // Active clusters: member lists and source bitsets (as sorted vectors).
+        let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut cluster_sources: Vec<Vec<u32>> = if self.config.source_constraint {
+            (0..n).map(|i| vec![sources[i]]).collect()
+        } else {
+            vec![Vec::new(); n]
+        };
+        let mut active: Vec<bool> = vec![true; n];
+
+        let linkage_dist = |a: &[usize], b: &[usize]| -> f32 {
+            match self.config.linkage {
+                Linkage::Single => {
+                    let mut best = f32::INFINITY;
+                    for &i in a {
+                        for &j in b {
+                            best = best.min(point_dist[i * n + j]);
+                        }
+                    }
+                    best
+                }
+                Linkage::Complete => {
+                    let mut worst = 0.0f32;
+                    for &i in a {
+                        for &j in b {
+                            worst = worst.max(point_dist[i * n + j]);
+                        }
+                    }
+                    worst
+                }
+                Linkage::Average => {
+                    let mut sum = 0.0f32;
+                    for &i in a {
+                        for &j in b {
+                            sum += point_dist[i * n + j];
+                        }
+                    }
+                    sum / (a.len() * b.len()) as f32
+                }
+            }
+        };
+
+        let sources_conflict = |a: &[u32], b: &[u32]| -> bool {
+            if !self.config.source_constraint {
+                return false;
+            }
+            a.iter().any(|s| b.contains(s))
+        };
+
+        loop {
+            // Find the closest pair of active, mergeable clusters.
+            let mut best: Option<(usize, usize, f32)> = None;
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !active[j] {
+                        continue;
+                    }
+                    if sources_conflict(&cluster_sources[i], &cluster_sources[j]) {
+                        continue;
+                    }
+                    let d = linkage_dist(&members[i], &members[j]);
+                    if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            let Some((i, j, d)) = best else { break };
+            if d > self.config.distance_threshold {
+                break;
+            }
+            // Merge j into i.
+            let moved = std::mem::take(&mut members[j]);
+            members[i].extend(moved);
+            members[i].sort_unstable();
+            if self.config.source_constraint {
+                let moved_sources = std::mem::take(&mut cluster_sources[j]);
+                cluster_sources[i].extend(moved_sources);
+                cluster_sources[i].sort_unstable();
+            }
+            active[j] = false;
+        }
+
+        let mut out: Vec<Vec<usize>> = (0..n).filter(|&i| active[i]).map(|i| members[i].clone()).collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(points: &[Vec<f32>]) -> Vec<&[f32]> {
+        points.iter().map(|p| p.as_slice()).collect()
+    }
+
+    #[test]
+    fn merges_two_obvious_blobs() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let cfg = HacConfig {
+            linkage: Linkage::Average,
+            distance_threshold: 1.0,
+            metric: Metric::Euclidean,
+            source_constraint: false,
+        };
+        let clusters = AgglomerativeClustering::new(cfg).cluster(&refs(&points), &[]);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn threshold_zero_keeps_singletons() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let cfg = HacConfig {
+            distance_threshold: 0.0,
+            metric: Metric::Euclidean,
+            ..HacConfig::default()
+        };
+        let clusters = AgglomerativeClustering::new(cfg).cluster(&refs(&points), &[]);
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn single_vs_complete_linkage_on_a_chain() {
+        // A chain 0 - 1 - 2 where consecutive points are 1.0 apart.
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let single_cfg = HacConfig {
+            linkage: Linkage::Single,
+            distance_threshold: 1.1,
+            metric: Metric::Euclidean,
+            source_constraint: false,
+        };
+        let complete_cfg = HacConfig { linkage: Linkage::Complete, ..single_cfg.clone() };
+        let single = AgglomerativeClustering::new(single_cfg).cluster(&refs(&points), &[]);
+        let complete = AgglomerativeClustering::new(complete_cfg).cluster(&refs(&points), &[]);
+        // Single linkage chains everything together; complete linkage stops at
+        // the 2.0 span.
+        assert_eq!(single.len(), 1);
+        assert_eq!(complete.len(), 2);
+    }
+
+    #[test]
+    fn source_constraint_prevents_same_source_merges() {
+        // Two nearly identical points from the same source must not merge.
+        let points = vec![vec![0.0], vec![0.01], vec![0.02]];
+        let sources = vec![0, 0, 1];
+        let cfg = HacConfig {
+            distance_threshold: 1.0,
+            metric: Metric::Euclidean,
+            source_constraint: true,
+            ..HacConfig::default()
+        };
+        let clusters = AgglomerativeClustering::new(cfg).cluster(&refs(&points), &sources);
+        // Point 2 merges with one of the source-0 points, the other stays alone.
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            let s: Vec<u32> = c.iter().map(|&i| sources[i]).collect();
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(s.len(), dedup.len(), "cluster {c:?} has duplicate sources");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = HacConfig::default();
+        assert!(AgglomerativeClustering::new(cfg).cluster(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "source labels required")]
+    fn missing_source_labels_panics_when_constrained() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let cfg = HacConfig { source_constraint: true, ..HacConfig::default() };
+        AgglomerativeClustering::new(cfg).cluster(&refs(&points), &[]);
+    }
+
+    #[test]
+    fn cosine_metric_clusters_by_direction() {
+        let points = vec![vec![1.0, 0.0], vec![2.0, 0.01], vec![0.0, 1.0]];
+        let cfg = HacConfig {
+            distance_threshold: 0.05,
+            metric: Metric::Cosine,
+            ..HacConfig::default()
+        };
+        let clusters = AgglomerativeClustering::new(cfg).cluster(&refs(&points), &[]);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1]);
+    }
+}

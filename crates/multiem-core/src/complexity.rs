@@ -1,0 +1,112 @@
+//! Analytical cost models of the three multi-table matching strategies
+//! (Lemmas 1–3 of the paper).
+//!
+//! The models count mutual top-K search operations as a function of the number
+//! of tables `S`, the average table size `n` and the top-K bound `k`:
+//!
+//! * pairwise matching:   `T_p(S, n) = S² · 2k·n·log n`          (Lemma 1)
+//! * chain matching:      `T_c(S, n) = Σ_{i=1}^{S-1} k·i·n·log n + k·n·log(i·n)` (Lemma 2)
+//! * hierarchical merge:  `T_h(S, n) = Σ_{i=1}^{log S} (S/2^i) · 2k·(2^{i-1}n)·log(2^{i-1}n)` (Lemma 3)
+//!
+//! These are used by the `merging_scaling` bench to plot the predicted curves
+//! next to measured runtimes.
+
+/// Cost of pairwise matching (Lemma 1), in abstract "search operations".
+pub fn pairwise_cost(s: usize, n: usize, k: usize) -> f64 {
+    if s < 2 || n == 0 {
+        return 0.0;
+    }
+    let s = s as f64;
+    let n = n as f64;
+    let k = k as f64;
+    // (S choose 2) two-table matches, each 2·k·n·log2(n).
+    (s * (s - 1.0) / 2.0) * 2.0 * k * n * n.log2().max(1.0)
+}
+
+/// Cost of chain matching (Lemma 2).
+pub fn chain_cost(s: usize, n: usize, k: usize) -> f64 {
+    if s < 2 || n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let kf = k as f64;
+    let mut total = 0.0;
+    for i in 1..s {
+        let base = (i as f64) * nf; // size of the growing base table
+        total += kf * base * nf.log2().max(1.0) + kf * nf * base.log2().max(1.0);
+    }
+    total
+}
+
+/// Cost of table-wise hierarchical merging (Lemma 3).
+pub fn hierarchical_cost(s: usize, n: usize, k: usize) -> f64 {
+    if s < 2 || n == 0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    let nf = n as f64;
+    let levels = (s as f64).log2().ceil() as u32;
+    let mut total = 0.0;
+    let mut tables = s as f64;
+    for level in 0..levels {
+        let table_size = nf * 2f64.powi(level as i32);
+        let merges = (tables / 2.0).floor();
+        total += merges * 2.0 * kf * table_size * table_size.log2().max(1.0);
+        tables = (tables / 2.0).ceil();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_is_cheapest_for_many_tables() {
+        for &s in &[4usize, 8, 16, 32] {
+            let n = 10_000;
+            let h = hierarchical_cost(s, n, 1);
+            let c = chain_cost(s, n, 1);
+            let p = pairwise_cost(s, n, 1);
+            assert!(h < c, "S={s}: hierarchical {h} !< chain {c}");
+            assert!(c < p, "S={s}: chain {c} !< pairwise {p}");
+        }
+    }
+
+    #[test]
+    fn pairwise_grows_quadratically_in_s() {
+        let n = 1_000;
+        let base = pairwise_cost(4, n, 1);
+        let quadrupled = pairwise_cost(8, n, 1);
+        let ratio = quadrupled / base;
+        assert!((ratio - 4.67).abs() < 1.0, "ratio {ratio}"); // (8*7)/(4*3) = 4.67
+    }
+
+    #[test]
+    fn costs_scale_with_k_and_n() {
+        assert!(hierarchical_cost(8, 1000, 2) > hierarchical_cost(8, 1000, 1));
+        assert!(chain_cost(8, 2000, 1) > chain_cost(8, 1000, 1));
+        assert!(pairwise_cost(8, 2000, 1) > pairwise_cost(8, 1000, 1));
+    }
+
+    #[test]
+    fn degenerate_inputs_cost_nothing() {
+        assert_eq!(pairwise_cost(1, 100, 1), 0.0);
+        assert_eq!(chain_cost(2, 0, 1), 0.0);
+        assert_eq!(hierarchical_cost(0, 100, 1), 0.0);
+    }
+
+    #[test]
+    fn two_tables_all_strategies_similar_order() {
+        // With S = 2 every strategy degenerates to one two-table match; the
+        // models should agree within a small constant factor.
+        let p = pairwise_cost(2, 10_000, 1);
+        let c = chain_cost(2, 10_000, 1);
+        let h = hierarchical_cost(2, 10_000, 1);
+        for v in [p, c, h] {
+            assert!(v > 0.0);
+        }
+        assert!(p / h < 2.5 && h / p < 2.5);
+        assert!(c / h < 2.5 && h / c < 2.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the MultiEM pipeline.
+
+use std::fmt;
+
+/// Errors produced by the MultiEM pipeline.
+#[derive(Debug)]
+pub enum MultiEmError {
+    /// The input dataset has no source tables.
+    EmptyDataset,
+    /// The input dataset has a single table; multi-table EM needs at least two.
+    SingleTable,
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// Error bubbled up from the table substrate.
+    Table(multiem_table::TableError),
+}
+
+impl fmt::Display for MultiEmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiEmError::EmptyDataset => write!(f, "dataset contains no source tables"),
+            MultiEmError::SingleTable => {
+                write!(f, "multi-table entity matching requires at least two source tables")
+            }
+            MultiEmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MultiEmError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiEmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiEmError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<multiem_table::TableError> for MultiEmError {
+    fn from(e: multiem_table::TableError) -> Self {
+        MultiEmError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MultiEmError::EmptyDataset.to_string().contains("no source tables"));
+        assert!(MultiEmError::SingleTable.to_string().contains("at least two"));
+        assert!(MultiEmError::InvalidConfig("k must be > 0".into()).to_string().contains("k must"));
+    }
+
+    #[test]
+    fn table_error_conversion() {
+        let e: MultiEmError = multiem_table::TableError::UnknownSource(3).into();
+        assert!(matches!(e, MultiEmError::Table(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,334 @@
+//! The corruption model: how the same real-world entity ends up with different
+//! surface forms in different sources.
+//!
+//! Every source-specific copy of a clean entity is passed through a
+//! [`Corruptor`], which applies (independently, with configurable
+//! probabilities) the noise types observed in the real benchmark datasets:
+//! character-level typos, token drops, token swaps, domain abbreviations,
+//! marketing filler insertion, missing values, and numeric jitter.
+
+use crate::vocab::ABBREVIATIONS;
+use multiem_table::Value;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and magnitudes of the different noise types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorruptionConfig {
+    /// Probability of a character-level typo per text value.
+    pub typo_prob: f64,
+    /// Probability of dropping one token from a multi-token text value.
+    pub token_drop_prob: f64,
+    /// Probability of swapping two adjacent tokens in a text value.
+    pub token_swap_prob: f64,
+    /// Probability of replacing a known long form with its abbreviation.
+    pub abbreviation_prob: f64,
+    /// Probability of setting a (non-key) value to null.
+    pub null_prob: f64,
+    /// Relative jitter applied to numeric values (e.g. `0.001` = ±0.1 %).
+    pub numeric_jitter: f64,
+    /// Probability of appending one extra filler token (supplied by the domain
+    /// factory) to a text value.
+    pub filler_prob: f64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self {
+            typo_prob: 0.15,
+            token_drop_prob: 0.15,
+            token_swap_prob: 0.08,
+            abbreviation_prob: 0.12,
+            null_prob: 0.03,
+            numeric_jitter: 0.0005,
+            filler_prob: 0.10,
+        }
+    }
+}
+
+impl CorruptionConfig {
+    /// A gentler corruption profile (clean administrative data such as the
+    /// Person benchmark).
+    pub fn light() -> Self {
+        Self {
+            typo_prob: 0.08,
+            token_drop_prob: 0.04,
+            token_swap_prob: 0.02,
+            abbreviation_prob: 0.05,
+            null_prob: 0.02,
+            numeric_jitter: 0.0,
+            filler_prob: 0.0,
+        }
+    }
+
+    /// An aggressive profile (noisy marketplace listings such as Shopee).
+    pub fn heavy() -> Self {
+        Self {
+            typo_prob: 0.25,
+            token_drop_prob: 0.25,
+            token_swap_prob: 0.15,
+            abbreviation_prob: 0.20,
+            null_prob: 0.0,
+            numeric_jitter: 0.0,
+            filler_prob: 0.45,
+        }
+    }
+
+    /// No corruption at all (used in tests).
+    pub fn none() -> Self {
+        Self {
+            typo_prob: 0.0,
+            token_drop_prob: 0.0,
+            token_swap_prob: 0.0,
+            abbreviation_prob: 0.0,
+            null_prob: 0.0,
+            numeric_jitter: 0.0,
+            filler_prob: 0.0,
+        }
+    }
+}
+
+/// Applies the corruption model to individual values.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    config: CorruptionConfig,
+}
+
+impl Corruptor {
+    /// Create a corruptor.
+    pub fn new(config: CorruptionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CorruptionConfig {
+        &self.config
+    }
+
+    /// Introduce a single character-level typo (substitution, deletion,
+    /// insertion or transposition) into `text`.
+    pub fn typo<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> String {
+        let chars: Vec<char> = text.chars().collect();
+        if chars.len() < 3 {
+            return text.to_string();
+        }
+        let pos = rng.gen_range(1..chars.len() - 1);
+        let mut out = chars.clone();
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // substitution with a nearby letter
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                out[pos] = c;
+            }
+            1 => {
+                out.remove(pos);
+            }
+            2 => {
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                out.insert(pos, c);
+            }
+            _ => {
+                out.swap(pos - 1, pos);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    fn drop_token<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> String {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return text.to_string();
+        }
+        let drop = rng.gen_range(0..tokens.len());
+        tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, t)| *t)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn swap_tokens<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> String {
+        let mut tokens: Vec<&str> = text.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return text.to_string();
+        }
+        let i = rng.gen_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+        tokens.join(" ")
+    }
+
+    fn abbreviate<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> String {
+        let applicable: Vec<&(&str, &str)> = ABBREVIATIONS
+            .iter()
+            .filter(|(long, _)| text.split_whitespace().any(|t| t == *long))
+            .collect();
+        if applicable.is_empty() {
+            return text.to_string();
+        }
+        let (long, short) = applicable[rng.gen_range(0..applicable.len())];
+        text.split_whitespace()
+            .map(|t| if t == *long { (*short).to_string() } else { t.to_string() })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Corrupt a text value; `filler` is an optional domain-specific token pool
+    /// from which marketing noise is drawn, `allow_null` controls whether the
+    /// value may be blanked entirely.
+    pub fn corrupt_text<R: Rng + ?Sized>(
+        &self,
+        text: &str,
+        filler: &[&str],
+        allow_null: bool,
+        rng: &mut R,
+    ) -> Value {
+        if allow_null && rng.gen_bool(self.config.null_prob) {
+            return Value::Null;
+        }
+        let mut out = text.to_string();
+        if rng.gen_bool(self.config.abbreviation_prob) {
+            out = self.abbreviate(&out, rng);
+        }
+        if rng.gen_bool(self.config.token_drop_prob) {
+            out = self.drop_token(&out, rng);
+        }
+        if rng.gen_bool(self.config.token_swap_prob) {
+            out = self.swap_tokens(&out, rng);
+        }
+        if rng.gen_bool(self.config.typo_prob) {
+            out = self.typo(&out, rng);
+        }
+        if !filler.is_empty() && rng.gen_bool(self.config.filler_prob) {
+            let extra = filler[rng.gen_range(0..filler.len())];
+            if rng.gen_bool(0.5) {
+                out = format!("{extra} {out}");
+            } else {
+                out = format!("{out} {extra}");
+            }
+        }
+        Value::Text(out)
+    }
+
+    /// Corrupt a numeric value with relative jitter and optional nulling.
+    pub fn corrupt_number<R: Rng + ?Sized>(&self, value: f64, allow_null: bool, rng: &mut R) -> Value {
+        if allow_null && rng.gen_bool(self.config.null_prob) {
+            return Value::Null;
+        }
+        if self.config.numeric_jitter > 0.0 {
+            let jitter = rng.gen_range(-self.config.numeric_jitter..=self.config.numeric_jitter);
+            Value::Number(value + value.abs().max(1.0) * jitter)
+        } else {
+            Value::Number(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_config_is_identity_for_text() {
+        let c = Corruptor::new(CorruptionConfig::none());
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = c.corrupt_text("apple iphone 8 plus", &[], true, &mut r);
+            assert_eq!(v, Value::Text("apple iphone 8 plus".into()));
+        }
+    }
+
+    #[test]
+    fn typo_changes_at_most_locally() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut r = rng();
+        let original = "chameleon";
+        let mutated = c.typo(original, &mut r);
+        // Length changes by at most one and the first character is preserved.
+        assert!((mutated.chars().count() as i64 - original.len() as i64).abs() <= 1);
+        assert_eq!(mutated.chars().next(), original.chars().next());
+        // Very short strings are returned untouched.
+        assert_eq!(c.typo("ab", &mut r), "ab");
+    }
+
+    #[test]
+    fn heavy_corruption_usually_changes_long_text() {
+        let c = Corruptor::new(CorruptionConfig::heavy());
+        let mut r = rng();
+        let original = "wireless bluetooth headphones with original microphone and charger";
+        let mut changed = 0;
+        for _ in 0..50 {
+            if c.corrupt_text(original, &["promo"], false, &mut r) != Value::Text(original.into()) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 30, "only {changed}/50 corrupted");
+    }
+
+    #[test]
+    fn nulling_respects_allow_flag() {
+        let cfg = CorruptionConfig { null_prob: 1.0, ..CorruptionConfig::none() };
+        let c = Corruptor::new(cfg);
+        let mut r = rng();
+        assert_eq!(c.corrupt_text("abc def", &[], true, &mut r), Value::Null);
+        assert_eq!(c.corrupt_text("abc def", &[], false, &mut r), Value::Text("abc def".into()));
+        assert_eq!(c.corrupt_number(5.0, true, &mut r), Value::Null);
+    }
+
+    #[test]
+    fn numeric_jitter_stays_small() {
+        let cfg = CorruptionConfig { numeric_jitter: 0.001, ..CorruptionConfig::none() };
+        let c = Corruptor::new(cfg);
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = c.corrupt_number(145.3, false, &mut r);
+            let n = v.as_number().unwrap();
+            assert!((n - 145.3).abs() < 1.0);
+        }
+        // Zero jitter is exact.
+        let c0 = Corruptor::new(CorruptionConfig::none());
+        assert_eq!(c0.corrupt_number(42.0, false, &mut r), Value::Number(42.0));
+    }
+
+    #[test]
+    fn abbreviation_replaces_known_tokens() {
+        let cfg = CorruptionConfig { abbreviation_prob: 1.0, ..CorruptionConfig::none() };
+        let c = Corruptor::new(cfg);
+        let mut r = rng();
+        let v = c.corrupt_text("north mountain river", &[], false, &mut r);
+        let text = v.as_text().unwrap().to_string();
+        assert_ne!(text, "north mountain river");
+        assert!(text.split_whitespace().count() == 3);
+    }
+
+    #[test]
+    fn filler_appends_a_token() {
+        let cfg = CorruptionConfig { filler_prob: 1.0, ..CorruptionConfig::none() };
+        let c = Corruptor::new(cfg);
+        let mut r = rng();
+        let v = c.corrupt_text("samsung galaxy s21", &["promo", "sale"], false, &mut r);
+        let text = v.as_text().unwrap();
+        assert!(text.contains("promo") || text.contains("sale"));
+        assert!(text.contains("samsung galaxy s21"));
+    }
+
+    #[test]
+    fn token_drop_and_swap_preserve_vocabulary() {
+        let cfg = CorruptionConfig { token_drop_prob: 1.0, token_swap_prob: 1.0, ..CorruptionConfig::none() };
+        let c = Corruptor::new(cfg);
+        let mut r = rng();
+        let v = c.corrupt_text("alpha beta gamma delta", &[], false, &mut r);
+        let text = v.as_text().unwrap();
+        for tok in text.split_whitespace() {
+            assert!(["alpha", "beta", "gamma", "delta"].contains(&tok));
+        }
+        assert!(text.split_whitespace().count() == 3);
+    }
+}

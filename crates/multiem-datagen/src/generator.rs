@@ -1,0 +1,336 @@
+//! The generic multi-source dataset generator.
+//!
+//! Given an [`EntityFactory`], a [`Corruptor`] and a [`GeneratorConfig`], the
+//! generator draws ground-truth tuples (a clean entity published by 2+
+//! sources, each with its own corrupted variant) and singleton entities
+//! (published by exactly one source), shuffles every source table, and returns
+//! a [`Dataset`] with attached [`GroundTruth`].
+
+use crate::corruption::Corruptor;
+use crate::domains::EntityFactory;
+use multiem_table::{Dataset, EntityId, GroundTruth, MatchTuple, Table};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multi-source generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of source tables `S`.
+    pub num_sources: usize,
+    /// Number of ground-truth matched tuples to generate.
+    pub num_tuples: usize,
+    /// Number of singleton entities (appear in exactly one source, no match).
+    pub num_singletons: usize,
+    /// Minimum tuple size (≥ 2).
+    pub min_tuple_size: usize,
+    /// Maximum tuple size (≤ `num_sources`).
+    pub max_tuple_size: usize,
+    /// RNG seed (the generator is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn small_test(name: &str, num_sources: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            num_sources,
+            num_tuples: 30,
+            num_singletons: 15,
+            min_tuple_size: 2,
+            max_tuple_size: num_sources.min(4),
+            seed: 42,
+        }
+    }
+}
+
+/// Summary statistics of a generated dataset (the rows of Table III).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Domain name.
+    pub domain: String,
+    /// Number of source tables.
+    pub sources: usize,
+    /// Number of attributes in the shared schema.
+    pub attributes: usize,
+    /// Total number of entities across all sources.
+    pub entities: usize,
+    /// Number of ground-truth matched tuples.
+    pub tuples: usize,
+    /// Number of ground-truth matched pairs implied by the tuples.
+    pub pairs: usize,
+}
+
+impl DatasetStats {
+    /// Compute statistics from a dataset with attached ground truth.
+    pub fn from_dataset(domain: &str, ds: &Dataset) -> Self {
+        let gt = ds.ground_truth();
+        Self {
+            name: ds.name().to_string(),
+            domain: domain.to_string(),
+            sources: ds.num_sources(),
+            attributes: ds.schema().len(),
+            entities: ds.total_entities(),
+            tuples: gt.map(|g| g.len()).unwrap_or(0),
+            pairs: gt.map(|g| g.pairs().len()).unwrap_or(0),
+        }
+    }
+}
+
+/// Generates multi-source datasets with ground truth.
+#[derive(Debug, Clone)]
+pub struct MultiSourceGenerator {
+    config: GeneratorConfig,
+}
+
+impl MultiSourceGenerator {
+    /// Create a generator.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (fewer than 2 sources,
+    /// tuple sizes out of range).
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(config.num_sources >= 2, "need at least two sources");
+        assert!(config.min_tuple_size >= 2, "tuples must contain at least two entities");
+        assert!(
+            config.max_tuple_size >= config.min_tuple_size
+                && config.max_tuple_size <= config.num_sources,
+            "tuple size range must fit within the number of sources"
+        );
+        Self { config }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self, factory: &dyn EntityFactory, corruptor: &Corruptor) -> Dataset {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let schema = factory.schema();
+
+        // Per-source record buffers, and the pre-shuffle position of every
+        // tuple member: (source, position-in-source).
+        let mut buffers: Vec<Vec<multiem_table::Record>> = vec![Vec::new(); cfg.num_sources];
+        let mut tuples_positions: Vec<Vec<(u32, u32)>> = Vec::with_capacity(cfg.num_tuples);
+
+        let all_sources: Vec<u32> = (0..cfg.num_sources as u32).collect();
+        for t in 0..cfg.num_tuples {
+            let size = rng.gen_range(cfg.min_tuple_size..=cfg.max_tuple_size);
+            let mut chosen = all_sources.clone();
+            chosen.shuffle(&mut rng);
+            chosen.truncate(size);
+            chosen.sort_unstable();
+            let clean = factory.clean(t as u64, &mut rng);
+            let mut members = Vec::with_capacity(size);
+            for &source in &chosen {
+                let record = factory.variant(&clean, source, corruptor, &mut rng);
+                let pos = buffers[source as usize].len() as u32;
+                buffers[source as usize].push(record);
+                members.push((source, pos));
+            }
+            tuples_positions.push(members);
+        }
+
+        // Singletons: a unique entity published by exactly one source. Offsetting
+        // the clean index by a large constant keeps them distinct from tuple
+        // entities.
+        for s in 0..cfg.num_singletons {
+            let source = rng.gen_range(0..cfg.num_sources) as u32;
+            let clean = factory.clean(u64::MAX / 2 + s as u64, &mut rng);
+            let record = factory.variant(&clean, source, corruptor, &mut rng);
+            buffers[source as usize].push(record);
+        }
+
+        // Shuffle every source table so row order carries no signal, remembering
+        // where each original position went.
+        let mut position_maps: Vec<Vec<u32>> = Vec::with_capacity(cfg.num_sources);
+        let mut dataset = Dataset::new(cfg.name.clone(), schema.clone());
+        for (s, buffer) in buffers.into_iter().enumerate() {
+            let n = buffer.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            // order[new_row] = old_row; build the inverse map old_row -> new_row.
+            let mut inverse = vec![0u32; n];
+            for (new_row, &old_row) in order.iter().enumerate() {
+                inverse[old_row] = new_row as u32;
+            }
+            let mut records: Vec<Option<multiem_table::Record>> = buffer.into_iter().map(Some).collect();
+            let mut table = Table::new(format!("source-{s}"), schema.clone());
+            for &old_row in &order {
+                let record = records[old_row].take().expect("record moved exactly once");
+                table.push(record).expect("generated record matches schema");
+            }
+            position_maps.push(inverse);
+            dataset.add_table(table).expect("generated table matches schema");
+        }
+
+        // Remap ground truth through the shuffles.
+        let tuples: Vec<MatchTuple> = tuples_positions
+            .into_iter()
+            .map(|members| {
+                MatchTuple::new(members.into_iter().map(|(source, old_row)| {
+                    EntityId::new(source, position_maps[source as usize][old_row as usize])
+                }))
+            })
+            .collect();
+        dataset.set_ground_truth(GroundTruth::new(tuples));
+        dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::{CorruptionConfig, Corruptor};
+    use crate::domains::Domain;
+    use multiem_table::serialize_record;
+
+    fn generate(domain: Domain, cfg: GeneratorConfig) -> Dataset {
+        let factory = domain.factory();
+        let corruptor = Corruptor::new(CorruptionConfig::default());
+        MultiSourceGenerator::new(cfg).generate(factory.as_ref(), &corruptor)
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = GeneratorConfig {
+            name: "music-test".into(),
+            num_sources: 5,
+            num_tuples: 40,
+            num_singletons: 20,
+            min_tuple_size: 2,
+            max_tuple_size: 5,
+            seed: 1,
+        };
+        let ds = generate(Domain::Music, cfg);
+        assert_eq!(ds.num_sources(), 5);
+        let gt = ds.ground_truth().unwrap();
+        assert_eq!(gt.len(), 40);
+        // Total entities = tuple members + singletons.
+        let covered = gt.covered_entities();
+        assert_eq!(ds.total_entities(), covered + 20);
+        assert!(covered >= 80 && covered <= 200);
+    }
+
+    #[test]
+    fn ground_truth_members_come_from_distinct_sources() {
+        let ds = generate(Domain::Person, GeneratorConfig::small_test("person-test", 4));
+        for tuple in ds.ground_truth().unwrap().tuples() {
+            let mut sources: Vec<u32> = tuple.members().iter().map(|m| m.source).collect();
+            let before = sources.len();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(sources.len(), before, "tuple has two entities from one source");
+        }
+    }
+
+    #[test]
+    fn ground_truth_ids_are_valid_after_shuffling() {
+        let ds = generate(Domain::Geo, GeneratorConfig::small_test("geo-test", 4));
+        for tuple in ds.ground_truth().unwrap().tuples() {
+            for &id in tuple.members() {
+                assert!(ds.record(id).is_ok(), "ground truth points at missing record {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn matched_entities_are_textually_similar() {
+        // Without heavy corruption the variants of one clean entity must share
+        // most of their serialized tokens — the signal MultiEM relies on.
+        let factory = Domain::Music.factory();
+        let corruptor = Corruptor::new(CorruptionConfig::light());
+        let cfg = GeneratorConfig::small_test("music-sim", 5);
+        let ds = MultiSourceGenerator::new(cfg).generate(factory.as_ref(), &corruptor);
+        let opts = multiem_table::SerializeOptions::default();
+        let mut overlaps = Vec::new();
+        for tuple in ds.ground_truth().unwrap().tuples().iter().take(10) {
+            let texts: Vec<String> = tuple
+                .members()
+                .iter()
+                .map(|&id| serialize_record(ds.record(id).unwrap(), &opts))
+                .collect();
+            let first: std::collections::HashSet<&str> = texts[0].split_whitespace().collect();
+            for other in &texts[1..] {
+                let toks: std::collections::HashSet<&str> = other.split_whitespace().collect();
+                let inter = first.intersection(&toks).count() as f64;
+                let union = first.union(&toks).count() as f64;
+                overlaps.push(inter / union);
+            }
+        }
+        let mean: f64 = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
+        assert!(mean > 0.4, "mean token Jaccard {mean} too low for matched entities");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GeneratorConfig::small_test("geo-seed", 4);
+        let a = generate(Domain::Geo, cfg.clone());
+        let b = generate(Domain::Geo, cfg);
+        assert_eq!(a.total_entities(), b.total_entities());
+        assert_eq!(a.ground_truth().unwrap().pairs(), b.ground_truth().unwrap().pairs());
+        let id = a.entity_ids().next().unwrap();
+        assert_eq!(a.record(id).unwrap(), b.record(id).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = GeneratorConfig::small_test("geo-seed", 4);
+        let a = generate(Domain::Geo, cfg.clone());
+        cfg.seed = 999;
+        let b = generate(Domain::Geo, cfg);
+        assert_ne!(
+            a.ground_truth().unwrap().pairs(),
+            b.ground_truth().unwrap().pairs(),
+            "different seeds should give different ground truth placements"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_dataset() {
+        let ds = generate(Domain::Product, GeneratorConfig::small_test("shopee-test", 6));
+        let stats = DatasetStats::from_dataset("product", &ds);
+        assert_eq!(stats.sources, 6);
+        assert_eq!(stats.attributes, 1);
+        assert_eq!(stats.entities, ds.total_entities());
+        assert_eq!(stats.tuples, ds.ground_truth().unwrap().len());
+        assert!(stats.pairs >= stats.tuples);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sources")]
+    fn rejects_single_source() {
+        MultiSourceGenerator::new(GeneratorConfig {
+            name: "bad".into(),
+            num_sources: 1,
+            num_tuples: 1,
+            num_singletons: 0,
+            min_tuple_size: 2,
+            max_tuple_size: 2,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple size range")]
+    fn rejects_tuple_size_larger_than_sources() {
+        MultiSourceGenerator::new(GeneratorConfig {
+            name: "bad".into(),
+            num_sources: 3,
+            num_tuples: 1,
+            num_singletons: 0,
+            min_tuple_size: 2,
+            max_tuple_size: 5,
+            seed: 0,
+        });
+    }
+}

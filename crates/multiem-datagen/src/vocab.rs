@@ -1,0 +1,204 @@
+//! Word lists used by the domain-specific entity factories.
+//!
+//! The lists are intentionally modest in size; factories combine several of
+//! them (for example `ADJECTIVES x NOUNS x BRANDS`) so the space of distinct
+//! real-world entities is far larger than any single list.
+
+/// Given names used by the person domain.
+pub const GIVEN_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty", "anthony",
+    "sandra", "mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew", "emily",
+    "paul", "donna", "joshua", "michelle", "kenneth", "carol", "kevin", "amanda", "brian",
+    "melissa", "george", "deborah", "timothy", "stephanie", "ronald", "rebecca", "jason", "laura",
+    "edward", "helen", "jeffrey", "sharon", "ryan", "cynthia", "jacob", "kathleen", "gary", "amy",
+    "nicholas", "angela", "eric", "shirley", "jonathan", "brenda", "stephen", "emma", "larry",
+    "anna", "justin", "pamela", "scott", "nicole", "brandon", "samantha",
+];
+
+/// Surnames used by the person domain.
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans", "turner",
+    "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris", "morales",
+    "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson", "bailey",
+    "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson",
+];
+
+/// Suburb / locality names used by the person domain.
+pub const SUBURBS: &[&str] = &[
+    "richmond", "fitzroy", "carlton", "brunswick", "prahran", "toorak", "hawthorn", "kew",
+    "northcote", "thornbury", "preston", "reservoir", "coburg", "essendon", "moonee ponds",
+    "footscray", "yarraville", "williamstown", "altona", "sunshine", "st kilda", "elwood",
+    "brighton", "caulfield", "malvern", "camberwell", "balwyn", "doncaster", "box hill",
+    "ringwood", "croydon", "frankston", "dandenong", "clayton", "oakleigh", "bentleigh",
+    "moorabbin", "cheltenham", "mordialloc", "parkdale", "newtown", "geelong west", "belmont",
+    "highton", "lara", "torquay", "bannockburn", "ballarat", "bendigo", "shepparton",
+];
+
+/// Geographic feature qualifiers used by the geo domain.
+pub const GEO_QUALIFIERS: &[&str] = &[
+    "upper", "lower", "north", "south", "east", "west", "little", "grand", "old", "new", "big",
+    "long", "deep", "high", "broad", "stony", "sandy", "rocky", "silver", "golden", "black",
+    "white", "red", "blue", "green", "clear", "cold", "dry", "hidden", "lost",
+];
+
+/// Geographic feature base names used by the geo domain.
+pub const GEO_FEATURES: &[&str] = &[
+    "river", "creek", "lake", "mountain", "hill", "valley", "ridge", "peak", "falls", "spring",
+    "canyon", "gorge", "bay", "cove", "point", "island", "glacier", "plateau", "basin", "marsh",
+    "lagoon", "bluff", "butte", "mesa", "summit", "pass", "fork", "bend", "rapids", "pond",
+];
+
+/// Place-name stems used by the geo domain.
+pub const GEO_STEMS: &[&str] = &[
+    "arlington", "bedford", "clarksville", "dunmore", "eastwood", "fairview", "glenwood",
+    "harmony", "ironton", "jasper", "kingsley", "lakemont", "marion", "norwood", "oakdale",
+    "pinehurst", "quincy", "riverside", "springfield", "thornton", "union", "vernon", "westfield",
+    "yorktown", "zionsville", "ashford", "burlington", "crestview", "dover", "elmira",
+    "franklin", "greenville", "hamilton", "ithaca", "jefferson", "kendall", "lancaster",
+    "madison", "newport", "oxford",
+];
+
+/// Adjectives used in song and album titles.
+pub const MUSIC_ADJECTIVES: &[&str] = &[
+    "midnight", "golden", "broken", "silent", "electric", "crimson", "velvet", "wild", "lonely",
+    "burning", "frozen", "distant", "hollow", "neon", "silver", "shattered", "endless", "fading",
+    "restless", "savage", "gentle", "crooked", "haunted", "rising", "falling", "wandering",
+    "forgotten", "blinding", "whispering", "roaring", "dancing", "dreaming", "weeping", "shining",
+    "crystal", "scarlet", "emerald", "amber", "cobalt", "ivory",
+];
+
+/// Nouns used in song and album titles.
+pub const MUSIC_NOUNS: &[&str] = &[
+    "heart", "road", "river", "sky", "fire", "rain", "shadow", "dream", "night", "morning",
+    "ocean", "mountain", "city", "train", "mirror", "ghost", "angel", "stranger", "garden",
+    "storm", "wind", "moon", "sun", "star", "horizon", "echo", "memory", "promise", "secret",
+    "journey", "highway", "harbor", "lantern", "ember", "thunder", "silence", "anthem", "ballad",
+    "reverie", "serenade",
+];
+
+/// Artist first names (stage names) used by the music domain.
+pub const ARTIST_FIRST: &[&str] = &[
+    "johnny", "etta", "miles", "nina", "otis", "aretha", "chuck", "patsy", "hank", "loretta",
+    "muddy", "billie", "django", "ella", "thelonious", "dusty", "marvin", "dolly", "stevie",
+    "janis", "leonard", "joni", "townes", "emmylou", "gram", "lucinda", "waylon", "rosanne",
+    "merle", "tammy", "conway", "charley", "buck", "porter", "skeeter", "bobbie", "glen", "roy",
+    "wanda", "brenda",
+];
+
+/// Artist surnames used by the music domain.
+pub const ARTIST_LAST: &[&str] = &[
+    "cash", "james", "davis", "simone", "redding", "franklin", "berry", "cline", "williams",
+    "lynn", "waters", "holiday", "reinhardt", "fitzgerald", "monk", "springfield", "gaye",
+    "parton", "wonder", "joplin", "cohen", "mitchell", "vanzandt", "harris", "parsons",
+    "nelson", "jennings", "haggard", "wynette", "twitty", "pride", "owens", "wagoner",
+    "gentry", "campbell", "orbison", "jackson", "lee", "carter", "kristofferson",
+];
+
+/// Languages used by the music domain.
+pub const LANGUAGES: &[&str] = &["english", "spanish", "french", "german", "italian", "portuguese"];
+
+/// Product brands used by the shopping domain.
+pub const BRANDS: &[&str] = &[
+    "apple", "samsung", "xiaomi", "sony", "lg", "huawei", "lenovo", "asus", "acer", "dell",
+    "logitech", "anker", "philips", "panasonic", "canon", "nikon", "bosch", "dyson", "nike",
+    "adidas", "puma", "casio", "seiko", "fossil", "jbl", "bose", "sennheiser", "razer",
+    "corsair", "kingston", "sandisk", "garmin", "fitbit", "gopro", "nintendo", "tplink",
+    "netgear", "epson", "brother", "makita",
+];
+
+/// Product types used by the shopping domain.
+pub const PRODUCT_TYPES: &[&str] = &[
+    "smartphone", "laptop", "tablet", "headphones", "earbuds", "smartwatch", "camera", "monitor",
+    "keyboard", "mouse", "charger", "powerbank", "speaker", "router", "printer", "projector",
+    "drone", "backpack", "sneakers", "jacket", "blender", "kettle", "toaster", "vacuum",
+    "drill", "sander", "microphone", "webcam", "tripod", "lens",
+];
+
+/// Product qualifiers used in listing titles.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "pro", "max", "mini", "ultra", "plus", "lite", "se", "air", "neo", "prime", "sport",
+    "classic", "wireless", "bluetooth", "portable", "compact", "gaming", "premium", "slim",
+    "rugged",
+];
+
+/// Marketing filler tokens sellers add to listing titles.
+pub const PRODUCT_FILLER: &[&str] = &[
+    "original", "official", "genuine", "new", "2023", "sale", "promo", "free shipping", "bnib",
+    "100% authentic", "garansi resmi", "ready stock", "best seller", "limited", "murah",
+    "termurah", "cod", "gratis ongkir", "bonus", "paket",
+];
+
+/// Colours used across domains.
+pub const COLORS: &[&str] = &[
+    "black", "white", "silver", "gray", "gold", "blue", "red", "green", "pink", "purple",
+    "yellow", "orange", "navy", "teal", "beige", "brown",
+];
+
+/// Common abbreviations applied by the corruption model (full form → short form).
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("street", "st"),
+    ("road", "rd"),
+    ("avenue", "ave"),
+    ("mountain", "mtn"),
+    ("mount", "mt"),
+    ("river", "riv"),
+    ("north", "n"),
+    ("south", "s"),
+    ("east", "e"),
+    ("west", "w"),
+    ("saint", "st"),
+    ("fort", "ft"),
+    ("wireless", "wl"),
+    ("bluetooth", "bt"),
+    ("professional", "pro"),
+    ("original", "ori"),
+    ("and", "&"),
+    ("with", "w/"),
+    ("featuring", "feat"),
+    ("limited", "ltd"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_are_nonempty_and_lowercase() {
+        let lists: &[&[&str]] = &[
+            GIVEN_NAMES, SURNAMES, SUBURBS, GEO_QUALIFIERS, GEO_FEATURES, GEO_STEMS,
+            MUSIC_ADJECTIVES, MUSIC_NOUNS, ARTIST_FIRST, ARTIST_LAST, LANGUAGES, BRANDS,
+            PRODUCT_TYPES, PRODUCT_QUALIFIERS, PRODUCT_FILLER, COLORS,
+        ];
+        for list in lists {
+            assert!(list.len() >= 6);
+            for w in list.iter() {
+                assert_eq!(*w, w.to_lowercase(), "vocab entries must be lowercase: {w}");
+                assert!(!w.trim().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lists_have_no_duplicates() {
+        for list in [GIVEN_NAMES, SURNAMES, BRANDS, PRODUCT_TYPES, MUSIC_NOUNS] {
+            let mut sorted: Vec<&str> = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn abbreviations_map_long_to_short() {
+        for (long, short) in ABBREVIATIONS {
+            assert!(long.len() >= short.len(), "{long} -> {short}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Stable hashing and pseudo-random token vectors.
+//!
+//! Tokens are mapped to fixed pseudo-random unit vectors without storing an
+//! embedding table: the token's FNV-1a hash seeds a SplitMix64 stream whose
+//! outputs are turned into a deterministic sign pattern over the embedding
+//! dimensions. Two different tokens therefore receive (nearly) orthogonal
+//! vectors in expectation, while the same token always receives the same
+//! vector — exactly the property needed for overlap-based similarity.
+
+/// FNV-1a 64-bit hash of a byte string. Stable across platforms and runs.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixing PRNG used to expand a token
+/// hash into a stream of pseudo-random values.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Add `weight * v_token` to `acc`, where `v_token` is the pseudo-random
+/// ±1/√dim unit vector derived from `token_hash`.
+///
+/// The vector is generated on the fly 64 signs at a time, so no per-token
+/// allocation happens.
+pub fn accumulate_token(acc: &mut [f32], token_hash: u64, weight: f32) {
+    if weight == 0.0 || acc.is_empty() {
+        return;
+    }
+    let dim = acc.len();
+    let scale = weight / (dim as f32).sqrt();
+    let mut state = token_hash ^ 0xA076_1D64_78BD_642F;
+    let mut filled = 0usize;
+    while filled < dim {
+        let bits = splitmix64(&mut state);
+        let take = (dim - filled).min(64);
+        for i in 0..take {
+            let sign = if (bits >> i) & 1 == 1 { 1.0 } else { -1.0 };
+            acc[filled + i] += sign * scale;
+        }
+        filled += take;
+    }
+}
+
+/// Materialise the pseudo-random unit vector of a token (mainly for tests and
+/// diagnostics; the hot path uses [`accumulate_token`]).
+pub fn token_vector(token_hash: u64, dim: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; dim];
+    accumulate_token(&mut v, token_hash, 1.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{cosine_similarity, l2_norm};
+
+    #[test]
+    fn fnv_is_stable_and_discriminates() {
+        assert_eq!(fnv1a64(b"apple"), fnv1a64(b"apple"));
+        assert_ne!(fnv1a64(b"apple"), fnv1a64(b"apples"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"a"));
+    }
+
+    #[test]
+    fn splitmix_produces_distinct_values() {
+        let mut s = 42u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn token_vector_is_unit_norm() {
+        for token in ["apple", "iphone", "64gb", "x"] {
+            let v = token_vector(fnv1a64(token.as_bytes()), 384);
+            let norm = l2_norm(&v);
+            assert!((norm - 1.0).abs() < 1e-4, "norm {norm} for {token}");
+        }
+    }
+
+    #[test]
+    fn distinct_tokens_are_nearly_orthogonal() {
+        let a = token_vector(fnv1a64(b"apple"), 384);
+        let b = token_vector(fnv1a64(b"banana"), 384);
+        let sim = cosine_similarity(&a, &b);
+        assert!(sim.abs() < 0.25, "similarity {sim} too high for distinct tokens");
+    }
+
+    #[test]
+    fn same_token_identical_vector() {
+        let a = token_vector(fnv1a64(b"silver"), 128);
+        let b = token_vector(fnv1a64(b"silver"), 128);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accumulate_respects_weight_and_zero() {
+        let mut acc = vec![0.0f32; 64];
+        accumulate_token(&mut acc, fnv1a64(b"tok"), 0.0);
+        assert!(acc.iter().all(|&x| x == 0.0));
+        accumulate_token(&mut acc, fnv1a64(b"tok"), 2.0);
+        let doubled = l2_norm(&acc);
+        assert!((doubled - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn non_multiple_of_64_dims_fill_completely() {
+        let v = token_vector(fnv1a64(b"tok"), 100);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Inverse document frequency statistics.
+//!
+//! The encoder can optionally re-weight tokens by corpus IDF, so that tokens
+//! occurring in almost every entity of a dataset (e.g. a brand name shared by
+//! all products of a source) contribute less to the representation than
+//! discriminative tokens. The statistics are fitted once per dataset over the
+//! serialized entities.
+
+use crate::tokenizer::Tokenizer;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Smoothed IDF statistics over a corpus of serialized entities.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdfStatistics {
+    num_docs: usize,
+    doc_freq: HashMap<String, u32>,
+}
+
+impl IdfStatistics {
+    /// Fit IDF statistics from an iterator of documents using `tokenizer`.
+    pub fn fit<'a, I>(tokenizer: &Tokenizer, docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut doc_freq: HashMap<String, u32> = HashMap::new();
+        let mut num_docs = 0usize;
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for doc in docs {
+            num_docs += 1;
+            seen.clear();
+            for tok in tokenizer.tokenize(doc) {
+                if seen.insert(tok.text.clone()) {
+                    *doc_freq.entry(tok.text).or_insert(0) += 1;
+                }
+            }
+        }
+        Self { num_docs, doc_freq }
+    }
+
+    /// Number of documents the statistics were fitted on.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Number of distinct tokens observed.
+    pub fn vocabulary_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Smoothed IDF of a token: `ln((1 + N) / (1 + df)) + 1`.
+    ///
+    /// Unknown tokens receive the maximum IDF (df = 0). When no documents were
+    /// fitted, every token gets weight 1 so the encoder degrades gracefully.
+    pub fn idf(&self, token: &str) -> f32 {
+        if self.num_docs == 0 {
+            return 1.0;
+        }
+        let df = self.doc_freq.get(token).copied().unwrap_or(0) as f32;
+        ((1.0 + self.num_docs as f32) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Normalised IDF in `(0, 1]`: the raw IDF divided by the maximum possible
+    /// IDF for this corpus. Useful as a multiplicative weight that never
+    /// amplifies a token.
+    pub fn normalized_idf(&self, token: &str) -> f32 {
+        if self.num_docs == 0 {
+            return 1.0;
+        }
+        let max = ((1.0 + self.num_docs as f32) / 1.0).ln() + 1.0;
+        (self.idf(token) / max).clamp(0.0, 1.0)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.doc_freq
+            .iter()
+            .map(|(k, _)| k.len() + std::mem::size_of::<u32>() + std::mem::size_of::<usize>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(docs: &[&str]) -> IdfStatistics {
+        IdfStatistics::fit(&Tokenizer::default(), docs.iter().copied())
+    }
+
+    #[test]
+    fn frequent_tokens_get_lower_idf() {
+        let stats = fit(&["apple iphone", "apple ipad", "apple watch", "samsung galaxy"]);
+        assert!(stats.idf("apple") < stats.idf("galaxy"));
+        assert!(stats.idf("unseen-token") >= stats.idf("galaxy"));
+    }
+
+    #[test]
+    fn empty_corpus_degrades_to_unit_weight() {
+        let stats = fit(&[]);
+        assert_eq!(stats.idf("anything"), 1.0);
+        assert_eq!(stats.normalized_idf("anything"), 1.0);
+        assert_eq!(stats.num_docs(), 0);
+    }
+
+    #[test]
+    fn duplicate_tokens_in_one_doc_count_once() {
+        let stats = fit(&["apple apple apple", "pear"]);
+        // df(apple) == 1 == df(pear), so their IDFs match.
+        assert!((stats.idf("apple") - stats.idf("pear")).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_idf_bounded() {
+        let stats = fit(&["a b c", "a b", "a"]);
+        for tok in ["a", "b", "c", "zzz"] {
+            let w = stats.normalized_idf(tok);
+            assert!(w > 0.0 && w <= 1.0, "weight {w} out of range for {tok}");
+        }
+        assert!(stats.normalized_idf("a") < stats.normalized_idf("c"));
+    }
+
+    #[test]
+    fn vocabulary_and_bytes() {
+        let stats = fit(&["apple iphone 8", "apple ipad"]);
+        assert_eq!(stats.vocabulary_size(), 4);
+        assert!(stats.approx_bytes() > 0);
+    }
+}

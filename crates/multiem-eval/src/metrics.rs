@@ -1,0 +1,180 @@
+//! Matching quality metrics.
+//!
+//! The paper evaluates with two families of metrics (Section IV-A):
+//!
+//! * **Tuple metrics** (P / R / F1): a predicted tuple counts as correct only
+//!   if it matches a ground-truth tuple *exactly*.
+//! * **Pair-F1**: both prediction and ground truth are decomposed into entity
+//!   pairs and precision / recall / F1 are computed over pairs (Example 2) —
+//!   a looser metric that lets two-table baselines be compared fairly.
+
+use multiem_table::{GroundTruth, MatchTuple};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Precision / recall / F1 triple (stored as fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Metrics {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score (harmonic mean of precision and recall).
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Build metrics from counts of true positives, predicted positives and
+    /// actual positives.
+    pub fn from_counts(true_positives: usize, predicted: usize, actual: usize) -> Self {
+        let precision = if predicted == 0 { 0.0 } else { true_positives as f64 / predicted as f64 };
+        let recall = if actual == 0 { 0.0 } else { true_positives as f64 / actual as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f1 }
+    }
+
+    /// Percentage rendering (the paper reports percentages, e.g. `90.9`).
+    pub fn as_percentages(&self) -> (f64, f64, f64) {
+        (self.precision * 100.0, self.recall * 100.0, self.f1 * 100.0)
+    }
+}
+
+/// Combined tuple-level and pair-level metrics for one method on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EvaluationReport {
+    /// Exact-tuple precision / recall / F1.
+    pub tuple: Metrics,
+    /// Pair-level precision / recall / F1.
+    pub pair: Metrics,
+}
+
+/// Tuple-exact metrics: a prediction is correct only if it equals a truth
+/// tuple exactly (same member set).
+pub fn tuple_metrics(predictions: &[MatchTuple], truth: &GroundTruth) -> Metrics {
+    let predicted: BTreeSet<&MatchTuple> = predictions.iter().filter(|t| t.len() >= 2).collect();
+    let actual: BTreeSet<&MatchTuple> = truth.tuples().iter().collect();
+    let tp = predicted.iter().filter(|t| actual.contains(*t)).count();
+    Metrics::from_counts(tp, predicted.len(), actual.len())
+}
+
+/// Pair-level metrics: both sides are decomposed into unordered entity pairs.
+pub fn pair_metrics(predictions: &[MatchTuple], truth: &GroundTruth) -> Metrics {
+    let mut predicted_pairs = BTreeSet::new();
+    for t in predictions {
+        for (a, b) in t.pairs() {
+            predicted_pairs.insert((a.min(b), a.max(b)));
+        }
+    }
+    let truth_pairs = truth.pairs();
+    let tp = predicted_pairs.iter().filter(|p| truth_pairs.contains(p)).count();
+    Metrics::from_counts(tp, predicted_pairs.len(), truth_pairs.len())
+}
+
+/// Convenience: compute both tuple and pair metrics.
+pub fn evaluate(predictions: &[MatchTuple], truth: &GroundTruth) -> EvaluationReport {
+    EvaluationReport {
+        tuple: tuple_metrics(predictions, truth),
+        pair: pair_metrics(predictions, truth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiem_table::EntityId;
+
+    fn id(source: u32, row: u32) -> EntityId {
+        EntityId::new(source, row)
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new(vec![
+            MatchTuple::new([id(0, 1), id(1, 2), id(2, 3)]),
+            MatchTuple::new([id(0, 5), id(3, 0)]),
+        ])
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let preds = truth().tuples().to_vec();
+        let report = evaluate(&preds, &truth());
+        assert_eq!(report.tuple.f1, 1.0);
+        assert_eq!(report.pair.f1, 1.0);
+        assert_eq!(report.tuple.precision, 1.0);
+        assert_eq!(report.pair.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_prediction_scores_zero() {
+        let report = evaluate(&[], &truth());
+        assert_eq!(report.tuple.f1, 0.0);
+        assert_eq!(report.pair.f1, 0.0);
+    }
+
+    #[test]
+    fn paper_example_2_pair_f1() {
+        // Truth tuple (1,2,3), prediction (1,2,4): tuple-F1 = 0, pair P=R=1/3.
+        let truth = GroundTruth::new(vec![MatchTuple::new([id(0, 1), id(0, 2), id(0, 3)])]);
+        let preds = vec![MatchTuple::new([id(0, 1), id(0, 2), id(0, 4)])];
+        let tuple = tuple_metrics(&preds, &truth);
+        let pair = pair_metrics(&preds, &truth);
+        assert_eq!(tuple.f1, 0.0);
+        assert!((pair.precision - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pair.recall - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pair.f1 - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_tuple_prediction() {
+        // Predicting only a subset (0:1, 1:2) of a 3-member truth tuple is a
+        // tuple miss but 1 correct pair of 3.
+        let preds = vec![MatchTuple::new([id(0, 1), id(1, 2)]), MatchTuple::new([id(0, 5), id(3, 0)])];
+        let report = evaluate(&preds, &truth());
+        assert!((report.tuple.precision - 0.5).abs() < 1e-9);
+        assert!((report.tuple.recall - 0.5).abs() < 1e-9);
+        assert!((report.pair.precision - 1.0).abs() < 1e-9);
+        assert!((report.pair.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_predictions_are_ignored_for_tuple_metrics() {
+        let preds = vec![MatchTuple::new([id(0, 1)]), MatchTuple::new([id(0, 5), id(3, 0)])];
+        let m = tuple_metrics(&preds, &truth());
+        assert!((m.precision - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_predictions_do_not_inflate_precision() {
+        let t = MatchTuple::new([id(0, 5), id(3, 0)]);
+        let preds = vec![t.clone(), t.clone(), t];
+        let m = tuple_metrics(&preds, &truth());
+        assert!((m.precision - 1.0).abs() < 1e-9);
+        assert!((m.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_counts_edge_cases() {
+        let zero = Metrics::from_counts(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+        let m = Metrics::from_counts(5, 10, 20);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert!((m.recall - 0.25).abs() < 1e-9);
+        let (p, _r, f1) = m.as_percentages();
+        assert!((p - 50.0).abs() < 1e-9);
+        assert!(f1 > 0.0 && f1 < 100.0);
+    }
+
+    #[test]
+    fn empty_truth_yields_zero_recall_denominator_handling() {
+        let empty = GroundTruth::new(vec![]);
+        let preds = vec![MatchTuple::new([id(0, 0), id(1, 0)])];
+        let m = evaluate(&preds, &empty);
+        assert_eq!(m.tuple.recall, 0.0);
+        assert_eq!(m.tuple.precision, 0.0);
+        assert_eq!(m.pair.recall, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Labelled-pair sampling for the supervised / semi-supervised baselines.
+//!
+//! The paper trains PromptEM, Ditto and ALMSER-GB on 5 % of the ground-truth
+//! pairs (plus 5 % validation) and evaluates on all ground-truth pairs mixed
+//! with `P` sampled mismatched pairs per positive pair. This module reproduces
+//! that protocol over the synthetic datasets.
+
+use multiem_table::{Dataset, EntityId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One labelled entity pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledPair {
+    /// First entity (smaller id).
+    pub a: EntityId,
+    /// Second entity (larger id).
+    pub b: EntityId,
+    /// Whether the pair is a true match.
+    pub label: bool,
+}
+
+impl LabeledPair {
+    /// Create a pair, normalising the order of the two ids.
+    pub fn new(a: EntityId, b: EntityId, label: bool) -> Self {
+        Self { a: a.min(b), b: a.max(b), label }
+    }
+}
+
+/// Configuration of the sampling protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Fraction of ground-truth pairs used as positives (the paper uses 0.05).
+    pub positive_fraction: f64,
+    /// Number of sampled negative pairs per positive pair.
+    pub negatives_per_positive: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self { positive_fraction: 0.05, negatives_per_positive: 3, seed: 7 }
+    }
+}
+
+/// Sample labelled pairs from a dataset with ground truth.
+///
+/// Positives are a random fraction of the ground-truth pairs; negatives are
+/// random cross-source entity pairs that are *not* in the ground truth. Pairs
+/// are returned shuffled.
+pub fn sample_labeled_pairs(dataset: &Dataset, config: &SamplingConfig) -> Vec<LabeledPair> {
+    let Some(gt) = dataset.ground_truth() else {
+        return Vec::new();
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let truth_pairs: Vec<(EntityId, EntityId)> = gt.pairs().into_iter().collect();
+    let truth_set: BTreeSet<(EntityId, EntityId)> = truth_pairs.iter().copied().collect();
+
+    let mut positives = truth_pairs.clone();
+    positives.shuffle(&mut rng);
+    let keep = ((positives.len() as f64 * config.positive_fraction).ceil() as usize)
+        .clamp(1.min(positives.len()), positives.len());
+    positives.truncate(keep);
+
+    let mut out: Vec<LabeledPair> =
+        positives.iter().map(|&(a, b)| LabeledPair::new(a, b, true)).collect();
+
+    // Negatives: random pairs of entities from different sources not in truth.
+    let all_ids: Vec<EntityId> = dataset.entity_ids().collect();
+    let wanted_negatives = out.len() * config.negatives_per_positive;
+    let mut attempts = 0usize;
+    let max_attempts = wanted_negatives * 20 + 100;
+    let mut negatives = BTreeSet::new();
+    while negatives.len() < wanted_negatives && attempts < max_attempts && all_ids.len() >= 2 {
+        attempts += 1;
+        let a = all_ids[rng.gen_range(0..all_ids.len())];
+        let b = all_ids[rng.gen_range(0..all_ids.len())];
+        if a == b || a.source == b.source {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if truth_set.contains(&key) {
+            continue;
+        }
+        negatives.insert(key);
+    }
+    out.extend(negatives.into_iter().map(|(a, b)| LabeledPair::new(a, b, false)));
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiem_table::{GroundTruth, MatchTuple, Record, Schema, Table};
+
+    fn tiny_dataset() -> Dataset {
+        let schema = Schema::new(["title"]).shared();
+        let mut ds = Dataset::new("tiny", schema.clone());
+        for s in 0..3 {
+            let records: Vec<Record> =
+                (0..10).map(|i| Record::from_texts([format!("item {s} {i}")])).collect();
+            ds.add_table(Table::with_records(format!("s{s}"), schema.clone(), records).unwrap())
+                .unwrap();
+        }
+        let tuples: Vec<MatchTuple> = (0..8)
+            .map(|i| MatchTuple::new([EntityId::new(0, i), EntityId::new(1, i), EntityId::new(2, i)]))
+            .collect();
+        ds.set_ground_truth(GroundTruth::new(tuples));
+        ds
+    }
+
+    #[test]
+    fn samples_requested_proportions() {
+        let ds = tiny_dataset();
+        let cfg = SamplingConfig { positive_fraction: 0.25, negatives_per_positive: 2, seed: 1 };
+        let pairs = sample_labeled_pairs(&ds, &cfg);
+        let positives = pairs.iter().filter(|p| p.label).count();
+        let negatives = pairs.iter().filter(|p| !p.label).count();
+        // 8 tuples * 3 pairs = 24 truth pairs; 25 % = 6 positives.
+        assert_eq!(positives, 6);
+        assert_eq!(negatives, 12);
+    }
+
+    #[test]
+    fn negative_pairs_are_not_in_ground_truth() {
+        let ds = tiny_dataset();
+        let truth = ds.ground_truth().unwrap().pairs();
+        let pairs = sample_labeled_pairs(&ds, &SamplingConfig::default());
+        for p in pairs.iter().filter(|p| !p.label) {
+            assert!(!truth.contains(&(p.a, p.b)));
+            assert_ne!(p.a.source, p.b.source, "negatives must be cross-source");
+        }
+    }
+
+    #[test]
+    fn positive_pairs_are_in_ground_truth() {
+        let ds = tiny_dataset();
+        let truth = ds.ground_truth().unwrap().pairs();
+        let pairs = sample_labeled_pairs(&ds, &SamplingConfig::default());
+        for p in pairs.iter().filter(|p| p.label) {
+            assert!(truth.contains(&(p.a, p.b)));
+        }
+        assert!(pairs.iter().any(|p| p.label));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = tiny_dataset();
+        let cfg = SamplingConfig::default();
+        assert_eq!(sample_labeled_pairs(&ds, &cfg), sample_labeled_pairs(&ds, &cfg));
+    }
+
+    #[test]
+    fn dataset_without_ground_truth_yields_nothing() {
+        let schema = Schema::new(["title"]).shared();
+        let ds = Dataset::new("no-gt", schema);
+        assert!(sample_labeled_pairs(&ds, &SamplingConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn labeled_pair_normalises_order() {
+        let a = EntityId::new(2, 0);
+        let b = EntityId::new(0, 1);
+        let p = LabeledPair::new(a, b, true);
+        assert!(p.a < p.b);
+    }
+}

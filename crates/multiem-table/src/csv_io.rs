@@ -1,0 +1,211 @@
+//! CSV import/export for source tables and ground truth.
+//!
+//! The public MultiEM benchmark datasets ship as CSV files (one per source,
+//! plus a ground-truth mapping). These helpers let the real datasets be loaded
+//! when available; the bench harness falls back to `multiem-datagen` otherwise.
+
+use crate::dataset::{Dataset, GroundTruth, MatchTuple};
+use crate::ids::EntityId;
+use crate::record::{Record, Value};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::Result;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Parse a CSV field into a [`Value`]: empty → `Null`, numeric → `Number`,
+/// anything else → `Text`.
+pub fn parse_field(field: &str) -> Value {
+    let trimmed = field.trim();
+    if trimmed.is_empty() {
+        return Value::Null;
+    }
+    match trimmed.parse::<f64>() {
+        Ok(n) if n.is_finite() => Value::Number(n),
+        _ => Value::Text(trimmed.to_string()),
+    }
+}
+
+/// Read a single source table from a CSV reader. The first row is the header
+/// and defines the schema.
+pub fn read_table_from_reader<R: Read>(name: &str, reader: R) -> Result<Table> {
+    let mut rdr = csv::ReaderBuilder::new().has_headers(true).flexible(false).from_reader(reader);
+    let headers = rdr.headers()?.clone();
+    let schema = Schema::new(headers.iter().map(|h| h.to_string())).shared();
+    let mut table = Table::new(name, schema);
+    for row in rdr.records() {
+        let row = row?;
+        let values: Vec<Value> = row.iter().map(parse_field).collect();
+        table.push(Record::new(values))?;
+    }
+    Ok(table)
+}
+
+/// Read a source table from a CSV file on disk.
+pub fn read_table_from_path(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+    let file = std::fs::File::open(path)?;
+    read_table_from_reader(&name, file)
+}
+
+/// Write a table as CSV (header + rows) to any writer.
+pub fn write_table_to_writer<W: Write>(table: &Table, writer: W) -> Result<()> {
+    let mut wtr = csv::WriterBuilder::new().from_writer(writer);
+    wtr.write_record(table.schema().names())?;
+    for (_, record) in table.iter() {
+        wtr.write_record(record.values().iter().map(|v| v.render()))?;
+    }
+    wtr.flush()?;
+    Ok(())
+}
+
+/// Build a dataset from a set of CSV source tables that share a header.
+pub fn read_dataset_from_paths(
+    name: &str,
+    paths: &[impl AsRef<Path>],
+) -> Result<Dataset> {
+    let mut tables = Vec::with_capacity(paths.len());
+    for p in paths {
+        tables.push(read_table_from_path(p)?);
+    }
+    let schema = tables
+        .first()
+        .map(|t| t.schema().clone())
+        .unwrap_or_else(|| Schema::new(Vec::<String>::new()).shared());
+    let mut ds = Dataset::new(name, schema);
+    for t in tables {
+        ds.add_table(t)?;
+    }
+    Ok(ds)
+}
+
+/// Read ground truth from a CSV reader. Expected columns: `cluster_id, source,
+/// row` — every row assigns one entity to a cluster; clusters with ≥2 members
+/// become matched tuples.
+pub fn read_ground_truth_from_reader<R: Read>(reader: R) -> Result<GroundTruth> {
+    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+    use std::collections::BTreeMap;
+    let mut clusters: BTreeMap<String, Vec<EntityId>> = BTreeMap::new();
+    for row in rdr.records() {
+        let row = row?;
+        if row.len() < 3 {
+            continue;
+        }
+        let cluster = row[0].to_string();
+        let source: u32 = row[1].trim().parse().unwrap_or(0);
+        let r: u32 = row[2].trim().parse().unwrap_or(0);
+        clusters.entry(cluster).or_default().push(EntityId::new(source, r));
+    }
+    let tuples = clusters.into_values().map(MatchTuple::new).collect();
+    Ok(GroundTruth::new(tuples))
+}
+
+/// Write ground truth in the `cluster_id, source, row` format.
+pub fn write_ground_truth_to_writer<W: Write>(gt: &GroundTruth, writer: W) -> Result<()> {
+    let mut wtr = csv::WriterBuilder::new().from_writer(writer);
+    wtr.write_record(["cluster_id", "source", "row"])?;
+    for (i, tuple) in gt.tuples().iter().enumerate() {
+        for m in tuple.members() {
+            wtr.write_record([i.to_string(), m.source.to_string(), m.row.to_string()])?;
+        }
+    }
+    wtr.flush()?;
+    Ok(())
+}
+
+/// Convenience: round-trip a dataset's tables to a directory (one CSV per
+/// source plus `ground_truth.csv` when present).
+pub fn write_dataset_to_dir(ds: &Dataset, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (i, t) in ds.tables().iter().enumerate() {
+        let file = std::fs::File::create(dir.join(format!("source_{i}.csv")))?;
+        write_table_to_writer(t, file)?;
+    }
+    if let Some(gt) = ds.ground_truth() {
+        let file = std::fs::File::create(dir.join("ground_truth.csv"))?;
+        write_ground_truth_to_writer(gt, file)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_field_types() {
+        assert_eq!(parse_field(""), Value::Null);
+        assert_eq!(parse_field("  "), Value::Null);
+        assert_eq!(parse_field("3.5"), Value::Number(3.5));
+        assert_eq!(parse_field("2018"), Value::Number(2018.0));
+        assert_eq!(parse_field("abc"), Value::Text("abc".into()));
+        // Not finite numbers stay text-like? "inf" parses to infinite f64 → text.
+        assert_eq!(parse_field("inf"), Value::Text("inf".into()));
+    }
+
+    #[test]
+    fn table_csv_roundtrip() {
+        let csv_in = "title,artist,year\nChameleon,Tim O'Brien,1998\nHitmen,,\n";
+        let table = read_table_from_reader("A", csv_in.as_bytes()).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.schema().len(), 3);
+        assert_eq!(table.record(0).unwrap().value(2).unwrap(), &Value::Number(1998.0));
+        assert_eq!(table.record(1).unwrap().value(1).unwrap(), &Value::Null);
+
+        let mut out = Vec::new();
+        write_table_to_writer(&table, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("title,artist,year"));
+        let reparsed = read_table_from_reader("A", text.as_bytes()).unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed.record(0).unwrap().value(0).unwrap().render(), "Chameleon");
+    }
+
+    #[test]
+    fn ground_truth_csv_roundtrip() {
+        let gt = GroundTruth::new(vec![
+            MatchTuple::new([EntityId::new(0, 1), EntityId::new(1, 2), EntityId::new(2, 3)]),
+            MatchTuple::new([EntityId::new(0, 5), EntityId::new(3, 0)]),
+        ]);
+        let mut buf = Vec::new();
+        write_ground_truth_to_writer(&gt, &mut buf).unwrap();
+        let back = read_ground_truth_from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.pairs(), gt.pairs());
+    }
+
+    #[test]
+    fn dataset_dir_roundtrip() {
+        let schema = Schema::new(["title"]).shared();
+        let mut ds = Dataset::new("mini", schema.clone());
+        for name in ["A", "B"] {
+            let t = Table::with_records(
+                name,
+                schema.clone(),
+                vec![Record::from_texts([format!("{name}-item")])],
+            )
+            .unwrap();
+            ds.add_table(t).unwrap();
+        }
+        ds.set_ground_truth(GroundTruth::new(vec![MatchTuple::new([
+            EntityId::new(0, 0),
+            EntityId::new(1, 0),
+        ])]));
+
+        let dir = std::env::temp_dir().join(format!("multiem_csv_test_{}", std::process::id()));
+        write_dataset_to_dir(&ds, &dir).unwrap();
+        let loaded = read_dataset_from_paths(
+            "mini",
+            &[dir.join("source_0.csv"), dir.join("source_1.csv")],
+        )
+        .unwrap();
+        assert_eq!(loaded.num_sources(), 2);
+        assert_eq!(loaded.total_entities(), 2);
+        let gt_file = std::fs::File::open(dir.join("ground_truth.csv")).unwrap();
+        let gt = read_ground_truth_from_reader(gt_file).unwrap();
+        assert_eq!(gt.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the table substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating tables and datasets.
+#[derive(Debug)]
+pub enum TableError {
+    /// A record was added whose arity does not match the schema.
+    ArityMismatch {
+        /// Number of attributes defined by the schema.
+        expected: usize,
+        /// Number of values supplied by the record.
+        got: usize,
+    },
+    /// An attribute name was looked up that does not exist in the schema.
+    UnknownAttribute(String),
+    /// Two tables with different schemas were combined into one dataset.
+    SchemaMismatch {
+        /// Name of the offending table.
+        table: String,
+    },
+    /// A source id referenced a table that is not part of the dataset.
+    UnknownSource(u32),
+    /// A row index referenced a record that does not exist in its table.
+    RowOutOfBounds {
+        /// Source table id.
+        source: u32,
+        /// Offending row index.
+        row: u32,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// Underlying I/O failure (CSV import/export).
+    Io(std::io::Error),
+    /// CSV parsing failure.
+    Csv(csv::Error),
+    /// A ground-truth tuple referenced fewer than two entities.
+    DegenerateTuple(usize),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} values but schema defines {expected} attributes")
+            }
+            TableError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            TableError::SchemaMismatch { table } => {
+                write!(f, "table `{table}` does not share the dataset schema")
+            }
+            TableError::UnknownSource(s) => write!(f, "unknown source table id {s}"),
+            TableError::RowOutOfBounds { source, row, len } => {
+                write!(f, "row {row} out of bounds for source {source} (len {len})")
+            }
+            TableError::Io(e) => write!(f, "I/O error: {e}"),
+            TableError::Csv(e) => write!(f, "CSV error: {e}"),
+            TableError::DegenerateTuple(n) => {
+                write!(f, "ground-truth tuple must contain at least 2 entities, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Io(e) => Some(e),
+            TableError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+impl From<csv::Error> for TableError {
+    fn from(e: csv::Error) -> Self {
+        TableError::Csv(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TableError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        let e = TableError::UnknownAttribute("title".into());
+        assert!(e.to_string().contains("title"));
+
+        let e = TableError::RowOutOfBounds { source: 1, row: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: TableError = io.into();
+        assert!(matches!(e, TableError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

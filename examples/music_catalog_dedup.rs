@@ -1,0 +1,61 @@
+//! Music-catalogue deduplication with attribute selection and ablations.
+//!
+//! Demonstrates the Enhanced Entity Representation module: the music schema
+//! mixes informative attributes (title, artist, album) with noise (opaque ids,
+//! track numbers, lengths). The example prints the per-attribute significance
+//! scores of Algorithm 1, then compares the full pipeline against the
+//! `w/o EER` and `w/o DP` ablations (Table IV, bottom rows).
+//!
+//! ```bash
+//! cargo run --release --example music_catalog_dedup
+//! ```
+
+use multiem::prelude::*;
+
+fn run_and_score(name: &str, config: MultiEmConfig, dataset: &Dataset) -> (String, EvaluationReport) {
+    let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
+    let output = pipeline.run(dataset).expect("pipeline runs");
+    let report = evaluate(&output.tuples, dataset.ground_truth().expect("generated ground truth"));
+    (name.to_string(), report)
+}
+
+fn main() {
+    let data = multiem::datagen::benchmark_dataset("music-20", 0.05).expect("known preset");
+    let dataset = &data.dataset;
+    println!(
+        "music catalogue: {} sources, {} records, {} true duplicate groups\n",
+        dataset.num_sources(),
+        dataset.total_entities(),
+        dataset.ground_truth().map(|g| g.len()).unwrap_or(0)
+    );
+
+    // Show the attribute significance scores computed by Algorithm 1.
+    let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+    let encoder = HashedLexicalEncoder::default();
+    let selection =
+        multiem::core::select_attributes(dataset, &encoder, &config).expect("selection runs");
+    println!("attribute significance (mean similarity after shuffling; lower = more informative):");
+    for score in &selection.scores {
+        println!(
+            "  {:<10} similarity {:.3}  -> {}",
+            score.name,
+            score.mean_similarity,
+            if score.selected { "selected" } else { "dropped" }
+        );
+    }
+    println!();
+
+    // Compare the full pipeline with its ablations.
+    let variants = vec![
+        ("MultiEM", config.clone()),
+        ("MultiEM w/o EER", config.clone().without_attribute_selection()),
+        ("MultiEM w/o DP", config.clone().without_pruning()),
+    ];
+    println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "method", "P", "R", "F1", "pair-F1");
+    for (name, cfg) in variants {
+        let (name, report) = run_and_score(name, cfg, dataset);
+        let (p, r, f1) = report.tuple.as_percentages();
+        let (_, _, pf1) = report.pair.as_percentages();
+        println!("{name:<18} {p:>8.1} {r:>8.1} {f1:>8.1} {pf1:>8.1}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: run MultiEM end-to-end on a generated multi-source dataset.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use multiem::prelude::*;
+
+fn main() {
+    // 1. Get a multi-source dataset. Here we generate a small analogue of the
+    //    paper's Music-20 benchmark; in a real application you would load your
+    //    own CSV tables with `multiem::table::csv_io`.
+    let data = multiem::datagen::benchmark_dataset("music-20", 0.02).expect("known preset");
+    let dataset = &data.dataset;
+    println!(
+        "dataset `{}`: {} sources, {} entities, {} ground-truth tuples",
+        dataset.name(),
+        dataset.num_sources(),
+        dataset.total_entities(),
+        dataset.ground_truth().map(|g| g.len()).unwrap_or(0)
+    );
+
+    // 2. Configure the pipeline. The defaults follow the paper: k = 1,
+    //    MinPts = 2, cosine distance for merging, Euclidean for pruning.
+    let config = MultiEmConfig { m: 0.35, gamma: 0.9, ..MultiEmConfig::default() };
+    let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
+
+    // 3. Run it (fully unsupervised — the ground truth is only used for scoring).
+    let output = pipeline.run(dataset).expect("pipeline runs");
+
+    println!(
+        "\nselected attributes: {:?}",
+        output.selection.selected_names()
+    );
+    println!("predicted matched tuples: {}", output.tuples.len());
+    println!("merge levels: {}", output.merge_levels);
+    println!("outliers pruned: {}", output.outliers_removed);
+    for (label, duration) in output.phases.as_pairs() {
+        println!("phase {label}: {duration:?}");
+    }
+
+    // 4. Show a few predicted groups with their original record texts.
+    println!("\nsample predictions:");
+    for tuple in output.tuples.iter().take(3) {
+        println!("---");
+        for &id in tuple.members() {
+            let record = dataset.record(id).expect("valid id");
+            let text = multiem::table::serialize_record(
+                record,
+                &multiem::table::SerializeOptions::default(),
+            );
+            println!("  [{id}] {text}");
+        }
+    }
+
+    // 5. Score against the generator's ground truth.
+    if let Some(gt) = dataset.ground_truth() {
+        let report = evaluate(&output.tuples, gt);
+        let (p, r, f1) = report.tuple.as_percentages();
+        let (_, _, pair_f1) = report.pair.as_percentages();
+        println!("\ntuple precision {p:.1}  recall {r:.1}  F1 {f1:.1}  |  pair-F1 {pair_f1:.1}");
+    }
+}

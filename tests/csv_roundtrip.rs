@@ -1,0 +1,56 @@
+//! Integration test: persist a generated dataset as CSV, reload it, and verify
+//! the pipeline produces equivalent results on the reloaded copy.
+
+use multiem::prelude::*;
+use multiem::table::csv_io;
+
+#[test]
+fn csv_roundtrip_preserves_pipeline_results() {
+    let data = multiem::datagen::benchmark_dataset("music-20", 0.01).expect("preset exists");
+    let dataset = &data.dataset;
+
+    // Write to a temporary directory.
+    let dir = std::env::temp_dir().join(format!("multiem_it_csv_{}", std::process::id()));
+    csv_io::write_dataset_to_dir(dataset, &dir).expect("write dataset");
+
+    // Reload the tables and the ground truth.
+    let paths: Vec<_> = (0..dataset.num_sources())
+        .map(|i| dir.join(format!("source_{i}.csv")))
+        .collect();
+    let mut reloaded = csv_io::read_dataset_from_paths("music-20-reloaded", &paths).expect("read");
+    let gt_file = std::fs::File::open(dir.join("ground_truth.csv")).expect("gt file");
+    let gt = csv_io::read_ground_truth_from_reader(gt_file).expect("read gt");
+    reloaded.set_ground_truth(gt);
+
+    assert_eq!(reloaded.num_sources(), dataset.num_sources());
+    assert_eq!(reloaded.total_entities(), dataset.total_entities());
+    assert_eq!(
+        reloaded.ground_truth().unwrap().pairs(),
+        dataset.ground_truth().unwrap().pairs()
+    );
+
+    // The pipeline should behave the same on the reloaded dataset.
+    let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+    let run = |ds: &Dataset| {
+        let out = MultiEm::new(config.clone(), HashedLexicalEncoder::default())
+            .run(ds)
+            .expect("pipeline runs");
+        let mut tuples = out.tuples;
+        tuples.sort();
+        tuples
+    };
+    let original_tuples = run(dataset);
+    let reloaded_tuples = run(&reloaded);
+
+    // CSV round-trips numbers through text, which can change float rendering;
+    // allow a tiny difference in the prediction sets but require near-identity.
+    let set: std::collections::BTreeSet<_> = original_tuples.iter().collect();
+    let overlap = reloaded_tuples.iter().filter(|t| set.contains(t)).count();
+    let denom = original_tuples.len().max(reloaded_tuples.len()).max(1);
+    assert!(
+        overlap as f64 / denom as f64 > 0.95,
+        "only {overlap} of {denom} tuples survived the CSV round trip"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

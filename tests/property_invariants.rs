@@ -1,0 +1,193 @@
+//! Property-based tests of core invariants (proptest).
+
+use multiem::ann::{mutual_top_k, BruteForceIndex, Metric, VectorIndex};
+use multiem::cluster::{classify_points, DbscanConfig, PointClass, UnionFind};
+use multiem::embed::{cosine_similarity, EmbeddingModel, HashedLexicalEncoder};
+use multiem::eval::Metrics;
+use multiem::prelude::*;
+use multiem::table::{serialize_record, serialize_record_projected, SerializeOptions};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,8}", 0..8).prop_map(|words| words.join(" "))
+}
+
+fn arb_vec(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The encoder is deterministic and produces unit-norm (or zero) vectors.
+    #[test]
+    fn encoder_is_deterministic_and_normalised(text in arb_text()) {
+        let enc = HashedLexicalEncoder::with_dim(96);
+        let a = enc.encode(&text);
+        let b = enc.encode(&text);
+        prop_assert_eq!(a.clone(), b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-3);
+    }
+
+    /// Cosine similarity of any two encodings stays in [-1, 1].
+    #[test]
+    fn encoder_similarity_is_bounded(a in arb_text(), b in arb_text()) {
+        let enc = HashedLexicalEncoder::with_dim(64);
+        let sim = cosine_similarity(&enc.encode(&a), &enc.encode(&b));
+        prop_assert!((-1.0..=1.0).contains(&sim));
+    }
+
+    /// Entity serialization with a projected attribute list only ever produces
+    /// tokens that the full serialization also contains.
+    #[test]
+    fn projected_serialization_is_a_subset(values in proptest::collection::vec(arb_text(), 1..6)) {
+        let record = Record::from_texts(values.clone());
+        let opts = SerializeOptions { max_tokens: None, ..SerializeOptions::default() };
+        let full = serialize_record(&record, &opts);
+        let full_tokens: std::collections::HashSet<&str> = full.split_whitespace().collect();
+        let attrs: Vec<usize> = (0..values.len()).step_by(2).collect();
+        let projected = serialize_record_projected(&record, &attrs, &opts);
+        for tok in projected.split_whitespace() {
+            prop_assert!(full_tokens.contains(tok), "token {tok} missing from full serialization");
+        }
+    }
+
+    /// Mutual top-K matches are symmetric, within-threshold and unique per
+    /// (left, right) pair.
+    #[test]
+    fn mutual_top_k_respects_threshold_and_mutuality(
+        left in proptest::collection::vec(arb_vec(4), 1..12),
+        right in proptest::collection::vec(arb_vec(4), 1..12),
+        k in 1usize..3,
+        threshold in 0.1f32..5.0,
+    ) {
+        let li = BruteForceIndex::from_vectors(4, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri = BruteForceIndex::from_vectors(4, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let lrefs: Vec<&[f32]> = left.iter().map(|v| v.as_slice()).collect();
+        let rrefs: Vec<&[f32]> = right.iter().map(|v| v.as_slice()).collect();
+        let matches = mutual_top_k(&li, &ri, &lrefs, &rrefs, k, threshold);
+        let mut seen = std::collections::HashSet::new();
+        for m in &matches {
+            prop_assert!(m.distance <= threshold + 1e-6);
+            prop_assert!(seen.insert((m.left, m.right)), "duplicate pair");
+            // Mutuality: each side is within the other's top-k.
+            let l_top: Vec<usize> = ri.search(lrefs[m.left], k).into_iter().map(|n| n.index).collect();
+            let r_top: Vec<usize> = li.search(rrefs[m.right], k).into_iter().map(|n| n.index).collect();
+            prop_assert!(l_top.contains(&m.right));
+            prop_assert!(r_top.contains(&m.left));
+        }
+    }
+
+    /// Union-find groups partition the universe and respect the union calls.
+    #[test]
+    fn union_find_groups_partition(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in edges.iter().filter(|(a, b)| *a < n && *b < n) {
+            uf.union(*a, *b);
+        }
+        let groups = uf.groups();
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(groups.len(), uf.num_groups());
+        for (a, b) in edges.iter().filter(|(a, b)| *a < n && *b < n) {
+            prop_assert!(uf.connected(*a, *b));
+        }
+    }
+
+    /// DBSCAN point classification: core points always have enough neighbours,
+    /// and reachable points always have a core neighbour.
+    #[test]
+    fn density_classification_is_consistent(
+        points in proptest::collection::vec(arb_vec(3), 1..25),
+        eps in 0.5f32..5.0,
+        min_pts in 1usize..5,
+    ) {
+        let refs: Vec<&[f32]> = points.iter().map(|v| v.as_slice()).collect();
+        let cfg = DbscanConfig { eps, min_pts, metric: Metric::Euclidean };
+        let classes = classify_points(&refs, &cfg);
+        for (i, class) in classes.iter().enumerate() {
+            let neighbours: Vec<usize> = (0..points.len())
+                .filter(|&j| Metric::Euclidean.distance(&points[i], &points[j]) <= eps)
+                .collect();
+            match class {
+                PointClass::Core => prop_assert!(neighbours.len() >= min_pts),
+                PointClass::Reachable => {
+                    prop_assert!(neighbours.len() < min_pts);
+                    prop_assert!(neighbours.iter().any(|&j| classes[j] == PointClass::Core));
+                }
+                PointClass::Outlier => {
+                    prop_assert!(neighbours.len() < min_pts);
+                    prop_assert!(neighbours.iter().all(|&j| classes[j] != PointClass::Core));
+                }
+            }
+        }
+    }
+
+    /// Metrics stay within [0, 1] and F1 is between min and max of P and R.
+    #[test]
+    fn metrics_are_bounded(tp in 0usize..50, extra_pred in 0usize..50, extra_actual in 0usize..50) {
+        let m = Metrics::from_counts(tp, tp + extra_pred, tp + extra_actual);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-9);
+        if m.precision > 0.0 && m.recall > 0.0 {
+            prop_assert!(m.f1 >= m.precision.min(m.recall) - 1e-9);
+        }
+    }
+
+    /// A MatchTuple built from arbitrary ids deduplicates, sorts, and exposes
+    /// exactly C(n, 2) pairs.
+    #[test]
+    fn match_tuple_pair_count(ids in proptest::collection::vec((0u32..5, 0u32..50), 0..12)) {
+        let tuple = MatchTuple::new(ids.iter().map(|&(s, r)| EntityId::new(s, r)));
+        let n = tuple.len();
+        prop_assert_eq!(tuple.pairs().len(), n * n.saturating_sub(1) / 2);
+        let members = tuple.members();
+        for w in members.windows(2) {
+            prop_assert!(w[0] < w[1], "members must be strictly increasing");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pruning never invents entities: kept ∪ removed == input members, and the
+    /// surviving tuple is a subset of the candidate.
+    #[test]
+    fn pruning_preserves_membership(titles in proptest::collection::vec("[a-z]{3,8}( [a-z]{3,8}){0,3}", 2..6)) {
+        use multiem::core::{prune_item, EmbeddingStore, MultiEmConfig};
+        let schema = Schema::new(["title"]).shared();
+        let mut ds = Dataset::new("prop-prune", schema.clone());
+        for (i, t) in titles.iter().enumerate() {
+            let table = Table::with_records(
+                format!("s{i}"),
+                schema.clone(),
+                vec![Record::from_texts([t.clone()])],
+            )
+            .unwrap();
+            ds.add_table(table).unwrap();
+        }
+        let encoder = HashedLexicalEncoder::with_dim(64);
+        let config = MultiEmConfig::default();
+        let store = EmbeddingStore::build(&ds, &encoder, &[0], &config);
+        let members: Vec<EntityId> = (0..titles.len() as u32).map(|s| EntityId::new(s, 0)).collect();
+        let outcome = prune_item(&members, &store, &config);
+        let mut union: Vec<EntityId> = outcome.kept.iter().chain(outcome.removed.iter()).copied().collect();
+        union.sort();
+        let mut original = members.clone();
+        original.sort();
+        prop_assert_eq!(union, original);
+        if let Some(t) = outcome.tuple() {
+            for id in t.members() {
+                prop_assert!(members.contains(id));
+            }
+        }
+    }
+}
