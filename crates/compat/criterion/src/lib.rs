@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`: a tiny wall-clock benchmark harness with
+//! the same surface the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, throughput annotations). It runs each
+//! benchmark for a fixed short measurement window and prints mean iteration
+//! time (plus throughput when declared), so `cargo bench` produces comparable
+//! relative numbers without the real statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mean: Option<Duration>,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration, then run until the measurement window closes.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement_window {
+            black_box(f());
+            iters += 1;
+        }
+        self.mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let millis = std::env::var("CRITERION_STUB_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Self {
+            measurement_window: Duration::from_millis(millis),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub's sampling is time-based.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
+        run_one(name.to_string(), self.measurement_window, None, f);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's sampling is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(
+            format!("{}/{}", self.name, id),
+            self.criterion.measurement_window,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run a benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            format!("{}/{}", self.name, id),
+            self.criterion.measurement_window,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: String,
+    window: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        mean: None,
+        measurement_window: window,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!(" ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+                }
+            });
+            println!(
+                "bench: {label:<50} {mean:>12.2?}/iter{}",
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench: {label:<50} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

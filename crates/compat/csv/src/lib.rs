@@ -1,0 +1,309 @@
+//! Offline stand-in for the `csv` crate: RFC-4180 reading/writing of
+//! comma-separated records with quoting, covering the builder API surface the
+//! workspace uses.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// CSV error.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Crate result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// One parsed CSV row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StringRecord {
+    fields: Vec<String>,
+}
+
+impl StringRecord {
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate the fields.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(String::as_str)
+    }
+
+    /// Field by position.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.fields.get(i).map(String::as_str)
+    }
+}
+
+impl std::ops::Index<usize> for StringRecord {
+    type Output = str;
+
+    fn index(&self, i: usize) -> &str {
+        &self.fields[i]
+    }
+}
+
+/// Builder for [`Reader`].
+#[derive(Debug, Clone)]
+pub struct ReaderBuilder {
+    has_headers: bool,
+}
+
+impl Default for ReaderBuilder {
+    fn default() -> Self {
+        Self { has_headers: true }
+    }
+}
+
+impl ReaderBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the first row is a header row.
+    pub fn has_headers(&mut self, yes: bool) -> &mut Self {
+        self.has_headers = yes;
+        self
+    }
+
+    /// Accepted for API compatibility; this reader is always strict about
+    /// nothing (records may vary in width).
+    pub fn flexible(&mut self, _yes: bool) -> &mut Self {
+        self
+    }
+
+    /// Build a reader over `rdr`.
+    pub fn from_reader<R: Read>(&self, rdr: R) -> Reader<R> {
+        Reader {
+            input: BufReader::new(rdr),
+            has_headers: self.has_headers,
+            headers: None,
+            headers_read: false,
+        }
+    }
+}
+
+/// A CSV reader.
+#[derive(Debug)]
+pub struct Reader<R: Read> {
+    input: BufReader<R>,
+    has_headers: bool,
+    headers: Option<StringRecord>,
+    headers_read: bool,
+}
+
+impl<R: Read> Reader<R> {
+    fn read_raw_record(&mut self) -> Result<Option<StringRecord>> {
+        // Accumulate physical lines until quotes are balanced (embedded
+        // newlines inside quoted fields span lines).
+        let mut raw = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.input.read_line(&mut line)?;
+            if n == 0 {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            raw.push_str(&line);
+            if raw.matches('"').count().is_multiple_of(2) {
+                break;
+            }
+        }
+        while raw.ends_with('\n') || raw.ends_with('\r') {
+            raw.pop();
+        }
+        if raw.is_empty() {
+            // Skip blank lines between records.
+            return self.read_raw_record();
+        }
+        Ok(Some(parse_record(&raw)?))
+    }
+
+    /// The header record (first row).
+    pub fn headers(&mut self) -> Result<&StringRecord> {
+        if !self.headers_read {
+            self.headers_read = true;
+            self.headers = self.read_raw_record()?;
+        }
+        self.headers
+            .as_ref()
+            .ok_or_else(|| Error("empty CSV input: no header row".into()))
+    }
+
+    /// Iterate the data records.
+    pub fn records(&mut self) -> RecordsIter<'_, R> {
+        if self.has_headers && !self.headers_read {
+            self.headers_read = true;
+            self.headers = self.read_raw_record().ok().flatten();
+        }
+        RecordsIter { reader: self }
+    }
+}
+
+/// Iterator over the records of a [`Reader`].
+pub struct RecordsIter<'a, R: Read> {
+    reader: &'a mut Reader<R>,
+}
+
+impl<R: Read> Iterator for RecordsIter<'_, R> {
+    type Item = Result<StringRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.reader.read_raw_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+fn parse_record(line: &str) -> Result<StringRecord> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error("unterminated quoted field".into()));
+    }
+    fields.push(field);
+    Ok(StringRecord { fields })
+}
+
+/// Builder for [`Writer`].
+#[derive(Debug, Clone, Default)]
+pub struct WriterBuilder {}
+
+impl WriterBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a writer over `wtr`.
+    pub fn from_writer<W: Write>(&self, wtr: W) -> Writer<W> {
+        Writer { output: wtr }
+    }
+}
+
+/// A CSV writer.
+#[derive(Debug)]
+pub struct Writer<W: Write> {
+    output: W,
+}
+
+impl<W: Write> Writer<W> {
+    /// Write one record, quoting fields as needed.
+    pub fn write_record<I, T>(&mut self, record: I) -> Result<()>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<str>,
+    {
+        let mut line = String::new();
+        for (i, f) in record.into_iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let f = f.as_ref();
+            if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+                line.push('"');
+                line.push_str(&f.replace('"', "\"\""));
+                line.push('"');
+            } else {
+                line.push_str(f);
+            }
+        }
+        line.push('\n');
+        self.output.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.output.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = WriterBuilder::new().from_writer(&mut buf);
+            w.write_record(["a", "b,with comma", "c\"quote"]).unwrap();
+            w.write_record(["multi\nline", "", "z"]).unwrap();
+            w.flush().unwrap();
+        }
+        let mut r = ReaderBuilder::new()
+            .has_headers(false)
+            .from_reader(buf.as_slice());
+        let rows: Vec<StringRecord> = r.records().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(&rows[0][1], "b,with comma");
+        assert_eq!(&rows[0][2], "c\"quote");
+        assert_eq!(&rows[1][0], "multi\nline");
+        assert_eq!(&rows[1][1], "");
+    }
+
+    #[test]
+    fn headers_then_records() {
+        let text = "x,y\n1,2\n3,4\n";
+        let mut r = ReaderBuilder::new()
+            .has_headers(true)
+            .from_reader(text.as_bytes());
+        assert_eq!(
+            r.headers().unwrap().iter().collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+        let rows: Vec<StringRecord> = r.records().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(&rows[1][0], "3");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `rayon`: exposes the `par_iter` entry points this
+//! workspace uses, executed sequentially. The pipeline's parallel mode thus
+//! degrades to sequential execution with identical results, which is exactly
+//! the equivalence the test-suite asserts; a real rayon can be swapped back
+//! in by restoring the crates.io dependency.
+
+/// Sequential `par_iter` over slices (and anything that derefs to a slice).
+pub trait IntoParallelRefIterator<T> {
+    /// "Parallel" iterator over shared references — a plain slice iterator.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Sequential `par_iter_mut` over slices.
+pub trait IntoParallelRefMutIterator<T> {
+    /// "Parallel" iterator over mutable references.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Sequential `into_par_iter`.
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator;
+
+    /// Convert into a "parallel" (sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// The rayon prelude: import to get `par_iter` & friends in scope.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut m = vec![1, 2];
+        m.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(m, vec![2, 3]);
+        let s: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(s, 6);
+        assert_eq!((0..3usize).into_par_iter().count(), 3);
+    }
+}

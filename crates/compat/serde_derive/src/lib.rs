@@ -1,0 +1,381 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` implementation for the
+//! offline `serde` stand-in used by this workspace.
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote`, which are not
+//! vendored in this environment). Supports the shapes this codebase uses:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which are
+//!   skipped on serialize and `Default`-initialised on deserialize);
+//! * tuple structs;
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generics are intentionally unsupported; deriving on a generic type fails
+//! with a compile error rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: (variant name, arity). Arity 0 = unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Skip a run of `#[...]` attributes, returning whether any of them is
+/// `#[serde(skip)]`-like (contains the ident `skip` under a `serde` list).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if is_serde_skip(&g.stream()) {
+                        skip = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+fn is_serde_skip(attr_body: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Struct(parse_named_fields(&g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok((
+                name,
+                Shape::TupleStruct(count_top_level_fields(&g.stream())),
+            )),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            _ => Err("serde stub derive: malformed struct body".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(&g.stream())?)))
+            }
+            _ => Err("serde stub derive: malformed enum body".into()),
+        },
+        other => Err(format!(
+            "serde stub derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (ni, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde stub derive: expected field name".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_top_level_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde stub derive: expected variant name".into()),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_fields(&g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stub derive: struct-like variant `{name}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional `= discriminant`.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => generate_serialize(name, shape),
+        Mode::Deserialize => generate_deserialize(name, shape),
+    }
+}
+
+fn generate_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Map(__m)"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                    let vals: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    let payload = if *arity == 1 {
+                        vals[0].clone()
+                    } else {
+                        format!("::serde::Value::Seq(vec![{}])", vals.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), {payload})]),\n",
+                        binds.join(", ")
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn generate_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: match ::serde::__get_field(__v, {fname:?}) {{\n\
+                         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                         None => return Err(::serde::Error::missing_field({tname:?}, {fname:?})),\n\
+                         }},\n",
+                        fname = f.name,
+                        tname = name
+                    ));
+                }
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::type_mismatch({name:?}, \"sequence\"))?;\n\
+                 if __s.len() != {arity} {{ return Err(::serde::Error::type_mismatch({name:?}, \"sequence arity\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, arity) in variants {
+                if *arity == 0 {
+                    unit_arms.push_str(&format!("{v:?} => return Ok({name}::{v}),\n"));
+                } else if *arity == 1 {
+                    data_arms.push_str(&format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    ));
+                } else {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    data_arms.push_str(&format!(
+                        "{v:?} => {{\n\
+                         let __s = __payload.as_seq().ok_or_else(|| ::serde::Error::type_mismatch({name:?}, \"variant payload sequence\"))?;\n\
+                         if __s.len() != {arity} {{ return Err(::serde::Error::type_mismatch({name:?}, \"variant payload arity\")); }}\n\
+                         return Ok({name}::{v}({}));\n\
+                         }}\n",
+                        items.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some((__variant, __payload)) = __v.as_single_entry_map() {{\n\
+                 match __variant {{\n{data_arms} _ => {{}} }}\n\
+                 }}\n\
+                 Err(::serde::Error::type_mismatch({name:?}, \"known enum variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for `serde_json`: renders and parses the [`serde::Value`]
+//! tree of the vendored serde replacement as JSON text.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Crate result type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` guarantees round-trip precision for floats.
+                let s = format!("{f:?}");
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let f = vec![0.25f32, -1.5, 3.3333333];
+        let back: Vec<f32> = from_str(&to_string(&f).unwrap()).unwrap();
+        assert_eq!(back, f);
+
+        let s = to_string("he\"llo\n").unwrap();
+        let back: String = from_str(&s).unwrap();
+        assert_eq!(back, "he\"llo\n");
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::Int(1)),
+            (
+                "b".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -5,10 +5,11 @@
 //! fallback for tiny tables where building a graph index is not worth it.
 
 use crate::metric::Metric;
-use crate::{Neighbor, VectorIndex};
+use crate::{DynamicVectorIndex, Neighbor, VectorIndex};
+use serde::{Deserialize, Serialize};
 
 /// Exact nearest-neighbour index backed by a flat array of vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BruteForceIndex {
     metric: Metric,
     dim: usize,
@@ -18,7 +19,11 @@ pub struct BruteForceIndex {
 impl BruteForceIndex {
     /// Create an empty index.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        Self { metric, dim, data: Vec::new() }
+        Self {
+            metric,
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Create an index pre-populated with `vectors`.
@@ -48,7 +53,12 @@ impl BruteForceIndex {
 
     /// Search, excluding a specific stored index (useful for self-joins where
     /// the query vector itself is part of the index).
-    pub fn search_excluding(&self, query: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+    pub fn search_excluding(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Neighbor> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
@@ -61,10 +71,19 @@ impl BruteForceIndex {
             results.push(Neighbor::new(i, d));
         }
         results.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.index.cmp(&b.index))
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
         });
         results.truncate(k);
         results
+    }
+}
+
+impl DynamicVectorIndex for BruteForceIndex {
+    fn insert(&mut self, vector: &[f32]) -> usize {
+        self.add(vector)
     }
 }
 
@@ -74,11 +93,7 @@ impl VectorIndex for BruteForceIndex {
     }
 
     fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     fn metric(&self) -> Metric {

@@ -10,7 +10,7 @@
 //! the sensitivity experiments (Figure 6(b)) reproducible.
 
 use crate::metric::Metric;
-use crate::{Neighbor, VectorIndex};
+use crate::{DynamicVectorIndex, Neighbor, VectorIndex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -36,14 +36,26 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        Self { m: 16, m0: 32, ef_construction: 128, ef_search: 64, seed: 42 }
+        Self {
+            m: 16,
+            m0: 32,
+            ef_construction: 128,
+            ef_search: 64,
+            seed: 42,
+        }
     }
 }
 
 impl HnswConfig {
     /// A configuration tuned for small collections (tests, tiny tables).
     pub fn small() -> Self {
-        Self { m: 8, m0: 16, ef_construction: 64, ef_search: 32, seed: 42 }
+        Self {
+            m: 8,
+            m0: 16,
+            ef_construction: 64,
+            ef_search: 32,
+            seed: 42,
+        }
     }
 }
 
@@ -58,7 +70,10 @@ impl Eq for FarthestFirst {}
 
 impl Ord for FarthestFirst {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.partial_cmp(&other.dist).unwrap_or(Ordering::Equal).then(self.node.cmp(&other.node))
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.node.cmp(&other.node))
     }
 }
 
@@ -161,7 +176,13 @@ impl HnswIndex {
 
     /// Greedy search restricted to one layer, returning up to `ef` closest
     /// candidates to `query` starting from `entry_points`.
-    fn search_layer(&self, query: &[f32], entry_points: &[usize], ef: usize, layer: usize) -> Vec<Neighbor> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry_points: &[usize],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Neighbor> {
         let mut visited = vec![false; self.len()];
         let mut candidates: BinaryHeap<ClosestFirst> = BinaryHeap::new();
         let mut results: BinaryHeap<FarthestFirst> = BinaryHeap::new();
@@ -199,10 +220,15 @@ impl HnswIndex {
             }
         }
 
-        let mut out: Vec<Neighbor> =
-            results.into_iter().map(|f| Neighbor::new(f.node, f.dist)).collect();
+        let mut out: Vec<Neighbor> = results
+            .into_iter()
+            .map(|f| Neighbor::new(f.node, f.dist))
+            .collect();
         out.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal).then(a.index.cmp(&b.index))
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then(a.index.cmp(&b.index))
         });
         out
     }
@@ -217,9 +243,9 @@ impl HnswIndex {
                 break;
             }
             let cand_vec = self.vector(cand.index);
-            let dominated = selected.iter().any(|s| {
-                self.metric.distance(cand_vec, self.vector(s.index)) < cand.distance
-            });
+            let dominated = selected
+                .iter()
+                .any(|s| self.metric.distance(cand_vec, self.vector(s.index)) < cand.distance);
             if !dominated {
                 selected.push(cand);
             }
@@ -255,10 +281,18 @@ impl HnswIndex {
         let node_vec: Vec<f32> = self.vector(node).to_vec();
         let mut cands: Vec<Neighbor> = self.links[node][layer]
             .iter()
-            .map(|&nb| Neighbor::new(nb as usize, self.metric.distance(&node_vec, self.vector(nb as usize))))
+            .map(|&nb| {
+                Neighbor::new(
+                    nb as usize,
+                    self.metric.distance(&node_vec, self.vector(nb as usize)),
+                )
+            })
             .collect();
         cands.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal).then(a.index.cmp(&b.index))
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then(a.index.cmp(&b.index))
         });
         let kept = self.select_neighbors_heuristic(&cands, cap);
         self.links[node][layer] = kept.into_iter().map(|i| i as u32).collect();
@@ -324,17 +358,114 @@ impl HnswIndex {
     }
 }
 
+/// The serializable part of an [`HnswIndex`].
+///
+/// The level-assignment RNG is not stored: it is a pure function of the
+/// config seed and the number of insertions, so deserialization recreates it
+/// from the seed and replays the level draws. This keeps snapshots compact
+/// and guarantees a restored index continues the exact insertion sequence the
+/// original would have produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HnswIndexState {
+    config: HnswConfig,
+    metric: Metric,
+    dim: usize,
+    data: Vec<f32>,
+    links: Vec<Vec<Vec<u32>>>,
+    max_layer: usize,
+    entry_point: Option<usize>,
+}
+
+impl Serialize for HnswIndex {
+    fn to_value(&self) -> serde::Value {
+        HnswIndexState {
+            config: self.config.clone(),
+            metric: self.metric,
+            dim: self.dim,
+            data: self.data.clone(),
+            links: self.links.clone(),
+            max_layer: self.max_layer,
+            entry_point: self.entry_point,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for HnswIndex {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let state = HnswIndexState::from_value(v)?;
+        // Cross-field validation: a malformed (e.g. hand-edited or truncated)
+        // snapshot must fail here with an error, not panic later in search.
+        let nodes = state.links.len();
+        if state.dim == 0 && !state.data.is_empty() {
+            return Err(serde::Error::type_mismatch(
+                "HnswIndex",
+                "dim > 0 for non-empty data",
+            ));
+        }
+        if state.dim != 0 && state.data.len() != nodes * state.dim {
+            return Err(serde::Error::type_mismatch(
+                "HnswIndex",
+                "data length matching links length times dim",
+            ));
+        }
+        match state.entry_point {
+            Some(ep) if ep >= nodes => {
+                return Err(serde::Error::type_mismatch(
+                    "HnswIndex",
+                    "entry_point within bounds",
+                ))
+            }
+            None if nodes > 0 => {
+                return Err(serde::Error::type_mismatch(
+                    "HnswIndex",
+                    "entry_point present for a non-empty index",
+                ))
+            }
+            _ => {}
+        }
+        for layers in &state.links {
+            if layers.is_empty() || layers.len() > state.max_layer + 1 {
+                return Err(serde::Error::type_mismatch(
+                    "HnswIndex",
+                    "per-node layer lists within max_layer",
+                ));
+            }
+            for layer in layers {
+                if layer.iter().any(|&nb| nb as usize >= nodes) {
+                    return Err(serde::Error::type_mismatch(
+                        "HnswIndex",
+                        "neighbour links within bounds",
+                    ));
+                }
+            }
+        }
+        let mut index = HnswIndex::new(state.dim, state.metric, state.config);
+        index.data = state.data;
+        index.links = state.links;
+        index.max_layer = state.max_layer;
+        index.entry_point = state.entry_point;
+        // Replay the level draws so future insertions continue the stream.
+        for _ in 0..nodes {
+            index.random_level();
+        }
+        Ok(index)
+    }
+}
+
+impl DynamicVectorIndex for HnswIndex {
+    fn insert(&mut self, vector: &[f32]) -> usize {
+        self.add(vector)
+    }
+}
+
 impl VectorIndex for HnswIndex {
     fn dim(&self) -> usize {
         self.dim
     }
 
     fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     fn metric(&self) -> Metric {
@@ -345,7 +476,9 @@ impl VectorIndex for HnswIndex {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        let entry = self.entry_point.expect("non-empty index has an entry point");
+        let entry = self
+            .entry_point
+            .expect("non-empty index has an entry point");
         let mut current = entry;
         // Greedy descent to layer 1.
         for layer in (1..=self.max_layer).rev() {
@@ -370,7 +503,10 @@ impl VectorIndex for HnswIndex {
             .links
             .iter()
             .map(|layers| {
-                layers.iter().map(|l| l.capacity() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+                layers
+                    .iter()
+                    .map(|l| l.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+                    .sum::<usize>()
             })
             .sum();
         self.data.capacity() * 4 + link_bytes + std::mem::size_of::<Self>()
@@ -385,7 +521,9 @@ mod tests {
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
     }
 
     #[test]
@@ -432,7 +570,11 @@ mod tests {
             HnswConfig::default(),
             vectors.iter().map(|v| v.as_slice()),
         );
-        let exact = BruteForceIndex::from_vectors(dim, Metric::Cosine, vectors.iter().map(|v| v.as_slice()));
+        let exact = BruteForceIndex::from_vectors(
+            dim,
+            Metric::Cosine,
+            vectors.iter().map(|v| v.as_slice()),
+        );
 
         let queries = random_vectors(30, dim, 99);
         let k = 10;
@@ -488,12 +630,25 @@ mod tests {
     #[test]
     fn link_counts_respect_caps() {
         let vectors = random_vectors(300, 8, 21);
-        let config = HnswConfig { m: 6, m0: 12, ..HnswConfig::default() };
-        let idx = HnswIndex::build(8, Metric::Cosine, config, vectors.iter().map(|v| v.as_slice()));
+        let config = HnswConfig {
+            m: 6,
+            m0: 12,
+            ..HnswConfig::default()
+        };
+        let idx = HnswIndex::build(
+            8,
+            Metric::Cosine,
+            config,
+            vectors.iter().map(|v| v.as_slice()),
+        );
         for layers in &idx.links {
             for (layer, l) in layers.iter().enumerate() {
                 let cap = if layer == 0 { 12 } else { 6 };
-                assert!(l.len() <= cap, "layer {layer} has {} links (cap {cap})", l.len());
+                assert!(
+                    l.len() <= cap,
+                    "layer {layer} has {} links (cap {cap})",
+                    l.len()
+                );
             }
         }
     }
@@ -521,5 +676,68 @@ mod tests {
     fn add_rejects_wrong_dim() {
         let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig::small());
         idx.add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_search_and_insertion_stream() {
+        let vectors = random_vectors(150, 8, 17);
+        let mut original = HnswIndex::build(
+            8,
+            Metric::Cosine,
+            HnswConfig::small(),
+            vectors[..100].iter().map(|v| v.as_slice()),
+        );
+        let json = serde_json::to_string(&original).unwrap();
+        let mut restored: HnswIndex = serde_json::from_str(&json).unwrap();
+
+        // Same graph: identical search results.
+        assert_eq!(
+            original.search(&vectors[3], 10),
+            restored.search(&vectors[3], 10)
+        );
+
+        // Same RNG position: further insertions keep the indexes identical.
+        for v in &vectors[100..] {
+            original.add(v);
+            restored.add(v);
+        }
+        assert_eq!(
+            original.search(&vectors[120], 10),
+            restored.search(&vectors[120], 10)
+        );
+        assert_eq!(original.max_layer, restored.max_layer);
+        assert_eq!(original.links, restored.links);
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_snapshots() {
+        let vectors = random_vectors(20, 4, 9);
+        let idx = HnswIndex::build(
+            4,
+            Metric::Cosine,
+            HnswConfig::small(),
+            vectors.iter().map(|v| v.as_slice()),
+        );
+        let json = serde_json::to_string(&idx).unwrap();
+        // Out-of-bounds entry point (replace whatever value it has with 999).
+        let key = "\"entry_point\":";
+        let start = json.find(key).unwrap() + key.len();
+        let end = start + json[start..].find(|c: char| !c.is_ascii_digit()).unwrap();
+        let bad = format!("{}999{}", &json[..start], &json[end..]);
+        assert!(serde_json::from_str::<HnswIndex>(&bad).is_err());
+        // Data length inconsistent with dim * nodes.
+        let bad = json.replace("\"dim\":4", "\"dim\":5");
+        assert!(serde_json::from_str::<HnswIndex>(&bad).is_err());
+    }
+
+    #[test]
+    fn dynamic_insert_trait_matches_inherent_add() {
+        use crate::DynamicVectorIndex;
+        let mut a = HnswIndex::new(2, Metric::Euclidean, HnswConfig::small());
+        let mut b = HnswIndex::new(2, Metric::Euclidean, HnswConfig::small());
+        for v in [[0.0f32, 0.0], [1.0, 0.0], [0.0, 1.0]] {
+            assert_eq!(a.add(&v), DynamicVectorIndex::insert(&mut b, &v));
+        }
+        assert_eq!(a.search(&[0.1, 0.1], 3), b.search(&[0.1, 0.1], 3));
     }
 }

@@ -45,6 +45,20 @@ impl Neighbor {
     }
 }
 
+/// Vector indexes that support online insertion after construction.
+///
+/// Both [`BruteForceIndex`] and [`HnswIndex`] implement this: HNSW insertion
+/// is `O(log N)` (the graph is built incrementally anyway), which is what the
+/// streaming entity store in `multiem-online` relies on.
+pub trait DynamicVectorIndex: VectorIndex {
+    /// Insert a vector into the (possibly already built) index, returning its
+    /// storage index.
+    ///
+    /// # Panics
+    /// Implementations panic if `vector.len() != self.dim()`.
+    fn insert(&mut self, vector: &[f32]) -> usize;
+}
+
 /// Common interface over exact and approximate vector indexes.
 pub trait VectorIndex: Send + Sync {
     /// Dimensionality of indexed vectors.

@@ -37,9 +37,12 @@ impl Metric {
                 }
                 (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
             }
-            Metric::Euclidean => {
-                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
-            }
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt(),
             Metric::InnerProduct => -a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>(),
         }
     }

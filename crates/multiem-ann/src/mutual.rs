@@ -47,11 +47,15 @@ where
     }
 
     // top-K of every left row in the right collection.
-    let left_to_right: Vec<Vec<Neighbor>> =
-        left_vectors.par_iter().map(|v| right_index.search(v, k)).collect();
+    let left_to_right: Vec<Vec<Neighbor>> = left_vectors
+        .par_iter()
+        .map(|v| right_index.search(v, k))
+        .collect();
     // top-K of every right row in the left collection.
-    let right_to_left: Vec<Vec<Neighbor>> =
-        right_vectors.par_iter().map(|v| left_index.search(v, k)).collect();
+    let right_to_left: Vec<Vec<Neighbor>> = right_vectors
+        .par_iter()
+        .map(|v| left_index.search(v, k))
+        .collect();
 
     let mut matches: Vec<MutualMatch> = Vec::new();
     for (l, neighbors) in left_to_right.iter().enumerate() {
@@ -61,7 +65,11 @@ where
             }
             let reciprocal = right_to_left[n.index].iter().any(|back| back.index == l);
             if reciprocal {
-                matches.push(MutualMatch { left: l, right: n.index, distance: n.distance });
+                matches.push(MutualMatch {
+                    left: l,
+                    right: n.index,
+                    distance: n.distance,
+                });
             }
         }
     }
@@ -85,8 +93,10 @@ mod tests {
         // Left: two clusters; Right: one point near left[0], one far away.
         let left = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
         let right = vec![vec![0.1, 0.0], vec![50.0, 50.0]];
-        let li = BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
-        let ri = BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri =
+            BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
         let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0);
         assert_eq!(m.len(), 1);
         assert_eq!((m[0].left, m[0].right), (0, 0));
@@ -96,12 +106,17 @@ mod tests {
     fn threshold_filters_far_pairs() {
         let left = vec![vec![0.0, 0.0]];
         let right = vec![vec![5.0, 0.0]];
-        let li = BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
-        let ri = BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(2, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri =
+            BruteForceIndex::from_vectors(2, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
         // Mutual nearest, but distance 5 > threshold 1 → no match.
         assert!(mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0).is_empty());
         // Raising the threshold admits it.
-        assert_eq!(mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 10.0).len(), 1);
+        assert_eq!(
+            mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 10.0).len(),
+            1
+        );
     }
 
     #[test]
@@ -110,8 +125,10 @@ mod tests {
         // right[1]; with k = 1 there is no mutual agreement for (1, 0).
         let left = vec![vec![0.0], vec![2.0]];
         let right = vec![vec![1.3], vec![2.1]];
-        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
-        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
         let matches = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 10.0);
         assert_eq!(matches.len(), 1);
         assert_eq!((matches[0].left, matches[0].right), (1, 1));
@@ -120,7 +137,8 @@ mod tests {
     #[test]
     fn k_zero_or_empty_inputs() {
         let left: Vec<Vec<f32>> = vec![vec![0.0]];
-        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
         let empty: Vec<Vec<f32>> = Vec::new();
         let ei = BruteForceIndex::new(1, Metric::Euclidean);
         assert!(mutual_top_k(&li, &li, &slices(&left), &slices(&left), 0, 1.0).is_empty());
@@ -131,8 +149,10 @@ mod tests {
     fn larger_k_recovers_more_pairs() {
         let left = vec![vec![0.0], vec![0.4]];
         let right = vec![vec![0.1], vec![0.3]];
-        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
-        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
         let k1 = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 1.0);
         let k2 = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 2, 1.0);
         assert!(k2.len() >= k1.len());
@@ -143,8 +163,10 @@ mod tests {
     fn results_deterministically_sorted() {
         let left = vec![vec![0.0], vec![1.0], vec![2.0]];
         let right = vec![vec![0.0], vec![1.0], vec![2.0]];
-        let li = BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
-        let ri = BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
+        let li =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, left.iter().map(|v| v.as_slice()));
+        let ri =
+            BruteForceIndex::from_vectors(1, Metric::Euclidean, right.iter().map(|v| v.as_slice()));
         let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 0.5);
         let pairs: Vec<(usize, usize)> = m.iter().map(|x| (x.left, x.right)).collect();
         assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
@@ -154,11 +176,25 @@ mod tests {
     fn works_with_hnsw_indexes() {
         let left: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32, 0.0]).collect();
         let right: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 + 0.05, 0.0]).collect();
-        let li = HnswIndex::build(2, Metric::Euclidean, HnswConfig::small(), left.iter().map(|v| v.as_slice()));
-        let ri = HnswIndex::build(2, Metric::Euclidean, HnswConfig::small(), right.iter().map(|v| v.as_slice()));
+        let li = HnswIndex::build(
+            2,
+            Metric::Euclidean,
+            HnswConfig::small(),
+            left.iter().map(|v| v.as_slice()),
+        );
+        let ri = HnswIndex::build(
+            2,
+            Metric::Euclidean,
+            HnswConfig::small(),
+            right.iter().map(|v| v.as_slice()),
+        );
         let m = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 1, 0.2);
         // Every i should match its shifted counterpart.
-        assert!(m.len() >= 45, "HNSW mutual join found only {} of 50 pairs", m.len());
+        assert!(
+            m.len() >= 45,
+            "HNSW mutual join found only {} of 50 pairs",
+            m.len()
+        );
         assert!(m.iter().all(|x| x.left == x.right));
     }
 }

@@ -42,7 +42,12 @@ pub struct AlmserConfig {
 
 impl Default for AlmserConfig {
     fn default() -> Self {
-        Self { block_k: 2, rounds: 5, queries_per_round: 20, decision_threshold: 0.5 }
+        Self {
+            block_k: 2,
+            rounds: 5,
+            queries_per_round: 20,
+            decision_threshold: 0.5,
+        }
     }
 }
 
@@ -105,7 +110,11 @@ impl MultiTableMatcher for AlmserGb {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let truth = ctx.dataset.ground_truth().map(|gt| gt.pairs()).unwrap_or_default();
+        let truth = ctx
+            .dataset
+            .ground_truth()
+            .map(|gt| gt.pairs())
+            .unwrap_or_default();
 
         // Labelled pool starts from the context's labelled sample.
         let mut labeled: Vec<((EntityId, EntityId), bool)> = ctx
@@ -166,7 +175,9 @@ impl MultiTableMatcher for AlmserGb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_eval::{evaluate, sample_labeled_pairs, SamplingConfig};
 
@@ -179,7 +190,11 @@ mod tests {
         let encoder = HashedLexicalEncoder::default();
         let labeled = sample_labeled_pairs(
             &ds,
-            &SamplingConfig { positive_fraction: 0.1, negatives_per_positive: 3, seed: 4 },
+            &SamplingConfig {
+                positive_fraction: 0.1,
+                negatives_per_positive: 3,
+                seed: 4,
+            },
         );
         let ctx = MatchContext::build(&ds, &encoder, labeled);
         let method = AlmserGb::default();
@@ -194,7 +209,8 @@ mod tests {
         let schema = multiem_table::Schema::new(["title"]).shared();
         let mut ds = multiem_table::Dataset::new("empty", schema.clone());
         for name in ["a", "b"] {
-            ds.add_table(multiem_table::Table::new(name, schema.clone())).unwrap();
+            ds.add_table(multiem_table::Table::new(name, schema.clone()))
+                .unwrap();
         }
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());
@@ -203,7 +219,10 @@ mod tests {
 
     #[test]
     fn config_accessor() {
-        let method = AlmserGb::new(AlmserConfig { rounds: 2, ..AlmserConfig::default() });
+        let method = AlmserGb::new(AlmserConfig {
+            rounds: 2,
+            ..AlmserConfig::default()
+        });
         assert_eq!(method.config().rounds, 2);
     }
 }

@@ -31,7 +31,11 @@ pub struct AutoFjConfig {
 
 impl Default for AutoFjConfig {
     fn default() -> Self {
-        Self { calibration_quantile: 0.95, margin: 0.05, min_threshold: 0.35 }
+        Self {
+            calibration_quantile: 0.95,
+            margin: 0.05,
+            min_threshold: 0.35,
+        }
     }
 }
 
@@ -54,7 +58,7 @@ impl AutoFjMatcher {
 
     /// Calibrate the acceptance threshold from observed similarity scores of
     /// candidate pairs that are *not* reciprocal best matches.
-    fn calibrate(&self, background: &mut Vec<f32>) -> f32 {
+    fn calibrate(&self, background: &mut [f32]) -> f32 {
         if background.is_empty() {
             return self.config.min_threshold.max(0.5);
         }
@@ -121,7 +125,9 @@ impl TwoTableMatcher for AutoFjMatcher {
 mod tests {
     use super::*;
     use crate::MatchContext;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_table::Dataset;
 
@@ -138,7 +144,8 @@ mod tests {
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());
         let matcher = AutoFjMatcher::default();
-        let pairs = matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
+        let pairs =
+            matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
         assert!(!pairs.is_empty());
         let truth = ds.ground_truth().unwrap().pairs();
         let correct = pairs
@@ -146,7 +153,11 @@ mod tests {
             .filter(|p| truth.contains(&(p.a.min(p.b), p.a.max(p.b))))
             .count();
         let precision = correct as f64 / pairs.len() as f64;
-        assert!(precision > 0.8, "AutoFJ precision {precision} ({} pairs)", pairs.len());
+        assert!(
+            precision > 0.8,
+            "AutoFJ precision {precision} ({} pairs)",
+            pairs.len()
+        );
     }
 
     #[test]
@@ -168,7 +179,9 @@ mod tests {
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());
         let matcher = AutoFjMatcher::default();
-        assert!(matcher.match_collections(&ctx, &[], &ctx.source_entities(1)).is_empty());
+        assert!(matcher
+            .match_collections(&ctx, &[], &ctx.source_entities(1))
+            .is_empty());
         assert_eq!(matcher.name(), "AutoFJ");
         assert!(matcher.config().calibration_quantile > 0.5);
     }

@@ -33,7 +33,10 @@ impl<'a> MatchContext<'a> {
         labeled: Vec<LabeledPair>,
     ) -> Self {
         let opts = SerializeOptions::default();
-        let config = MultiEmConfig { serialize: opts.clone(), ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            serialize: opts.clone(),
+            ..MultiEmConfig::default()
+        };
         let selection = AttributeSelection::all_attributes(dataset);
         let store = EmbeddingStore::build(dataset, encoder, &selection.selected, &config);
 
@@ -52,7 +55,13 @@ impl<'a> MatchContext<'a> {
             texts.push(t_texts);
             token_sets.push(t_tokens);
         }
-        Self { dataset, store, texts, token_sets, labeled }
+        Self {
+            dataset,
+            store,
+            texts,
+            token_sets,
+            labeled,
+        }
     }
 
     /// Serialized text of one entity.
@@ -100,8 +109,11 @@ impl<'a> MatchContext<'a> {
 
     /// Accounted bytes of the context's large structures (embeddings + texts).
     pub fn approx_bytes(&self) -> usize {
-        let text_bytes: usize =
-            self.texts.iter().flat_map(|t| t.iter().map(String::len)).sum();
+        let text_bytes: usize = self
+            .texts
+            .iter()
+            .flat_map(|t| t.iter().map(String::len))
+            .sum();
         let token_bytes: usize = self
             .token_sets
             .iter()
@@ -114,7 +126,9 @@ impl<'a> MatchContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
 
     fn dataset() -> Dataset {

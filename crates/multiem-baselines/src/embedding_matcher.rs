@@ -23,7 +23,10 @@ pub struct EmbeddingThresholdMatcher {
 
 impl Default for EmbeddingThresholdMatcher {
     fn default() -> Self {
-        Self { min_similarity: 0.65, k: 1 }
+        Self {
+            min_similarity: 0.65,
+            k: 1,
+        }
     }
 }
 
@@ -55,17 +58,26 @@ impl TwoTableMatcher for EmbeddingThresholdMatcher {
         let max_distance = 1.0 - self.min_similarity;
         let left_vecs: Vec<&[f32]> = left.iter().map(|&id| ctx.embedding(id)).collect();
         let right_vecs: Vec<&[f32]> = right.iter().map(|&id| ctx.embedding(id)).collect();
-        multiem_ann::mutual_top_k(&left_index, &right_index, &left_vecs, &right_vecs, self.k, max_distance)
-            .into_iter()
-            .map(|m| MatchedPair::new(left[m.left], right[m.right], 1.0 - m.distance))
-            .collect()
+        multiem_ann::mutual_top_k(
+            &left_index,
+            &right_index,
+            &left_vecs,
+            &right_vecs,
+            self.k,
+            max_distance,
+        )
+        .into_iter()
+        .map(|m| MatchedPair::new(left[m.left], right[m.right], 1.0 - m.distance))
+        .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
 
     #[test]
@@ -77,7 +89,8 @@ mod tests {
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());
         let matcher = EmbeddingThresholdMatcher::default();
-        let pairs = matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
+        let pairs =
+            matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
         assert!(!pairs.is_empty());
         // Every returned pair crosses the two collections and scores above threshold.
         for p in &pairs {
@@ -97,7 +110,11 @@ mod tests {
         let found: std::collections::BTreeSet<_> =
             pairs.iter().map(|p| (p.a.min(p.b), p.a.max(p.b))).collect();
         let hit = gt.iter().filter(|p| found.contains(p)).count();
-        assert!(hit as f64 >= 0.9 * gt.len() as f64, "recall {hit}/{}", gt.len());
+        assert!(
+            hit as f64 >= 0.9 * gt.len() as f64,
+            "recall {hit}/{}",
+            gt.len()
+        );
     }
 
     #[test]
@@ -109,8 +126,12 @@ mod tests {
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());
         let matcher = EmbeddingThresholdMatcher::default();
-        assert!(matcher.match_collections(&ctx, &[], &ctx.source_entities(0)).is_empty());
-        assert!(matcher.match_collections(&ctx, &ctx.source_entities(0), &[]).is_empty());
+        assert!(matcher
+            .match_collections(&ctx, &[], &ctx.source_entities(0))
+            .is_empty());
+        assert!(matcher
+            .match_collections(&ctx, &ctx.source_entities(0), &[])
+            .is_empty());
         assert_eq!(matcher.name(), "EmbedMNN");
     }
 }

@@ -125,7 +125,9 @@ impl<M: TwoTableMatcher> MultiTableMatcher for ChainExtension<M> {
 mod tests {
     use super::*;
     use crate::embedding_matcher::EmbeddingThresholdMatcher;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_eval::evaluate;
 

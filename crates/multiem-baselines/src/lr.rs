@@ -90,7 +90,13 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0; d];
             let mut grad_b = 0.0;
             for (x, y) in &standardized {
-                let z = self.bias + self.weights.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+                let z = self.bias
+                    + self
+                        .weights
+                        .iter()
+                        .zip(x)
+                        .map(|(w, xi)| w * xi)
+                        .sum::<f64>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - y;
                 for (g, xi) in grad_w.iter_mut().zip(x) {
@@ -109,7 +115,13 @@ impl LogisticRegression {
     /// Predicted probability that the example is a match.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
         let x = self.standardize(features);
-        let z = self.bias + self.weights.iter().zip(&x).map(|(w, xi)| w * xi).sum::<f64>();
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(&x)
+                .map(|(w, xi)| w * xi)
+                .sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -171,8 +183,9 @@ mod tests {
     #[test]
     fn handles_constant_features() {
         let mut lr = LogisticRegression::new(2);
-        let data: Vec<(Vec<f64>, bool)> =
-            (0..40).map(|i| (vec![i as f64 / 40.0, 7.0], i >= 20)).collect();
+        let data: Vec<(Vec<f64>, bool)> = (0..40)
+            .map(|i| (vec![i as f64 / 40.0, 7.0], i >= 20))
+            .collect();
         assert!(lr.fit(&data));
         assert!(lr.predict(&[0.95, 7.0]));
         assert!(!lr.predict(&[0.05, 7.0]));

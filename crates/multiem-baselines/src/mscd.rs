@@ -127,7 +127,9 @@ impl MultiTableMatcher for MscdAp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_eval::evaluate;
     use multiem_table::Dataset;
@@ -180,7 +182,11 @@ mod tests {
         let report = evaluate(&tuples, ds.ground_truth().unwrap());
         // AP without source constraints is noticeably weaker — only require
         // that it finds real signal.
-        assert!(report.pair.recall > 0.2, "MSCD-AP pair metrics {:?}", report.pair);
+        assert!(
+            report.pair.recall > 0.2,
+            "MSCD-AP pair metrics {:?}",
+            report.pair
+        );
     }
 
     #[test]
@@ -188,7 +194,8 @@ mod tests {
         let schema = multiem_table::Schema::new(["title"]).shared();
         let mut ds = Dataset::new("empty", schema.clone());
         for name in ["a", "b"] {
-            ds.add_table(multiem_table::Table::new(name, schema.clone())).unwrap();
+            ds.add_table(multiem_table::Table::new(name, schema.clone()))
+                .unwrap();
         }
         let encoder = HashedLexicalEncoder::default();
         let ctx = MatchContext::build(&ds, &encoder, Vec::new());

@@ -27,7 +27,10 @@ pub struct SupervisedConfig {
 
 impl Default for SupervisedConfig {
     fn default() -> Self {
-        Self { block_k: 3, decision_threshold: 0.5 }
+        Self {
+            block_k: 3,
+            decision_threshold: 0.5,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ fn pair_features(ctx: &MatchContext<'_>, a: EntityId, b: EntityId) -> Vec<f64> {
     let tb = ctx.text(b);
     let len_a = ta.split_whitespace().count() as f64;
     let len_b = tb.split_whitespace().count() as f64;
-    let len_ratio = if len_a.max(len_b) == 0.0 { 1.0 } else { len_a.min(len_b) / len_a.max(len_b) };
+    let len_ratio = if len_a.max(len_b) == 0.0 {
+        1.0
+    } else {
+        len_a.min(len_b) / len_a.max(len_b)
+    };
     // Shared-prefix indicator: first token equal.
     let first_equal = match (ta.split_whitespace().next(), tb.split_whitespace().next()) {
         (Some(x), Some(y)) if x == y => 1.0,
@@ -60,20 +67,37 @@ pub struct SupervisedMatcher {
 impl SupervisedMatcher {
     /// Create an untrained matcher; call [`SupervisedMatcher::train`] before use.
     pub fn new(name: impl Into<String>, config: SupervisedConfig) -> Self {
-        Self { name: name.into(), config, model: LogisticRegression::new(4), trained: false }
+        Self {
+            name: name.into(),
+            config,
+            model: LogisticRegression::new(4),
+            trained: false,
+        }
     }
 
     /// A matcher playing the role of Ditto: standard fine-tuning, a tighter
     /// decision threshold (higher precision, lower recall).
     pub fn ditto_like() -> Self {
-        Self::new("Ditto", SupervisedConfig { block_k: 3, decision_threshold: 0.55 })
+        Self::new(
+            "Ditto",
+            SupervisedConfig {
+                block_k: 3,
+                decision_threshold: 0.55,
+            },
+        )
     }
 
     /// A matcher playing the role of PromptEM: prompt-tuning is stronger in
     /// the low-resource regime, modelled as a wider candidate set and a more
     /// permissive threshold (higher recall).
     pub fn promptem_like() -> Self {
-        Self::new("PromptEM", SupervisedConfig { block_k: 4, decision_threshold: 0.45 })
+        Self::new(
+            "PromptEM",
+            SupervisedConfig {
+                block_k: 4,
+                decision_threshold: 0.45,
+            },
+        )
     }
 
     /// Whether the model has been trained on at least one example of each class.
@@ -136,7 +160,9 @@ impl TwoTableMatcher for SupervisedMatcher {
 mod tests {
     use super::*;
     use crate::MatchContext;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_eval::{sample_labeled_pairs, SamplingConfig};
     use multiem_table::Dataset;
@@ -158,7 +184,11 @@ mod tests {
 
     fn trained_ctx_and_matcher(ds: &Dataset) -> (MatchContext<'_>, SupervisedMatcher) {
         let encoder = HashedLexicalEncoder::default();
-        let sampling = SamplingConfig { positive_fraction: 0.3, negatives_per_positive: 3, seed: 2 };
+        let sampling = SamplingConfig {
+            positive_fraction: 0.3,
+            negatives_per_positive: 3,
+            seed: 2,
+        };
         let labeled = sample_labeled_pairs(ds, &sampling);
         let ctx = MatchContext::build(ds, &encoder, labeled);
         let mut matcher = SupervisedMatcher::ditto_like();
@@ -186,11 +216,14 @@ mod tests {
     fn match_collections_has_reasonable_quality() {
         let ds = dataset();
         let (ctx, matcher) = trained_ctx_and_matcher(&ds);
-        let pairs = matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
+        let pairs =
+            matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
         assert!(!pairs.is_empty());
         let truth = ds.ground_truth().unwrap().pairs();
-        let correct =
-            pairs.iter().filter(|p| truth.contains(&(p.a.min(p.b), p.a.max(p.b)))).count();
+        let correct = pairs
+            .iter()
+            .filter(|p| truth.contains(&(p.a.min(p.b), p.a.max(p.b))))
+            .count();
         let precision = correct as f64 / pairs.len() as f64;
         assert!(precision > 0.6, "precision {precision}");
     }
@@ -205,7 +238,8 @@ mod tests {
         assert_eq!(matcher.name(), "PromptEM");
         // Untrained model predicts 0.5 everywhere; with threshold 0.5 it may
         // emit pairs, but it must not panic and scores stay in [0, 1].
-        let pairs = matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
+        let pairs =
+            matcher.match_collections(&ctx, &ctx.source_entities(0), &ctx.source_entities(1));
         for p in pairs {
             assert!((0.0..=1.0).contains(&p.score));
         }
@@ -215,6 +249,8 @@ mod tests {
     fn empty_collections() {
         let ds = dataset();
         let (ctx, matcher) = trained_ctx_and_matcher(&ds);
-        assert!(matcher.match_collections(&ctx, &[], &ctx.source_entities(0)).is_empty());
+        assert!(matcher
+            .match_collections(&ctx, &[], &ctx.source_entities(0))
+            .is_empty());
     }
 }

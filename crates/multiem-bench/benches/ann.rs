@@ -11,7 +11,9 @@ use rand_chacha::ChaCha8Rng;
 
 fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
 }
 
 fn bench_build(c: &mut Criterion) {
@@ -22,11 +24,18 @@ fn bench_build(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("hnsw", n), &vectors, |b, v| {
             b.iter(|| {
-                HnswIndex::build(dim, Metric::Cosine, HnswConfig::default(), v.iter().map(|x| x.as_slice()))
+                HnswIndex::build(
+                    dim,
+                    Metric::Cosine,
+                    HnswConfig::default(),
+                    v.iter().map(|x| x.as_slice()),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", n), &vectors, |b, v| {
-            b.iter(|| BruteForceIndex::from_vectors(dim, Metric::Cosine, v.iter().map(|x| x.as_slice())))
+            b.iter(|| {
+                BruteForceIndex::from_vectors(dim, Metric::Cosine, v.iter().map(|x| x.as_slice()))
+            })
         });
     }
     group.finish();
@@ -37,8 +46,14 @@ fn bench_query(c: &mut Criterion) {
     let n = 5_000;
     let vectors = random_vectors(n, dim, 11);
     let queries = random_vectors(100, dim, 13);
-    let hnsw = HnswIndex::build(dim, Metric::Cosine, HnswConfig::default(), vectors.iter().map(|v| v.as_slice()));
-    let brute = BruteForceIndex::from_vectors(dim, Metric::Cosine, vectors.iter().map(|v| v.as_slice()));
+    let hnsw = HnswIndex::build(
+        dim,
+        Metric::Cosine,
+        HnswConfig::default(),
+        vectors.iter().map(|v| v.as_slice()),
+    );
+    let brute =
+        BruteForceIndex::from_vectors(dim, Metric::Cosine, vectors.iter().map(|v| v.as_slice()));
 
     let mut group = c.benchmark_group("ann/query_top10");
     group.throughput(Throughput::Elements(queries.len() as u64));

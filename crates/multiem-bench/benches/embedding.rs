@@ -36,7 +36,10 @@ fn bench_dimensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding/dimension");
     for &dim in &[96usize, 384, 768] {
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
-            let encoder = HashedLexicalEncoder::new(EncoderConfig { dim, ..EncoderConfig::default() });
+            let encoder = HashedLexicalEncoder::new(EncoderConfig {
+                dim,
+                ..EncoderConfig::default()
+            });
             b.iter(|| encoder.encode(text));
         });
     }

@@ -3,7 +3,9 @@
 //! and the efficiency claims behind Table V).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use multiem_baselines::{ChainExtension, EmbeddingThresholdMatcher, MatchContext, MultiTableMatcher, PairwiseExtension};
+use multiem_baselines::{
+    ChainExtension, EmbeddingThresholdMatcher, MatchContext, MultiTableMatcher, PairwiseExtension,
+};
 use multiem_core::{complexity, hierarchical_merge, MergedTable, MultiEmConfig};
 use multiem_core::{AttributeSelection, EmbeddingStore};
 use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
@@ -32,7 +34,10 @@ fn bench_strategies(c: &mut Criterion) {
 
     for &sources in &[4usize, 8] {
         let dataset = dataset_with_sources(sources);
-        let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m: 0.35,
+            ..MultiEmConfig::default()
+        };
         let selection = AttributeSelection::all_attributes(&dataset);
         let store = EmbeddingStore::build(&dataset, &encoder, &selection.selected, &config);
         let tables: Vec<MergedTable> = (0..dataset.num_sources() as u32)
@@ -40,9 +45,11 @@ fn bench_strategies(c: &mut Criterion) {
             .collect();
         let ctx = MatchContext::build(&dataset, &encoder, Vec::new());
 
-        group.bench_with_input(BenchmarkId::new("hierarchical", sources), &tables, |b, t| {
-            b.iter(|| hierarchical_merge(t.clone(), &config, encoder.dim()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", sources),
+            &tables,
+            |b, t| b.iter(|| hierarchical_merge(t.clone(), &config, encoder.dim())),
+        );
         group.bench_with_input(BenchmarkId::new("pairwise", sources), &ctx, |b, ctx| {
             b.iter(|| PairwiseExtension::new(EmbeddingThresholdMatcher::default()).run(ctx))
         });

@@ -18,7 +18,11 @@ fn bench_pipeline(c: &mut Criterion) {
                 BenchmarkId::new(label, name),
                 &data.dataset,
                 |b, dataset| {
-                    let config = MultiEmConfig { m: 0.35, parallel, ..MultiEmConfig::default() };
+                    let config = MultiEmConfig {
+                        m: 0.35,
+                        parallel,
+                        ..MultiEmConfig::default()
+                    };
                     b.iter(|| {
                         MultiEm::new(config.clone(), HashedLexicalEncoder::default())
                             .run(dataset)

@@ -42,20 +42,37 @@ fn bench_pruning(c: &mut Criterion) {
         items: dataset
             .entity_ids()
             .take(400)
-            .map(|id: EntityId| MergeItem { members: vec![id], embedding: vec![0.0; encoder.dim()] })
+            .map(|id: EntityId| MergeItem {
+                members: vec![id],
+                embedding: vec![0.0; encoder.dim()],
+            })
             .collect(),
     };
 
     let mut group = c.benchmark_group("pruning");
     group.throughput(Throughput::Elements(table.items.len() as u64));
-    group.bench_with_input(BenchmarkId::new("sequential", table.items.len()), &table, |b, t| {
-        let cfg = MultiEmConfig { parallel: false, ..MultiEmConfig::default() };
-        b.iter(|| prune_merged_table(t, &store, &cfg))
-    });
-    group.bench_with_input(BenchmarkId::new("parallel", table.items.len()), &table, |b, t| {
-        let cfg = MultiEmConfig { parallel: true, ..MultiEmConfig::default() };
-        b.iter(|| prune_merged_table(t, &store, &cfg))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("sequential", table.items.len()),
+        &table,
+        |b, t| {
+            let cfg = MultiEmConfig {
+                parallel: false,
+                ..MultiEmConfig::default()
+            };
+            b.iter(|| prune_merged_table(t, &store, &cfg))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("parallel", table.items.len()),
+        &table,
+        |b, t| {
+            let cfg = MultiEmConfig {
+                parallel: true,
+                ..MultiEmConfig::default()
+            };
+            b.iter(|| prune_merged_table(t, &store, &cfg))
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("singletons_noop", singleton_table.items.len()),
         &singleton_table,

@@ -14,8 +14,13 @@ use multiem_eval::{format_duration, TextTable};
 fn main() {
     let harness = HarnessConfig::from_env();
     let mut table = TextTable::new(
-        format!("Figure 5 — per-module running time (scale {})", harness.scale),
-        &["Dataset", "S", "R", "M", "M(p)", "P", "P(p)", "total", "total(p)"],
+        format!(
+            "Figure 5 — per-module running time (scale {})",
+            harness.scale
+        ),
+        &[
+            "Dataset", "S", "R", "M", "M(p)", "P", "P(p)", "total", "total(p)",
+        ],
     );
     for data in harness.datasets() {
         let dataset = &data.dataset;
@@ -25,7 +30,10 @@ fn main() {
         let seq = MultiEm::new(config.clone(), HashedLexicalEncoder::default())
             .run(dataset)
             .expect("sequential run");
-        let par_cfg = multiem_core::MultiEmConfig { parallel: true, ..config };
+        let par_cfg = multiem_core::MultiEmConfig {
+            parallel: true,
+            ..config
+        };
         let par = MultiEm::new(par_cfg, HashedLexicalEncoder::default())
             .run(dataset)
             .expect("parallel run");

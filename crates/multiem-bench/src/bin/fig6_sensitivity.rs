@@ -20,13 +20,23 @@ fn run(dataset: &multiem_table::Dataset, config: MultiEmConfig) -> (f64, Duratio
         .run(dataset)
         .expect("pipeline runs");
     let elapsed = start.elapsed();
-    let report = evaluate(&output.tuples, dataset.ground_truth().expect("ground truth"));
+    let report = evaluate(
+        &output.tuples,
+        dataset.ground_truth().expect("ground truth"),
+    );
     (report.tuple.f1 * 100.0, elapsed)
 }
 
 fn normalised(times: &[Duration]) -> Vec<String> {
-    let base = times.first().map(|d| d.as_secs_f64()).unwrap_or(1.0).max(1e-9);
-    times.iter().map(|d| format!("{:.2}", d.as_secs_f64() / base)).collect()
+    let base = times
+        .first()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(1.0)
+        .max(1e-9);
+    times
+        .iter()
+        .map(|d| format!("{:.2}", d.as_secs_f64() / base))
+        .collect()
 }
 
 fn panel_gamma(datasets: &[BenchmarkDataset]) {
@@ -38,7 +48,13 @@ fn panel_gamma(datasets: &[BenchmarkDataset]) {
     for data in datasets {
         let mut row = vec![data.stats.name.clone()];
         for &gamma in &gammas {
-            let (f1, _) = run(&data.dataset, MultiEmConfig { gamma, ..MultiEmConfig::default() });
+            let (f1, _) = run(
+                &data.dataset,
+                MultiEmConfig {
+                    gamma,
+                    ..MultiEmConfig::default()
+                },
+            );
             row.push(format!("{f1:.1}"));
         }
         table.add_row(row);
@@ -55,8 +71,13 @@ fn panel_seed(datasets: &[BenchmarkDataset]) {
     for data in datasets {
         let mut row = vec![data.stats.name.clone()];
         for &seed in &seeds {
-            let (f1, _) =
-                run(&data.dataset, MultiEmConfig { merge_seed: seed, ..MultiEmConfig::default() });
+            let (f1, _) = run(
+                &data.dataset,
+                MultiEmConfig {
+                    merge_seed: seed,
+                    ..MultiEmConfig::default()
+                },
+            );
             row.push(format!("{f1:.1}"));
         }
         table.add_row(row);
@@ -78,7 +99,13 @@ fn panel_m(datasets: &[BenchmarkDataset]) {
         let mut f1_row = vec![data.stats.name.clone()];
         let mut times = Vec::new();
         for &m in &ms {
-            let (f1, t) = run(&data.dataset, MultiEmConfig { m, ..MultiEmConfig::default() });
+            let (f1, t) = run(
+                &data.dataset,
+                MultiEmConfig {
+                    m,
+                    ..MultiEmConfig::default()
+                },
+            );
             f1_row.push(format!("{f1:.1}"));
             times.push(t);
         }
@@ -105,8 +132,13 @@ fn panel_epsilon(datasets: &[BenchmarkDataset]) {
         let mut f1_row = vec![data.stats.name.clone()];
         let mut times = Vec::new();
         for &epsilon in &eps {
-            let (f1, t) =
-                run(&data.dataset, MultiEmConfig { epsilon, ..MultiEmConfig::default() });
+            let (f1, t) = run(
+                &data.dataset,
+                MultiEmConfig {
+                    epsilon,
+                    ..MultiEmConfig::default()
+                },
+            );
             f1_row.push(format!("{f1:.1}"));
             times.push(t);
         }

@@ -16,7 +16,9 @@ fn main() {
     let harness = HarnessConfig::from_env();
     let mut table = TextTable::new(
         format!("Table III — dataset statistics (scale {})", harness.scale),
-        &["Name", "Domain", "Srcs", "Attrs", "Entities", "Tuples", "Pairs"],
+        &[
+            "Name", "Domain", "Srcs", "Attrs", "Entities", "Tuples", "Pairs",
+        ],
     );
     for data in harness.datasets() {
         let s = &data.stats;

@@ -54,6 +54,8 @@ fn main() {
     }
     println!("paper reference (F1 / pair-F1): MultiEM geo 90.9/97.3, music-20 88.6/95.3,");
     println!("  music-200 82.2/92.3, music-2000 68.7/85.2, person 36.5/73.6, shopee 26.2/43.5;");
-    println!("  best baseline per dataset: MSCD-HAC 54.6/90.9 (geo), ALMSER-GB 63.5/87.0 (music-20),");
+    println!(
+        "  best baseline per dataset: MSCD-HAC 54.6/90.9 (geo), ALMSER-GB 63.5/87.0 (music-20),"
+    );
     println!("  Ditto (c) 55.8/72.6 (music-200), AutoFJ (c) 31.6/31.1-45.0 (shopee).");
 }

@@ -46,7 +46,10 @@ fn main() {
 
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = TextTable::new(
-        format!("Table VI — accounted memory usage (scale {})", harness.scale),
+        format!(
+            "Table VI — accounted memory usage (scale {})",
+            harness.scale
+        ),
         &header_refs,
     );
     for (method, cells) in rows {
@@ -56,5 +59,7 @@ fn main() {
     }
     println!("{}", table.render());
     println!("paper reference: MultiEM 16.3–18.2G across all datasets (flat); PromptEM/Ditto");
-    println!("  30–68G; AutoFJ runs out of memory on the large datasets; MSCD-HAC 2.1G on geo only.");
+    println!(
+        "  30–68G; AutoFJ runs out of memory on the large datasets; MSCD-HAC 2.1G on geo only."
+    );
 }

@@ -15,16 +15,32 @@ fn main() {
     let encoder = HashedLexicalEncoder::default();
     let mut table = TextTable::new(
         "Table VII — automated attribute selection",
-        &["Dataset", "All attributes", "Selected attributes", "Similarity scores"],
+        &[
+            "Dataset",
+            "All attributes",
+            "Selected attributes",
+            "Similarity scores",
+        ],
     );
     for data in harness.datasets() {
         let dataset = &data.dataset;
-        let sample_ratio = if dataset.total_entities() > 1_000_000 { 0.05 } else { 0.2 };
-        let config = MultiEmConfig { sample_ratio, gamma: 0.9, ..MultiEmConfig::default() };
+        let sample_ratio = if dataset.total_entities() > 1_000_000 {
+            0.05
+        } else {
+            0.2
+        };
+        let config = MultiEmConfig {
+            sample_ratio,
+            gamma: 0.9,
+            ..MultiEmConfig::default()
+        };
         let selection = select_attributes(dataset, &encoder, &config).expect("selection runs");
         let all: Vec<String> = dataset.schema().names().map(str::to_string).collect();
-        let selected: Vec<String> =
-            selection.selected_names().iter().map(|s| s.to_string()).collect();
+        let selected: Vec<String> = selection
+            .selected_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let scores: Vec<String> = selection
             .scores
             .iter()

@@ -67,8 +67,11 @@ impl HarnessConfig {
             }
         }
         if let Ok(names) = std::env::var("MULTIEM_DATASETS") {
-            let list: Vec<String> =
-                names.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+            let list: Vec<String> = names
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
             if !list.is_empty() {
                 cfg.datasets = Some(list);
             }
@@ -98,8 +101,7 @@ impl HarnessConfig {
                     .unwrap_or(true)
             })
             .map(|spec| {
-                benchmark_dataset(&spec.name, self.scale_for(&spec.name))
-                    .expect("preset exists")
+                benchmark_dataset(&spec.name, self.scale_for(&spec.name)).expect("preset exists")
             })
             .collect()
     }
@@ -111,7 +113,12 @@ pub fn paper_grid() -> Vec<MultiEmConfig> {
     for &m in &[0.2f32, 0.35, 0.5] {
         for &gamma in &[0.8f64, 0.9] {
             for &epsilon in &[0.8f32, 1.0] {
-                out.push(MultiEmConfig { m, gamma, epsilon, ..MultiEmConfig::default() });
+                out.push(MultiEmConfig {
+                    m,
+                    gamma,
+                    epsilon,
+                    ..MultiEmConfig::default()
+                });
             }
         }
     }
@@ -188,15 +195,26 @@ pub fn run_multiem_grid(
     dataset: &Dataset,
     variant: MultiEmVariant,
 ) -> (MultiEmOutput, EvaluationReport, MultiEmConfig) {
-    let gt = dataset.ground_truth().expect("benchmark datasets carry ground truth");
+    let gt = dataset
+        .ground_truth()
+        .expect("benchmark datasets carry ground truth");
     let mut best: Option<(MultiEmOutput, EvaluationReport, MultiEmConfig)> = None;
     for base in paper_grid() {
         // Sample ratio follows the paper: 0.05 for the largest dataset, 0.2
         // otherwise.
-        let sample_ratio = if dataset.total_entities() > 1_000_000 { 0.05 } else { 0.2 };
-        let config = variant.apply(MultiEmConfig { sample_ratio, ..base });
+        let sample_ratio = if dataset.total_entities() > 1_000_000 {
+            0.05
+        } else {
+            0.2
+        };
+        let config = variant.apply(MultiEmConfig {
+            sample_ratio,
+            ..base
+        });
         let pipeline = MultiEm::new(config.clone(), HashedLexicalEncoder::default());
-        let output = pipeline.run(dataset).expect("pipeline runs on benchmark data");
+        let output = pipeline
+            .run(dataset)
+            .expect("pipeline runs on benchmark data");
         let report = evaluate(&output.tuples, gt);
         let better = best
             .as_ref()
@@ -244,13 +262,22 @@ pub fn run_baselines(data: &BenchmarkDataset, harness: &HarnessConfig) -> Vec<Me
 
     // Supervised two-table matchers under both extensions.
     for (label, factory) in [
-        ("PromptEM", SupervisedMatcher::promptem_like as fn() -> SupervisedMatcher),
-        ("Ditto", SupervisedMatcher::ditto_like as fn() -> SupervisedMatcher),
+        (
+            "PromptEM",
+            SupervisedMatcher::promptem_like as fn() -> SupervisedMatcher,
+        ),
+        (
+            "Ditto",
+            SupervisedMatcher::ditto_like as fn() -> SupervisedMatcher,
+        ),
     ] {
         for (suffix, chain) in [("(pw)", false), ("(c)", true)] {
             let name = format!("{label} {suffix}");
             if n > harness.pairwise_limit {
-                results.push(MethodResult::skipped(&name, "skipped: exceeds pairwise limit"));
+                results.push(MethodResult::skipped(
+                    &name,
+                    "skipped: exceeds pairwise limit",
+                ));
                 continue;
             }
             let mut matcher = factory();
@@ -275,7 +302,10 @@ pub fn run_baselines(data: &BenchmarkDataset, harness: &HarnessConfig) -> Vec<Me
     for (suffix, chain) in [("(pw)", false), ("(c)", true)] {
         let name = format!("AutoFJ {suffix}");
         if n > harness.pairwise_limit {
-            results.push(MethodResult::skipped(&name, "skipped: exceeds pairwise limit"));
+            results.push(MethodResult::skipped(
+                &name,
+                "skipped: exceeds pairwise limit",
+            ));
             continue;
         }
         let start = Instant::now();
@@ -295,7 +325,10 @@ pub fn run_baselines(data: &BenchmarkDataset, harness: &HarnessConfig) -> Vec<Me
 
     // ALMSER-GB (graph + active learning; candidate graph is quadratic-ish).
     if n > harness.pairwise_limit {
-        results.push(MethodResult::skipped("ALMSER-GB", "skipped: exceeds pairwise limit"));
+        results.push(MethodResult::skipped(
+            "ALMSER-GB",
+            "skipped: exceeds pairwise limit",
+        ));
     } else {
         let start = Instant::now();
         let tuples = AlmserGb::default().run(&ctx);
@@ -310,12 +343,25 @@ pub fn run_baselines(data: &BenchmarkDataset, harness: &HarnessConfig) -> Vec<Me
 
     // MSCD-HAC and MSCD-AP (quadratic memory, cubic-ish time).
     for (name, method) in [
-        ("MSCD-HAC", Box::new(MscdHac::default()) as Box<dyn MultiTableMatcher>),
-        ("MSCD-AP", Box::new(MscdAp::default()) as Box<dyn MultiTableMatcher>),
+        (
+            "MSCD-HAC",
+            Box::new(MscdHac::default()) as Box<dyn MultiTableMatcher>,
+        ),
+        (
+            "MSCD-AP",
+            Box::new(MscdAp::default()) as Box<dyn MultiTableMatcher>,
+        ),
     ] {
-        let limit = if name == "MSCD-HAC" { harness.hac_limit } else { harness.quadratic_limit };
+        let limit = if name == "MSCD-HAC" {
+            harness.hac_limit
+        } else {
+            harness.quadratic_limit
+        };
         if n > limit {
-            results.push(MethodResult::skipped(name, "skipped: exceeds clustering size limit"));
+            results.push(MethodResult::skipped(
+                name,
+                "skipped: exceeds clustering size limit",
+            ));
             continue;
         }
         let start = Instant::now();
@@ -402,8 +448,11 @@ mod tests {
     #[test]
     fn baselines_respect_limits() {
         let data = benchmark_dataset("geo", 0.02).unwrap();
-        let harness =
-            HarnessConfig { quadratic_limit: 1, hac_limit: 1, ..HarnessConfig::default() };
+        let harness = HarnessConfig {
+            quadratic_limit: 1,
+            hac_limit: 1,
+            ..HarnessConfig::default()
+        };
         let results = run_baselines(&data, &harness);
         let hac = results.iter().find(|r| r.method == "MSCD-HAC").unwrap();
         assert!(hac.skipped.is_some());

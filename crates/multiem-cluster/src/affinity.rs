@@ -141,8 +141,9 @@ impl AffinityPropagation {
             }
 
             // Current exemplars.
-            let exemplars: Vec<usize> =
-                (0..n).filter(|&k| resp[k * n + k] + avail[k * n + k] > 0.0).collect();
+            let exemplars: Vec<usize> = (0..n)
+                .filter(|&k| resp[k * n + k] + avail[k * n + k] > 0.0)
+                .collect();
             if exemplars == last_exemplars && !exemplars.is_empty() {
                 stable_for += 1;
                 if stable_for >= self.config.convergence_iterations {
@@ -154,8 +155,9 @@ impl AffinityPropagation {
             }
         }
 
-        let mut exemplars: Vec<usize> =
-            (0..n).filter(|&k| resp[k * n + k] + avail[k * n + k] > 0.0).collect();
+        let mut exemplars: Vec<usize> = (0..n)
+            .filter(|&k| resp[k * n + k] + avail[k * n + k] > 0.0)
+            .collect();
         if exemplars.is_empty() {
             // Degenerate case: fall back to the point with the highest self-evidence.
             let best = (0..n)
@@ -185,7 +187,10 @@ impl AffinityPropagation {
                     })
                     .expect("at least one exemplar")
             };
-            clusters.get_mut(&target).expect("exemplar cluster exists").push(i);
+            clusters
+                .get_mut(&target)
+                .expect("exemplar cluster exists")
+                .push(i);
         }
 
         let mut out: Vec<Vec<usize>> = clusters.into_values().collect();
@@ -215,7 +220,10 @@ mod tests {
             vec![10.1, 10.0],
             vec![10.0, 10.1],
         ];
-        let cfg = AffinityPropagationConfig { metric: Metric::Euclidean, ..Default::default() };
+        let cfg = AffinityPropagationConfig {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        };
         let clusters = AffinityPropagation::new(cfg).cluster(&refs(&points));
         assert_eq!(clusters.len(), 2, "clusters: {clusters:?}");
         assert_eq!(clusters[0], vec![0, 1, 2]);
@@ -224,9 +232,13 @@ mod tests {
 
     #[test]
     fn every_point_assigned_exactly_once() {
-        let points: Vec<Vec<f32>> =
-            (0..12).map(|i| vec![(i % 4) as f32 * 3.0, (i / 4) as f32 * 3.0]).collect();
-        let cfg = AffinityPropagationConfig { metric: Metric::Euclidean, ..Default::default() };
+        let points: Vec<Vec<f32>> = (0..12)
+            .map(|i| vec![(i % 4) as f32 * 3.0, (i / 4) as f32 * 3.0])
+            .collect();
+        let cfg = AffinityPropagationConfig {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        };
         let clusters = AffinityPropagation::new(cfg).cluster(&refs(&points));
         let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
         all.sort_unstable();
@@ -245,7 +257,10 @@ mod tests {
     #[test]
     fn identical_points_form_one_cluster() {
         let points = vec![vec![1.0, 1.0]; 5];
-        let cfg = AffinityPropagationConfig { metric: Metric::Euclidean, ..Default::default() };
+        let cfg = AffinityPropagationConfig {
+            metric: Metric::Euclidean,
+            ..Default::default()
+        };
         let clusters = AffinityPropagation::new(cfg).cluster(&refs(&points));
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 5);
@@ -264,8 +279,12 @@ mod tests {
             preference: Some(-50.0),
             ..Default::default()
         };
-        let many = AffinityPropagation::new(many_cfg).cluster(&refs(&points)).len();
-        let few = AffinityPropagation::new(few_cfg).cluster(&refs(&points)).len();
+        let many = AffinityPropagation::new(many_cfg)
+            .cluster(&refs(&points))
+            .len();
+        let few = AffinityPropagation::new(few_cfg)
+            .cluster(&refs(&points))
+            .len();
         assert!(many >= few, "many={many} few={few}");
     }
 }

@@ -37,7 +37,11 @@ pub struct DbscanConfig {
 
 impl Default for DbscanConfig {
     fn default() -> Self {
-        Self { eps: 1.0, min_pts: 2, metric: Metric::Euclidean }
+        Self {
+            eps: 1.0,
+            min_pts: 2,
+            metric: Metric::Euclidean,
+        }
     }
 }
 
@@ -122,7 +126,8 @@ pub fn dbscan(points: &[&[f32]], config: &DbscanConfig) -> DbscanResult {
     }
 
     // Assign cluster ids to core components.
-    let mut cluster_of_root: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut cluster_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
     let mut assignment: Vec<Option<usize>> = vec![None; n];
     let mut num_clusters = 0usize;
     for i in 0..n {
@@ -145,7 +150,11 @@ pub fn dbscan(points: &[&[f32]], config: &DbscanConfig) -> DbscanResult {
         }
     }
 
-    DbscanResult { assignment, classes, num_clusters }
+    DbscanResult {
+        assignment,
+        classes,
+        num_clusters,
+    }
 }
 
 #[cfg(test)]
@@ -159,8 +168,17 @@ mod tests {
     #[test]
     fn paper_figure4_outlier_detection() {
         // Figure 4: e1, e2, e3 close together, e4 merged in later but far away.
-        let points = vec![vec![0.0, 0.0], vec![0.3, 0.0], vec![0.0, 0.3], vec![5.0, 5.0]];
-        let cfg = DbscanConfig { eps: 0.5, min_pts: 2, metric: Metric::Euclidean };
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.3, 0.0],
+            vec![0.0, 0.3],
+            vec![5.0, 5.0],
+        ];
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 2,
+            metric: Metric::Euclidean,
+        };
         let classes = classify_points(&to_refs(&points), &cfg);
         assert_eq!(classes[0], PointClass::Core);
         assert_eq!(classes[1], PointClass::Core);
@@ -173,7 +191,11 @@ mod tests {
         // Dense pair at origin; one point within eps of a core point but with
         // only that single neighbour besides itself → reachable when min_pts=3.
         let points = vec![vec![0.0], vec![0.1], vec![0.2], vec![0.65]];
-        let cfg = DbscanConfig { eps: 0.5, min_pts: 3, metric: Metric::Euclidean };
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 3,
+            metric: Metric::Euclidean,
+        };
         let classes = classify_points(&to_refs(&points), &cfg);
         assert_eq!(classes[0], PointClass::Core);
         assert_eq!(classes[1], PointClass::Core);
@@ -184,7 +206,11 @@ mod tests {
     #[test]
     fn all_isolated_points_are_outliers_with_min_pts_2() {
         let points = vec![vec![0.0], vec![10.0], vec![20.0]];
-        let cfg = DbscanConfig { eps: 1.0, min_pts: 2, metric: Metric::Euclidean };
+        let cfg = DbscanConfig {
+            eps: 1.0,
+            min_pts: 2,
+            metric: Metric::Euclidean,
+        };
         let classes = classify_points(&to_refs(&points), &cfg);
         assert!(classes.iter().all(|c| *c == PointClass::Outlier));
     }
@@ -192,7 +218,11 @@ mod tests {
     #[test]
     fn min_pts_one_makes_everything_core() {
         let points = vec![vec![0.0], vec![10.0]];
-        let cfg = DbscanConfig { eps: 0.5, min_pts: 1, metric: Metric::Euclidean };
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 1,
+            metric: Metric::Euclidean,
+        };
         let classes = classify_points(&to_refs(&points), &cfg);
         assert!(classes.iter().all(|c| *c == PointClass::Core));
     }
@@ -207,7 +237,11 @@ mod tests {
             points.push(vec![10.0 + i as f32 * 0.1, 0.0]);
         }
         points.push(vec![100.0, 100.0]); // noise
-        let cfg = DbscanConfig { eps: 0.5, min_pts: 2, metric: Metric::Euclidean };
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 2,
+            metric: Metric::Euclidean,
+        };
         let result = dbscan(&to_refs(&points), &cfg);
         assert_eq!(result.num_clusters, 2);
         let clusters = result.clusters();
@@ -230,7 +264,11 @@ mod tests {
     fn cosine_metric_classification() {
         // Two vectors pointing the same way, one orthogonal.
         let points = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
-        let cfg = DbscanConfig { eps: 0.1, min_pts: 2, metric: Metric::Cosine };
+        let cfg = DbscanConfig {
+            eps: 0.1,
+            min_pts: 2,
+            metric: Metric::Cosine,
+        };
         let classes = classify_points(&to_refs(&points), &cfg);
         assert_eq!(classes[0], PointClass::Core);
         assert_eq!(classes[1], PointClass::Core);
@@ -240,7 +278,11 @@ mod tests {
     #[test]
     fn reachable_points_join_core_cluster() {
         let points = vec![vec![0.0], vec![0.1], vec![0.2], vec![0.6]];
-        let cfg = DbscanConfig { eps: 0.45, min_pts: 3, metric: Metric::Euclidean };
+        let cfg = DbscanConfig {
+            eps: 0.45,
+            min_pts: 3,
+            metric: Metric::Euclidean,
+        };
         let result = dbscan(&to_refs(&points), &cfg);
         assert_eq!(result.classes[3], PointClass::Reachable);
         assert_eq!(result.assignment[3], result.assignment[2]);

@@ -174,7 +174,10 @@ impl AgglomerativeClustering {
             active[j] = false;
         }
 
-        let mut out: Vec<Vec<usize>> = (0..n).filter(|&i| active[i]).map(|i| members[i].clone()).collect();
+        let mut out: Vec<Vec<usize>> = (0..n)
+            .filter(|&i| active[i])
+            .map(|i| members[i].clone())
+            .collect();
         out.sort_by_key(|g| g[0]);
         out
     }
@@ -231,7 +234,10 @@ mod tests {
             metric: Metric::Euclidean,
             source_constraint: false,
         };
-        let complete_cfg = HacConfig { linkage: Linkage::Complete, ..single_cfg.clone() };
+        let complete_cfg = HacConfig {
+            linkage: Linkage::Complete,
+            ..single_cfg.clone()
+        };
         let single = AgglomerativeClustering::new(single_cfg).cluster(&refs(&points), &[]);
         let complete = AgglomerativeClustering::new(complete_cfg).cluster(&refs(&points), &[]);
         // Single linkage chains everything together; complete linkage stops at
@@ -266,14 +272,19 @@ mod tests {
     #[test]
     fn empty_input() {
         let cfg = HacConfig::default();
-        assert!(AgglomerativeClustering::new(cfg).cluster(&[], &[]).is_empty());
+        assert!(AgglomerativeClustering::new(cfg)
+            .cluster(&[], &[])
+            .is_empty());
     }
 
     #[test]
     #[should_panic(expected = "source labels required")]
     fn missing_source_labels_panics_when_constrained() {
         let points = vec![vec![0.0], vec![1.0]];
-        let cfg = HacConfig { source_constraint: true, ..HacConfig::default() };
+        let cfg = HacConfig {
+            source_constraint: true,
+            ..HacConfig::default()
+        };
         AgglomerativeClustering::new(cfg).cluster(&refs(&points), &[]);
     }
 

@@ -1,0 +1,257 @@
+//! Incremental disjoint-set union for streaming merging.
+//!
+//! The batch pipeline builds a fresh [`crate::UnionFind`] per two-table merge.
+//! The online entity store instead maintains one long-lived partition of all
+//! ingested records that must support three operations the plain structure
+//! cannot offer together:
+//!
+//! * **growth** — new records arrive one at a time ([`DynamicUnionFind::push`]);
+//! * **union** — mutual-nearest-neighbour matches merge clusters
+//!   ([`DynamicUnionFind::union`]);
+//! * **detach** — density-based re-pruning removes outlier records from their
+//!   cluster again ([`DynamicUnionFind::detach`]).
+//!
+//! Classic union-find forests do not support deletions, so `detach` uses the
+//! standard virtual-node construction: every external element points at an
+//! internal forest node, and detaching an element simply allocates a fresh
+//! internal singleton node for it. Internal nodes are never removed; the
+//! orphaned node keeps the remaining cluster connected. Amortised cost of all
+//! operations stays the near-constant inverse-Ackermann bound, and memory
+//! grows by one node per detach (bounded by the number of prune removals).
+
+use serde::{Deserialize, Serialize};
+
+/// A growable disjoint-set forest over external elements `0..len()` with
+/// support for detaching single elements back into singletons.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DynamicUnionFind {
+    /// Internal forest: `parent[i]` is `i` for roots.
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// External element -> internal node.
+    node_of: Vec<usize>,
+}
+
+impl DynamicUnionFind {
+    /// Create an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create `len` external singleton elements.
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            node_of: (0..len).collect(),
+        }
+    }
+
+    /// Number of external elements.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    fn alloc_node(&mut self) -> usize {
+        let node = self.parent.len();
+        self.parent.push(node);
+        self.rank.push(0);
+        node
+    }
+
+    /// Append a new singleton element, returning its external id.
+    pub fn push(&mut self) -> usize {
+        let node = self.alloc_node();
+        self.node_of.push(node);
+        self.node_of.len() - 1
+    }
+
+    fn find_node(&mut self, mut node: usize) -> usize {
+        let mut root = node;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        while self.parent[node] != root {
+            let next = self.parent[node];
+            self.parent[node] = root;
+            node = next;
+        }
+        root
+    }
+
+    /// Representative (internal root) of external element `x`.
+    ///
+    /// Roots are stable only until the next `union`/`detach`; treat them as
+    /// transient cluster keys, exactly like [`crate::UnionFind::find`].
+    pub fn find(&mut self, x: usize) -> usize {
+        let node = self.node_of[x];
+        self.find_node(node)
+    }
+
+    /// Representative of `x` without path compression; usable behind shared
+    /// references (serving-path reads) at the cost of longer parent walks.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut node = self.node_of[x];
+        while self.parent[node] != node {
+            node = self.parent[node];
+        }
+        node
+    }
+
+    /// Merge the clusters of external elements `a` and `b`. Returns the root
+    /// that survived, or `None` when they were already in the same cluster.
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        if self.rank[big] == self.rank[small] {
+            self.rank[big] += 1;
+        }
+        Some(big)
+    }
+
+    /// Whether `a` and `b` are currently in the same cluster.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Detach external element `x` from its cluster into a fresh singleton.
+    /// Returns the new internal root of `x`.
+    ///
+    /// The rest of `x`'s former cluster is unaffected (it keeps its root even
+    /// if that root was `x`'s old node, which simply becomes an orphaned
+    /// internal node).
+    pub fn detach(&mut self, x: usize) -> usize {
+        let node = self.alloc_node();
+        self.node_of[x] = node;
+        node
+    }
+
+    /// Materialise all clusters as lists of external elements. Clusters are
+    /// ordered by their smallest member; members are sorted ascending.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for x in 0..self.len() {
+            let root = self.find(x);
+            map.entry(root).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Like [`DynamicUnionFind::groups`] but only clusters with at least
+    /// `min_size` members.
+    pub fn groups_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
+        self.groups()
+            .into_iter()
+            .filter(|g| g.len() >= min_size)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_union_find_roundtrip() {
+        let mut uf = DynamicUnionFind::new();
+        let a = uf.push();
+        let b = uf.push();
+        let c = uf.push();
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert!(uf.union(a, b).is_some());
+        assert!(uf.union(a, b).is_none(), "already merged");
+        assert!(uf.connected(a, b));
+        assert!(!uf.connected(a, c));
+        assert_eq!(uf.groups(), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn with_len_matches_pushes() {
+        let mut a = DynamicUnionFind::with_len(4);
+        let mut b = DynamicUnionFind::new();
+        for _ in 0..4 {
+            b.push();
+        }
+        assert_eq!(a.groups(), b.groups());
+    }
+
+    #[test]
+    fn detach_splits_single_element_out() {
+        let mut uf = DynamicUnionFind::with_len(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.detach(1);
+        assert!(uf.connected(0, 2), "remaining cluster must stay connected");
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.groups(), vec![vec![0, 2], vec![1], vec![3]]);
+        // The detached element can join clusters again.
+        uf.union(1, 3);
+        assert_eq!(uf.groups(), vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn detach_of_root_element_keeps_others_together() {
+        let mut uf = DynamicUnionFind::with_len(3);
+        uf.union(0, 1);
+        uf.union(0, 2);
+        // Whichever internal node is the root, detaching element 0 must leave
+        // 1 and 2 connected.
+        uf.detach(0);
+        assert!(uf.connected(1, 2));
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn groups_min_size_filters_singletons() {
+        let mut uf = DynamicUnionFind::with_len(5);
+        uf.union(0, 4);
+        uf.union(2, 3);
+        assert_eq!(uf.groups_min_size(2), vec![vec![0, 4], vec![2, 3]]);
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = DynamicUnionFind::with_len(6);
+        uf.union(0, 3);
+        uf.union(3, 5);
+        uf.detach(3);
+        for x in 0..6 {
+            assert_eq!(uf.find_immutable(x), uf.find(x));
+        }
+    }
+
+    #[test]
+    fn growth_after_unions() {
+        let mut uf = DynamicUnionFind::with_len(2);
+        uf.union(0, 1);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert!(!uf.connected(0, c));
+        uf.union(c, 0);
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = DynamicUnionFind::new();
+        assert!(uf.is_empty());
+        assert!(uf.groups().is_empty());
+    }
+}

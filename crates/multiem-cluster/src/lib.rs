@@ -17,9 +17,11 @@
 pub mod affinity;
 pub mod dbscan;
 pub mod hac;
+pub mod incremental;
 pub mod union_find;
 
 pub use affinity::{AffinityPropagation, AffinityPropagationConfig};
 pub use dbscan::{classify_points, dbscan, DbscanConfig, DbscanResult, PointClass};
 pub use hac::{AgglomerativeClustering, HacConfig, Linkage};
+pub use incremental::DynamicUnionFind;
 pub use union_find::UnionFind;

@@ -14,7 +14,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Create `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        Self { parent: (0..len).collect(), rank: vec![0; len], groups: len }
+        Self {
+            parent: (0..len).collect(),
+            rank: vec![0; len],
+            groups: len,
+        }
     }
 
     /// Number of elements.
@@ -65,7 +69,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         if self.rank[big] == self.rank[small] {
             self.rank[big] += 1;
@@ -96,7 +104,10 @@ impl UnionFind {
     /// Like [`UnionFind::groups`] but only returns sets with at least
     /// `min_size` members.
     pub fn groups_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
-        self.groups().into_iter().filter(|g| g.len() >= min_size).collect()
+        self.groups()
+            .into_iter()
+            .filter(|g| g.len() >= min_size)
+            .collect()
     }
 }
 

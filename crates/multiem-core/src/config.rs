@@ -95,7 +95,10 @@ impl Default for MultiEmConfig {
 impl MultiEmConfig {
     /// The parallel variant of the default configuration.
     pub fn parallel() -> Self {
-        Self { parallel: true, ..Self::default() }
+        Self {
+            parallel: true,
+            ..Self::default()
+        }
     }
 
     /// The `w/o EER` ablation: skip attribute selection.
@@ -166,23 +169,34 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = MultiEmConfig::default();
-        c.k = 0;
-        assert!(c.validate().is_err());
-        let mut c = MultiEmConfig::default();
-        c.sample_ratio = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = MultiEmConfig::default();
-        c.gamma = 1.5;
-        assert!(c.validate().is_err());
-        let mut c = MultiEmConfig::default();
-        c.m = -0.1;
-        assert!(c.validate().is_err());
-        let mut c = MultiEmConfig::default();
-        c.epsilon = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = MultiEmConfig::default();
-        c.min_pts = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            MultiEmConfig {
+                k: 0,
+                ..MultiEmConfig::default()
+            },
+            MultiEmConfig {
+                sample_ratio: 0.0,
+                ..MultiEmConfig::default()
+            },
+            MultiEmConfig {
+                gamma: 1.5,
+                ..MultiEmConfig::default()
+            },
+            MultiEmConfig {
+                m: -0.1,
+                ..MultiEmConfig::default()
+            },
+            MultiEmConfig {
+                epsilon: 0.0,
+                ..MultiEmConfig::default()
+            },
+            MultiEmConfig {
+                min_pts: 0,
+                ..MultiEmConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 }

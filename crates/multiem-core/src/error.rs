@@ -20,7 +20,10 @@ impl fmt::Display for MultiEmError {
         match self {
             MultiEmError::EmptyDataset => write!(f, "dataset contains no source tables"),
             MultiEmError::SingleTable => {
-                write!(f, "multi-table entity matching requires at least two source tables")
+                write!(
+                    f,
+                    "multi-table entity matching requires at least two source tables"
+                )
             }
             MultiEmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MultiEmError::Table(e) => write!(f, "table error: {e}"),
@@ -49,9 +52,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MultiEmError::EmptyDataset.to_string().contains("no source tables"));
-        assert!(MultiEmError::SingleTable.to_string().contains("at least two"));
-        assert!(MultiEmError::InvalidConfig("k must be > 0".into()).to_string().contains("k must"));
+        assert!(MultiEmError::EmptyDataset
+            .to_string()
+            .contains("no source tables"));
+        assert!(MultiEmError::SingleTable
+            .to_string()
+            .contains("at least two"));
+        assert!(MultiEmError::InvalidConfig("k must be > 0".into())
+            .to_string()
+            .contains("k must"));
     }
 
     #[test]

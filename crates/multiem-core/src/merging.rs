@@ -39,7 +39,10 @@ pub struct MergeItem {
 impl MergeItem {
     /// Create a singleton item for one entity.
     pub fn singleton(id: EntityId, embedding: Vec<f32>) -> Self {
-        Self { members: vec![id], embedding }
+        Self {
+            members: vec![id],
+            embedding,
+        }
     }
 
     /// Number of member entities.
@@ -95,14 +98,20 @@ impl MergedTable {
 
     /// Items with at least two members, as match tuples.
     pub fn tuples(&self) -> Vec<MatchTuple> {
-        self.items.iter().filter(|i| i.len() >= 2).map(MergeItem::to_tuple).collect()
+        self.items
+            .iter()
+            .filter(|i| i.len() >= 2)
+            .map(MergeItem::to_tuple)
+            .collect()
     }
 
     /// Approximate bytes used by item embeddings and member lists.
     pub fn approx_bytes(&self) -> usize {
         self.items
             .iter()
-            .map(|i| i.embedding.capacity() * 4 + i.members.capacity() * std::mem::size_of::<EntityId>())
+            .map(|i| {
+                i.embedding.capacity() * 4 + i.members.capacity() * std::mem::size_of::<EntityId>()
+            })
             .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
@@ -111,7 +120,7 @@ impl MergedTable {
 /// Either index backend, selected per table size.
 enum AnyIndex {
     Brute(BruteForceIndex),
-    Hnsw(HnswIndex),
+    Hnsw(Box<HnswIndex>),
 }
 
 impl VectorIndex for AnyIndex {
@@ -165,12 +174,12 @@ fn build_index(items: &[MergeItem], config: &MultiEmConfig, dim: usize) -> AnyIn
         IndexBackend::Auto => items.len() >= config.hnsw_threshold,
     };
     if use_hnsw {
-        AnyIndex::Hnsw(HnswIndex::build(
+        AnyIndex::Hnsw(Box::new(HnswIndex::build(
             dim,
             config.merge_metric,
             config.hnsw.clone(),
             items.iter().map(|i| i.embedding.as_slice()),
-        ))
+        )))
     } else {
         AnyIndex::Brute(BruteForceIndex::from_vectors(
             dim,
@@ -228,7 +237,14 @@ pub fn two_table_merge_with_stats(
     let left_vecs: Vec<&[f32]> = left.items.iter().map(|i| i.embedding.as_slice()).collect();
     let right_vecs: Vec<&[f32]> = right.items.iter().map(|i| i.embedding.as_slice()).collect();
 
-    let matches = mutual_top_k(&left_index, &right_index, &left_vecs, &right_vecs, config.k, config.m);
+    let matches = mutual_top_k(
+        &left_index,
+        &right_index,
+        &left_vecs,
+        &right_vecs,
+        config.k,
+        config.m,
+    );
     let stats = MergeStats {
         matched_pairs: matches.len(),
         index_bytes: left_index.approx_bytes() + right_index.approx_bytes(),
@@ -248,15 +264,22 @@ pub fn two_table_merge_with_stats(
             merged_items.push(all_items[group[0]].clone());
         } else {
             let members_items: Vec<&MergeItem> = group.iter().map(|&i| all_items[i]).collect();
-            let mut members: Vec<EntityId> =
-                members_items.iter().flat_map(|i| i.members.iter().copied()).collect();
+            let mut members: Vec<EntityId> = members_items
+                .iter()
+                .flat_map(|i| i.members.iter().copied())
+                .collect();
             members.sort_unstable();
             members.dedup();
             let embedding = centroid(&members_items, dim);
             merged_items.push(MergeItem { members, embedding });
         }
     }
-    (MergedTable { items: merged_items }, stats)
+    (
+        MergedTable {
+            items: merged_items,
+        },
+        stats,
+    )
 }
 
 /// Merge two tables (Algorithm 3).
@@ -316,7 +339,8 @@ pub fn hierarchical_merge(
             }
         }
 
-        let merge_one = |(a, b): &(MergedTable, MergedTable)| two_table_merge_with_stats(a, b, config, dim);
+        let merge_one =
+            |(a, b): &(MergedTable, MergedTable)| two_table_merge_with_stats(a, b, config, dim);
         let results: Vec<(MergedTable, MergeStats)> = if config.parallel {
             pairs.par_iter().map(merge_one).collect()
         } else {
@@ -347,7 +371,9 @@ pub fn hierarchical_merge(
 mod tests {
     use super::*;
     use crate::representation::EmbeddingStore;
-    use multiem_datagen::{CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
     use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};
 
     fn item(id: (u32, u32), emb: Vec<f32>) -> MergeItem {
@@ -357,40 +383,64 @@ mod tests {
     }
 
     fn config() -> MultiEmConfig {
-        MultiEmConfig { m: 0.3, ..MultiEmConfig::default() }
+        MultiEmConfig {
+            m: 0.3,
+            ..MultiEmConfig::default()
+        }
     }
 
     #[test]
     fn two_table_merge_fuses_mutual_neighbors() {
         let left = MergedTable {
-            items: vec![item((0, 0), vec![1.0, 0.0, 0.0]), item((0, 1), vec![0.0, 1.0, 0.0])],
+            items: vec![
+                item((0, 0), vec![1.0, 0.0, 0.0]),
+                item((0, 1), vec![0.0, 1.0, 0.0]),
+            ],
         };
         let right = MergedTable {
-            items: vec![item((1, 0), vec![0.99, 0.1, 0.0]), item((1, 1), vec![0.0, 0.0, 1.0])],
+            items: vec![
+                item((1, 0), vec![0.99, 0.1, 0.0]),
+                item((1, 1), vec![0.0, 0.0, 1.0]),
+            ],
         };
         let merged = two_table_merge(&left, &right, &config(), 3);
         // (0,0) matches (1,0); the other two stay singletons.
         assert_eq!(merged.len(), 3);
         let tuples = merged.tuples();
         assert_eq!(tuples.len(), 1);
-        assert_eq!(tuples[0].members(), &[EntityId::new(0, 0), EntityId::new(1, 0)]);
+        assert_eq!(
+            tuples[0].members(),
+            &[EntityId::new(0, 0), EntityId::new(1, 0)]
+        );
     }
 
     #[test]
     fn distance_threshold_blocks_weak_matches() {
-        let left = MergedTable { items: vec![item((0, 0), vec![1.0, 0.0])] };
-        let right = MergedTable { items: vec![item((1, 0), vec![0.5, 0.87])] };
-        let strict = MultiEmConfig { m: 0.05, ..MultiEmConfig::default() };
+        let left = MergedTable {
+            items: vec![item((0, 0), vec![1.0, 0.0])],
+        };
+        let right = MergedTable {
+            items: vec![item((1, 0), vec![0.5, 0.87])],
+        };
+        let strict = MultiEmConfig {
+            m: 0.05,
+            ..MultiEmConfig::default()
+        };
         let merged = two_table_merge(&left, &right, &strict, 2);
         assert!(merged.tuples().is_empty());
-        let loose = MultiEmConfig { m: 0.9, ..MultiEmConfig::default() };
+        let loose = MultiEmConfig {
+            m: 0.9,
+            ..MultiEmConfig::default()
+        };
         let merged = two_table_merge(&left, &right, &loose, 2);
         assert_eq!(merged.tuples().len(), 1);
     }
 
     #[test]
     fn merging_empty_tables_is_identity() {
-        let left = MergedTable { items: vec![item((0, 0), vec![1.0, 0.0])] };
+        let left = MergedTable {
+            items: vec![item((0, 0), vec![1.0, 0.0])],
+        };
         let empty = MergedTable::default();
         let merged = two_table_merge(&left, &empty, &config(), 2);
         assert_eq!(merged.len(), 1);
@@ -400,8 +450,12 @@ mod tests {
 
     #[test]
     fn merged_item_centroid_is_normalised_mean() {
-        let left = MergedTable { items: vec![item((0, 0), vec![1.0, 0.0])] };
-        let right = MergedTable { items: vec![item((1, 0), vec![1.0, 0.02])] };
+        let left = MergedTable {
+            items: vec![item((0, 0), vec![1.0, 0.0])],
+        };
+        let right = MergedTable {
+            items: vec![item((1, 0), vec![1.0, 0.02])],
+        };
         let merged = two_table_merge(&left, &right, &config(), 2);
         let fused = merged.items.iter().find(|i| i.len() == 2).unwrap();
         let norm: f32 = fused.embedding.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -413,7 +467,9 @@ mod tests {
     #[test]
     fn hierarchical_merge_handles_odd_table_counts() {
         // Three tables, each holding the same real-world entity -> one 3-tuple.
-        let t = |s: u32| MergedTable { items: vec![item((s, 0), vec![1.0, 0.0, 0.0])] };
+        let t = |s: u32| MergedTable {
+            items: vec![item((s, 0), vec![1.0, 0.0, 0.0])],
+        };
         let out = hierarchical_merge(vec![t(0), t(1), t(2)], &config(), 3);
         assert_eq!(out.integrated.len(), 1);
         assert_eq!(out.integrated.items[0].len(), 3);
@@ -425,10 +481,18 @@ mod tests {
         // Entity appears in 4 sources with slightly different embeddings.
         let mk = |s: u32, eps: f32| item((s, 0), vec![1.0, eps, 0.0]);
         let tables = vec![
-            MergedTable { items: vec![mk(0, 0.00)] },
-            MergedTable { items: vec![mk(1, 0.02)] },
-            MergedTable { items: vec![mk(2, 0.04)] },
-            MergedTable { items: vec![mk(3, 0.06)] },
+            MergedTable {
+                items: vec![mk(0, 0.00)],
+            },
+            MergedTable {
+                items: vec![mk(1, 0.02)],
+            },
+            MergedTable {
+                items: vec![mk(2, 0.04)],
+            },
+            MergedTable {
+                items: vec![mk(3, 0.06)],
+            },
         ];
         let out = hierarchical_merge(tables, &config(), 3);
         let tuples = out.integrated.tuples();
@@ -446,11 +510,20 @@ mod tests {
         let ds = MultiSourceGenerator::new(gen_cfg).generate(factory.as_ref(), &corruptor);
         let encoder = HashedLexicalEncoder::default();
         let selected = vec![2, 4, 5];
-        let cfg_seq = MultiEmConfig { m: 0.4, parallel: false, ..MultiEmConfig::default() };
-        let cfg_par = MultiEmConfig { m: 0.4, parallel: true, ..MultiEmConfig::default() };
+        let cfg_seq = MultiEmConfig {
+            m: 0.4,
+            parallel: false,
+            ..MultiEmConfig::default()
+        };
+        let cfg_par = MultiEmConfig {
+            m: 0.4,
+            parallel: true,
+            ..MultiEmConfig::default()
+        };
         let store = EmbeddingStore::build(&ds, &encoder, &selected, &cfg_seq);
-        let tables: Vec<MergedTable> =
-            (0..ds.num_sources() as u32).map(|s| MergedTable::from_source(&ds, s, &store)).collect();
+        let tables: Vec<MergedTable> = (0..ds.num_sources() as u32)
+            .map(|s| MergedTable::from_source(&ds, s, &store))
+            .collect();
 
         let seq = hierarchical_merge(tables.clone(), &cfg_seq, encoder.dim());
         let par = hierarchical_merge(tables, &cfg_par, encoder.dim());
@@ -464,10 +537,27 @@ mod tests {
     #[test]
     fn merge_order_seed_changes_pairing_but_not_drastically_results() {
         let mk = |s: u32, eps: f32| item((s, 0), vec![1.0, eps]);
-        let tables: Vec<MergedTable> =
-            (0..4).map(|s| MergedTable { items: vec![mk(s, s as f32 * 0.01)] }).collect();
-        let a = hierarchical_merge(tables.clone(), &MultiEmConfig { merge_seed: 0, ..config() }, 2);
-        let b = hierarchical_merge(tables, &MultiEmConfig { merge_seed: 3, ..config() }, 2);
+        let tables: Vec<MergedTable> = (0..4)
+            .map(|s| MergedTable {
+                items: vec![mk(s, s as f32 * 0.01)],
+            })
+            .collect();
+        let a = hierarchical_merge(
+            tables.clone(),
+            &MultiEmConfig {
+                merge_seed: 0,
+                ..config()
+            },
+            2,
+        );
+        let b = hierarchical_merge(
+            tables,
+            &MultiEmConfig {
+                merge_seed: 3,
+                ..config()
+            },
+            2,
+        );
         assert_eq!(a.integrated.tuples(), b.integrated.tuples());
     }
 
@@ -479,10 +569,14 @@ mod tests {
         let t1 = Table::with_records(
             "a",
             schema.clone(),
-            vec![Record::new(vec![Value::Text("real item".into())]), Record::new(vec![Value::Null])],
+            vec![
+                Record::new(vec![Value::Text("real item".into())]),
+                Record::new(vec![Value::Null]),
+            ],
         )
         .unwrap();
-        let t2 = Table::with_records("b", schema.clone(), vec![Record::from_texts(["real item"])]).unwrap();
+        let t2 = Table::with_records("b", schema.clone(), vec![Record::from_texts(["real item"])])
+            .unwrap();
         ds.add_table(t1).unwrap();
         ds.add_table(t2).unwrap();
         let encoder = HashedLexicalEncoder::default();
@@ -506,10 +600,15 @@ mod tests {
             m: 0.4,
             ..MultiEmConfig::default()
         };
-        let hnsw_cfg = MultiEmConfig { index_backend: IndexBackend::Hnsw, m: 0.4, ..MultiEmConfig::default() };
+        let hnsw_cfg = MultiEmConfig {
+            index_backend: IndexBackend::Hnsw,
+            m: 0.4,
+            ..MultiEmConfig::default()
+        };
         let store = EmbeddingStore::build(&ds, &encoder, &selected, &brute_cfg);
-        let tables: Vec<MergedTable> =
-            (0..ds.num_sources() as u32).map(|s| MergedTable::from_source(&ds, s, &store)).collect();
+        let tables: Vec<MergedTable> = (0..ds.num_sources() as u32)
+            .map(|s| MergedTable::from_source(&ds, s, &store))
+            .collect();
         let brute = hierarchical_merge(tables.clone(), &brute_cfg, encoder.dim());
         let hnsw = hierarchical_merge(tables, &hnsw_cfg, encoder.dim());
         let mut bt = brute.integrated.tuples();
@@ -519,6 +618,10 @@ mod tests {
         // HNSW is approximate but on this scale the overlap should be near-total.
         let bt_set: std::collections::BTreeSet<_> = bt.iter().collect();
         let overlap = ht.iter().filter(|t| bt_set.contains(t)).count();
-        assert!(overlap as f64 >= 0.9 * bt.len() as f64, "overlap {overlap} of {}", bt.len());
+        assert!(
+            overlap as f64 >= 0.9 * bt.len() as f64,
+            "overlap {overlap} of {}",
+            bt.len()
+        );
     }
 }

@@ -100,7 +100,9 @@ impl<E: EmbeddingModel> MultiEm<E> {
 
     /// Run the full pipeline on a dataset.
     pub fn run(&self, dataset: &Dataset) -> Result<MultiEmOutput> {
-        self.config.validate().map_err(MultiEmError::InvalidConfig)?;
+        self.config
+            .validate()
+            .map_err(MultiEmError::InvalidConfig)?;
         if dataset.num_sources() == 0 {
             return Err(MultiEmError::EmptyDataset);
         }
@@ -123,7 +125,8 @@ impl<E: EmbeddingModel> MultiEm<E> {
 
         // Phase R: entity representation.
         let t = Instant::now();
-        let store = EmbeddingStore::build(dataset, &self.encoder, &selection.selected, &self.config);
+        let store =
+            EmbeddingStore::build(dataset, &self.encoder, &selection.selected, &self.config);
         phases.representation = t.elapsed();
         memory.insert("embeddings".to_string(), store.approx_bytes());
 
@@ -135,13 +138,20 @@ impl<E: EmbeddingModel> MultiEm<E> {
         let merge_out = hierarchical_merge(tables, &self.config, self.encoder.dim());
         phases.merging = t.elapsed();
         memory.insert("ann-indexes".to_string(), merge_out.peak_index_bytes);
-        memory.insert("merged-table".to_string(), merge_out.integrated.approx_bytes());
+        memory.insert(
+            "merged-table".to_string(),
+            merge_out.integrated.approx_bytes(),
+        );
 
         // Phase P: density-based pruning.
         let t = Instant::now();
         let (tuples, outliers_removed, tuples_dropped) = if self.config.pruning {
             let summary = prune_merged_table(&merge_out.integrated, &store, &self.config);
-            (summary.tuples, summary.outliers_removed, summary.tuples_dropped)
+            (
+                summary.tuples,
+                summary.outliers_removed,
+                summary.tuples_dropped,
+            )
         } else {
             (merge_out.integrated.tuples(), 0, 0)
         };
@@ -164,7 +174,10 @@ impl<E: EmbeddingModel> MultiEm<E> {
 mod tests {
     use super::*;
     use crate::config::MultiEmConfig;
-    use multiem_datagen::{benchmark_dataset, CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        benchmark_dataset, CorruptionConfig, Corruptor, Domain, GeneratorConfig,
+        MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
     use multiem_eval::evaluate;
 
@@ -186,7 +199,10 @@ mod tests {
     #[test]
     fn end_to_end_music_quality() {
         let ds = music_dataset(3);
-        let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m: 0.35,
+            ..MultiEmConfig::default()
+        };
         let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
         let output = pipeline.run(&ds).unwrap();
         let report = evaluate(&output.tuples, ds.ground_truth().unwrap());
@@ -196,7 +212,11 @@ mod tests {
             report.pair,
             output.tuples.len()
         );
-        assert!(report.tuple.f1 > 0.4, "tuple F1 too low: {:?}", report.tuple);
+        assert!(
+            report.tuple.f1 > 0.4,
+            "tuple F1 too low: {:?}",
+            report.tuple
+        );
         // Sanity on the bookkeeping.
         assert!(output.total_time >= output.phases.merging);
         assert!(output.total_memory_bytes() > 0);
@@ -207,7 +227,10 @@ mod tests {
     #[test]
     fn geo_benchmark_preset_end_to_end() {
         let bd = benchmark_dataset("geo", 0.05).unwrap();
-        let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m: 0.35,
+            ..MultiEmConfig::default()
+        };
         let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
         let output = pipeline.run(&bd.dataset).unwrap();
         let report = evaluate(&output.tuples, bd.dataset.ground_truth().unwrap());
@@ -217,9 +240,19 @@ mod tests {
     #[test]
     fn parallel_mode_matches_sequential_results() {
         let ds = music_dataset(9);
-        let seq = MultiEm::new(MultiEmConfig { m: 0.35, ..MultiEmConfig::default() }, HashedLexicalEncoder::default());
+        let seq = MultiEm::new(
+            MultiEmConfig {
+                m: 0.35,
+                ..MultiEmConfig::default()
+            },
+            HashedLexicalEncoder::default(),
+        );
         let par = MultiEm::new(
-            MultiEmConfig { m: 0.35, parallel: true, ..MultiEmConfig::default() },
+            MultiEmConfig {
+                m: 0.35,
+                parallel: true,
+                ..MultiEmConfig::default()
+            },
             HashedLexicalEncoder::default(),
         );
         let mut a = seq.run(&ds).unwrap().tuples;
@@ -266,20 +299,31 @@ mod tests {
         let schema = multiem_table::Schema::new(["a"]).shared();
         let empty = Dataset::new("empty", schema.clone());
         let pipeline = MultiEm::new(MultiEmConfig::default(), HashedLexicalEncoder::default());
-        assert!(matches!(pipeline.run(&empty), Err(MultiEmError::EmptyDataset)));
+        assert!(matches!(
+            pipeline.run(&empty),
+            Err(MultiEmError::EmptyDataset)
+        ));
 
         let mut single = Dataset::new("single", schema.clone());
         single
-            .add_table(multiem_table::Table::with_records(
-                "only",
-                schema.clone(),
-                vec![multiem_table::Record::from_texts(["x"])],
+            .add_table(
+                multiem_table::Table::with_records(
+                    "only",
+                    schema.clone(),
+                    vec![multiem_table::Record::from_texts(["x"])],
+                )
+                .unwrap(),
             )
-            .unwrap())
             .unwrap();
-        assert!(matches!(pipeline.run(&single), Err(MultiEmError::SingleTable)));
+        assert!(matches!(
+            pipeline.run(&single),
+            Err(MultiEmError::SingleTable)
+        ));
 
-        let bad_cfg = MultiEmConfig { k: 0, ..MultiEmConfig::default() };
+        let bad_cfg = MultiEmConfig {
+            k: 0,
+            ..MultiEmConfig::default()
+        };
         let bad = MultiEm::new(bad_cfg, HashedLexicalEncoder::default());
         let ds = music_dataset(1);
         assert!(matches!(bad.run(&ds), Err(MultiEmError::InvalidConfig(_))));
@@ -289,10 +333,16 @@ mod tests {
     fn deterministic_given_config_and_seed() {
         let ds = music_dataset(11);
         let run = || {
-            MultiEm::new(MultiEmConfig { m: 0.35, ..MultiEmConfig::default() }, HashedLexicalEncoder::default())
-                .run(&ds)
-                .unwrap()
-                .tuples
+            MultiEm::new(
+                MultiEmConfig {
+                    m: 0.35,
+                    ..MultiEmConfig::default()
+                },
+                HashedLexicalEncoder::default(),
+            )
+            .run(&ds)
+            .unwrap()
+            .tuples
         };
         let mut a = run();
         let mut b = run();

@@ -50,7 +50,10 @@ pub fn prune_item(
     config: &MultiEmConfig,
 ) -> PruneOutcome {
     if members.len() < 2 {
-        return PruneOutcome { kept: members.to_vec(), removed: Vec::new() };
+        return PruneOutcome {
+            kept: members.to_vec(),
+            removed: Vec::new(),
+        };
     }
     let points: Vec<&[f32]> = members.iter().map(|&id| store.embedding(id)).collect();
     let dbscan = DbscanConfig {
@@ -93,9 +96,15 @@ pub fn prune_merged_table(
         table.items.iter().filter(|i| i.len() >= 2).collect();
 
     let outcomes: Vec<PruneOutcome> = if config.parallel {
-        candidates.par_iter().map(|item| prune_item(&item.members, store, config)).collect()
+        candidates
+            .par_iter()
+            .map(|item| prune_item(&item.members, store, config))
+            .collect()
     } else {
-        candidates.iter().map(|item| prune_item(&item.members, store, config)).collect()
+        candidates
+            .iter()
+            .map(|item| prune_item(&item.members, store, config))
+            .collect()
     };
 
     let mut summary = PruneSummary::default();
@@ -147,7 +156,11 @@ mod tests {
             vec!["makita cordless drill 18v kit"],
         ]);
         let members = vec![id(0, 0), id(1, 0), id(2, 0), id(3, 0)];
-        let config = MultiEmConfig { epsilon: 0.8, min_pts: 2, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            epsilon: 0.8,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
         let outcome = prune_item(&members, &store, &config);
         assert_eq!(outcome.removed, vec![id(3, 0)]);
         assert_eq!(outcome.kept.len(), 3);
@@ -163,7 +176,11 @@ mod tests {
             vec!["golden heart river remastered"],
         ]);
         let members = vec![id(0, 0), id(1, 0), id(2, 0)];
-        let config = MultiEmConfig { epsilon: 1.0, min_pts: 2, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            epsilon: 1.0,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
         let outcome = prune_item(&members, &store, &config);
         assert!(outcome.removed.is_empty());
         assert_eq!(outcome.kept.len(), 3);
@@ -176,7 +193,11 @@ mod tests {
             vec!["bosch washing machine 8kg"],
         ]);
         let members = vec![id(0, 0), id(1, 0)];
-        let config = MultiEmConfig { epsilon: 0.5, min_pts: 2, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            epsilon: 0.5,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
         let outcome = prune_item(&members, &store, &config);
         assert!(!outcome.is_tuple());
         assert!(outcome.tuple().is_none());
@@ -200,8 +221,16 @@ mod tests {
             vec!["crimson shadow ballad deluxe edition bonus"],
         ]);
         let members = vec![id(0, 0), id(1, 0)];
-        let strict = MultiEmConfig { epsilon: 0.1, min_pts: 2, ..MultiEmConfig::default() };
-        let loose = MultiEmConfig { epsilon: 1.2, min_pts: 2, ..MultiEmConfig::default() };
+        let strict = MultiEmConfig {
+            epsilon: 0.1,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
+        let loose = MultiEmConfig {
+            epsilon: 1.2,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
         assert!(!prune_item(&members, &store, &strict).is_tuple());
         assert!(prune_item(&members, &store, &loose).is_tuple());
     }
@@ -214,7 +243,11 @@ mod tests {
             vec!["apple iphone 8 64gb plus", "dyson vacuum v11"],
         ]);
         let encoder = HashedLexicalEncoder::default();
-        let config = MultiEmConfig { epsilon: 0.8, min_pts: 2, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            epsilon: 0.8,
+            min_pts: 2,
+            ..MultiEmConfig::default()
+        };
         let good = MergeItem {
             members: vec![id(0, 0), id(1, 0), id(2, 0)],
             embedding: vec![0.0; encoder.dim()],
@@ -224,8 +257,13 @@ mod tests {
             members: vec![id(0, 1), id(1, 1), id(2, 1)],
             embedding: vec![0.0; encoder.dim()],
         };
-        let singleton = MergeItem { members: vec![id(0, 1)], embedding: vec![0.0; encoder.dim()] };
-        let table = MergedTable { items: vec![good, bad, singleton] };
+        let singleton = MergeItem {
+            members: vec![id(0, 1)],
+            embedding: vec![0.0; encoder.dim()],
+        };
+        let table = MergedTable {
+            items: vec![good, bad, singleton],
+        };
         let summary = prune_merged_table(&table, &store, &config);
         assert_eq!(summary.tuples.len(), 1);
         assert_eq!(summary.tuples[0].len(), 3);
@@ -247,8 +285,14 @@ mod tests {
         let table = MergedTable {
             items: vec![mk(&[(0, 0), (1, 0), (2, 0)]), mk(&[(0, 1), (1, 1), (2, 1)])],
         };
-        let seq_cfg = MultiEmConfig { parallel: false, ..MultiEmConfig::default() };
-        let par_cfg = MultiEmConfig { parallel: true, ..MultiEmConfig::default() };
+        let seq_cfg = MultiEmConfig {
+            parallel: false,
+            ..MultiEmConfig::default()
+        };
+        let par_cfg = MultiEmConfig {
+            parallel: true,
+            ..MultiEmConfig::default()
+        };
         let mut a = prune_merged_table(&table, &store, &seq_cfg).tuples;
         let mut b = prune_merged_table(&table, &store, &par_cfg).tuples;
         a.sort();

@@ -49,7 +49,11 @@ pub struct AttributeSelection {
 impl AttributeSelection {
     /// Names of the selected attributes.
     pub fn selected_names(&self) -> Vec<&str> {
-        self.scores.iter().filter(|s| s.selected).map(|s| s.name.as_str()).collect()
+        self.scores
+            .iter()
+            .filter(|s| s.selected)
+            .map(|s| s.name.as_str())
+            .collect()
     }
 
     /// A selection that keeps every attribute (used by the `w/o EER` ablation).
@@ -89,7 +93,9 @@ pub fn select_attributes(
 ) -> Result<AttributeSelection> {
     let schema = dataset.schema();
     if schema.is_empty() {
-        return Err(MultiEmError::InvalidConfig("dataset schema has no attributes".into()));
+        return Err(MultiEmError::InvalidConfig(
+            "dataset schema has no attributes".into(),
+        ));
     }
     let all: Vec<(EntityId, &Record)> = dataset.concat();
     if all.is_empty() {
@@ -100,7 +106,8 @@ pub fn select_attributes(
     let mut rng = ChaCha8Rng::seed_from_u64(config.merge_seed ^ 0x5EED_A771);
     let mut indices: Vec<usize> = (0..all.len()).collect();
     indices.shuffle(&mut rng);
-    let sample_size = ((all.len() as f64 * config.sample_ratio).ceil() as usize).clamp(2.min(all.len()), all.len());
+    let sample_size = ((all.len() as f64 * config.sample_ratio).ceil() as usize)
+        .clamp(2.min(all.len()), all.len());
     indices.truncate(sample_size);
     let sample: Vec<&Record> = indices.iter().map(|&i| all[i].1).collect();
 
@@ -115,8 +122,10 @@ pub fn select_attributes(
     let mut scores = Vec::with_capacity(schema.len());
     for attr in 0..schema.len() {
         // Shuffle this attribute's values across the sample.
-        let mut values: Vec<&multiem_table::Value> =
-            sample.iter().map(|r| r.value(attr).expect("attr within schema")).collect();
+        let mut values: Vec<&multiem_table::Value> = sample
+            .iter()
+            .map(|r| r.value(attr).expect("attr within schema"))
+            .collect();
         values.shuffle(&mut rng);
 
         let shuffled_texts: Vec<String> = sample
@@ -134,7 +143,11 @@ pub fn select_attributes(
         for i in 0..original.len() {
             total += f64::from(cosine_similarity(original.row(i), shuffled.row(i)));
         }
-        let mean_similarity = if original.is_empty() { 1.0 } else { total / original.len() as f64 };
+        let mean_similarity = if original.is_empty() {
+            1.0
+        } else {
+            total / original.len() as f64
+        };
         scores.push(AttributeSignificance {
             attr,
             name: schema.name(attr).unwrap_or("").to_string(),
@@ -145,26 +158,62 @@ pub fn select_attributes(
 
     // Guarantee at least one selected attribute.
     if scores.iter().all(|s| !s.selected) {
-        if let Some(best) = scores
-            .iter_mut()
-            .min_by(|a, b| a.mean_similarity.partial_cmp(&b.mean_similarity).unwrap_or(std::cmp::Ordering::Equal))
-        {
+        if let Some(best) = scores.iter_mut().min_by(|a, b| {
+            a.mean_similarity
+                .partial_cmp(&b.mean_similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) {
             best.selected = true;
         }
     }
 
-    let selected = scores.iter().filter(|s| s.selected).map(|s| s.attr).collect();
+    let selected = scores
+        .iter()
+        .filter(|s| s.selected)
+        .map(|s| s.attr)
+        .collect();
     Ok(AttributeSelection { scores, selected })
 }
 
 /// Embeddings of every entity in the dataset, organised per source table.
-#[derive(Debug, Clone)]
+///
+/// Besides the batch [`EmbeddingStore::build`] constructor, the store can be
+/// grown incrementally ([`EmbeddingStore::add_source`] /
+/// [`EmbeddingStore::push`]), which is how the streaming entity store of
+/// `multiem-online` keeps `EntityId`-based lookups working for records that
+/// arrive after bootstrap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmbeddingStore {
     dim: usize,
     per_source: Vec<Matrix>,
 }
 
 impl EmbeddingStore {
+    /// Create an empty store for embeddings of the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self {
+            dim,
+            per_source: Vec::new(),
+        }
+    }
+
+    /// Append a new (initially empty) source table, returning its source id.
+    pub fn add_source(&mut self) -> u32 {
+        self.per_source.push(Matrix::new(self.dim));
+        (self.per_source.len() - 1) as u32
+    }
+
+    /// Append one entity embedding to a source, returning the [`EntityId`]
+    /// under which it is retrievable.
+    ///
+    /// # Panics
+    /// Panics if the source does not exist or the embedding has the wrong
+    /// dimensionality.
+    pub fn push(&mut self, source: u32, embedding: &[f32]) -> EntityId {
+        let matrix = &mut self.per_source[source as usize];
+        matrix.push_row(embedding);
+        EntityId::new(source, (matrix.len() - 1) as u32)
+    }
     /// Serialize (using `selected` attributes) and encode every entity of the
     /// dataset. Encoding is parallel across source tables.
     pub fn build(
@@ -185,7 +234,10 @@ impl EmbeddingStore {
                 encoder.encode_batch(&texts)
             })
             .collect();
-        Self { dim: encoder.dim(), per_source }
+        Self {
+            dim: encoder.dim(),
+            per_source,
+        }
     }
 
     /// Embedding dimensionality.
@@ -200,7 +252,10 @@ impl EmbeddingStore {
 
     /// Number of embeddings stored for one source.
     pub fn source_len(&self, source: u32) -> usize {
-        self.per_source.get(source as usize).map(Matrix::len).unwrap_or(0)
+        self.per_source
+            .get(source as usize)
+            .map(Matrix::len)
+            .unwrap_or(0)
     }
 
     /// Borrow the embedding of an entity.
@@ -225,7 +280,10 @@ impl EmbeddingStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multiem_datagen::{benchmark_dataset, CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator};
+    use multiem_datagen::{
+        benchmark_dataset, CorruptionConfig, Corruptor, Domain, GeneratorConfig,
+        MultiSourceGenerator,
+    };
     use multiem_embed::HashedLexicalEncoder;
 
     fn music_dataset() -> Dataset {
@@ -247,7 +305,11 @@ mod tests {
     fn selects_informative_music_attributes_and_drops_id() {
         let ds = music_dataset();
         let encoder = HashedLexicalEncoder::default();
-        let config = MultiEmConfig { sample_ratio: 0.5, gamma: 0.9, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            sample_ratio: 0.5,
+            gamma: 0.9,
+            ..MultiEmConfig::default()
+        };
         let selection = select_attributes(&ds, &encoder, &config).unwrap();
         let names = selection.selected_names();
         // Table VII: title, artist, album are the expert-chosen attributes.
@@ -264,10 +326,18 @@ mod tests {
     fn significant_attributes_have_lower_similarity() {
         let ds = music_dataset();
         let encoder = HashedLexicalEncoder::default();
-        let config = MultiEmConfig { sample_ratio: 0.5, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            sample_ratio: 0.5,
+            ..MultiEmConfig::default()
+        };
         let selection = select_attributes(&ds, &encoder, &config).unwrap();
         let sim_of = |name: &str| {
-            selection.scores.iter().find(|s| s.name == name).map(|s| s.mean_similarity).unwrap()
+            selection
+                .scores
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.mean_similarity)
+                .unwrap()
         };
         assert!(sim_of("title") < sim_of("id"));
         assert!(sim_of("artist") < sim_of("number"));
@@ -278,7 +348,11 @@ mod tests {
         let ds = music_dataset();
         let encoder = HashedLexicalEncoder::default();
         // gamma = 0 would normally reject everything.
-        let config = MultiEmConfig { gamma: 0.0, sample_ratio: 0.3, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            gamma: 0.0,
+            sample_ratio: 0.3,
+            ..MultiEmConfig::default()
+        };
         let selection = select_attributes(&ds, &encoder, &config).unwrap();
         assert_eq!(selection.selected.len(), 1);
     }
@@ -287,7 +361,10 @@ mod tests {
     fn single_attribute_dataset_keeps_it() {
         let bd = benchmark_dataset("shopee", 0.01).unwrap();
         let encoder = HashedLexicalEncoder::default();
-        let config = MultiEmConfig { sample_ratio: 0.5, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            sample_ratio: 0.5,
+            ..MultiEmConfig::default()
+        };
         let selection = select_attributes(&bd.dataset, &encoder, &config).unwrap();
         assert_eq!(selection.selected_names(), vec!["title"]);
     }

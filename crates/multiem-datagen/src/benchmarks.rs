@@ -162,7 +162,11 @@ pub fn benchmark_dataset(name: &str, scale: f64) -> Option<BenchmarkDataset> {
     let spec = benchmark_specs().into_iter().find(|s| s.name == name)?;
     let dataset = spec.generate(scale);
     let stats = DatasetStats::from_dataset(spec.domain.name(), &dataset);
-    Some(BenchmarkDataset { spec, dataset, stats })
+    Some(BenchmarkDataset {
+        spec,
+        dataset,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -211,7 +215,10 @@ mod tests {
     fn full_scale_music20_close_to_paper_counts() {
         // Only check the configured counts (not a full generation, which would
         // be slow in unit tests).
-        let spec = benchmark_specs().into_iter().find(|s| s.name == "music-20").unwrap();
+        let spec = benchmark_specs()
+            .into_iter()
+            .find(|s| s.name == "music-20")
+            .unwrap();
         let cfg = spec.scaled(1.0);
         // Expected entities ≈ tuples * E[size] + singletons
         //                   ≈ 5000 * 3 + 4000 = 19,000 ≈ 19,375 (paper).

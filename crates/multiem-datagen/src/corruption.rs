@@ -169,7 +169,13 @@ impl Corruptor {
         }
         let (long, short) = applicable[rng.gen_range(0..applicable.len())];
         text.split_whitespace()
-            .map(|t| if t == *long { (*short).to_string() } else { t.to_string() })
+            .map(|t| {
+                if t == *long {
+                    (*short).to_string()
+                } else {
+                    t.to_string()
+                }
+            })
             .collect::<Vec<_>>()
             .join(" ")
     }
@@ -212,7 +218,12 @@ impl Corruptor {
     }
 
     /// Corrupt a numeric value with relative jitter and optional nulling.
-    pub fn corrupt_number<R: Rng + ?Sized>(&self, value: f64, allow_null: bool, rng: &mut R) -> Value {
+    pub fn corrupt_number<R: Rng + ?Sized>(
+        &self,
+        value: f64,
+        allow_null: bool,
+        rng: &mut R,
+    ) -> Value {
         if allow_null && rng.gen_bool(self.config.null_prob) {
             return Value::Null;
         }
@@ -274,17 +285,26 @@ mod tests {
 
     #[test]
     fn nulling_respects_allow_flag() {
-        let cfg = CorruptionConfig { null_prob: 1.0, ..CorruptionConfig::none() };
+        let cfg = CorruptionConfig {
+            null_prob: 1.0,
+            ..CorruptionConfig::none()
+        };
         let c = Corruptor::new(cfg);
         let mut r = rng();
         assert_eq!(c.corrupt_text("abc def", &[], true, &mut r), Value::Null);
-        assert_eq!(c.corrupt_text("abc def", &[], false, &mut r), Value::Text("abc def".into()));
+        assert_eq!(
+            c.corrupt_text("abc def", &[], false, &mut r),
+            Value::Text("abc def".into())
+        );
         assert_eq!(c.corrupt_number(5.0, true, &mut r), Value::Null);
     }
 
     #[test]
     fn numeric_jitter_stays_small() {
-        let cfg = CorruptionConfig { numeric_jitter: 0.001, ..CorruptionConfig::none() };
+        let cfg = CorruptionConfig {
+            numeric_jitter: 0.001,
+            ..CorruptionConfig::none()
+        };
         let c = Corruptor::new(cfg);
         let mut r = rng();
         for _ in 0..20 {
@@ -299,7 +319,10 @@ mod tests {
 
     #[test]
     fn abbreviation_replaces_known_tokens() {
-        let cfg = CorruptionConfig { abbreviation_prob: 1.0, ..CorruptionConfig::none() };
+        let cfg = CorruptionConfig {
+            abbreviation_prob: 1.0,
+            ..CorruptionConfig::none()
+        };
         let c = Corruptor::new(cfg);
         let mut r = rng();
         let v = c.corrupt_text("north mountain river", &[], false, &mut r);
@@ -310,7 +333,10 @@ mod tests {
 
     #[test]
     fn filler_appends_a_token() {
-        let cfg = CorruptionConfig { filler_prob: 1.0, ..CorruptionConfig::none() };
+        let cfg = CorruptionConfig {
+            filler_prob: 1.0,
+            ..CorruptionConfig::none()
+        };
         let c = Corruptor::new(cfg);
         let mut r = rng();
         let v = c.corrupt_text("samsung galaxy s21", &["promo", "sale"], false, &mut r);
@@ -321,7 +347,11 @@ mod tests {
 
     #[test]
     fn token_drop_and_swap_preserve_vocabulary() {
-        let cfg = CorruptionConfig { token_drop_prob: 1.0, token_swap_prob: 1.0, ..CorruptionConfig::none() };
+        let cfg = CorruptionConfig {
+            token_drop_prob: 1.0,
+            token_swap_prob: 1.0,
+            ..CorruptionConfig::none()
+        };
         let c = Corruptor::new(cfg);
         let mut r = rng();
         let v = c.corrupt_text("alpha beta gamma delta", &[], false, &mut r);

@@ -93,14 +93,18 @@ impl EntityFactory for GeoFactory {
         let qualifier = pick(rng, vocab::GEO_QUALIFIERS);
         let stem = pick(rng, vocab::GEO_STEMS);
         let feature = pick(rng, vocab::GEO_FEATURES);
-        let name = if index % 3 == 0 {
+        let name = if index.is_multiple_of(3) {
             format!("{stem} {feature}")
         } else {
             format!("{qualifier} {stem} {feature}")
         };
         let lon = rng.gen_range(-180.0f64..180.0);
         let lat = rng.gen_range(-90.0f64..90.0);
-        vec![Value::Text(name), Value::Number((lon * 1e4).round() / 1e4), Value::Number((lat * 1e4).round() / 1e4)]
+        vec![
+            Value::Text(name),
+            Value::Number((lon * 1e4).round() / 1e4),
+            Value::Number((lat * 1e4).round() / 1e4),
+        ]
     }
 
     fn variant(
@@ -135,8 +139,10 @@ pub struct MusicFactory;
 
 impl EntityFactory for MusicFactory {
     fn schema(&self) -> Arc<Schema> {
-        Schema::new(["id", "number", "title", "length", "artist", "album", "year", "language"])
-            .shared()
+        Schema::new([
+            "id", "number", "title", "length", "artist", "album", "year", "language",
+        ])
+        .shared()
     }
 
     fn clean(&self, index: u64, rng: &mut dyn rand::RngCore) -> Vec<Value> {
@@ -146,10 +152,22 @@ impl EntityFactory for MusicFactory {
             pick(rng, vocab::MUSIC_NOUNS),
             pick(rng, vocab::MUSIC_NOUNS)
         );
-        let artist = format!("{} {}", pick(rng, vocab::ARTIST_FIRST), pick(rng, vocab::ARTIST_LAST));
-        let album = format!("{} {}", pick(rng, vocab::MUSIC_ADJECTIVES), pick(rng, vocab::MUSIC_NOUNS));
+        let artist = format!(
+            "{} {}",
+            pick(rng, vocab::ARTIST_FIRST),
+            pick(rng, vocab::ARTIST_LAST)
+        );
+        let album = format!(
+            "{} {}",
+            pick(rng, vocab::MUSIC_ADJECTIVES),
+            pick(rng, vocab::MUSIC_NOUNS)
+        );
         let year = rng.gen_range(1950..=2020) as f64;
-        let language = if rng.gen_bool(0.7) { "english" } else { pick(rng, vocab::LANGUAGES) };
+        let language = if rng.gen_bool(0.7) {
+            "english"
+        } else {
+            pick(rng, vocab::LANGUAGES)
+        };
         let number = (index % 20 + 1) as f64;
         let length = rng.gen_range(120..=420) as f64;
         vec![
@@ -188,8 +206,13 @@ impl EntityFactory for MusicFactory {
         } else {
             rng.gen_range(1..=20) as f64
         };
-        let length = clean[3].as_number().unwrap_or(200.0) + rng.gen_range(-15.0..=15.0_f64).round();
-        let year = if rng.gen_bool(0.3) { year + rng.gen_range(-2.0..=2.0_f64).round() } else { year };
+        let length =
+            clean[3].as_number().unwrap_or(200.0) + rng.gen_range(-15.0..=15.0_f64).round();
+        let year = if rng.gen_bool(0.3) {
+            year + rng.gen_range(-2.0..=2.0_f64).round()
+        } else {
+            year
+        };
         Record::new(vec![
             Value::Text(id),
             Value::Number(number),
@@ -276,7 +299,7 @@ impl EntityFactory for ProductFactory {
         let qualifier = pick(rng, vocab::PRODUCT_QUALIFIERS);
         let model = rng.gen_range(1..=99u32);
         let color = pick(rng, vocab::COLORS);
-        let title = if index % 4 == 0 {
+        let title = if index.is_multiple_of(4) {
             format!("{brand} {ptype} {qualifier} {model}")
         } else {
             format!("{brand} {ptype} {qualifier} {model} {color}")
@@ -292,7 +315,12 @@ impl EntityFactory for ProductFactory {
         rng: &mut dyn rand::RngCore,
     ) -> Record {
         let title = clean[0].as_text().unwrap_or("");
-        Record::new(vec![corruptor.corrupt_text(title, vocab::PRODUCT_FILLER, false, rng)])
+        Record::new(vec![corruptor.corrupt_text(
+            title,
+            vocab::PRODUCT_FILLER,
+            false,
+            rng,
+        )])
     }
 
     fn informative_attributes(&self) -> Vec<&'static str> {
@@ -322,10 +350,21 @@ mod tests {
             vec!["name", "longtitude", "latitude"]
         );
         assert_eq!(
-            Domain::Person.factory().schema().names().collect::<Vec<_>>(),
+            Domain::Person
+                .factory()
+                .schema()
+                .names()
+                .collect::<Vec<_>>(),
             vec!["givenname", "surname", "suburb", "postcode"]
         );
-        assert_eq!(Domain::Product.factory().schema().names().collect::<Vec<_>>(), vec!["title"]);
+        assert_eq!(
+            Domain::Product
+                .factory()
+                .schema()
+                .names()
+                .collect::<Vec<_>>(),
+            vec!["title"]
+        );
     }
 
     #[test]
@@ -362,9 +401,16 @@ mod tests {
         let clean_title = clean[0].as_text().unwrap().to_string();
         let v = f.variant(&clean, 0, &corruptor, &mut r);
         let variant_title = v.value(0).unwrap().render();
-        let clean_tokens: std::collections::HashSet<&str> = clean_title.split_whitespace().collect();
-        let shared = variant_title.split_whitespace().filter(|t| clean_tokens.contains(t)).count();
-        assert!(shared >= clean_tokens.len() / 2, "{clean_title} vs {variant_title}");
+        let clean_tokens: std::collections::HashSet<&str> =
+            clean_title.split_whitespace().collect();
+        let shared = variant_title
+            .split_whitespace()
+            .filter(|t| clean_tokens.contains(t))
+            .count();
+        assert!(
+            shared >= clean_tokens.len() / 2,
+            "{clean_title} vs {variant_title}"
+        );
     }
 
     #[test]
@@ -374,11 +420,7 @@ mod tests {
         let mut titles = std::collections::HashSet::new();
         for i in 0..200 {
             let clean = f.clean(i, &mut r);
-            titles.insert(format!(
-                "{}|{}",
-                clean[2].render(),
-                clean[4].render()
-            ));
+            titles.insert(format!("{}|{}", clean[2].render(), clean[4].render()));
         }
         assert!(titles.len() > 190, "too many collisions: {}", titles.len());
     }
@@ -386,7 +428,10 @@ mod tests {
     #[test]
     fn domain_names_and_informative_attributes() {
         assert_eq!(Domain::Geo.name(), "geo");
-        assert_eq!(Domain::Music.factory().informative_attributes(), vec!["title", "artist", "album"]);
+        assert_eq!(
+            Domain::Music.factory().informative_attributes(),
+            vec!["title", "artist", "album"]
+        );
         assert_eq!(Domain::Person.factory().informative_attributes().len(), 4);
     }
 }

@@ -97,7 +97,10 @@ impl MultiSourceGenerator {
     /// tuple sizes out of range).
     pub fn new(config: GeneratorConfig) -> Self {
         assert!(config.num_sources >= 2, "need at least two sources");
-        assert!(config.min_tuple_size >= 2, "tuples must contain at least two entities");
+        assert!(
+            config.min_tuple_size >= 2,
+            "tuples must contain at least two entities"
+        );
         assert!(
             config.max_tuple_size >= config.min_tuple_size
                 && config.max_tuple_size <= config.num_sources,
@@ -163,14 +166,17 @@ impl MultiSourceGenerator {
             for (new_row, &old_row) in order.iter().enumerate() {
                 inverse[old_row] = new_row as u32;
             }
-            let mut records: Vec<Option<multiem_table::Record>> = buffer.into_iter().map(Some).collect();
+            let mut records: Vec<Option<multiem_table::Record>> =
+                buffer.into_iter().map(Some).collect();
             let mut table = Table::new(format!("source-{s}"), schema.clone());
             for &old_row in &order {
                 let record = records[old_row].take().expect("record moved exactly once");
                 table.push(record).expect("generated record matches schema");
             }
             position_maps.push(inverse);
-            dataset.add_table(table).expect("generated table matches schema");
+            dataset
+                .add_table(table)
+                .expect("generated table matches schema");
         }
 
         // Remap ground truth through the shuffles.
@@ -218,18 +224,25 @@ mod tests {
         // Total entities = tuple members + singletons.
         let covered = gt.covered_entities();
         assert_eq!(ds.total_entities(), covered + 20);
-        assert!(covered >= 80 && covered <= 200);
+        assert!((80..=200).contains(&covered));
     }
 
     #[test]
     fn ground_truth_members_come_from_distinct_sources() {
-        let ds = generate(Domain::Person, GeneratorConfig::small_test("person-test", 4));
+        let ds = generate(
+            Domain::Person,
+            GeneratorConfig::small_test("person-test", 4),
+        );
         for tuple in ds.ground_truth().unwrap().tuples() {
             let mut sources: Vec<u32> = tuple.members().iter().map(|m| m.source).collect();
             let before = sources.len();
             sources.sort_unstable();
             sources.dedup();
-            assert_eq!(sources.len(), before, "tuple has two entities from one source");
+            assert_eq!(
+                sources.len(),
+                before,
+                "tuple has two entities from one source"
+            );
         }
     }
 
@@ -238,7 +251,10 @@ mod tests {
         let ds = generate(Domain::Geo, GeneratorConfig::small_test("geo-test", 4));
         for tuple in ds.ground_truth().unwrap().tuples() {
             for &id in tuple.members() {
-                assert!(ds.record(id).is_ok(), "ground truth points at missing record {id}");
+                assert!(
+                    ds.record(id).is_ok(),
+                    "ground truth points at missing record {id}"
+                );
             }
         }
     }
@@ -268,7 +284,10 @@ mod tests {
             }
         }
         let mean: f64 = overlaps.iter().sum::<f64>() / overlaps.len() as f64;
-        assert!(mean > 0.4, "mean token Jaccard {mean} too low for matched entities");
+        assert!(
+            mean > 0.4,
+            "mean token Jaccard {mean} too low for matched entities"
+        );
     }
 
     #[test]
@@ -277,7 +296,10 @@ mod tests {
         let a = generate(Domain::Geo, cfg.clone());
         let b = generate(Domain::Geo, cfg);
         assert_eq!(a.total_entities(), b.total_entities());
-        assert_eq!(a.ground_truth().unwrap().pairs(), b.ground_truth().unwrap().pairs());
+        assert_eq!(
+            a.ground_truth().unwrap().pairs(),
+            b.ground_truth().unwrap().pairs()
+        );
         let id = a.entity_ids().next().unwrap();
         assert_eq!(a.record(id).unwrap(), b.record(id).unwrap());
     }
@@ -297,7 +319,10 @@ mod tests {
 
     #[test]
     fn stats_reflect_dataset() {
-        let ds = generate(Domain::Product, GeneratorConfig::small_test("shopee-test", 6));
+        let ds = generate(
+            Domain::Product,
+            GeneratorConfig::small_test("shopee-test", 6),
+        );
         let stats = DatasetStats::from_dataset("product", &ds);
         assert_eq!(stats.sources, 6);
         assert_eq!(stats.attributes, 1);

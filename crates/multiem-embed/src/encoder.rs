@@ -144,12 +144,19 @@ impl HashedLexicalEncoder {
     /// Create an encoder with the given configuration.
     pub fn new(config: EncoderConfig) -> Self {
         let tokenizer = Tokenizer::new(config.tokenizer.clone());
-        Self { config, tokenizer, idf: None }
+        Self {
+            config,
+            tokenizer,
+            idf: None,
+        }
     }
 
     /// Create an encoder with the default configuration but a custom dimension.
     pub fn with_dim(dim: usize) -> Self {
-        Self::new(EncoderConfig { dim, ..EncoderConfig::default() })
+        Self::new(EncoderConfig {
+            dim,
+            ..EncoderConfig::default()
+        })
     }
 
     /// The encoder configuration.
@@ -169,6 +176,17 @@ impl HashedLexicalEncoder {
     /// The fitted IDF statistics, if any.
     pub fn idf(&self) -> Option<&IdfStatistics> {
         self.idf.as_ref()
+    }
+
+    /// Fold one document into the IDF statistics (creating them when absent)
+    /// and enable IDF weighting. The streaming counterpart of
+    /// [`HashedLexicalEncoder::fit_idf`]: single records can be observed as
+    /// they arrive instead of refitting over the whole corpus.
+    pub fn observe_document(&mut self, doc: &str) {
+        self.idf
+            .get_or_insert_with(IdfStatistics::default)
+            .observe(&self.tokenizer, doc);
+        self.config.use_idf = true;
     }
 
     fn token_weight(&self, text: &str, kind: TokenKind) -> f32 {
@@ -267,7 +285,10 @@ mod tests {
         let sim_ab = cosine_similarity(&a, &b);
         let sim_ac = cosine_similarity(&a, &c);
         assert!(sim_ab > 0.55, "same-product similarity too low: {sim_ab}");
-        assert!(sim_ac < 0.25, "different-product similarity too high: {sim_ac}");
+        assert!(
+            sim_ac < 0.25,
+            "different-product similarity too high: {sim_ac}"
+        );
         assert!(sim_ab > sim_ac + 0.3);
     }
 
@@ -303,7 +324,11 @@ mod tests {
     #[test]
     fn batch_matches_single_encoding() {
         let e = enc();
-        let texts = vec!["apple iphone".to_string(), "samsung galaxy".to_string(), String::new()];
+        let texts = vec![
+            "apple iphone".to_string(),
+            "samsung galaxy".to_string(),
+            String::new(),
+        ];
         let m = e.encode_batch(&texts);
         assert_eq!(m.len(), 3);
         assert_eq!(m.row(0), e.encode("apple iphone").as_slice());
@@ -342,7 +367,10 @@ mod tests {
     fn disabling_ngrams_still_works() {
         let cfg = EncoderConfig {
             ngram_weight: 0.0,
-            tokenizer: TokenizerConfig { ngram_max: 0, ..TokenizerConfig::default() },
+            tokenizer: TokenizerConfig {
+                ngram_max: 0,
+                ..TokenizerConfig::default()
+            },
             ..EncoderConfig::default()
         };
         let e = HashedLexicalEncoder::new(cfg);

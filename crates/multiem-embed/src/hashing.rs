@@ -97,7 +97,10 @@ mod tests {
         let a = token_vector(fnv1a64(b"apple"), 384);
         let b = token_vector(fnv1a64(b"banana"), 384);
         let sim = cosine_similarity(&a, &b);
-        assert!(sim.abs() < 0.25, "similarity {sim} too high for distinct tokens");
+        assert!(
+            sim.abs() < 0.25,
+            "similarity {sim} too high for distinct tokens"
+        );
     }
 
     #[test]

@@ -38,6 +38,21 @@ impl IdfStatistics {
         Self { num_docs, doc_freq }
     }
 
+    /// Fold one additional document into the statistics.
+    ///
+    /// This is the streaming counterpart of [`IdfStatistics::fit`]: the online
+    /// entity store observes every serialized record it ingests, so IDF
+    /// weights stay current without refitting over the whole corpus.
+    pub fn observe(&mut self, tokenizer: &Tokenizer, doc: &str) {
+        self.num_docs += 1;
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for tok in tokenizer.tokenize(doc) {
+            if seen.insert(tok.text.clone()) {
+                *self.doc_freq.entry(tok.text).or_insert(0) += 1;
+            }
+        }
+    }
+
     /// Number of documents the statistics were fitted on.
     pub fn num_docs(&self) -> usize {
         self.num_docs
@@ -74,8 +89,8 @@ impl IdfStatistics {
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.doc_freq
-            .iter()
-            .map(|(k, _)| k.len() + std::mem::size_of::<u32>() + std::mem::size_of::<usize>())
+            .keys()
+            .map(|k| k.len() + std::mem::size_of::<u32>() + std::mem::size_of::<usize>())
             .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
@@ -91,7 +106,12 @@ mod tests {
 
     #[test]
     fn frequent_tokens_get_lower_idf() {
-        let stats = fit(&["apple iphone", "apple ipad", "apple watch", "samsung galaxy"]);
+        let stats = fit(&[
+            "apple iphone",
+            "apple ipad",
+            "apple watch",
+            "samsung galaxy",
+        ]);
         assert!(stats.idf("apple") < stats.idf("galaxy"));
         assert!(stats.idf("unseen-token") >= stats.idf("galaxy"));
     }
@@ -119,6 +139,22 @@ mod tests {
             assert!(w > 0.0 && w <= 1.0, "weight {w} out of range for {tok}");
         }
         assert!(stats.normalized_idf("a") < stats.normalized_idf("c"));
+    }
+
+    #[test]
+    fn observe_matches_batch_fit() {
+        let tokenizer = Tokenizer::default();
+        let docs = ["apple iphone", "apple ipad", "samsung galaxy"];
+        let batch = fit(&docs);
+        let mut streaming = IdfStatistics::default();
+        for d in docs {
+            streaming.observe(&tokenizer, d);
+        }
+        assert_eq!(streaming.num_docs(), batch.num_docs());
+        assert_eq!(streaming.vocabulary_size(), batch.vocabulary_size());
+        for tok in ["apple", "iphone", "galaxy", "unseen"] {
+            assert!((streaming.idf(tok) - batch.idf(tok)).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct TokenizerConfig {
 
 impl Default for TokenizerConfig {
     fn default() -> Self {
-        Self { lowercase: true, ngram_min: 3, ngram_max: 3, ngram_token_min_len: 4 }
+        Self {
+            lowercase: true,
+            ngram_min: 3,
+            ngram_max: 3,
+            ngram_token_min_len: 4,
+        }
     }
 }
 
@@ -100,7 +105,10 @@ impl Tokenizer {
         source
             .split(|c: char| !c.is_alphanumeric())
             .filter(|t| !t.is_empty())
-            .map(|t| Token { text: t.to_string(), kind: Self::classify(t) })
+            .map(|t| Token {
+                text: t.to_string(),
+                kind: Self::classify(t),
+            })
             .collect()
     }
 
@@ -132,7 +140,10 @@ mod tests {
         let t = Tokenizer::default();
         let toks = t.tokenize("Apple iPhone-8 Plus, 64GB (Silver)");
         let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
-        assert_eq!(texts, vec!["apple", "iphone", "8", "plus", "64gb", "silver"]);
+        assert_eq!(
+            texts,
+            vec!["apple", "iphone", "8", "plus", "64gb", "silver"]
+        );
     }
 
     #[test]
@@ -162,14 +173,22 @@ mod tests {
 
     #[test]
     fn char_ngrams_disabled() {
-        let cfg = TokenizerConfig { ngram_max: 0, ..TokenizerConfig::default() };
+        let cfg = TokenizerConfig {
+            ngram_max: 0,
+            ..TokenizerConfig::default()
+        };
         let t = Tokenizer::new(cfg);
         assert!(t.char_ngrams("iphone").is_empty());
     }
 
     #[test]
     fn char_ngrams_range() {
-        let cfg = TokenizerConfig { ngram_min: 2, ngram_max: 3, ngram_token_min_len: 3, ..TokenizerConfig::default() };
+        let cfg = TokenizerConfig {
+            ngram_min: 2,
+            ngram_max: 3,
+            ngram_token_min_len: 3,
+            ..TokenizerConfig::default()
+        };
         let t = Tokenizer::new(cfg);
         let grams = t.char_ngrams("abcd");
         assert!(grams.contains(&"ab".to_string()));
@@ -187,7 +206,10 @@ mod tests {
 
     #[test]
     fn case_preserving_mode() {
-        let cfg = TokenizerConfig { lowercase: false, ..TokenizerConfig::default() };
+        let cfg = TokenizerConfig {
+            lowercase: false,
+            ..TokenizerConfig::default()
+        };
         let t = Tokenizer::new(cfg);
         let toks = t.tokenize("Apple iPhone");
         assert_eq!(toks[0].text, "Apple");

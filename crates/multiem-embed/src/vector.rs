@@ -43,7 +43,11 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
 /// Euclidean (L2) distance.
 pub fn euclidean_distance(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Mean of a set of vectors; returns a zero vector of `dim` when `rows` is empty.
@@ -82,12 +86,18 @@ pub struct Matrix {
 impl Matrix {
     /// Create an empty matrix whose rows will have `dim` columns.
     pub fn new(dim: usize) -> Self {
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Create a matrix with pre-allocated capacity for `rows` rows.
     pub fn with_capacity(dim: usize, rows: usize) -> Self {
-        Self { dim, data: Vec::with_capacity(dim * rows) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+        }
     }
 
     /// Build from a list of equal-length rows.
@@ -110,11 +120,7 @@ impl Matrix {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Whether the matrix has no rows.

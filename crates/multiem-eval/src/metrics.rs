@@ -27,14 +27,26 @@ impl Metrics {
     /// Build metrics from counts of true positives, predicted positives and
     /// actual positives.
     pub fn from_counts(true_positives: usize, predicted: usize, actual: usize) -> Self {
-        let precision = if predicted == 0 { 0.0 } else { true_positives as f64 / predicted as f64 };
-        let recall = if actual == 0 { 0.0 } else { true_positives as f64 / actual as f64 };
+        let precision = if predicted == 0 {
+            0.0
+        } else {
+            true_positives as f64 / predicted as f64
+        };
+        let recall = if actual == 0 {
+            0.0
+        } else {
+            true_positives as f64 / actual as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// Percentage rendering (the paper reports percentages, e.g. `90.9`).
@@ -70,7 +82,10 @@ pub fn pair_metrics(predictions: &[MatchTuple], truth: &GroundTruth) -> Metrics 
         }
     }
     let truth_pairs = truth.pairs();
-    let tp = predicted_pairs.iter().filter(|p| truth_pairs.contains(p)).count();
+    let tp = predicted_pairs
+        .iter()
+        .filter(|p| truth_pairs.contains(p))
+        .count();
     Metrics::from_counts(tp, predicted_pairs.len(), truth_pairs.len())
 }
 
@@ -132,7 +147,10 @@ mod tests {
     fn partial_tuple_prediction() {
         // Predicting only a subset (0:1, 1:2) of a 3-member truth tuple is a
         // tuple miss but 1 correct pair of 3.
-        let preds = vec![MatchTuple::new([id(0, 1), id(1, 2)]), MatchTuple::new([id(0, 5), id(3, 0)])];
+        let preds = vec![
+            MatchTuple::new([id(0, 1), id(1, 2)]),
+            MatchTuple::new([id(0, 5), id(3, 0)]),
+        ];
         let report = evaluate(&preds, &truth());
         assert!((report.tuple.precision - 0.5).abs() < 1e-9);
         assert!((report.tuple.recall - 0.5).abs() < 1e-9);
@@ -142,7 +160,10 @@ mod tests {
 
     #[test]
     fn singleton_predictions_are_ignored_for_tuple_metrics() {
-        let preds = vec![MatchTuple::new([id(0, 1)]), MatchTuple::new([id(0, 5), id(3, 0)])];
+        let preds = vec![
+            MatchTuple::new([id(0, 1)]),
+            MatchTuple::new([id(0, 5), id(3, 0)]),
+        ];
         let m = tuple_metrics(&preds, &truth());
         assert!((m.precision - 1.0).abs() < 1e-9);
     }

@@ -50,7 +50,11 @@ impl PhaseTimer {
 
     /// Duration of the phase with the given name (summed if recorded twice).
     pub fn phase(&self, name: &str) -> Duration {
-        self.phases.iter().filter(|(n, _)| n == name).map(|(_, d)| *d).sum()
+        self.phases
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .sum()
     }
 }
 
@@ -104,7 +108,11 @@ pub struct RunProfile {
 impl RunProfile {
     /// Build a profile from a timer and a memory account.
     pub fn new(timer: PhaseTimer, memory: MemoryAccount) -> Self {
-        Self { runtime: timer.total(), phase_times: timer.phases().to_vec(), memory }
+        Self {
+            runtime: timer.total(),
+            phase_times: timer.phases().to_vec(),
+            memory,
+        }
     }
 }
 
@@ -181,7 +189,7 @@ mod tests {
         assert_eq!(format_bytes(512), "512B");
         assert_eq!(format_bytes(2048), "2.0K");
         assert_eq!(format_bytes(3 * 1024 * 1024), "3.0M");
-        assert_eq!(format_bytes(17_5 * 1024 * 1024 * 1024 / 10), "17.5G");
+        assert_eq!(format_bytes(175 * 1024 * 1024 * 1024 / 10), "17.5G");
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct LabeledPair {
 impl LabeledPair {
     /// Create a pair, normalising the order of the two ids.
     pub fn new(a: EntityId, b: EntityId, label: bool) -> Self {
-        Self { a: a.min(b), b: a.max(b), label }
+        Self {
+            a: a.min(b),
+            b: a.max(b),
+            label,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        Self { positive_fraction: 0.05, negatives_per_positive: 3, seed: 7 }
+        Self {
+            positive_fraction: 0.05,
+            negatives_per_positive: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -66,8 +74,10 @@ pub fn sample_labeled_pairs(dataset: &Dataset, config: &SamplingConfig) -> Vec<L
         .clamp(1.min(positives.len()), positives.len());
     positives.truncate(keep);
 
-    let mut out: Vec<LabeledPair> =
-        positives.iter().map(|&(a, b)| LabeledPair::new(a, b, true)).collect();
+    let mut out: Vec<LabeledPair> = positives
+        .iter()
+        .map(|&(a, b)| LabeledPair::new(a, b, true))
+        .collect();
 
     // Negatives: random pairs of entities from different sources not in truth.
     let all_ids: Vec<EntityId> = dataset.entity_ids().collect();
@@ -88,7 +98,11 @@ pub fn sample_labeled_pairs(dataset: &Dataset, config: &SamplingConfig) -> Vec<L
         }
         negatives.insert(key);
     }
-    out.extend(negatives.into_iter().map(|(a, b)| LabeledPair::new(a, b, false)));
+    out.extend(
+        negatives
+            .into_iter()
+            .map(|(a, b)| LabeledPair::new(a, b, false)),
+    );
     out.shuffle(&mut rng);
     out
 }
@@ -102,13 +116,20 @@ mod tests {
         let schema = Schema::new(["title"]).shared();
         let mut ds = Dataset::new("tiny", schema.clone());
         for s in 0..3 {
-            let records: Vec<Record> =
-                (0..10).map(|i| Record::from_texts([format!("item {s} {i}")])).collect();
+            let records: Vec<Record> = (0..10)
+                .map(|i| Record::from_texts([format!("item {s} {i}")]))
+                .collect();
             ds.add_table(Table::with_records(format!("s{s}"), schema.clone(), records).unwrap())
                 .unwrap();
         }
         let tuples: Vec<MatchTuple> = (0..8)
-            .map(|i| MatchTuple::new([EntityId::new(0, i), EntityId::new(1, i), EntityId::new(2, i)]))
+            .map(|i| {
+                MatchTuple::new([
+                    EntityId::new(0, i),
+                    EntityId::new(1, i),
+                    EntityId::new(2, i),
+                ])
+            })
             .collect();
         ds.set_ground_truth(GroundTruth::new(tuples));
         ds
@@ -117,7 +138,11 @@ mod tests {
     #[test]
     fn samples_requested_proportions() {
         let ds = tiny_dataset();
-        let cfg = SamplingConfig { positive_fraction: 0.25, negatives_per_positive: 2, seed: 1 };
+        let cfg = SamplingConfig {
+            positive_fraction: 0.25,
+            negatives_per_positive: 2,
+            seed: 1,
+        };
         let pairs = sample_labeled_pairs(&ds, &cfg);
         let positives = pairs.iter().filter(|p| p.label).count();
         let negatives = pairs.iter().filter(|p| !p.label).count();
@@ -152,7 +177,10 @@ mod tests {
     fn deterministic_given_seed() {
         let ds = tiny_dataset();
         let cfg = SamplingConfig::default();
-        assert_eq!(sample_labeled_pairs(&ds, &cfg), sample_labeled_pairs(&ds, &cfg));
+        assert_eq!(
+            sample_labeled_pairs(&ds, &cfg),
+            sample_labeled_pairs(&ds, &cfg)
+        );
     }
 
     #[test]

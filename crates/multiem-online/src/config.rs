@@ -1,0 +1,148 @@
+//! Configuration of the online entity store.
+
+use multiem_core::MultiEmConfig;
+use multiem_table::AttrId;
+use serde::{Deserialize, Serialize};
+
+/// How the store decides which attributes to embed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Run the paper's automated attribute selection (Algorithm 1) over the
+    /// bootstrap dataset or, lacking one, over the first ingested batch.
+    /// Later records reuse that selection — re-running Algorithm 1 on every
+    /// batch would silently re-embed the whole store.
+    AutoOnFirstData,
+    /// Embed every attribute (the `w/o EER` ablation).
+    AllAttributes,
+    /// Use a fixed, caller-provided attribute projection.
+    Fixed(Vec<AttrId>),
+}
+
+/// Configuration of an [`crate::EntityStore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// The batch pipeline hyper-parameters reused by the incremental path:
+    /// `k` / `m` / `merge_metric` drive the mutual top-K rule, `epsilon` /
+    /// `min_pts` / `prune_metric` drive re-pruning, `index_backend` /
+    /// `hnsw_threshold` / `hnsw` select the representative index.
+    pub base: MultiEmConfig,
+    /// Attribute-selection strategy.
+    pub selection: SelectionStrategy,
+    /// Re-run density-based pruning over dirty clusters every this many
+    /// accepted records (`None` = only when [`crate::EntityStore::refresh`]
+    /// is called explicitly).
+    pub prune_interval: Option<usize>,
+    /// Rebuild the representative index once the fraction of tombstoned
+    /// (stale) nodes exceeds this threshold. Cluster merges tombstone the
+    /// merged representatives, so without rebuilds searches degrade.
+    pub rebuild_staleness: f64,
+    /// Whether a new record may merge *directly* into a cluster whose members
+    /// all come from the record's own source table. The batch pipeline never
+    /// compares two items of the same source table directly (tables are
+    /// merged pairwise), so the default is `false`; same-source records can
+    /// still end up in one cluster transitively.
+    pub match_within_source: bool,
+}
+
+impl OnlineConfig {
+    /// Configuration with the given batch hyper-parameters and the default
+    /// online policies. `base.attribute_selection` carries over: when the
+    /// batch config disables Algorithm 1 (the `w/o EER` ablation), the store
+    /// embeds every attribute instead of auto-selecting on first data.
+    pub fn new(base: MultiEmConfig) -> Self {
+        let selection = if base.attribute_selection {
+            SelectionStrategy::AutoOnFirstData
+        } else {
+            SelectionStrategy::AllAttributes
+        };
+        Self {
+            base,
+            selection,
+            prune_interval: Some(256),
+            rebuild_staleness: 0.5,
+            match_within_source: false,
+        }
+    }
+
+    /// Use a fixed attribute projection.
+    pub fn with_fixed_attributes(mut self, attrs: Vec<AttrId>) -> Self {
+        self.selection = SelectionStrategy::Fixed(attrs);
+        self
+    }
+
+    /// Embed every attribute.
+    pub fn with_all_attributes(mut self) -> Self {
+        self.selection = SelectionStrategy::AllAttributes;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if !(0.0..=1.0).contains(&self.rebuild_staleness) {
+            return Err("rebuild_staleness must be in [0, 1]".into());
+        }
+        if self.prune_interval == Some(0) {
+            return Err("prune_interval must be at least 1".into());
+        }
+        if let SelectionStrategy::Fixed(attrs) = &self.selection {
+            if attrs.is_empty() {
+                return Err("fixed attribute selection must not be empty".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self::new(MultiEmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(OnlineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn new_respects_disabled_attribute_selection() {
+        let c = OnlineConfig::new(MultiEmConfig::default().without_attribute_selection());
+        assert_eq!(c.selection, SelectionStrategy::AllAttributes);
+        let c = OnlineConfig::new(MultiEmConfig::default());
+        assert_eq!(c.selection, SelectionStrategy::AutoOnFirstData);
+    }
+
+    #[test]
+    fn builders_set_strategy() {
+        let c = OnlineConfig::default().with_all_attributes();
+        assert_eq!(c.selection, SelectionStrategy::AllAttributes);
+        let c = OnlineConfig::default().with_fixed_attributes(vec![0, 2]);
+        assert_eq!(c.selection, SelectionStrategy::Fixed(vec![0, 2]));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let c = OnlineConfig {
+            rebuild_staleness: 1.5,
+            ..OnlineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = OnlineConfig {
+            prune_interval: Some(0),
+            ..OnlineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = OnlineConfig::default().with_fixed_attributes(vec![]);
+        assert!(c.validate().is_err());
+        let c = OnlineConfig::new(MultiEmConfig {
+            k: 0,
+            ..MultiEmConfig::default()
+        });
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Errors of the online entity store.
+
+use std::fmt;
+
+/// Everything that can go wrong while operating an [`crate::EntityStore`].
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The store configuration is invalid.
+    InvalidConfig(String),
+    /// A record or table does not match the store schema.
+    SchemaMismatch(String),
+    /// An operation that needs data ran on an empty store.
+    EmptyStore,
+    /// `bootstrap` was called on a store that already holds records.
+    AlreadyPopulated,
+    /// Snapshot serialization or restoration failed.
+    Snapshot(String),
+    /// An error bubbled up from the batch pipeline.
+    Pipeline(multiem_core::MultiEmError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::InvalidConfig(msg) => write!(f, "invalid online config: {msg}"),
+            OnlineError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            OnlineError::EmptyStore => write!(f, "operation requires a non-empty store"),
+            OnlineError::AlreadyPopulated => {
+                write!(
+                    f,
+                    "bootstrap requires an empty store (records already ingested)"
+                )
+            }
+            OnlineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            OnlineError::Pipeline(e) => write!(f, "batch pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<multiem_core::MultiEmError> for OnlineError {
+    fn from(e: multiem_core::MultiEmError) -> Self {
+        OnlineError::Pipeline(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! Incremental entity store for streaming multi-table entity matching.
+//!
+//! The batch pipeline of `multiem-core` answers "given these `S` tables, which
+//! rows co-refer?" once. Production traffic does not look like that: records
+//! arrive continuously, and every new batch is — in the paper's own
+//! hierarchical-merging formulation — just one more table to merge into the
+//! current integrated state. This crate turns that observation into a
+//! long-lived service component, [`EntityStore`]:
+//!
+//! * [`EntityStore::bootstrap`] initialises the store from an existing dataset
+//!   by running the full batch pipeline (attribute selection → representation
+//!   → hierarchical merging → density-based pruning) and adopting its output
+//!   as the initial cluster state;
+//! * [`EntityStore::ingest_batch`] appends a whole table and
+//!   [`EntityStore::insert`] appends one record; both run the paper's
+//!   mutual-top-K merging rule (Eq. 1) incrementally, checking the new record
+//!   against the current *cluster representatives* through an online ANN
+//!   index (`O(log N)` HNSW insertion, [`multiem_ann::DynamicVectorIndex`]);
+//! * [`EntityStore::match_record`] answers read-only "which entities does this
+//!   record refer to?" queries without mutating the store;
+//! * density-based pruning (Algorithm 4) re-runs periodically over *dirty*
+//!   clusters only, detaching outliers through
+//!   [`multiem_cluster::DynamicUnionFind`];
+//! * [`EntityStore::snapshot_json`] / [`EntityStore::restore_json`] persist
+//!   and resurrect the full store state (embeddings, ANN index, cluster
+//!   partition) so a service can restart without re-ingesting.
+//!
+//! ```
+//! use multiem_core::MultiEmConfig;
+//! use multiem_datagen::benchmark_dataset;
+//! use multiem_embed::HashedLexicalEncoder;
+//! use multiem_online::{EntityStore, OnlineConfig};
+//!
+//! let data = benchmark_dataset("geo", 0.02).unwrap();
+//! let config = OnlineConfig::new(MultiEmConfig { m: 0.35, ..MultiEmConfig::default() });
+//! let mut store = EntityStore::new(config, HashedLexicalEncoder::default());
+//! for table in data.dataset.tables() {
+//!     store.ingest_batch(table).unwrap();
+//! }
+//! assert!(!store.tuples().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod store;
+
+pub use config::{OnlineConfig, SelectionStrategy};
+pub use error::OnlineError;
+pub use store::{EntityStore, IngestReport, StoreStats};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, OnlineError>;

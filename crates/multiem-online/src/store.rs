@@ -1,0 +1,1221 @@
+//! The incremental entity store.
+//!
+//! # How the incremental path relates to the paper
+//!
+//! Batch MultiEM merges tables pairwise: a pair `(x, y)` of items is fused
+//! when each is in the other's top-K under distance threshold `m` (Eq. 1).
+//! The online store applies the same rule record-at-a-time against the
+//! current *cluster representatives* (normalised centroids, exactly the item
+//! embeddings the batch merger maintains):
+//!
+//! 1. the new record's embedding queries the representative index for its
+//!    top-K clusters within `m`;
+//! 2. a candidate cluster accepts the record only if the record would also be
+//!    in the *cluster's* top-K — i.e. fewer than K other live representatives
+//!    are closer to the candidate than the new record (the mutual check);
+//! 3. accepted matches are fused transitively through
+//!    [`DynamicUnionFind`], the merged cluster gets a fresh representative,
+//!    and the superseded representatives are tombstoned.
+//!
+//! Tombstones accumulate as clusters merge; once their fraction exceeds
+//! `rebuild_staleness`, the representative index is rebuilt from live
+//! clusters (switching between brute force and HNSW around
+//! `hnsw_threshold`, like the batch merger does per table).
+//!
+//! Density-based pruning (Algorithm 4) runs over clusters that changed since
+//! the last pass ("dirty" clusters) every `prune_interval` accepted records:
+//! outliers are detached back into singleton clusters, mirroring what the
+//! batch pipeline does once at the end.
+
+use crate::config::{OnlineConfig, SelectionStrategy};
+use crate::error::OnlineError;
+use crate::Result;
+use multiem_ann::{BruteForceIndex, DynamicVectorIndex, HnswIndex, Neighbor, VectorIndex};
+use multiem_cluster::DynamicUnionFind;
+use multiem_core::config::IndexBackend;
+use multiem_core::representation::{select_attributes, AttributeSelection, EmbeddingStore};
+use multiem_core::{hierarchical_merge, prune_item, MergedTable};
+use multiem_embed::{l2_normalize, EmbeddingModel};
+use multiem_table::{
+    serialize_record_projected, AttrId, Dataset, EntityId, MatchTuple, Record, Schema, Table,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of ingesting one batch (or one record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Source id assigned to the batch.
+    pub source: u32,
+    /// Number of records ingested.
+    pub records: usize,
+    /// Records that merged into at least one existing cluster.
+    pub merged: usize,
+    /// Records that started a new singleton cluster.
+    pub singletons: usize,
+}
+
+/// A point-in-time summary of the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Total ingested records.
+    pub records: usize,
+    /// Number of source tables (batches) ingested.
+    pub sources: usize,
+    /// Current number of clusters (including singletons).
+    pub clusters: usize,
+    /// Clusters with at least two members (matched tuples).
+    pub tuples: usize,
+    /// Nodes in the representative index (live + tombstoned).
+    pub index_nodes: usize,
+    /// Tombstoned representative nodes awaiting a rebuild.
+    pub stale_nodes: usize,
+    /// Times the representative index has been rebuilt.
+    pub rebuilds: usize,
+    /// Records removed from clusters by re-pruning so far.
+    pub pruned_outliers: usize,
+}
+
+/// Metadata of one cluster, keyed by its [`DynamicUnionFind`] root.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterMeta {
+    /// Dense record ids of the members.
+    members: Vec<usize>,
+    /// Running (unnormalised) sum of member embeddings.
+    sum: Vec<f32>,
+    /// Live node in the representative index, if the cluster is indexed.
+    node: Option<usize>,
+    /// Whether the cluster changed since the last pruning pass.
+    dirty: bool,
+}
+
+impl ClusterMeta {
+    fn centroid(&self) -> Vec<f32> {
+        let mut c = self.sum.clone();
+        let inv = 1.0 / self.members.len().max(1) as f32;
+        for x in c.iter_mut() {
+            *x *= inv;
+        }
+        l2_normalize(&mut c);
+        c
+    }
+
+    fn is_embedded(&self) -> bool {
+        self.sum.iter().any(|&x| x != 0.0)
+    }
+}
+
+/// Either representative-index backend; which one is active can change at
+/// rebuild time (brute force below `hnsw_threshold` live clusters, HNSW
+/// above, mirroring [`IndexBackend::Auto`] in the batch merger).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RepIndex {
+    /// Exact index.
+    Brute(BruteForceIndex),
+    /// HNSW graph index.
+    Hnsw(Box<HnswIndex>),
+}
+
+impl RepIndex {
+    fn insert(&mut self, v: &[f32]) -> usize {
+        match self {
+            RepIndex::Brute(i) => i.insert(v),
+            RepIndex::Hnsw(i) => i.insert(v),
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            RepIndex::Brute(i) => i.search(query, k),
+            RepIndex::Hnsw(i) => i.search(query, k),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            RepIndex::Brute(i) => i.approx_bytes(),
+            RepIndex::Hnsw(i) => i.approx_bytes(),
+        }
+    }
+}
+
+/// The serializable state of an [`EntityStore`] (everything but the encoder).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoreState {
+    config: OnlineConfig,
+    schema: Option<Arc<Schema>>,
+    tables: Vec<Table>,
+    /// Source currently accepting single-record inserts, if any.
+    stream_source: Option<u32>,
+    /// Attribute projection in effect (resolved from the selection strategy).
+    selected: Option<Vec<AttrId>>,
+    /// Full Algorithm 1 outcome when the strategy ran it.
+    selection: Option<AttributeSelection>,
+    embeddings: EmbeddingStore,
+    /// Dense id of the first record of each source.
+    dense_base: Vec<usize>,
+    /// Dense id -> entity id.
+    entity_of_dense: Vec<EntityId>,
+    uf: DynamicUnionFind,
+    clusters: BTreeMap<usize, ClusterMeta>,
+    index: RepIndex,
+    /// Index node -> cluster root (`None` = tombstone).
+    node_root: Vec<Option<usize>>,
+    stale_nodes: usize,
+    accepted_since_prune: usize,
+    rebuilds: usize,
+    pruned_outliers: usize,
+}
+
+/// A long-lived, incrementally updatable multi-table matching engine.
+///
+/// See the [crate-level documentation](crate) for the API tour and the
+/// [module documentation](self) for how the incremental path relates to the
+/// paper's batch formulation.
+#[derive(Debug, Clone)]
+pub struct EntityStore<E: EmbeddingModel> {
+    encoder: E,
+    state: StoreState,
+}
+
+impl<E: EmbeddingModel> EntityStore<E> {
+    /// Create an empty store.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`OnlineConfig::validate`] to check fallible inputs first.
+    pub fn new(config: OnlineConfig, encoder: E) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid OnlineConfig: {msg}");
+        }
+        let dim = encoder.dim();
+        let index = new_index(&config, 0, dim);
+        Self {
+            encoder,
+            state: StoreState {
+                config,
+                schema: None,
+                tables: Vec::new(),
+                stream_source: None,
+                selected: None,
+                selection: None,
+                embeddings: EmbeddingStore::empty(dim),
+                dense_base: Vec::new(),
+                entity_of_dense: Vec::new(),
+                uf: DynamicUnionFind::new(),
+                clusters: BTreeMap::new(),
+                index,
+                node_root: Vec::new(),
+                stale_nodes: 0,
+                accepted_since_prune: 0,
+                rebuilds: 0,
+                pruned_outliers: 0,
+            },
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.state.config
+    }
+
+    /// The embedding backend.
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// The attribute projection in effect, once resolved from the first data.
+    pub fn selected_attributes(&self) -> Option<&[AttrId]> {
+        self.state.selected.as_deref()
+    }
+
+    /// The Algorithm 1 outcome, when the selection strategy ran it.
+    pub fn attribute_selection(&self) -> Option<&AttributeSelection> {
+        self.state.selection.as_ref()
+    }
+
+    /// Total number of ingested records.
+    pub fn num_records(&self) -> usize {
+        self.state.entity_of_dense.len()
+    }
+
+    /// Number of source tables ingested so far.
+    pub fn num_sources(&self) -> usize {
+        self.state.tables.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.num_records() == 0
+    }
+
+    /// Borrow an ingested record.
+    pub fn record(&self, id: EntityId) -> Option<&Record> {
+        self.state
+            .tables
+            .get(id.source as usize)?
+            .record(id.row as usize)
+    }
+
+    /// Current summary statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            records: self.num_records(),
+            sources: self.num_sources(),
+            clusters: self.state.clusters.len(),
+            tuples: self
+                .state
+                .clusters
+                .values()
+                .filter(|m| m.members.len() >= 2)
+                .count(),
+            index_nodes: self.state.node_root.len(),
+            stale_nodes: self.state.stale_nodes,
+            rebuilds: self.state.rebuilds,
+            pruned_outliers: self.state.pruned_outliers,
+        }
+    }
+
+    /// Approximate heap footprint of the large store components, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.state.embeddings.approx_bytes()
+            + self.state.index.approx_bytes()
+            + self
+                .state
+                .tables
+                .iter()
+                .map(Table::approx_bytes)
+                .sum::<usize>()
+    }
+
+    /// Current matched tuples: every cluster with at least two members.
+    pub fn tuples(&self) -> Vec<MatchTuple> {
+        self.state
+            .clusters
+            .values()
+            .filter(|m| m.members.len() >= 2)
+            .map(|m| MatchTuple::new(m.members.iter().map(|&d| self.state.entity_of_dense[d])))
+            .collect()
+    }
+
+    /// All members of the cluster containing `id` (including `id` itself), or
+    /// `None` for unknown entities.
+    pub fn cluster_members(&self, id: EntityId) -> Option<Vec<EntityId>> {
+        let dense = self.dense_of(id)?;
+        let root = self.state.uf.find_immutable(dense);
+        let meta = self.state.clusters.get(&root)?;
+        let mut members: Vec<EntityId> = meta
+            .members
+            .iter()
+            .map(|&d| self.state.entity_of_dense[d])
+            .collect();
+        members.sort_unstable();
+        Some(members)
+    }
+
+    // --- ingestion ----------------------------------------------------------
+
+    /// Initialise an empty store by running the full batch pipeline over
+    /// `dataset` and adopting its output as the initial cluster state.
+    pub fn bootstrap(&mut self, dataset: &Dataset) -> Result<IngestReport> {
+        if !self.is_empty() {
+            return Err(OnlineError::AlreadyPopulated);
+        }
+        if dataset.num_sources() == 0 {
+            return Err(OnlineError::Pipeline(
+                multiem_core::MultiEmError::EmptyDataset,
+            ));
+        }
+        self.state.schema = Some(dataset.schema().clone());
+        self.resolve_selection(dataset)?;
+        let selected = self.state.selected.clone().expect("selection resolved");
+
+        // Phase R over the whole dataset at once.
+        self.state.embeddings =
+            EmbeddingStore::build(dataset, &self.encoder, &selected, &self.state.config.base);
+        for (s, table) in dataset.tables().iter().enumerate() {
+            self.state.dense_base.push(self.state.entity_of_dense.len());
+            self.state.tables.push(table.clone());
+            for (row, _) in table.iter() {
+                self.state
+                    .entity_of_dense
+                    .push(EntityId::new(s as u32, row));
+                self.state.uf.push();
+            }
+        }
+
+        // Phases M and P: table-wise hierarchical merging, then density-based
+        // pruning of every multi-member item.
+        let tables: Vec<MergedTable> = (0..dataset.num_sources() as u32)
+            .map(|s| MergedTable::from_source(dataset, s, &self.state.embeddings))
+            .collect();
+        let merge_out = hierarchical_merge(tables, &self.state.config.base, self.encoder.dim());
+
+        let mut merged_records = 0usize;
+        for item in &merge_out.integrated.items {
+            let kept: Vec<EntityId> = if item.members.len() >= 2 && self.state.config.base.pruning {
+                let outcome = prune_item(
+                    &item.members,
+                    &self.state.embeddings,
+                    &self.state.config.base,
+                );
+                self.state.pruned_outliers += outcome.removed.len();
+                outcome.kept
+            } else {
+                item.members.clone()
+            };
+            if kept.len() < 2 {
+                continue;
+            }
+            merged_records += kept.len();
+            let dense: Vec<usize> = kept
+                .iter()
+                .map(|&id| self.dense_of(id).expect("bootstrap id"))
+                .collect();
+            for w in dense.windows(2) {
+                self.state.uf.union(w[0], w[1]);
+            }
+        }
+
+        // Build cluster metadata for every record (clusters formed above,
+        // everything else as singletons) and index the representatives.
+        let mut members_of: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for d in 0..self.state.entity_of_dense.len() {
+            members_of.entry(self.state.uf.find(d)).or_default().push(d);
+        }
+        for (root, members) in members_of {
+            let meta = self.make_meta(members);
+            self.register_cluster(root, meta);
+        }
+
+        let records = self.num_records();
+        Ok(IngestReport {
+            source: 0,
+            records,
+            merged: merged_records,
+            singletons: records - merged_records,
+        })
+    }
+
+    /// Ingest a whole table as a new source. Every record runs the
+    /// incremental mutual-top-K merge against the current clusters (records
+    /// of the same batch become visible to each other as they are inserted).
+    pub fn ingest_batch(&mut self, table: &Table) -> Result<IngestReport> {
+        self.ensure_schema(table.schema())?;
+        if self.state.selected.is_none() {
+            let mut ds = Dataset::new(table.name(), table.schema().clone());
+            ds.add_table(table.clone())
+                .map_err(|e| OnlineError::SchemaMismatch(e.to_string()))?;
+            self.resolve_selection(&ds)?;
+        }
+
+        let source = self.open_source(table.name(), table.schema().clone());
+        let selected = self.state.selected.clone().expect("selection resolved");
+        let opts = self.state.config.base.serialize.clone();
+        let texts: Vec<String> = table
+            .records()
+            .iter()
+            .map(|r| serialize_record_projected(r, &selected, &opts))
+            .collect();
+        let matrix = self.encoder.encode_batch(&texts);
+
+        let mut report = IngestReport {
+            source,
+            records: 0,
+            ..IngestReport::default()
+        };
+        for (row, record) in table.iter() {
+            let merged = self.insert_embedded(source, record.clone(), matrix.row(row as usize));
+            report.records += 1;
+            if merged {
+                report.merged += 1;
+            } else {
+                report.singletons += 1;
+            }
+        }
+        // A batch seals its source: later single inserts open a fresh one.
+        self.state.stream_source = None;
+        Ok(report)
+    }
+
+    /// Insert one record, returning its own (stable) [`EntityId`]. Use
+    /// [`EntityStore::cluster_members`] to see which entities it matched.
+    pub fn insert(&mut self, record: Record) -> Result<EntityId> {
+        let schema = self.state.schema.clone().ok_or_else(|| {
+            OnlineError::SchemaMismatch(
+                "store has no schema yet; bootstrap or ingest a batch first".into(),
+            )
+        })?;
+        if record.arity() != schema.len() {
+            return Err(OnlineError::SchemaMismatch(format!(
+                "record has {} values, schema has {} attributes",
+                record.arity(),
+                schema.len()
+            )));
+        }
+        let source = match self.state.stream_source {
+            Some(s) => s,
+            None => {
+                let name = format!("stream-{}", self.state.tables.len());
+                let s = self.open_source(&name, schema);
+                self.state.stream_source = Some(s);
+                s
+            }
+        };
+        let selected = self.state.selected.clone().expect("selection resolved");
+        let text =
+            serialize_record_projected(&record, &selected, &self.state.config.base.serialize);
+        let emb = self.encoder.encode(&text);
+        let row = self.state.tables[source as usize].len() as u32;
+        self.insert_embedded(source, record, &emb);
+        Ok(EntityId::new(source, row))
+    }
+
+    /// Find the clusters a record would match, without mutating the store.
+    /// Applies the same mutual top-K rule as [`EntityStore::insert`] (except
+    /// the same-source restriction, since an unanchored record has no source
+    /// yet). Returns up to `k` pairs of (canonical entity id of the cluster,
+    /// distance under the merge metric), closest first. The canonical id of a
+    /// cluster is its smallest member.
+    pub fn match_record(&self, record: &Record) -> Vec<(EntityId, f32)> {
+        let Some(selected) = self.state.selected.as_deref() else {
+            return Vec::new();
+        };
+        let text = serialize_record_projected(record, selected, &self.state.config.base.serialize);
+        let emb = self.encoder.encode(&text);
+        if emb.iter().all(|&x| x == 0.0) {
+            return Vec::new();
+        }
+        self.search_live(&emb, self.state.config.base.k)
+            .into_iter()
+            .filter(|&(root, _, dist)| dist <= self.state.config.base.m && self.mutual(root, dist))
+            .map(|(root, _, dist)| (self.canonical_id(root), dist))
+            .collect()
+    }
+
+    /// Run density-based pruning over all dirty clusters now (the same pass
+    /// that runs automatically every `prune_interval` accepted records), then
+    /// rebuild the representative index if it got too stale.
+    pub fn refresh(&mut self) {
+        self.prune_dirty();
+        self.maybe_rebuild();
+    }
+
+    // --- snapshot / restore -------------------------------------------------
+
+    /// Serialize the full store state (embeddings, representative index,
+    /// cluster partition, ingested records) to JSON. The encoder itself is
+    /// not serialized: restore with an identically configured encoder.
+    pub fn snapshot_json(&self) -> Result<String> {
+        serde_json::to_string(&self.state).map_err(|e| OnlineError::Snapshot(e.to_string()))
+    }
+
+    /// Restore a store from a [`EntityStore::snapshot_json`] snapshot.
+    ///
+    /// `encoder` must be configured identically to the encoder the snapshot
+    /// was taken with (same dimensionality and weights); otherwise new
+    /// embeddings would be incompatible with the stored ones.
+    pub fn restore_json(snapshot: &str, encoder: E) -> Result<Self> {
+        let state: StoreState =
+            serde_json::from_str(snapshot).map_err(|e| OnlineError::Snapshot(e.to_string()))?;
+        if state.embeddings.dim() != encoder.dim() {
+            return Err(OnlineError::Snapshot(format!(
+                "snapshot embeddings have dim {}, encoder produces dim {}",
+                state.embeddings.dim(),
+                encoder.dim()
+            )));
+        }
+        Ok(Self { encoder, state })
+    }
+
+    // --- internals ----------------------------------------------------------
+
+    fn dense_of(&self, id: EntityId) -> Option<usize> {
+        let base = *self.state.dense_base.get(id.source as usize)?;
+        let table = self.state.tables.get(id.source as usize)?;
+        if (id.row as usize) < table.len() {
+            Some(base + id.row as usize)
+        } else {
+            None
+        }
+    }
+
+    fn canonical_id(&self, root: usize) -> EntityId {
+        let meta = &self.state.clusters[&root];
+        meta.members
+            .iter()
+            .map(|&d| self.state.entity_of_dense[d])
+            .min()
+            .expect("clusters are never empty")
+    }
+
+    fn ensure_schema(&mut self, schema: &Arc<Schema>) -> Result<()> {
+        match &self.state.schema {
+            None => {
+                self.state.schema = Some(schema.clone());
+                Ok(())
+            }
+            Some(existing) if existing.same_shape(schema) => Ok(()),
+            Some(existing) => {
+                let detail = if schema.len() != existing.len() {
+                    format!(
+                        "table schema has {} attributes, store schema has {}",
+                        schema.len(),
+                        existing.len()
+                    )
+                } else {
+                    let diff = existing
+                        .names()
+                        .zip(schema.names())
+                        .find(|(a, b)| a != b)
+                        .map(|(a, b)| format!("store has `{a}`, table has `{b}`"))
+                        .unwrap_or_else(|| "attribute lists differ".to_string());
+                    format!("attribute names differ: {diff}")
+                };
+                Err(OnlineError::SchemaMismatch(detail))
+            }
+        }
+    }
+
+    fn resolve_selection(&mut self, dataset: &Dataset) -> Result<()> {
+        let schema_len = dataset.schema().len();
+        let (selected, selection) = match &self.state.config.selection {
+            SelectionStrategy::Fixed(attrs) => {
+                if attrs.iter().any(|&a| a >= schema_len) {
+                    return Err(OnlineError::InvalidConfig(format!(
+                        "fixed attribute selection references attribute >= {schema_len}"
+                    )));
+                }
+                (attrs.clone(), None)
+            }
+            SelectionStrategy::AllAttributes => ((0..schema_len).collect(), None),
+            SelectionStrategy::AutoOnFirstData => {
+                let sel = select_attributes(dataset, &self.encoder, &self.state.config.base)?;
+                (sel.selected.clone(), Some(sel))
+            }
+        };
+        self.state.selected = Some(selected);
+        self.state.selection = selection;
+        Ok(())
+    }
+
+    fn open_source(&mut self, name: &str, schema: Arc<Schema>) -> u32 {
+        self.state.dense_base.push(self.state.entity_of_dense.len());
+        self.state.tables.push(Table::new(name, schema));
+        self.state.embeddings.add_source();
+        (self.state.tables.len() - 1) as u32
+    }
+
+    fn make_meta(&self, members: Vec<usize>) -> ClusterMeta {
+        let dim = self.encoder.dim();
+        let mut sum = vec![0.0f32; dim];
+        for &d in &members {
+            let id = self.state.entity_of_dense[d];
+            for (a, x) in sum.iter_mut().zip(self.state.embeddings.embedding(id)) {
+                *a += *x;
+            }
+        }
+        ClusterMeta {
+            members,
+            sum,
+            node: None,
+            dirty: false,
+        }
+    }
+
+    /// Insert `meta` into the cluster map under `root`, indexing its
+    /// representative when the cluster has a non-zero embedding.
+    fn register_cluster(&mut self, root: usize, mut meta: ClusterMeta) {
+        if meta.is_embedded() {
+            let node = self.state.index.insert(&meta.centroid());
+            debug_assert_eq!(node, self.state.node_root.len());
+            self.state.node_root.push(Some(root));
+            meta.node = Some(node);
+        }
+        self.state.clusters.insert(root, meta);
+    }
+
+    fn tombstone(&mut self, node: Option<usize>) {
+        if let Some(n) = node {
+            if self.state.node_root[n].take().is_some() {
+                self.state.stale_nodes += 1;
+            }
+        }
+    }
+
+    /// Search the representative index, returning up to `k` *live* clusters
+    /// as `(root, node, distance)`, closest first.
+    fn search_live(&self, query: &[f32], k: usize) -> Vec<(usize, usize, f32)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Tombstones still occupy index slots, so over-fetch by their count.
+        let fetch = (k + self.state.stale_nodes).min(self.state.node_root.len());
+        self.state
+            .index
+            .search(query, fetch)
+            .into_iter()
+            .filter_map(|n| self.state.node_root[n.index].map(|root| (root, n.index, n.distance)))
+            .take(k)
+            .collect()
+    }
+
+    /// Would the new record (at `dist_to_candidate` from the candidate's
+    /// representative) be within the candidate's top-K? True when fewer than
+    /// K other live representatives are closer to the candidate than the new
+    /// record is — the reverse direction of Eq. 1.
+    fn mutual(&self, candidate_root: usize, dist_to_candidate: f32) -> bool {
+        let k = self.state.config.base.k;
+        let meta = &self.state.clusters[&candidate_root];
+        let Some(own_node) = meta.node else {
+            return false;
+        };
+        let closer = self
+            .search_live(&meta.centroid(), k + 1)
+            .into_iter()
+            .filter(|&(_, node, dist)| node != own_node && dist < dist_to_candidate)
+            .count();
+        closer < k
+    }
+
+    /// Whether a record from `source` may merge directly into the cluster:
+    /// the batch pipeline never compares two items of the same source table
+    /// directly, so by default a candidate whose members all share the
+    /// record's source is skipped.
+    fn source_compatible(&self, candidate_root: usize, source: u32) -> bool {
+        if self.state.config.match_within_source {
+            return true;
+        }
+        self.state.clusters[&candidate_root]
+            .members
+            .iter()
+            .any(|&d| self.state.entity_of_dense[d].source != source)
+    }
+
+    /// The shared incremental insert path. Returns whether the record merged
+    /// into at least one existing cluster.
+    fn insert_embedded(&mut self, source: u32, record: Record, emb: &[f32]) -> bool {
+        let row_id = self.state.embeddings.push(source, emb);
+        self.state.tables[source as usize]
+            .push(record)
+            .expect("schema checked by caller");
+        let dense = self.state.uf.push();
+        self.state.entity_of_dense.push(row_id);
+        debug_assert_eq!(self.dense_of(row_id), Some(dense));
+
+        let k = self.state.config.base.k;
+        let m = self.state.config.base.m;
+        let singleton = ClusterMeta {
+            members: vec![dense],
+            sum: emb.to_vec(),
+            node: None,
+            dirty: false,
+        };
+
+        // Zero embeddings (empty serialized text) never match anything; keep
+        // them as unindexed singletons, like the batch merger skips them.
+        if !singleton.is_embedded() {
+            let root = self.state.uf.find(dense);
+            self.state.clusters.insert(root, singleton);
+            return false;
+        }
+
+        let matches: Vec<usize> = self
+            .search_live(emb, k)
+            .into_iter()
+            .filter(|&(root, _, dist)| {
+                dist <= m && self.source_compatible(root, source) && self.mutual(root, dist)
+            })
+            .map(|(root, _, _)| root)
+            .collect();
+
+        let merged = !matches.is_empty();
+        let mut fused = singleton;
+        for root in matches {
+            let old = self
+                .state
+                .clusters
+                .remove(&root)
+                .expect("candidate root exists");
+            self.tombstone(old.node);
+            self.state.uf.union(dense, old.members[0]);
+            fused.members.extend_from_slice(&old.members);
+            for (a, x) in fused.sum.iter_mut().zip(&old.sum) {
+                *a += *x;
+            }
+        }
+        fused.dirty = merged;
+        let root = self.state.uf.find(dense);
+        self.register_cluster(root, fused);
+
+        self.state.accepted_since_prune += 1;
+        if let Some(interval) = self.state.config.prune_interval {
+            if self.state.accepted_since_prune >= interval {
+                self.prune_dirty();
+            }
+        }
+        self.maybe_rebuild();
+        merged
+    }
+
+    /// Density-based pruning (Algorithm 4) over dirty clusters: outliers are
+    /// detached into fresh singleton clusters.
+    fn prune_dirty(&mut self) {
+        self.state.accepted_since_prune = 0;
+        if !self.state.config.base.pruning {
+            return;
+        }
+        let dirty_roots: Vec<usize> = self
+            .state
+            .clusters
+            .iter()
+            .filter(|(_, m)| m.dirty && m.members.len() >= 2)
+            .map(|(&root, _)| root)
+            .collect();
+        for root in dirty_roots {
+            let mut meta = self
+                .state
+                .clusters
+                .remove(&root)
+                .expect("dirty root exists");
+            let ids: Vec<EntityId> = meta
+                .members
+                .iter()
+                .map(|&d| self.state.entity_of_dense[d])
+                .collect();
+            let outcome = prune_item(&ids, &self.state.embeddings, &self.state.config.base);
+            if outcome.removed.is_empty() {
+                meta.dirty = false;
+                self.state.clusters.insert(root, meta);
+                continue;
+            }
+            self.state.pruned_outliers += outcome.removed.len();
+            self.tombstone(meta.node);
+            for id in &outcome.removed {
+                let dense = self.dense_of(*id).expect("member id");
+                let new_root = self.state.uf.detach(dense);
+                let single = self.make_meta(vec![dense]);
+                self.register_cluster(new_root, single);
+            }
+            if !outcome.kept.is_empty() {
+                let kept_dense: Vec<usize> = outcome
+                    .kept
+                    .iter()
+                    .map(|&id| self.dense_of(id).expect("member id"))
+                    .collect();
+                let meta = self.make_meta(kept_dense);
+                self.register_cluster(root, meta);
+            }
+        }
+    }
+
+    /// Rebuild the representative index when tombstones dominate, or when the
+    /// store grew past `hnsw_threshold` while still on the brute-force
+    /// backend (the online analogue of [`IndexBackend::Auto`]).
+    fn maybe_rebuild(&mut self) {
+        let total = self.state.node_root.len();
+        if total == 0 {
+            return;
+        }
+        let live = total - self.state.stale_nodes;
+        let staleness = self.state.stale_nodes as f64 / total as f64;
+        let needs_upgrade = matches!(self.state.config.base.index_backend, IndexBackend::Auto)
+            && matches!(self.state.index, RepIndex::Brute(_))
+            && live >= self.state.config.base.hnsw_threshold;
+        if staleness <= self.state.config.rebuild_staleness && !needs_upgrade {
+            return;
+        }
+        let mut index = new_index(&self.state.config, live, self.encoder.dim());
+        let mut node_root = Vec::with_capacity(live);
+        for (&root, meta) in self.state.clusters.iter_mut() {
+            if meta.node.is_some() {
+                let node = index.insert(&meta.centroid());
+                debug_assert_eq!(node, node_root.len());
+                node_root.push(Some(root));
+                meta.node = Some(node);
+            }
+        }
+        self.state.index = index;
+        self.state.node_root = node_root;
+        self.state.stale_nodes = 0;
+        self.state.rebuilds += 1;
+    }
+}
+
+fn new_index(config: &OnlineConfig, live: usize, dim: usize) -> RepIndex {
+    let use_hnsw = match config.base.index_backend {
+        IndexBackend::BruteForce => false,
+        IndexBackend::Hnsw => true,
+        IndexBackend::Auto => live >= config.base.hnsw_threshold,
+    };
+    if use_hnsw {
+        RepIndex::Hnsw(Box::new(HnswIndex::new(
+            dim,
+            config.base.merge_metric,
+            config.base.hnsw.clone(),
+        )))
+    } else {
+        RepIndex::Brute(BruteForceIndex::new(dim, config.base.merge_metric))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiem_core::MultiEmConfig;
+    use multiem_datagen::{
+        CorruptionConfig, Corruptor, Domain, GeneratorConfig, MultiSourceGenerator,
+    };
+    use multiem_embed::HashedLexicalEncoder;
+
+    fn config() -> OnlineConfig {
+        OnlineConfig::new(MultiEmConfig {
+            m: 0.35,
+            ..MultiEmConfig::default()
+        })
+        .with_all_attributes()
+    }
+
+    fn store() -> EntityStore<HashedLexicalEncoder> {
+        EntityStore::new(config(), HashedLexicalEncoder::default())
+    }
+
+    fn table(name: &str, schema: &Arc<Schema>, titles: &[&str]) -> Table {
+        Table::with_records(
+            name,
+            schema.clone(),
+            titles.iter().map(|t| Record::from_texts([*t])).collect(),
+        )
+        .unwrap()
+    }
+
+    fn title_schema() -> Arc<Schema> {
+        Schema::new(["title"]).shared()
+    }
+
+    fn music_dataset(seed: u64) -> Dataset {
+        let factory = Domain::Music.factory();
+        let corruptor = Corruptor::new(CorruptionConfig::light());
+        let cfg = GeneratorConfig {
+            name: "music-online".into(),
+            num_sources: 4,
+            num_tuples: 40,
+            num_singletons: 20,
+            min_tuple_size: 2,
+            max_tuple_size: 4,
+            seed,
+        };
+        MultiSourceGenerator::new(cfg).generate(factory.as_ref(), &corruptor)
+    }
+
+    #[test]
+    fn cross_source_duplicates_merge() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["apple iphone 8 plus 64gb silver", "sony tv"],
+        ))
+        .unwrap();
+        let report = s
+            .ingest_batch(&table(
+                "b",
+                &schema,
+                &["apple iphone 8 plus 64 gb silver", "dyson v11"],
+            ))
+            .unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.merged, 1);
+        let tuples = s.tuples();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(
+            tuples[0].members(),
+            &[EntityId::new(0, 0), EntityId::new(1, 0)]
+        );
+    }
+
+    #[test]
+    fn same_source_duplicates_do_not_merge_directly() {
+        let schema = title_schema();
+        let mut s = store();
+        let report = s
+            .ingest_batch(&table(
+                "a",
+                &schema,
+                &["apple iphone 8 plus 64gb", "apple iphone 8 plus 64gb"],
+            ))
+            .unwrap();
+        assert_eq!(report.merged, 0);
+        assert!(s.tuples().is_empty());
+    }
+
+    #[test]
+    fn single_insert_matches_existing_cluster() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["golden heart river", "makita drill 18v"],
+        ))
+        .unwrap();
+        let id = s
+            .insert(Record::from_texts(["golden heart river live"]))
+            .unwrap();
+        assert_eq!(id.source, 1, "single inserts open a stream source");
+        let members = s.cluster_members(id).unwrap();
+        assert_eq!(members, vec![EntityId::new(0, 0), id]);
+    }
+
+    #[test]
+    fn match_record_is_read_only() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["golden heart river", "makita drill 18v"],
+        ))
+        .unwrap();
+        let before = s.stats();
+        let hits = s.match_record(&Record::from_texts(["golden heart river remaster"]));
+        assert_eq!(s.stats(), before, "match_record must not mutate");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, EntityId::new(0, 0));
+        assert!(hits[0].1 <= 0.35);
+        // A completely different product misses.
+        assert!(s
+            .match_record(&Record::from_texts(["bosch washing machine"]))
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_record_stays_singleton() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table("a", &schema, &["real item"]))
+            .unwrap();
+        let id = s
+            .insert(Record::new(vec![multiem_table::Value::Null]))
+            .unwrap();
+        assert_eq!(s.cluster_members(id).unwrap(), vec![id]);
+        assert!(s
+            .match_record(&Record::new(vec![multiem_table::Value::Null]))
+            .is_empty());
+    }
+
+    #[test]
+    fn insert_requires_schema_and_matching_arity() {
+        let mut s = store();
+        assert!(matches!(
+            s.insert(Record::from_texts(["x"])),
+            Err(OnlineError::SchemaMismatch(_))
+        ));
+        let schema = title_schema();
+        s.ingest_batch(&table("a", &schema, &["x"])).unwrap();
+        assert!(matches!(
+            s.insert(Record::from_texts(["a", "b"])),
+            Err(OnlineError::SchemaMismatch(_))
+        ));
+        let other = Schema::new(["a", "b"]).shared();
+        assert!(matches!(
+            s.ingest_batch(&table("b", &other, &[])),
+            Err(OnlineError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn bootstrap_matches_streaming_state_shape() {
+        let ds = music_dataset(3);
+        let mut s = store();
+        let report = s.bootstrap(&ds).unwrap();
+        assert_eq!(report.records, ds.total_entities());
+        assert_eq!(s.num_sources(), ds.num_sources());
+        assert!(!s.tuples().is_empty());
+        assert!(matches!(
+            s.bootstrap(&ds),
+            Err(OnlineError::AlreadyPopulated)
+        ));
+        // Streaming continues after bootstrap.
+        let record = ds.record(EntityId::new(0, 0)).unwrap().clone();
+        let id = s.insert(record).unwrap();
+        assert_eq!(id.source as usize, ds.num_sources());
+    }
+
+    #[test]
+    fn transitive_merge_through_new_record() {
+        // Two border clusters that only connect through a bridging record.
+        let schema = title_schema();
+        let mut cfg = config();
+        cfg.base.m = 0.5;
+        let mut s = EntityStore::new(cfg, HashedLexicalEncoder::default());
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["silver river serenade acoustic cover"],
+        ))
+        .unwrap();
+        s.ingest_batch(&table("b", &schema, &["silver river serenade"]))
+            .unwrap();
+        let stats = s.stats();
+        assert!(stats.clusters >= 1);
+        // The pair is close enough to have merged already; add a third copy.
+        s.ingest_batch(&table("c", &schema, &["silver river serenade live"]))
+            .unwrap();
+        let tuples = s.tuples();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].len(), 3);
+    }
+
+    #[test]
+    fn refresh_prunes_outlier_from_dirty_cluster() {
+        let schema = title_schema();
+        let mut cfg = config();
+        // Loose merge threshold lets an outlier sneak in; strict epsilon
+        // prunes it again.
+        cfg.base.m = 1.1;
+        cfg.base.epsilon = 0.8;
+        cfg.prune_interval = None; // only explicit refresh
+        let mut s = EntityStore::new(cfg, HashedLexicalEncoder::default());
+        s.ingest_batch(&table("a", &schema, &["apple iphone 8 plus 64gb silver"]))
+            .unwrap();
+        s.ingest_batch(&table(
+            "b",
+            &schema,
+            &["apple iphone 8 plus 64gb silver unlocked"],
+        ))
+        .unwrap();
+        s.ingest_batch(&table(
+            "c",
+            &schema,
+            &["apple iphone plus silver deluxe kit box"],
+        ))
+        .unwrap();
+        let before = s.tuples();
+        assert_eq!(before.len(), 1);
+        let size_before = before[0].len();
+        s.refresh();
+        let after = s.tuples();
+        let stats = s.stats();
+        if stats.pruned_outliers > 0 {
+            assert!(after.is_empty() || after[0].len() < size_before);
+        }
+        // Pruned members remain known records with singleton clusters.
+        let total: usize = s.num_records();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn index_rebuild_preserves_matching() {
+        let schema = title_schema();
+        let mut cfg = config();
+        cfg.rebuild_staleness = 0.0; // rebuild eagerly after every merge
+        let mut s = EntityStore::new(cfg, HashedLexicalEncoder::default());
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["golden heart river", "makita drill 18v"],
+        ))
+        .unwrap();
+        s.ingest_batch(&table(
+            "b",
+            &schema,
+            &["golden heart river live", "makita drill 18 v"],
+        ))
+        .unwrap();
+        assert_eq!(s.tuples().len(), 2);
+        assert!(s.stats().rebuilds > 0);
+        assert_eq!(s.stats().stale_nodes, 0);
+        // Matching still works after rebuilds.
+        let hits = s.match_record(&Record::from_texts(["golden heart river remaster"]));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn auto_backend_upgrades_to_hnsw_past_threshold() {
+        let schema = title_schema();
+        let mut cfg = config();
+        cfg.base.hnsw_threshold = 4;
+        let mut s = EntityStore::new(cfg, HashedLexicalEncoder::default());
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &[
+                "golden heart river",
+                "makita drill 18v",
+                "sony bravia tv",
+                "dyson v11 vacuum",
+            ],
+        ))
+        .unwrap();
+        s.ingest_batch(&table(
+            "b",
+            &schema,
+            &["golden heart river live", "crimson ballad"],
+        ))
+        .unwrap();
+        assert!(
+            matches!(s.state.index, RepIndex::Hnsw(_)),
+            "auto backend should have upgraded to HNSW"
+        );
+        // Matching still works on the upgraded index.
+        let hits = s.match_record(&Record::from_texts(["golden heart river remaster"]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.tuples().len(), 1);
+    }
+
+    #[test]
+    fn stats_and_bytes_account_the_store() {
+        let ds = music_dataset(5);
+        let mut s = store();
+        s.bootstrap(&ds).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.records, ds.total_entities());
+        assert_eq!(stats.sources, ds.num_sources());
+        assert!(stats.clusters > 0 && stats.tuples > 0);
+        assert!(stats.clusters >= stats.tuples);
+        assert!(s.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let ds = music_dataset(7);
+        let mut s = store();
+        s.bootstrap(&ds).unwrap();
+        s.insert(ds.record(EntityId::new(1, 3)).unwrap().clone())
+            .unwrap();
+
+        let snapshot = s.snapshot_json().unwrap();
+        let restored: EntityStore<HashedLexicalEncoder> =
+            EntityStore::restore_json(&snapshot, HashedLexicalEncoder::default()).unwrap();
+
+        let mut a = s.tuples();
+        let mut b = restored.tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(s.stats(), restored.stats());
+
+        // The restored store keeps evolving identically: insert the same
+        // record into both and compare.
+        let probe = ds.record(EntityId::new(2, 5)).unwrap().clone();
+        let mut s2 = s.clone();
+        let mut r2 = restored.clone();
+        let ia = s2.insert(probe.clone()).unwrap();
+        let ib = r2.insert(probe).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(s2.cluster_members(ia), r2.cluster_members(ib));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_encoder_dim() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table("a", &schema, &["x"])).unwrap();
+        let snapshot = s.snapshot_json().unwrap();
+        let err = EntityStore::restore_json(&snapshot, HashedLexicalEncoder::with_dim(64));
+        assert!(matches!(err, Err(OnlineError::Snapshot(_))));
+    }
+}

@@ -29,7 +29,10 @@ pub fn parse_field(field: &str) -> Value {
 /// Read a single source table from a CSV reader. The first row is the header
 /// and defines the schema.
 pub fn read_table_from_reader<R: Read>(name: &str, reader: R) -> Result<Table> {
-    let mut rdr = csv::ReaderBuilder::new().has_headers(true).flexible(false).from_reader(reader);
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .flexible(false)
+        .from_reader(reader);
     let headers = rdr.headers()?.clone();
     let schema = Schema::new(headers.iter().map(|h| h.to_string())).shared();
     let mut table = Table::new(name, schema);
@@ -44,7 +47,11 @@ pub fn read_table_from_reader<R: Read>(name: &str, reader: R) -> Result<Table> {
 /// Read a source table from a CSV file on disk.
 pub fn read_table_from_path(path: impl AsRef<Path>) -> Result<Table> {
     let path = path.as_ref();
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_string();
     let file = std::fs::File::open(path)?;
     read_table_from_reader(&name, file)
 }
@@ -61,10 +68,7 @@ pub fn write_table_to_writer<W: Write>(table: &Table, writer: W) -> Result<()> {
 }
 
 /// Build a dataset from a set of CSV source tables that share a header.
-pub fn read_dataset_from_paths(
-    name: &str,
-    paths: &[impl AsRef<Path>],
-) -> Result<Dataset> {
+pub fn read_dataset_from_paths(name: &str, paths: &[impl AsRef<Path>]) -> Result<Dataset> {
     let mut tables = Vec::with_capacity(paths.len());
     for p in paths {
         tables.push(read_table_from_path(p)?);
@@ -84,7 +88,9 @@ pub fn read_dataset_from_paths(
 /// row` — every row assigns one entity to a cluster; clusters with ≥2 members
 /// become matched tuples.
 pub fn read_ground_truth_from_reader<R: Read>(reader: R) -> Result<GroundTruth> {
-    let mut rdr = csv::ReaderBuilder::new().has_headers(true).from_reader(reader);
+    let mut rdr = csv::ReaderBuilder::new()
+        .has_headers(true)
+        .from_reader(reader);
     use std::collections::BTreeMap;
     let mut clusters: BTreeMap<String, Vec<EntityId>> = BTreeMap::new();
     for row in rdr.records() {
@@ -95,7 +101,10 @@ pub fn read_ground_truth_from_reader<R: Read>(reader: R) -> Result<GroundTruth> 
         let cluster = row[0].to_string();
         let source: u32 = row[1].trim().parse().unwrap_or(0);
         let r: u32 = row[2].trim().parse().unwrap_or(0);
-        clusters.entry(cluster).or_default().push(EntityId::new(source, r));
+        clusters
+            .entry(cluster)
+            .or_default()
+            .push(EntityId::new(source, r));
     }
     let tuples = clusters.into_values().map(MatchTuple::new).collect();
     Ok(GroundTruth::new(tuples))
@@ -151,7 +160,10 @@ mod tests {
         let table = read_table_from_reader("A", csv_in.as_bytes()).unwrap();
         assert_eq!(table.len(), 2);
         assert_eq!(table.schema().len(), 3);
-        assert_eq!(table.record(0).unwrap().value(2).unwrap(), &Value::Number(1998.0));
+        assert_eq!(
+            table.record(0).unwrap().value(2).unwrap(),
+            &Value::Number(1998.0)
+        );
         assert_eq!(table.record(1).unwrap().value(1).unwrap(), &Value::Null);
 
         let mut out = Vec::new();
@@ -160,13 +172,20 @@ mod tests {
         assert!(text.starts_with("title,artist,year"));
         let reparsed = read_table_from_reader("A", text.as_bytes()).unwrap();
         assert_eq!(reparsed.len(), 2);
-        assert_eq!(reparsed.record(0).unwrap().value(0).unwrap().render(), "Chameleon");
+        assert_eq!(
+            reparsed.record(0).unwrap().value(0).unwrap().render(),
+            "Chameleon"
+        );
     }
 
     #[test]
     fn ground_truth_csv_roundtrip() {
         let gt = GroundTruth::new(vec![
-            MatchTuple::new([EntityId::new(0, 1), EntityId::new(1, 2), EntityId::new(2, 3)]),
+            MatchTuple::new([
+                EntityId::new(0, 1),
+                EntityId::new(1, 2),
+                EntityId::new(2, 3),
+            ]),
             MatchTuple::new([EntityId::new(0, 5), EntityId::new(3, 0)]),
         ]);
         let mut buf = Vec::new();

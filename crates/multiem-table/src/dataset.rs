@@ -21,7 +21,9 @@ impl MatchTuple {
     /// Build a tuple from entity ids; duplicates are removed and members sorted.
     pub fn new<I: IntoIterator<Item = EntityId>>(members: I) -> Self {
         let set: BTreeSet<EntityId> = members.into_iter().collect();
-        Self { members: set.into_iter().collect() }
+        Self {
+            members: set.into_iter().collect(),
+        }
     }
 
     /// Build a tuple, failing if fewer than two distinct members are provided.
@@ -57,7 +59,8 @@ impl MatchTuple {
     /// Enumerate all unordered entity pairs inside the tuple (used by the
     /// pair-F1 metric, Example 2 in the paper).
     pub fn pairs(&self) -> Vec<(EntityId, EntityId)> {
-        let mut out = Vec::with_capacity(self.members.len() * (self.members.len().saturating_sub(1)) / 2);
+        let mut out =
+            Vec::with_capacity(self.members.len() * (self.members.len().saturating_sub(1)) / 2);
         for i in 0..self.members.len() {
             for j in (i + 1)..self.members.len() {
                 out.push((self.members[i], self.members[j]));
@@ -76,7 +79,9 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Build ground truth from tuples (singletons are dropped).
     pub fn new(tuples: Vec<MatchTuple>) -> Self {
-        Self { tuples: tuples.into_iter().filter(|t| t.len() >= 2).collect() }
+        Self {
+            tuples: tuples.into_iter().filter(|t| t.len() >= 2).collect(),
+        }
     }
 
     /// The true tuples.
@@ -130,7 +135,12 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset with the given schema.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
-        Self { name: name.into(), schema, tables: Vec::new(), ground_truth: None }
+        Self {
+            name: name.into(),
+            schema,
+            tables: Vec::new(),
+            ground_truth: None,
+        }
     }
 
     /// Dataset name.
@@ -146,7 +156,9 @@ impl Dataset {
     /// Add a source table; its schema must match the dataset schema.
     pub fn add_table(&mut self, table: Table) -> Result<SourceId> {
         if !table.schema().same_shape(&self.schema) {
-            return Err(TableError::SchemaMismatch { table: table.name().to_string() });
+            return Err(TableError::SchemaMismatch {
+                table: table.name().to_string(),
+            });
         }
         self.tables.push(table);
         Ok((self.tables.len() - 1) as SourceId)
@@ -179,17 +191,21 @@ impl Dataset {
 
     /// Table with the given source id.
     pub fn table(&self, source: SourceId) -> Result<&Table> {
-        self.tables.get(source as usize).ok_or(TableError::UnknownSource(source))
+        self.tables
+            .get(source as usize)
+            .ok_or(TableError::UnknownSource(source))
     }
 
     /// Record of a specific entity.
     pub fn record(&self, id: EntityId) -> Result<&Record> {
         let table = self.table(id.source)?;
-        table.record(id.row as usize).ok_or(TableError::RowOutOfBounds {
-            source: id.source,
-            row: id.row,
-            len: table.len(),
-        })
+        table
+            .record(id.row as usize)
+            .ok_or(TableError::RowOutOfBounds {
+                source: id.source,
+                row: id.row,
+                len: table.len(),
+            })
     }
 
     /// Total number of entities across all tables.
@@ -233,11 +249,14 @@ mod tests {
         let t1 = Table::with_records(
             "A",
             schema.clone(),
-            vec![Record::from_texts(["x", "1"]), Record::from_texts(["y", "2"])],
+            vec![
+                Record::from_texts(["x", "1"]),
+                Record::from_texts(["y", "2"]),
+            ],
         )
         .unwrap();
-        let t2 =
-            Table::with_records("B", schema.clone(), vec![Record::from_texts(["x'", "1"])]).unwrap();
+        let t2 = Table::with_records("B", schema.clone(), vec![Record::from_texts(["x'", "1"])])
+            .unwrap();
         ds.add_table(t1).unwrap();
         ds.add_table(t2).unwrap();
         ds
@@ -245,7 +264,11 @@ mod tests {
 
     #[test]
     fn tuple_dedups_and_sorts() {
-        let t = MatchTuple::new([EntityId::new(1, 0), EntityId::new(0, 3), EntityId::new(1, 0)]);
+        let t = MatchTuple::new([
+            EntityId::new(1, 0),
+            EntityId::new(0, 3),
+            EntityId::new(1, 0),
+        ]);
         assert_eq!(t.len(), 2);
         assert_eq!(t.members()[0], EntityId::new(0, 3));
         assert!(t.contains(EntityId::new(1, 0)));
@@ -260,7 +283,11 @@ mod tests {
 
     #[test]
     fn tuple_pairs_enumeration() {
-        let t = MatchTuple::new([EntityId::new(0, 0), EntityId::new(1, 0), EntityId::new(2, 0)]);
+        let t = MatchTuple::new([
+            EntityId::new(0, 0),
+            EntityId::new(1, 0),
+            EntityId::new(2, 0),
+        ]);
         assert_eq!(t.pairs().len(), 3);
     }
 
@@ -299,6 +326,9 @@ mod tests {
         let mut ds = make_dataset();
         let other = Schema::new(["completely", "different", "shape"]).shared();
         let bad = Table::new("C", other);
-        assert!(matches!(ds.add_table(bad), Err(TableError::SchemaMismatch { .. })));
+        assert!(matches!(
+            ds.add_table(bad),
+            Err(TableError::SchemaMismatch { .. })
+        ));
     }
 }

@@ -42,7 +42,10 @@ impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "record has {got} values but schema defines {expected} attributes")
+                write!(
+                    f,
+                    "record has {got} values but schema defines {expected} attributes"
+                )
             }
             TableError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             TableError::SchemaMismatch { table } => {
@@ -55,7 +58,10 @@ impl fmt::Display for TableError {
             TableError::Io(e) => write!(f, "I/O error: {e}"),
             TableError::Csv(e) => write!(f, "CSV error: {e}"),
             TableError::DegenerateTuple(n) => {
-                write!(f, "ground-truth tuple must contain at least 2 entities, got {n}")
+                write!(
+                    f,
+                    "ground-truth tuple must contain at least 2 entities, got {n}"
+                )
             }
         }
     }
@@ -89,14 +95,21 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = TableError::ArityMismatch { expected: 3, got: 2 };
+        let e = TableError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
 
         let e = TableError::UnknownAttribute("title".into());
         assert!(e.to_string().contains("title"));
 
-        let e = TableError::RowOutOfBounds { source: 1, row: 9, len: 4 };
+        let e = TableError::RowOutOfBounds {
+            source: 1,
+            row: 9,
+            len: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
     }

@@ -38,7 +38,10 @@ impl EntityId {
     /// Inverse of [`EntityId::as_u64`].
     #[inline]
     pub fn from_u64(packed: u64) -> Self {
-        Self { source: (packed >> 32) as u32, row: packed as u32 }
+        Self {
+            source: (packed >> 32) as u32,
+            row: packed as u32,
+        }
     }
 }
 

@@ -113,7 +113,9 @@ impl Record {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { values: texts.into_iter().map(|t| Value::Text(t.into())).collect() }
+        Self {
+            values: texts.into_iter().map(|t| Value::Text(t.into())).collect(),
+        }
     }
 
     /// Number of attribute values.
@@ -144,7 +146,9 @@ impl Record {
 
     /// Replace the value at `attr`, returning the previous value.
     pub fn set_value(&mut self, attr: AttrId, value: Value) -> Option<Value> {
-        self.values.get_mut(attr).map(|slot| std::mem::replace(slot, value))
+        self.values
+            .get_mut(attr)
+            .map(|slot| std::mem::replace(slot, value))
     }
 
     /// Number of non-empty values.
@@ -177,7 +181,10 @@ mod tests {
         let schema = Schema::new(["title", "artist"]);
         let mut r = Record::from_texts(["Chameleon", "Tim O'Brien"]);
         assert_eq!(r.arity(), 2);
-        assert_eq!(r.value_by_name(&schema, "artist").unwrap().render(), "Tim O'Brien");
+        assert_eq!(
+            r.value_by_name(&schema, "artist").unwrap().render(),
+            "Tim O'Brien"
+        );
         assert_eq!(r.value_by_name(&schema, "missing"), None);
 
         let old = r.set_value(0, Value::Text("Hitmen".into())).unwrap();
@@ -195,7 +202,11 @@ mod tests {
 
     #[test]
     fn non_empty_count_ignores_nulls() {
-        let r = Record::new(vec![Value::Null, Value::Text("x".into()), Value::Text(String::new())]);
+        let r = Record::new(vec![
+            Value::Null,
+            Value::Text("x".into()),
+            Value::Text(String::new()),
+        ]);
         assert_eq!(r.non_empty_count(), 1);
     }
 }

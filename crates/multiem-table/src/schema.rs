@@ -41,8 +41,10 @@ impl Schema {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let attributes: Vec<Attribute> =
-            names.into_iter().map(|n| Attribute::new(n.into())).collect();
+        let attributes: Vec<Attribute> = names
+            .into_iter()
+            .map(|n| Attribute::new(n.into()))
+            .collect();
         let mut index = HashMap::with_capacity(attributes.len());
         for (i, a) in attributes.iter().enumerate() {
             index.entry(a.name.clone()).or_insert(i);

@@ -31,19 +31,31 @@ pub struct SerializeOptions {
 
 impl Default for SerializeOptions {
     fn default() -> Self {
-        Self { lowercase: true, max_tokens: Some(64), separator: ' ' }
+        Self {
+            lowercase: true,
+            max_tokens: Some(64),
+            separator: ' ',
+        }
     }
 }
 
 impl SerializeOptions {
     /// Options that keep the raw text unmodified (no lowercasing, no truncation).
     pub fn raw() -> Self {
-        Self { lowercase: false, max_tokens: None, separator: ' ' }
+        Self {
+            lowercase: false,
+            max_tokens: None,
+            separator: ' ',
+        }
     }
 }
 
 fn postprocess(text: String, opts: &SerializeOptions) -> String {
-    let text = if opts.lowercase { text.to_lowercase() } else { text };
+    let text = if opts.lowercase {
+        text.to_lowercase()
+    } else {
+        text
+    };
     match opts.max_tokens {
         Some(limit) => {
             let mut out = String::with_capacity(text.len());
@@ -132,20 +144,29 @@ mod tests {
             Value::Text("  ".into()),
             Value::Text("world".into()),
         ]);
-        assert_eq!(serialize_record(&r, &SerializeOptions::default()), "hello world");
+        assert_eq!(
+            serialize_record(&r, &SerializeOptions::default()),
+            "hello world"
+        );
     }
 
     #[test]
     fn renders_numbers_without_decimal_noise() {
         let r = Record::new(vec![Value::Text("song".into()), Value::Number(1998.0)]);
-        assert_eq!(serialize_record(&r, &SerializeOptions::default()), "song 1998");
+        assert_eq!(
+            serialize_record(&r, &SerializeOptions::default()),
+            "song 1998"
+        );
     }
 
     #[test]
     fn truncates_to_max_tokens() {
         let long: Vec<String> = (0..100).map(|i| format!("tok{i}")).collect();
         let r = Record::from_texts([long.join(" ")]);
-        let opts = SerializeOptions { max_tokens: Some(5), ..SerializeOptions::default() };
+        let opts = SerializeOptions {
+            max_tokens: Some(5),
+            ..SerializeOptions::default()
+        };
         let s = serialize_record(&r, &opts);
         assert_eq!(s.split_whitespace().count(), 5);
         assert!(s.starts_with("tok0 tok1"));
@@ -170,7 +191,10 @@ mod tests {
     #[test]
     fn raw_options_preserve_case() {
         let r = Record::from_texts(["Apple iPhone"]);
-        assert_eq!(serialize_record(&r, &SerializeOptions::raw()), "Apple iPhone");
+        assert_eq!(
+            serialize_record(&r, &SerializeOptions::raw()),
+            "Apple iPhone"
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
-        Self { name: name.into(), schema, records: Vec::new() }
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+        }
     }
 
     /// Create a table from pre-built records, validating arity.
@@ -130,13 +134,22 @@ mod tests {
         let mut t = Table::new("A", schema());
         assert!(t.push(Record::from_texts(["a", "b"])).is_ok());
         let err = t.push(Record::from_texts(["only-one"])).unwrap_err();
-        assert!(matches!(err, TableError::ArityMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn with_records_validates_all() {
-        let recs = vec![Record::from_texts(["a", "b"]), Record::from_texts(["c", "d"])];
+        let recs = vec![
+            Record::from_texts(["a", "b"]),
+            Record::from_texts(["c", "d"]),
+        ];
         let t = Table::with_records("A", schema(), recs).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.record(1).unwrap().value(0).unwrap().render(), "c");
@@ -145,7 +158,10 @@ mod tests {
 
     #[test]
     fn iter_yields_row_indices() {
-        let recs = vec![Record::from_texts(["a", "b"]), Record::from_texts(["c", "d"])];
+        let recs = vec![
+            Record::from_texts(["a", "b"]),
+            Record::from_texts(["c", "d"]),
+        ];
         let t = Table::with_records("A", schema(), recs).unwrap();
         let rows: Vec<u32> = t.iter().map(|(i, _)| i).collect();
         assert_eq!(rows, vec![0, 1]);
@@ -153,7 +169,8 @@ mod tests {
 
     #[test]
     fn approx_bytes_grows_with_content() {
-        let small = Table::with_records("A", schema(), vec![Record::from_texts(["a", "b"])]).unwrap();
+        let small =
+            Table::with_records("A", schema(), vec![Record::from_texts(["a", "b"])]).unwrap();
         let big = Table::with_records(
             "A",
             schema(),

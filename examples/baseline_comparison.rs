@@ -32,7 +32,10 @@ fn main() {
     let labeled = sample_labeled_pairs(dataset, &SamplingConfig::default());
     let ctx = MatchContext::build(dataset, &encoder, labeled);
 
-    println!("{:<22} {:>7} {:>7} {:>9} {:>10}", "method", "F1", "pair-F1", "tuples", "time");
+    println!(
+        "{:<22} {:>7} {:>7} {:>9} {:>10}",
+        "method", "F1", "pair-F1", "tuples", "time"
+    );
 
     // Baselines.
     let mut supervised_pw = SupervisedMatcher::ditto_like();
@@ -65,7 +68,11 @@ fn main() {
 
     // MultiEM itself.
     for (label, parallel) in [("MultiEM", false), ("MultiEM (parallel)", true)] {
-        let config = MultiEmConfig { m: 0.35, parallel, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m: 0.35,
+            parallel,
+            ..MultiEmConfig::default()
+        };
         let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
         let start = Instant::now();
         let output = pipeline.run(dataset).expect("pipeline runs");

@@ -12,10 +12,17 @@
 
 use multiem::prelude::*;
 
-fn run_and_score(name: &str, config: MultiEmConfig, dataset: &Dataset) -> (String, EvaluationReport) {
+fn run_and_score(
+    name: &str,
+    config: MultiEmConfig,
+    dataset: &Dataset,
+) -> (String, EvaluationReport) {
     let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
     let output = pipeline.run(dataset).expect("pipeline runs");
-    let report = evaluate(&output.tuples, dataset.ground_truth().expect("generated ground truth"));
+    let report = evaluate(
+        &output.tuples,
+        dataset.ground_truth().expect("generated ground truth"),
+    );
     (name.to_string(), report)
 }
 
@@ -30,7 +37,10 @@ fn main() {
     );
 
     // Show the attribute significance scores computed by Algorithm 1.
-    let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+    let config = MultiEmConfig {
+        m: 0.35,
+        ..MultiEmConfig::default()
+    };
     let encoder = HashedLexicalEncoder::default();
     let selection =
         multiem::core::select_attributes(dataset, &encoder, &config).expect("selection runs");
@@ -40,7 +50,11 @@ fn main() {
             "  {:<10} similarity {:.3}  -> {}",
             score.name,
             score.mean_similarity,
-            if score.selected { "selected" } else { "dropped" }
+            if score.selected {
+                "selected"
+            } else {
+                "dropped"
+            }
         );
     }
     println!();
@@ -48,10 +62,16 @@ fn main() {
     // Compare the full pipeline with its ablations.
     let variants = vec![
         ("MultiEM", config.clone()),
-        ("MultiEM w/o EER", config.clone().without_attribute_selection()),
+        (
+            "MultiEM w/o EER",
+            config.clone().without_attribute_selection(),
+        ),
         ("MultiEM w/o DP", config.clone().without_pruning()),
     ];
-    println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "method", "P", "R", "F1", "pair-F1");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}",
+        "method", "P", "R", "F1", "pair-F1"
+    );
     for (name, cfg) in variants {
         let (name, report) = run_and_score(name, cfg, dataset);
         let (p, r, f1) = report.tuple.as_percentages();

@@ -29,7 +29,11 @@ fn main() {
     );
 
     for parallel in [false, true] {
-        let label = if parallel { "MultiEM (parallel)" } else { "MultiEM" };
+        let label = if parallel {
+            "MultiEM (parallel)"
+        } else {
+            "MultiEM"
+        };
         let config = MultiEmConfig {
             m: 0.2,
             sample_ratio: 0.05,
@@ -38,7 +42,10 @@ fn main() {
         };
         let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
         let output = pipeline.run(dataset).expect("pipeline runs");
-        let report = evaluate(&output.tuples, dataset.ground_truth().expect("ground truth"));
+        let report = evaluate(
+            &output.tuples,
+            dataset.ground_truth().expect("ground truth"),
+        );
         let (_, _, f1) = report.tuple.as_percentages();
         let (_, _, pf1) = report.pair.as_percentages();
 
@@ -51,6 +58,9 @@ fn main() {
             "memory (accounted): {}",
             multiem::eval::format_bytes(output.total_memory_bytes())
         );
-        println!("tuples predicted: {}   F1 {f1:.1}   pair-F1 {pf1:.1}", output.tuples.len());
+        println!(
+            "tuples predicted: {}   F1 {f1:.1}   pair-F1 {pf1:.1}",
+            output.tuples.len()
+        );
     }
 }

@@ -39,7 +39,11 @@ fn main() {
             &[
                 ("apple iphone 8 plus 64gb", "silver", 599.0),
                 ("samsung galaxy s10 128gb dual sim", "prism black", 649.0),
-                ("sony wh-1000xm4 wireless noise cancelling headphones", "black", 278.0),
+                (
+                    "sony wh-1000xm4 wireless noise cancelling headphones",
+                    "black",
+                    278.0,
+                ),
             ],
         ))
         .unwrap();
@@ -48,9 +52,17 @@ fn main() {
             &schema,
             "platform-B",
             &[
-                ("apple iphone 8 plus 5.5 64gb 4g unlocked sim free", "", 612.5),
+                (
+                    "apple iphone 8 plus 5.5 64gb 4g unlocked sim free",
+                    "",
+                    612.5,
+                ),
                 ("galaxy s10 samsung 128 gb dual-sim prism", "black", 655.0),
-                ("logitech mx master 3 advanced wireless mouse", "graphite", 99.0),
+                (
+                    "logitech mx master 3 advanced wireless mouse",
+                    "graphite",
+                    99.0,
+                ),
             ],
         ))
         .unwrap();
@@ -59,8 +71,16 @@ fn main() {
             &schema,
             "platform-C",
             &[
-                ("apple iphone 8 plus 14 cm 5.5 64 gb 12 mp ios 11", "silver", 589.0),
-                ("sony wh1000xm4 noise cancelling bluetooth headphones", "black", 271.0),
+                (
+                    "apple iphone 8 plus 14 cm 5.5 64 gb 12 mp ios 11",
+                    "silver",
+                    589.0,
+                ),
+                (
+                    "sony wh1000xm4 noise cancelling bluetooth headphones",
+                    "black",
+                    271.0,
+                ),
                 ("logitech mx master 3 mouse graphite", "", 95.5),
             ],
         ))
@@ -70,18 +90,33 @@ fn main() {
             &schema,
             "platform-D",
             &[
-                ("apple iphone 8 plus 5.5 single sim 4g 64gb", "silver", 604.0),
-                ("dyson v11 absolute cordless vacuum cleaner", "nickel", 499.0),
+                (
+                    "apple iphone 8 plus 5.5 single sim 4g 64gb",
+                    "silver",
+                    604.0,
+                ),
+                (
+                    "dyson v11 absolute cordless vacuum cleaner",
+                    "nickel",
+                    499.0,
+                ),
             ],
         ))
         .unwrap();
 
     // A slightly looser distance threshold suits short, noisy product titles.
-    let config = MultiEmConfig { m: 0.5, epsilon: 1.1, ..MultiEmConfig::default() };
+    let config = MultiEmConfig {
+        m: 0.5,
+        epsilon: 1.1,
+        ..MultiEmConfig::default()
+    };
     let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
     let output = pipeline.run(&dataset).expect("pipeline runs");
 
-    println!("selected attributes: {:?}\n", output.selection.selected_names());
+    println!(
+        "selected attributes: {:?}\n",
+        output.selection.selected_names()
+    );
     println!("product groups found: {}\n", output.tuples.len());
     for (i, tuple) in output.tuples.iter().enumerate() {
         println!("group {}:", i + 1);
@@ -89,8 +124,15 @@ fn main() {
         for &id in tuple.members() {
             let record = dataset.record(id).expect("valid id");
             let title = record.value(0).map(Value::render).unwrap_or_default();
-            let price = record.value(2).and_then(Value::as_number).unwrap_or(f64::NAN);
-            let platform = dataset.table(id.source).expect("valid source").name().to_string();
+            let price = record
+                .value(2)
+                .and_then(Value::as_number)
+                .unwrap_or(f64::NAN);
+            let platform = dataset
+                .table(id.source)
+                .expect("valid source")
+                .name()
+                .to_string();
             prices.push(price);
             println!("  {platform:<11} ${price:>6.2}  {title}");
         }

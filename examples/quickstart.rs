@@ -22,7 +22,11 @@ fn main() {
 
     // 2. Configure the pipeline. The defaults follow the paper: k = 1,
     //    MinPts = 2, cosine distance for merging, Euclidean for pruning.
-    let config = MultiEmConfig { m: 0.35, gamma: 0.9, ..MultiEmConfig::default() };
+    let config = MultiEmConfig {
+        m: 0.35,
+        gamma: 0.9,
+        ..MultiEmConfig::default()
+    };
     let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
 
     // 3. Run it (fully unsupervised — the ground truth is only used for scoring).

@@ -15,7 +15,9 @@
 //! * [`cluster`] — union-find, DBSCAN, HAC and affinity propagation;
 //! * [`datagen`] — synthetic multi-source benchmark datasets;
 //! * [`eval`] — tuple / pair metrics and profiling;
-//! * [`baselines`] — the comparison methods of the paper's evaluation.
+//! * [`baselines`] — the comparison methods of the paper's evaluation;
+//! * [`online`] — the incremental [`EntityStore`](online::EntityStore) for
+//!   streaming ingestion, online matching and snapshot persistence.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use multiem_core as core;
 pub use multiem_datagen as datagen;
 pub use multiem_embed as embed;
 pub use multiem_eval as eval;
+pub use multiem_online as online;
 pub use multiem_table as table;
 
 /// Commonly used items, importable with `use multiem::prelude::*`.
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use multiem_datagen::{benchmark_dataset, BenchmarkDataset};
     pub use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};
     pub use multiem_eval::{evaluate, EvaluationReport, Metrics};
+    pub use multiem_online::{EntityStore, OnlineConfig};
     pub use multiem_table::{
         Dataset, EntityId, GroundTruth, MatchTuple, Record, Schema, Table, Value,
     };

@@ -35,7 +35,11 @@ fn every_baseline_runs_and_produces_valid_tuples() {
         for t in &tuples {
             assert!(t.len() >= 2, "{} produced a singleton tuple", method.name());
             for &id in t.members() {
-                assert!(dataset.record(id).is_ok(), "{} referenced a missing record", method.name());
+                assert!(
+                    dataset.record(id).is_ok(),
+                    "{} referenced a missing record",
+                    method.name()
+                );
             }
         }
         // Every method should find at least some structure on light-noise geo data.
@@ -60,7 +64,10 @@ fn multiem_outperforms_unsupervised_pairwise_and_chain_extensions() {
         .iter()
         .map(|&m| {
             let pipeline = MultiEm::new(
-                MultiEmConfig { m, ..MultiEmConfig::default() },
+                MultiEmConfig {
+                    m,
+                    ..MultiEmConfig::default()
+                },
                 HashedLexicalEncoder::default(),
             );
             let out = pipeline.run(dataset).expect("pipeline runs");
@@ -72,7 +79,10 @@ fn multiem_outperforms_unsupervised_pairwise_and_chain_extensions() {
         &PairwiseExtension::new(EmbeddingThresholdMatcher::default()).run(&ctx),
         gt,
     );
-    let chain = evaluate(&ChainExtension::new(EmbeddingThresholdMatcher::default()).run(&ctx), gt);
+    let chain = evaluate(
+        &ChainExtension::new(EmbeddingThresholdMatcher::default()).run(&ctx),
+        gt,
+    );
 
     // The embedding mutual-NN extensions reuse MultiEM's own matching
     // primitive, so on small, lightly-corrupted data they can tie with the
@@ -98,7 +108,10 @@ fn multiem_outperforms_unsupervised_pairwise_and_chain_extensions() {
         .iter()
         .map(|&m| {
             let out = MultiEm::new(
-                MultiEmConfig { m, ..MultiEmConfig::default() },
+                MultiEmConfig {
+                    m,
+                    ..MultiEmConfig::default()
+                },
                 HashedLexicalEncoder::default(),
             )
             .run(&geo.dataset)
@@ -128,7 +141,11 @@ fn autofj_is_precision_oriented() {
         &PairwiseExtension::new(AutoFjMatcher::default()).run(&ctx),
         dataset.ground_truth().expect("ground truth"),
     );
-    assert!(report.pair.precision > 0.7, "AutoFJ pair precision {:?}", report.pair);
+    assert!(
+        report.pair.precision > 0.7,
+        "AutoFJ pair precision {:?}",
+        report.pair
+    );
 }
 
 #[test]
@@ -142,8 +159,7 @@ fn supervised_baseline_benefits_from_labels() {
     // the 5 % sample it should do clearly better.
     let ctx_unlabeled = MatchContext::build(dataset, &encoder, Vec::new());
     let untrained = SupervisedMatcher::ditto_like();
-    let untrained_report =
-        evaluate(&PairwiseExtension::new(untrained).run(&ctx_unlabeled), gt);
+    let untrained_report = evaluate(&PairwiseExtension::new(untrained).run(&ctx_unlabeled), gt);
 
     let labeled = sample_labeled_pairs(dataset, &SamplingConfig::default());
     let ctx_labeled = MatchContext::build(dataset, &encoder, labeled);
@@ -180,6 +196,9 @@ fn mscd_hac_works_but_only_at_small_scale() {
     let dataset = &data.dataset;
     let encoder = HashedLexicalEncoder::default();
     let ctx = MatchContext::build(dataset, &encoder, Vec::new());
-    let report = evaluate(&MscdHac::default().run(&ctx), dataset.ground_truth().unwrap());
+    let report = evaluate(
+        &MscdHac::default().run(&ctx),
+        dataset.ground_truth().unwrap(),
+    );
     assert!(report.pair.f1 > 0.4, "MSCD-HAC pair-F1 {:?}", report.pair);
 }

@@ -30,7 +30,10 @@ fn csv_roundtrip_preserves_pipeline_results() {
     );
 
     // The pipeline should behave the same on the reloaded dataset.
-    let config = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+    let config = MultiEmConfig {
+        m: 0.35,
+        ..MultiEmConfig::default()
+    };
     let run = |ds: &Dataset| {
         let out = MultiEm::new(config.clone(), HashedLexicalEncoder::default())
             .run(ds)

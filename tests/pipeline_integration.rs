@@ -1,12 +1,15 @@
 //! Integration tests spanning datagen → core pipeline → eval.
 
-use multiem::prelude::*;
 use multiem::core::{IndexBackend, MultiEmError};
+use multiem::prelude::*;
 
 fn run(dataset: &Dataset, config: MultiEmConfig) -> (MultiEmOutput, EvaluationReport) {
     let pipeline = MultiEm::new(config, HashedLexicalEncoder::default());
     let output = pipeline.run(dataset).expect("pipeline runs");
-    let report = evaluate(&output.tuples, dataset.ground_truth().expect("ground truth"));
+    let report = evaluate(
+        &output.tuples,
+        dataset.ground_truth().expect("ground truth"),
+    );
     (output, report)
 }
 
@@ -22,7 +25,10 @@ fn multiem_is_effective_on_every_benchmark_preset() {
     ];
     for (name, scale, m, min_pair_f1) in cases {
         let data = multiem::datagen::benchmark_dataset(name, scale).expect("preset exists");
-        let config = MultiEmConfig { m, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m,
+            ..MultiEmConfig::default()
+        };
         let (_output, report) = run(&data.dataset, config);
         assert!(
             report.pair.f1 >= min_pair_f1,
@@ -36,7 +42,10 @@ fn multiem_is_effective_on_every_benchmark_preset() {
 fn ablations_degrade_music_quality() {
     // Table IV: removing EER or DP lowers F1 on the music datasets.
     let data = multiem::datagen::benchmark_dataset("music-20", 0.03).expect("preset exists");
-    let base = MultiEmConfig { m: 0.35, ..MultiEmConfig::default() };
+    let base = MultiEmConfig {
+        m: 0.35,
+        ..MultiEmConfig::default()
+    };
     let (_, full) = run(&data.dataset, base.clone());
     let (_, no_eer) = run(&data.dataset, base.clone().without_attribute_selection());
     let (_, no_dp) = run(&data.dataset, base.clone().without_pruning());
@@ -63,8 +72,16 @@ fn ablations_degrade_music_quality() {
 fn parallel_mode_reproduces_sequential_output_on_all_domains() {
     for (name, scale) in [("geo", 0.05), ("music-20", 0.01), ("shopee", 0.01)] {
         let data = multiem::datagen::benchmark_dataset(name, scale).expect("preset exists");
-        let seq = MultiEmConfig { m: 0.35, parallel: false, ..MultiEmConfig::default() };
-        let par = MultiEmConfig { m: 0.35, parallel: true, ..MultiEmConfig::default() };
+        let seq = MultiEmConfig {
+            m: 0.35,
+            parallel: false,
+            ..MultiEmConfig::default()
+        };
+        let par = MultiEmConfig {
+            m: 0.35,
+            parallel: true,
+            ..MultiEmConfig::default()
+        };
         let (mut out_seq, _) = run(&data.dataset, seq);
         let (mut out_par, _) = run(&data.dataset, par);
         out_seq.tuples.sort();
@@ -102,9 +119,15 @@ fn predictions_respect_dataset_bounds_and_source_diversity() {
     let (output, _) = run(&data.dataset, MultiEmConfig::default());
     for tuple in &output.tuples {
         assert!(tuple.len() >= 2);
-        assert!(tuple.len() <= data.dataset.num_sources(), "tuple larger than source count");
+        assert!(
+            tuple.len() <= data.dataset.num_sources(),
+            "tuple larger than source count"
+        );
         for &id in tuple.members() {
-            assert!(data.dataset.record(id).is_ok(), "prediction references missing record");
+            assert!(
+                data.dataset.record(id).is_ok(),
+                "prediction references missing record"
+            );
         }
     }
 }
@@ -115,7 +138,11 @@ fn merge_order_insensitivity_figure_6b() {
     let data = multiem::datagen::benchmark_dataset("music-20", 0.02).expect("preset exists");
     let mut f1s = Vec::new();
     for seed in [0u64, 1, 2, 3] {
-        let config = MultiEmConfig { m: 0.35, merge_seed: seed, ..MultiEmConfig::default() };
+        let config = MultiEmConfig {
+            m: 0.35,
+            merge_seed: seed,
+            ..MultiEmConfig::default()
+        };
         let (_, report) = run(&data.dataset, config);
         f1s.push(report.tuple.f1);
     }
@@ -129,10 +156,19 @@ fn invalid_inputs_are_rejected_cleanly() {
     let schema = Schema::new(["a"]).shared();
     let empty = Dataset::new("empty", schema.clone());
     let pipeline = MultiEm::new(MultiEmConfig::default(), HashedLexicalEncoder::default());
-    assert!(matches!(pipeline.run(&empty), Err(MultiEmError::EmptyDataset)));
+    assert!(matches!(
+        pipeline.run(&empty),
+        Err(MultiEmError::EmptyDataset)
+    ));
 
-    let bad_config = MultiEmConfig { sample_ratio: 0.0, ..MultiEmConfig::default() };
+    let bad_config = MultiEmConfig {
+        sample_ratio: 0.0,
+        ..MultiEmConfig::default()
+    };
     let data = multiem::datagen::benchmark_dataset("geo", 0.02).expect("preset exists");
     let bad = MultiEm::new(bad_config, HashedLexicalEncoder::default());
-    assert!(matches!(bad.run(&data.dataset), Err(MultiEmError::InvalidConfig(_))));
+    assert!(matches!(
+        bad.run(&data.dataset),
+        Err(MultiEmError::InvalidConfig(_))
+    ));
 }
