@@ -1,55 +1,429 @@
-//! Offline stand-in for `rayon`: exposes the `par_iter` entry points this
-//! workspace uses, executed sequentially. The pipeline's parallel mode thus
-//! degrades to sequential execution with identical results, which is exactly
-//! the equivalence the test-suite asserts; a real rayon can be swapped back
-//! in by restoring the crates.io dependency.
+//! Offline stand-in for `rayon`, backed by a real thread pool.
+//!
+//! The first seed of this crate executed every `par_iter` sequentially so the
+//! workspace could build without the crates.io registry. It now ships two
+//! pieces of actual concurrency machinery:
+//!
+//! * [`ThreadPool`] — a fixed-size pool of persistent worker threads with a
+//!   shared job queue ([`ThreadPool::execute`] for `'static` jobs, used by
+//!   `multiem-serve` to drive HTTP connections) plus a scoped fork-join entry
+//!   point ([`ThreadPool::run_scoped`]) for jobs that borrow local data;
+//! * the `par_iter` adapters below, which split their input into contiguous
+//!   chunks and map them concurrently — capped at the width of the process
+//!   [`global_pool`] — while preserving the sequential output order, so
+//!   `parallel: true` pipelines produce byte-identical results to sequential
+//!   runs (the equivalence the test-suite asserts).
+//!
+//! Borrowed-data bursts run on scoped threads (`std::thread::scope`) rather
+//! than the persistent workers: forwarding non-`'static` closures to
+//! long-lived threads is not expressible in safe Rust, and this crate stays
+//! `unsafe`-free. The pool still governs their width. A real rayon can be
+//! swapped back in by restoring the crates.io dependency.
 
-/// Sequential `par_iter` over slices (and anything that derefs to a slice).
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread;
+
+// --------------------------------------------------------------------------
+// Thread pool
+// --------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads.
+///
+/// Two execution modes:
+///
+/// * [`ThreadPool::execute`] queues a `'static` job on the persistent
+///   workers (fire-and-forget, FIFO);
+/// * [`ThreadPool::run_scoped`] runs a batch of index-addressed jobs that may
+///   borrow the caller's stack, blocking until all complete. Jobs are claimed
+///   work-stealing-style from a shared counter, with concurrency capped at
+///   the pool size.
+///
+/// Dropping the pool closes the queue and joins every worker, so queued jobs
+/// always finish.
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool of `size` persistent workers (`size` is clamped to at
+    /// least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("multiem-pool-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only to dequeue, never while running
+                        // the job, so workers drain the queue concurrently.
+                        let job = receiver.lock().expect("pool queue poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // queue closed: pool is dropping
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.size
+    }
+
+    /// Queue a job on the persistent workers.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool is alive")
+            .send(Box::new(job))
+            .expect("pool workers are alive");
+    }
+
+    /// Run `jobs` index-addressed tasks concurrently and wait for all of
+    /// them. `f(i)` is called exactly once for every `i < jobs`, from up to
+    /// `num_threads` threads. Unlike [`ThreadPool::execute`], `f` may borrow
+    /// from the caller's stack.
+    pub fn run_scoped<F: Fn(usize) + Sync>(&self, jobs: usize, f: F) {
+        run_scoped_width(self.size, jobs, &f);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Run `jobs` tasks on up to `width` scoped threads, claiming indices from a
+/// shared atomic counter.
+fn run_scoped_width<F: Fn(usize) + Sync>(width: usize, jobs: usize, f: &F) {
+    if jobs == 0 {
+        return;
+    }
+    let width = width.min(jobs).max(1);
+    if width == 1 {
+        for i in 0..jobs {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool used by the `par_iter` adapters (width from
+/// `RAYON_NUM_THREADS` or the available parallelism).
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_num_threads()))
+}
+
+/// Width of the global pool.
+pub fn current_num_threads() -> usize {
+    global_pool().num_threads()
+}
+
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+// --------------------------------------------------------------------------
+// Parallel mapping core
+// --------------------------------------------------------------------------
+
+/// Map `f` over `items` concurrently, preserving input order in the output.
+/// The slice is split into one contiguous chunk per thread; each chunk is
+/// mapped independently and the per-chunk outputs are concatenated in order,
+/// so the result is identical to `items.iter().map(f).collect()`.
+fn map_chunked<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let width = current_num_threads().min(items.len());
+    if width <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(width);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+/// `for_each` over mutable chunks, same chunking scheme as [`map_chunked`].
+fn for_each_mut_chunked<T, F>(items: &mut [T], f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let width = current_num_threads().min(items.len());
+    if width <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(width);
+    thread::scope(|scope| {
+        for chunk in items.chunks_mut(chunk) {
+            scope.spawn(move || chunk.iter_mut().for_each(f));
+        }
+    });
+}
+
+// --------------------------------------------------------------------------
+// Parallel iterator adapters
+// --------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (the result of `par_iter`).
+#[derive(Debug)]
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Map every item through `f` (lazily; drive with `collect`/`for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item concurrently.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        map_chunked(self.items, &|item| f(item));
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A mapped parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluate the map concurrently, collecting results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        map_chunked(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Evaluate the map concurrently for its side effects.
+    pub fn for_each(self) {
+        map_chunked(self.items, &self.f);
+    }
+
+    /// Evaluate concurrently and sum the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        map_chunked(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (the result of `par_iter_mut`).
+#[derive(Debug)]
+pub struct ParSliceMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParSliceMut<'_, T> {
+    /// Run `f` on every item concurrently.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        for_each_mut_chunked(self.items, &f);
+    }
+}
+
+/// Owning parallel iterator (the result of `into_par_iter` on a `Vec`).
+#[derive(Debug)]
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParVec<T> {
+    /// Sum the items concurrently.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let width = current_num_threads().min(self.items.len()).max(1);
+        if width <= 1 {
+            return self.items.into_iter().sum();
+        }
+        let chunk = self.items.len().div_ceil(width);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let partials: Vec<S> = map_chunked_owned(chunks);
+        partials.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Sum helper: consume each chunk on its own scoped thread.
+fn map_chunked_owned<T: Send, S: std::iter::Sum<T> + Send>(chunks: Vec<Vec<T>>) -> Vec<S> {
+    let mut out = Vec::with_capacity(chunks.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().sum::<S>()))
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("parallel sum worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator over a `Range<usize>`.
+#[derive(Debug)]
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Number of indices.
+    pub fn count(self) -> usize {
+        self.range.len()
+    }
+
+    /// Run `f` on every index concurrently.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        global_pool().run_scoped(self.range.len(), |i| f(start + i));
+    }
+
+    /// Map every index through `f`, collecting in input order.
+    pub fn map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = self.range.collect();
+        map_chunked(&indices, &|&i| f(i))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Entry-point traits (the rayon prelude surface this workspace uses)
+// --------------------------------------------------------------------------
+
+/// `par_iter` over slices (and anything that derefs to a slice).
 pub trait IntoParallelRefIterator<T> {
-    /// "Parallel" iterator over shared references — a plain slice iterator.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParSlice<'_, T>;
 }
 
-impl<T> IntoParallelRefIterator<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { items: self }
     }
 }
 
-/// Sequential `par_iter_mut` over slices.
+/// `par_iter_mut` over slices.
 pub trait IntoParallelRefMutIterator<T> {
-    /// "Parallel" iterator over mutable references.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
 }
 
-impl<T> IntoParallelRefMutIterator<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { items: self }
     }
 }
 
-/// Sequential `into_par_iter`.
+/// Owning `into_par_iter`.
 pub trait IntoParallelIterator {
-    /// The underlying iterator type.
-    type Iter: Iterator;
+    /// The parallel iterator type.
+    type ParIter;
 
-    /// Convert into a "parallel" (sequential) iterator.
-    fn into_par_iter(self) -> Self::Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::ParIter;
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type ParIter = ParVec<T>;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
-    type Iter = std::ops::Range<usize>;
+    type ParIter = ParRange;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
     }
 }
 
@@ -61,6 +435,9 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -73,5 +450,51 @@ mod tests {
         let s: i32 = vec![1, 2, 3].into_par_iter().sum();
         assert_eq!(s, 6);
         assert_eq!((0..3usize).into_par_iter().count(), 3);
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_scale() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        let par: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pool_executes_jobs_concurrently() {
+        // Two jobs that can only complete if they run at the same time.
+        let pool = ThreadPool::new(2);
+        let barrier = Arc::new(Barrier::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                barrier.wait();
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn run_scoped_visits_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits = Mutex::new(vec![0usize; 1000]);
+        pool.run_scoped(1000, |i| {
+            hits.lock().unwrap()[i] += 1;
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn run_scoped_borrows_local_data() {
+        let data: Vec<usize> = (0..64).collect();
+        let total = AtomicUsize::new(0);
+        global_pool().run_scoped(data.len(), |i| {
+            total.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), (0..64).sum::<usize>());
     }
 }

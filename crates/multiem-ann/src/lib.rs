@@ -25,7 +25,7 @@ pub mod mutual;
 pub use bruteforce::BruteForceIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use metric::Metric;
-pub use mutual::{mutual_top_k, MutualMatch};
+pub use mutual::{merge_ranked, mutual_top_k, MutualMatch};
 
 use serde::{Deserialize, Serialize};
 

@@ -77,6 +77,23 @@ where
     matches
 }
 
+/// Fan-in merge of per-partition candidate lists into one global top-`k`.
+///
+/// Each input list must already be sorted by increasing distance (the order
+/// every [`VectorIndex::search`] and `EntityStore::match_record` returns).
+/// The output interleaves the lists by distance, breaking ties by input
+/// order (list index, then position), and truncates to `k` — exactly the
+/// rank a single un-partitioned index would have produced for candidates it
+/// scored with the same distances. The serving layer uses this to merge
+/// per-shard match results.
+pub fn merge_ranked<T: Clone>(lists: &[Vec<(T, f32)>], k: usize) -> Vec<(T, f32)> {
+    let mut all: Vec<(T, f32)> = lists.iter().flatten().cloned().collect();
+    // Stable sort: equal distances keep (list, position) order.
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(k);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +174,21 @@ mod tests {
         let k2 = mutual_top_k(&li, &ri, &slices(&left), &slices(&right), 2, 1.0);
         assert!(k2.len() >= k1.len());
         assert_eq!(k2.len(), 4);
+    }
+
+    #[test]
+    fn merge_ranked_interleaves_and_truncates() {
+        let lists = vec![
+            vec![("a0", 0.1), ("a1", 0.4)],
+            vec![],
+            vec![("c0", 0.05), ("c1", 0.4), ("c2", 0.9)],
+        ];
+        let merged = merge_ranked(&lists, 4);
+        let names: Vec<&str> = merged.iter().map(|(n, _)| *n).collect();
+        // Tie at 0.4 keeps list order (a1 before c1).
+        assert_eq!(names, vec!["c0", "a0", "a1", "c1"]);
+        assert!(merge_ranked::<&str>(&[], 5).is_empty());
+        assert_eq!(merge_ranked(&lists, 0).len(), 0);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmark: concurrent ingest throughput of the
+//! [`ShardedEntityStore`] as a function of shard count.
+//!
+//! Four writer threads push disjoint record streams; with one shard they all
+//! serialise on a single write lock, with more shards they mostly proceed in
+//! parallel (contention drops to the WAL-free in-memory insert path). This
+//! is the scaling story of `multiem-serve`'s write side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multiem_core::MultiEmConfig;
+use multiem_embed::HashedLexicalEncoder;
+use multiem_online::OnlineConfig;
+use multiem_serve::ShardedEntityStore;
+use multiem_table::{Record, Schema};
+
+const WRITERS: usize = 4;
+const PER_WRITER: usize = 64;
+
+fn config() -> OnlineConfig {
+    OnlineConfig::new(MultiEmConfig {
+        m: 0.35,
+        attribute_selection: false,
+        ..MultiEmConfig::default()
+    })
+    .with_all_attributes()
+}
+
+/// Pre-rendered per-writer record streams with distinct leading tokens so
+/// the routing spreads them across shards.
+fn workloads() -> Vec<Vec<Record>> {
+    (0..WRITERS)
+        .map(|writer| {
+            (0..PER_WRITER)
+                .map(|i| Record::from_texts([format!("writer{writer} item {i} deluxe edition")]))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_concurrent_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/sharded_ingest");
+    group.sample_size(10);
+    let streams = workloads();
+    for &shards in &[1usize, 4, 8] {
+        group.throughput(Throughput::Elements((WRITERS * PER_WRITER) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &streams,
+            |b, streams| {
+                b.iter(|| {
+                    let store = ShardedEntityStore::new(
+                        config(),
+                        Schema::new(["title"]).shared(),
+                        shards,
+                        HashedLexicalEncoder::default(),
+                    )
+                    .expect("store");
+                    std::thread::scope(|scope| {
+                        for stream in streams {
+                            let store = &store;
+                            scope.spawn(move || {
+                                for record in stream {
+                                    store.insert(record.clone()).expect("insert");
+                                }
+                            });
+                        }
+                    });
+                    store.stats().records
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_ingest);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ use multiem_eval::{format_duration, TextTable};
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     let mut table = TextTable::new(
         format!(
             "Figure 5 — per-module running time (scale {})",

@@ -153,6 +153,7 @@ fn panel_epsilon(datasets: &[BenchmarkDataset]) {
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     let datasets = harness.datasets();
     let which: Vec<String> = std::env::args().skip(1).collect();
     let all = which.is_empty();

@@ -14,6 +14,7 @@ use multiem_eval::TextTable;
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     let mut table = TextTable::new(
         format!("Table III — dataset statistics (scale {})", harness.scale),
         &[

@@ -14,6 +14,7 @@ use multiem_eval::TextTable;
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     for data in harness.datasets() {
         let mut table = TextTable::new(
             format!(

@@ -16,6 +16,7 @@ use multiem_eval::{format_duration, TextTable};
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     let datasets = harness.datasets();
 
     let mut rows: Vec<(String, Vec<String>)> = Vec::new();

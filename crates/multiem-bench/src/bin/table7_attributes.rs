@@ -12,6 +12,7 @@ use multiem_eval::TextTable;
 
 fn main() {
     let harness = HarnessConfig::from_env();
+    harness.announce();
     let encoder = HashedLexicalEncoder::default();
     let mut table = TextTable::new(
         "Table VII — automated attribute selection",

@@ -79,6 +79,20 @@ impl HarnessConfig {
         cfg
     }
 
+    /// Print the effective configuration — most importantly the scale — so
+    /// every number a binary records is unambiguous about the dataset size
+    /// it was obtained at. Called by each experiment binary at startup.
+    pub fn announce(&self) {
+        let datasets = match &self.datasets {
+            Some(list) => format!(", MULTIEM_DATASETS={}", list.join(",")),
+            None => ", all datasets".to_string(),
+        };
+        println!(
+            "[multiem-bench] effective MULTIEM_SCALE={}{datasets}",
+            self.scale
+        );
+    }
+
     /// Per-dataset scale: the huge presets (music-2000, person) get an extra
     /// reduction so default harness runs stay laptop-sized.
     pub fn scale_for(&self, name: &str) -> f64 {

@@ -21,9 +21,11 @@
 //! * density-based pruning (Algorithm 4) re-runs periodically over *dirty*
 //!   clusters only, detaching outliers through
 //!   [`multiem_cluster::DynamicUnionFind`];
-//! * [`EntityStore::snapshot_json`] / [`EntityStore::restore_json`] persist
+//! * [`EntityStore::snapshot_bytes`] / [`EntityStore::restore_bytes`] persist
 //!   and resurrect the full store state (embeddings, ANN index, cluster
-//!   partition) so a service can restart without re-ingesting.
+//!   partition) so a service can restart without re-ingesting — either as
+//!   JSON or in the compact [`wire`] binary format, which also provides the
+//!   framing of `multiem-serve`'s write-ahead log.
 //!
 //! ```
 //! use multiem_core::MultiEmConfig;
@@ -46,10 +48,12 @@
 pub mod config;
 pub mod error;
 pub mod store;
+pub mod wire;
 
 pub use config::{OnlineConfig, SelectionStrategy};
 pub use error::OnlineError;
 pub use store::{EntityStore, IngestReport, StoreStats};
+pub use wire::SnapshotFormat;
 
 /// Crate-wide result type.
 pub type Result<T> = std::result::Result<T, OnlineError>;

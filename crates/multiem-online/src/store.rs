@@ -29,6 +29,7 @@
 
 use crate::config::{OnlineConfig, SelectionStrategy};
 use crate::error::OnlineError;
+use crate::wire::{self, SnapshotFormat};
 use crate::Result;
 use multiem_ann::{BruteForceIndex, DynamicVectorIndex, HnswIndex, Neighbor, VectorIndex};
 use multiem_cluster::DynamicUnionFind;
@@ -519,6 +520,53 @@ impl<E: EmbeddingModel> EntityStore<E> {
     pub fn restore_json(snapshot: &str, encoder: E) -> Result<Self> {
         let state: StoreState =
             serde_json::from_str(snapshot).map_err(|e| OnlineError::Snapshot(e.to_string()))?;
+        Self::adopt_state(state, encoder)
+    }
+
+    /// The full store state as a [`serde::Value`] tree — the common
+    /// representation behind both snapshot formats and the serving layer's
+    /// write-ahead log.
+    pub fn snapshot_value(&self) -> serde::Value {
+        self.state.to_value()
+    }
+
+    /// Restore a store from a [`EntityStore::snapshot_value`] tree.
+    pub fn restore_value(value: &serde::Value, encoder: E) -> Result<Self> {
+        let state =
+            StoreState::from_value(value).map_err(|e| OnlineError::Snapshot(e.to_string()))?;
+        Self::adopt_state(state, encoder)
+    }
+
+    /// Serialize the full store state in the requested wire format.
+    /// [`SnapshotFormat::Binary`] is typically 5–10x smaller than JSON (see
+    /// [`crate::wire`]); [`EntityStore::restore_bytes`] auto-detects which
+    /// one it is handed.
+    pub fn snapshot_bytes(&self, format: SnapshotFormat) -> Result<Vec<u8>> {
+        match format {
+            SnapshotFormat::Json => self.snapshot_json().map(String::into_bytes),
+            SnapshotFormat::Binary => {
+                let mut out = Vec::from(*wire::SNAPSHOT_MAGIC);
+                wire::write_value(&mut out, &self.snapshot_value());
+                Ok(out)
+            }
+        }
+    }
+
+    /// Restore a store from [`EntityStore::snapshot_bytes`] output of either
+    /// format (binary snapshots are recognised by their magic prefix).
+    pub fn restore_bytes(bytes: &[u8], encoder: E) -> Result<Self> {
+        if let Some(payload) = bytes.strip_prefix(wire::SNAPSHOT_MAGIC.as_slice()) {
+            let value = wire::value_from_bytes(payload)
+                .map_err(|e| OnlineError::Snapshot(e.to_string()))?;
+            Self::restore_value(&value, encoder)
+        } else {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|e| OnlineError::Snapshot(format!("snapshot is not utf-8: {e}")))?;
+            Self::restore_json(text, encoder)
+        }
+    }
+
+    fn adopt_state(state: StoreState, encoder: E) -> Result<Self> {
         if state.embeddings.dim() != encoder.dim() {
             return Err(OnlineError::Snapshot(format!(
                 "snapshot embeddings have dim {}, encoder produces dim {}",
@@ -527,6 +575,44 @@ impl<E: EmbeddingModel> EntityStore<E> {
             )));
         }
         Ok(Self { encoder, state })
+    }
+
+    /// Prepare an empty store to accept single-record
+    /// [`EntityStore::insert`]s without a bootstrap dataset or a first batch:
+    /// fixes the schema and resolves the attribute projection from it.
+    /// Serving-layer shards use this so every shard agrees on the projection
+    /// before any data arrives.
+    ///
+    /// Fails when `schema` conflicts with one already in place, or when the
+    /// selection strategy is [`SelectionStrategy::AutoOnFirstData`] and no
+    /// data has resolved it yet — Algorithm 1 needs records to score, so
+    /// data-free initialisation requires `Fixed` or `AllAttributes`.
+    pub fn init_schema(&mut self, schema: Arc<Schema>) -> Result<()> {
+        self.ensure_schema(&schema)?;
+        if self.state.selected.is_some() {
+            return Ok(());
+        }
+        let schema_len = schema.len();
+        let selected = match &self.state.config.selection {
+            SelectionStrategy::Fixed(attrs) => {
+                if attrs.iter().any(|&a| a >= schema_len) {
+                    return Err(OnlineError::InvalidConfig(format!(
+                        "fixed attribute selection references attribute >= {schema_len}"
+                    )));
+                }
+                attrs.clone()
+            }
+            SelectionStrategy::AllAttributes => (0..schema_len).collect(),
+            SelectionStrategy::AutoOnFirstData => {
+                return Err(OnlineError::InvalidConfig(
+                    "AutoOnFirstData cannot resolve an attribute projection without data; \
+                     bootstrap or ingest a batch first, or configure Fixed / AllAttributes"
+                        .into(),
+                ))
+            }
+        };
+        self.state.selected = Some(selected);
+        Ok(())
     }
 
     // --- internals ----------------------------------------------------------
@@ -1207,6 +1293,75 @@ mod tests {
         let ib = r2.insert(probe).unwrap();
         assert_eq!(ia, ib);
         assert_eq!(s2.cluster_members(ia), r2.cluster_members(ib));
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_and_is_smaller_than_json() {
+        let ds = music_dataset(11);
+        let mut s = store();
+        s.bootstrap(&ds).unwrap();
+
+        let json = s.snapshot_bytes(SnapshotFormat::Json).unwrap();
+        let binary = s.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+        assert!(
+            binary.len() * 3 < json.len(),
+            "binary snapshot should be well under a third of JSON ({} vs {} bytes)",
+            binary.len(),
+            json.len()
+        );
+
+        // Both formats restore through the same auto-detecting entry point.
+        for snapshot in [&json, &binary] {
+            let restored: EntityStore<HashedLexicalEncoder> =
+                EntityStore::restore_bytes(snapshot, HashedLexicalEncoder::default()).unwrap();
+            let mut a = s.tuples();
+            let mut b = restored.tuples();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            assert_eq!(s.stats(), restored.stats());
+        }
+
+        // The restored binary store keeps evolving identically.
+        let probe = ds.record(EntityId::new(1, 2)).unwrap().clone();
+        let mut from_binary: EntityStore<HashedLexicalEncoder> =
+            EntityStore::restore_bytes(&binary, HashedLexicalEncoder::default()).unwrap();
+        let mut original = s.clone();
+        let ia = original.insert(probe.clone()).unwrap();
+        let ib = from_binary.insert(probe).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(
+            original.cluster_members(ia),
+            from_binary.cluster_members(ib)
+        );
+    }
+
+    #[test]
+    fn init_schema_enables_data_free_inserts() {
+        let schema = title_schema();
+        let mut s = store(); // AllAttributes strategy
+        s.init_schema(schema.clone()).unwrap();
+        let a = s
+            .insert(Record::from_texts(["golden heart river"]))
+            .unwrap();
+        assert_eq!(a, EntityId::new(0, 0));
+        assert_eq!(s.cluster_members(a).unwrap(), vec![a]);
+        // Conflicting schema is rejected, idempotent re-init is fine.
+        assert!(s.init_schema(schema).is_ok());
+        let other = Schema::new(["a", "b"]).shared();
+        assert!(matches!(
+            s.init_schema(other),
+            Err(OnlineError::SchemaMismatch(_))
+        ));
+        // Auto selection cannot resolve without data.
+        let mut auto = EntityStore::new(
+            OnlineConfig::new(MultiEmConfig::default()),
+            HashedLexicalEncoder::default(),
+        );
+        assert!(matches!(
+            auto.init_schema(title_schema()),
+            Err(OnlineError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Seeded mixed read/write load generator for `multiem-serve`.
+//!
+//! Hammers a server with concurrent keep-alive clients issuing a seeded mix
+//! of `POST /records` (writes) and `POST /match` (reads), then reports
+//! throughput and p50/p99 latency. Without `--addr` it spins up an embedded
+//! in-memory server so the run is fully self-contained (what CI does).
+//!
+//! ```bash
+//! cargo run --release -p multiem-serve --bin loadgen -- --smoke --out BENCH_serve.json
+//! ```
+//!
+//! Exits non-zero if any request fails, so it doubles as a smoke gate.
+
+use multiem_embed::HashedLexicalEncoder;
+use multiem_serve::http::HttpClient;
+use multiem_serve::{MatchServer, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const BRANDS: &[&str] = &[
+    "apple", "sony", "makita", "dyson", "bosch", "lenovo", "canon", "garmin", "philips", "asus",
+];
+const PRODUCTS: &[&str] = &[
+    "phone 12 pro",
+    "bravia tv 55",
+    "drill 18v",
+    "v11 vacuum",
+    "washing machine",
+    "thinkpad x1",
+    "eos camera",
+    "gps watch",
+    "air fryer xl",
+    "router ax6000",
+];
+const VARIANTS: &[&str] = &[
+    "",
+    " silver",
+    " black",
+    " 64gb",
+    " refurbished",
+    " 2024 edition",
+];
+
+struct Options {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    write_ratio: f64,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            clients: 4,
+            requests: 2000,
+            write_ratio: 0.6,
+            seed: 42,
+            shards: 4,
+            workers: 4,
+            out: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClientReport {
+    write_ns: Vec<u64>,
+    read_ns: Vec<u64>,
+    errors: usize,
+}
+
+fn main() {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--clients" => opts.clients = parse(&value("--clients"), "--clients"),
+            "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
+            "--write-ratio" => opts.write_ratio = parse(&value("--write-ratio"), "--write-ratio"),
+            "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
+            "--shards" => opts.shards = parse(&value("--shards"), "--shards"),
+            "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
+            "--out" => opts.out = Some(value("--out")),
+            "--smoke" => {
+                opts.clients = 4;
+                opts.requests = 240;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "loadgen: seeded mixed read/write workload for multiem-serve\n\n\
+                     options:\n\
+                     \x20 --addr HOST:PORT    target an external server (default: embedded)\n\
+                     \x20 --clients N         concurrent clients (default 4)\n\
+                     \x20 --requests N        total requests across clients (default 2000)\n\
+                     \x20 --write-ratio F     fraction of writes (default 0.6)\n\
+                     \x20 --seed N            workload seed (default 42)\n\
+                     \x20 --shards N          shards of the embedded server (default 4)\n\
+                     \x20 --workers N         workers of the embedded server (default 4)\n\
+                     \x20 --out PATH          also write the JSON report to PATH\n\
+                     \x20 --smoke             small CI-sized run (4 clients, 240 requests)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 {
+        fail("--clients and --requests must be at least 1");
+    }
+
+    // Embedded server unless an external one was named.
+    let mut embedded = None;
+    let addr = match &opts.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let config = ServeConfig {
+                shards: opts.shards,
+                workers: opts.workers,
+                ..ServeConfig::default()
+            };
+            let server = MatchServer::bind(config, HashedLexicalEncoder::default(), "127.0.0.1:0")
+                .unwrap_or_else(|e| fail(&format!("embedded server failed: {e}")));
+            let addr = server
+                .local_addr()
+                .unwrap_or_else(|e| fail(&format!("no local addr: {e}")))
+                .to_string();
+            embedded = Some(
+                server
+                    .spawn()
+                    .unwrap_or_else(|e| fail(&format!("spawn failed: {e}"))),
+            );
+            addr
+        }
+    };
+
+    let per_client = opts.requests.div_ceil(opts.clients);
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|client| {
+                let addr = addr.clone();
+                let seed = opts.seed.wrapping_add(client as u64);
+                let write_ratio = opts.write_ratio;
+                scope.spawn(move || run_client(&addr, seed, per_client, write_ratio))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut write_ns: Vec<u64> = Vec::new();
+    let mut read_ns: Vec<u64> = Vec::new();
+    let mut errors = 0usize;
+    for report in reports {
+        write_ns.extend(report.write_ns);
+        read_ns.extend(report.read_ns);
+        errors += report.errors;
+    }
+    let mut all_ns: Vec<u64> = write_ns.iter().chain(read_ns.iter()).copied().collect();
+    write_ns.sort_unstable();
+    read_ns.sort_unstable();
+    all_ns.sort_unstable();
+
+    let total = all_ns.len() + errors;
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let report = format!(
+        "{{\"clients\":{},\"requests\":{},\"writes\":{},\"reads\":{},\"errors\":{},\
+         \"write_ratio\":{},\"seed\":{},\"elapsed_s\":{:.3},\"throughput_rps\":{:.1},\
+         \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"write_p50_ms\":{:.3},\"write_p99_ms\":{:.3},\
+         \"read_p50_ms\":{:.3},\"read_p99_ms\":{:.3}}}",
+        opts.clients,
+        total,
+        write_ns.len(),
+        read_ns.len(),
+        errors,
+        opts.write_ratio,
+        opts.seed,
+        elapsed.as_secs_f64(),
+        throughput,
+        percentile_ms(&all_ns, 0.50),
+        percentile_ms(&all_ns, 0.99),
+        percentile_ms(&write_ns, 0.50),
+        percentile_ms(&write_ns, 0.99),
+        percentile_ms(&read_ns, 0.50),
+        percentile_ms(&read_ns, 0.99),
+    );
+
+    println!(
+        "loadgen: {} requests ({} writes / {} reads) from {} clients in {:.2}s",
+        total,
+        write_ns.len(),
+        read_ns.len(),
+        opts.clients,
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  throughput {throughput:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, errors {errors}",
+        percentile_ms(&all_ns, 0.50),
+        percentile_ms(&all_ns, 0.99),
+    );
+    println!("{report}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &report)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  report written to {path}");
+    }
+
+    if let Some(handle) = embedded {
+        handle.shutdown();
+    }
+    if errors > 0 {
+        eprintln!("error: {errors} request(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn run_client(addr: &str, seed: u64, requests: usize, write_ratio: f64) -> ClientReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut report = ClientReport::default();
+    let mut written: Vec<String> = Vec::new();
+    let Ok(mut client) = HttpClient::connect(addr) else {
+        report.errors = requests;
+        return report;
+    };
+    for _ in 0..requests {
+        let write = written.is_empty() || rng.gen_bool(write_ratio);
+        let title = if write {
+            // A third of the writes are near-duplicates of earlier ones, so
+            // the store actually exercises its merge path under load.
+            if !written.is_empty() && rng.gen_bool(0.33) {
+                let base = &written[rng.gen_range(0..written.len())];
+                format!("{base}{}", VARIANTS[rng.gen_range(0..VARIANTS.len())])
+            } else {
+                format!(
+                    "{} {} {}",
+                    BRANDS[rng.gen_range(0..BRANDS.len())],
+                    PRODUCTS[rng.gen_range(0..PRODUCTS.len())],
+                    rng.gen_range(0..10_000u32)
+                )
+            }
+        } else {
+            written[rng.gen_range(0..written.len())].clone()
+        };
+        let body = if write {
+            format!("{{\"records\":[[{}]]}}", json_string(&title))
+        } else {
+            format!("{{\"record\":[{}]}}", json_string(&title))
+        };
+        let path = if write { "/records" } else { "/match" };
+        let start = Instant::now();
+        match client.request("POST", path, Some(&body)) {
+            Ok((200, _)) => {
+                let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if write {
+                    report.write_ns.push(ns);
+                    written.push(title);
+                } else {
+                    report.read_ns.push(ns);
+                }
+            }
+            Ok((_status, _body)) => report.errors += 1,
+            Err(_) => {
+                report.errors += 1;
+                // The connection may be poisoned; reconnect for the rest.
+                match HttpClient::connect(addr) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => break, // server gone; stop this client
+                }
+            }
+        }
+    }
+    report
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1.0e6
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("invalid value `{text}` for {flag}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

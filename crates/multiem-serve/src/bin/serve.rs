@@ -1,0 +1,86 @@
+//! The `multiem-serve` CLI: run the sharded matching service.
+//!
+//! ```bash
+//! cargo run --release -p multiem-serve --bin serve -- \
+//!     --addr 127.0.0.1:7878 --shards 4 --workers 8 \
+//!     --data-dir ./multiem-data --attrs title
+//! ```
+
+use multiem_embed::HashedLexicalEncoder;
+use multiem_online::SnapshotFormat;
+use multiem_serve::{MatchServer, ServeConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut addr = "127.0.0.1:7878".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--shards" => config.shards = parse(&value("--shards"), "--shards"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--data-dir" => config.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--attrs" => {
+                config.attributes = value("--attrs")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--m" => config.online.base.m = parse(&value("--m"), "--m"),
+            "--json-snapshots" => config.snapshot_format = SnapshotFormat::Json,
+            "--help" | "-h" => {
+                println!(
+                    "multiem-serve: sharded entity-matching service\n\n\
+                     options:\n\
+                     \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7878)\n\
+                     \x20 --shards N         store shards (default 4)\n\
+                     \x20 --workers N        HTTP worker threads (default 4)\n\
+                     \x20 --data-dir PATH    enable WAL + checkpoints under PATH\n\
+                     \x20 --attrs a,b,c      schema attribute names (default `title`)\n\
+                     \x20 --m FLOAT          merge distance threshold (default 0.35)\n\
+                     \x20 --json-snapshots   checkpoint as JSON instead of binary"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let server = match MatchServer::bind(config.clone(), HashedLexicalEncoder::default(), &addr) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("startup failed: {e}")),
+    };
+    let bound = server.local_addr().expect("listener has an address");
+    println!("multiem-serve listening on http://{bound}");
+    println!(
+        "  {} shard(s), {} worker(s), durability: {}",
+        config.shards,
+        config.workers,
+        config
+            .data_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "in-memory".into())
+    );
+    println!("  POST /records  POST /match  POST /snapshot  GET /stats  GET /healthz");
+    if let Err(e) = server.run() {
+        fail(&format!("server error: {e}"));
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("invalid value `{text}` for {flag}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

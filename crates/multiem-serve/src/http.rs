@@ -1,0 +1,240 @@
+//! Dependency-free HTTP/1.1 plumbing on `std::net`.
+//!
+//! Just enough of the protocol for a JSON service: request-line + headers +
+//! `Content-Length` bodies, keep-alive by default, `Connection: close`
+//! honoured. No chunked encoding, no TLS — the serving layer sits behind a
+//! reverse proxy in any real deployment, exactly like the related VectorDB
+//! repo's thin request layer.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on accepted bodies (64 MiB) — a malformed or hostile
+/// `Content-Length` must not make a worker allocate unbounded memory.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+const MAX_HEADERS: usize = 100;
+const MAX_LINE_BYTES: usize = 16 << 10;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this exchange.
+    pub close: bool,
+}
+
+/// Read one request off a keep-alive connection. `Ok(None)` means the peer
+/// closed cleanly between requests.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let request_line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) if line.is_empty() => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?.ok_or_else(|| bad("connection closed mid-headers"))?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            return Ok(Some(Request {
+                method,
+                path,
+                body,
+                close,
+            }));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(bad("body too large"));
+                }
+            }
+            "connection" => {
+                close = value.eq_ignore_ascii_case("close");
+            }
+            _ => {}
+        }
+    }
+    Err(bad("too many headers"))
+}
+
+/// Write one JSON response.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    )?;
+    if close {
+        writer.write_all(b"Connection: close\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+/// A minimal keep-alive JSON client over one TCP connection (used by the
+/// load generator, the example and the integration tests).
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?; // request/response pairs must not sit in Nagle
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Issue one request, returning `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: multiem\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.stream.flush()?;
+
+        let status_line = read_line(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let line = read_line(&mut self.reader)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|e| bad(&format!("non-utf8 body: {e}")))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one CRLF-terminated line (returns `None` at EOF before any byte).
+fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES as u64)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n >= MAX_LINE_BYTES {
+        return Err(bad("header line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /records?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbodyGET";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/records");
+        assert_eq!(req.body, b"body");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn honours_connection_close_and_eof() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert!(req.close);
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_garbage() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert!(read_request(&mut reader).is_err());
+        let mut reader = BufReader::new(&b"NOT-HTTP\r\n\r\n"[..]);
+        assert!(read_request(&mut reader).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "{\"a\":1}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+}

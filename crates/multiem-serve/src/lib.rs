@@ -1,0 +1,49 @@
+//! Sharded, WAL-durable serving layer over the online
+//! [`EntityStore`](multiem_online::EntityStore).
+//!
+//! PR 1 made MultiEM incremental; this crate makes it *deployable*. The
+//! paper's mutual-top-K + density-pruning pipeline becomes a long-running
+//! JSON service in the shape the related `VectorDB` repo uses for vector
+//! stores — a thin request layer over a sharded, concurrently readable
+//! index:
+//!
+//! * [`ShardedEntityStore`] — N hash-partitioned stores, each behind its own
+//!   `RwLock`: single-writer-per-shard ingestion, fully concurrent
+//!   cross-shard reads, and a fan-out [`ShardedEntityStore::match_record`]
+//!   that merges per-shard candidates under the paper's mutual top-K rule;
+//! * [`Wal`] — a binary, length-prefixed, CRC-framed write-ahead log (the
+//!   framing lives in [`multiem_online::wire`], shared with the compact
+//!   snapshot codec) with replay-on-startup and snapshot+truncate
+//!   checkpointing, so restarts never re-ingest;
+//! * [`MatchServer`] — a dependency-free HTTP/1.1 server on
+//!   `std::net::TcpListener`, driven by the fixed-size thread pool that now
+//!   also backs the `rayon` compat shim, exposing `POST /records`,
+//!   `POST /match`, `POST /snapshot`, `GET /stats` and `GET /healthz`;
+//! * `loadgen` (a `src/bin` tool) — a seeded mixed read/write load generator
+//!   reporting p50/p99 latency and throughput, used by CI to track the
+//!   serving-path perf trajectory (`BENCH_serve.json`).
+//!
+//! ```no_run
+//! use multiem_embed::HashedLexicalEncoder;
+//! use multiem_serve::{MatchServer, ServeConfig};
+//!
+//! let server = MatchServer::bind(
+//!     ServeConfig::default(),
+//!     HashedLexicalEncoder::default(),
+//!     "127.0.0.1:7878",
+//! )
+//! .expect("bind");
+//! server.run().expect("serve");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod shard;
+pub mod wal;
+
+pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle};
+pub use shard::{GlobalEntityId, ShardedEntityStore, ShardedStats};
+pub use wal::{Wal, WalOp};

@@ -1,0 +1,741 @@
+//! The HTTP matching service.
+//!
+//! [`MatchServer`] glues the pieces together: a [`ShardedEntityStore`]
+//! behind per-shard `RwLock`s, an optional [`Wal`] for durability, and a
+//! fixed-size [`rayon::ThreadPool`] driving keep-alive HTTP/1.1 connections
+//! from a `std::net::TcpListener`.
+//!
+//! # Endpoints
+//!
+//! | Route            | Body                                   | Effect |
+//! |------------------|----------------------------------------|--------|
+//! | `GET /healthz`   | —                                      | liveness probe |
+//! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size |
+//! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard |
+//! | `POST /match`    | `{"record": [v, ...]}`                 | read-only fan-out match across all shards |
+//! | `POST /snapshot` | —                                      | checkpoint: persist every shard, truncate the WAL |
+//!
+//! Attribute values are JSON strings, numbers or `null`, positionally
+//! aligned with the configured schema.
+//!
+//! # Durability protocol
+//!
+//! Each shard owns its own WAL file, so writers to different shards share
+//! no lock at all: a write takes its shard's write lock, appends to *that
+//! shard's* WAL (`shard i → wals[i]` lock order everywhere), then applies
+//! the insert. Startup restores the checkpoint named by `MANIFEST.json` (if
+//! any) and replays each shard's WAL in its own order — shards are
+//! independent, so per-shard order is the only order that matters — through
+//! the same deterministic routing. Killing the process at any point loses
+//! at most the torn tail of a final append; acknowledged writes survive.
+//!
+//! Checkpoints are epoch-versioned and commit via an atomic manifest
+//! rename (see [`checkpoint`]'s step list), so a crash *during* a
+//! checkpoint can neither duplicate replayed ops into a snapshot that
+//! already contains them nor leave a torn manifest behind.
+
+use crate::http::{read_request, write_response, Request};
+use crate::shard::ShardedEntityStore;
+use crate::wal::{Wal, WalOp};
+use multiem_embed::EmbeddingModel;
+use multiem_online::{OnlineConfig, OnlineError, SnapshotFormat};
+use multiem_table::{Record, Schema, Value as AttrValue};
+use rayon::ThreadPool;
+use serde::{Serialize, Value};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything that can go wrong while building or operating the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid serving configuration.
+    Config(String),
+    /// Filesystem / network error.
+    Io(io::Error),
+    /// Error bubbled up from the entity store.
+    Store(OnlineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<OnlineError> for ServeError {
+    fn from(e: OnlineError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Configuration of a [`MatchServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of hash-partitioned store shards.
+    pub shards: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Attribute names of the served schema (positional).
+    pub attributes: Vec<String>,
+    /// Store configuration shared by every shard. The selection strategy
+    /// must be data-free (`Fixed` / `AllAttributes`).
+    pub online: OnlineConfig,
+    /// Durability directory (WAL + checkpoints). `None` serves from memory
+    /// only.
+    pub data_dir: Option<PathBuf>,
+    /// Checkpoint encoding.
+    pub snapshot_format: SnapshotFormat,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let online = OnlineConfig::new(multiem_core::MultiEmConfig {
+            m: 0.35,
+            ..multiem_core::MultiEmConfig::default()
+        })
+        .with_all_attributes();
+        Self {
+            shards: 4,
+            workers: 4,
+            attributes: vec!["title".to_string()],
+            online,
+            data_dir: None,
+            snapshot_format: SnapshotFormat::Binary,
+        }
+    }
+}
+
+struct ServerState<E: EmbeddingModel> {
+    store: ShardedEntityStore<E>,
+    /// One WAL per shard (same index), present in durable mode. Lock order
+    /// is always `shard i write lock → wals[i]`; the checkpoint takes every
+    /// shard lock (ascending) before any WAL lock.
+    wals: Option<Vec<Mutex<Wal>>>,
+    /// Checkpoint epoch: WAL and snapshot files are named by it, and the
+    /// manifest names the only epoch that is ever loaded. Mutated only under
+    /// all shard + WAL locks (the checkpoint).
+    epoch: AtomicU64,
+    data_dir: Option<PathBuf>,
+    snapshot_format: SnapshotFormat,
+    attributes: Vec<String>,
+    requests: AtomicU64,
+}
+
+/// The serving layer: a sharded store, a WAL, and an HTTP front end.
+pub struct MatchServer<E: EmbeddingModel> {
+    state: Arc<ServerState<E>>,
+    listener: TcpListener,
+    pool: ThreadPool,
+}
+
+/// Handle of a server spawned on a background thread. Dropping it (or
+/// calling [`ServerHandle::shutdown`]) stops the accept loop and joins the
+/// server thread; the WAL keeps all acknowledged writes.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain workers, join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn wal_path(dir: &Path, shard: usize, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{shard:03}-{epoch:06}.log"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST.json")
+}
+
+fn snapshot_path(dir: &Path, shard: usize, epoch: u64) -> PathBuf {
+    dir.join(format!("shard-{shard:03}-{epoch:06}.snap"))
+}
+
+/// Atomically publish `bytes` at `path` via a temp file + rename, so a crash
+/// mid-write can never leave a torn file under the final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
+    /// Build the store (restoring any checkpoint and replaying the WAL when
+    /// `config.data_dir` is set) and bind the listener. Pass port `0` to let
+    /// the OS pick one.
+    pub fn bind(config: ServeConfig, encoder: E, addr: &str) -> Result<Self, ServeError> {
+        if config.attributes.is_empty() {
+            return Err(ServeError::Config(
+                "schema needs at least one attribute".into(),
+            ));
+        }
+        let schema = Schema::new(config.attributes.iter().map(String::as_str)).shared();
+
+        let mut wals = None;
+        let mut epoch = 0u64;
+        let store = match &config.data_dir {
+            None => ShardedEntityStore::new(
+                config.online.clone(),
+                schema.clone(),
+                config.shards,
+                encoder,
+            )?,
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let (store, checkpoint_epoch) =
+                    restore_or_create(&config, schema.clone(), dir, encoder)?;
+                epoch = checkpoint_epoch;
+                // One WAL per shard; replay each shard's surviving ops in
+                // its own order (shards are independent, so cross-shard
+                // interleaving does not matter).
+                let mut logs = Vec::with_capacity(store.num_shards());
+                for shard in 0..store.num_shards() {
+                    let (log, recovery) = Wal::open(&wal_path(dir, shard, epoch))?;
+                    if recovery.torn_tail {
+                        eprintln!("[multiem-serve] truncated a torn WAL tail (shard {shard})");
+                    }
+                    for op in recovery.ops {
+                        let WalOp::Insert(record) = op;
+                        store.insert(record).map_err(|e| {
+                            ServeError::Config(format!(
+                                "WAL replay failed ({e}); the log was written under a \
+                                 different schema or store configuration"
+                            ))
+                        })?;
+                    }
+                    logs.push(Mutex::new(log));
+                }
+                wals = Some(logs);
+                store
+            }
+        };
+
+        let listener = TcpListener::bind(addr)?;
+        let pool = ThreadPool::new(config.workers.max(1));
+        Ok(Self {
+            state: Arc::new(ServerState {
+                store,
+                wals,
+                epoch: AtomicU64::new(epoch),
+                data_dir: config.data_dir.clone(),
+                snapshot_format: config.snapshot_format,
+                attributes: config.attributes.clone(),
+                requests: AtomicU64::new(0),
+            }),
+            listener,
+            pool,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until the process exits (the CLI entry point).
+    pub fn run(self) -> io::Result<()> {
+        let never = Arc::new(AtomicBool::new(false));
+        self.run_until(&never);
+        Ok(())
+    }
+
+    /// Serve on a background thread; the handle shuts the server down.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("multiem-serve-accept".into())
+            .spawn(move || self.run_until(&flag))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    fn run_until(self, shutdown: &Arc<AtomicBool>) {
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            let flag = Arc::clone(shutdown);
+            self.pool.execute(move || {
+                let _ = handle_connection(&state, stream, &flag);
+            });
+        }
+        // Dropping `self.pool` joins the workers after queued connections
+        // drain, so in-flight requests finish before shutdown returns.
+    }
+}
+
+/// Load the store named by `MANIFEST.json` (the manifest's epoch is the only
+/// source of truth — files from interrupted checkpoints of other epochs are
+/// ignored), or create a fresh one at epoch 0 when no manifest exists.
+/// Returns the store and the manifest epoch.
+fn restore_or_create<E: EmbeddingModel + Clone>(
+    config: &ServeConfig,
+    schema: Arc<Schema>,
+    dir: &Path,
+    encoder: E,
+) -> Result<(ShardedEntityStore<E>, u64), ServeError> {
+    let manifest = manifest_path(dir);
+    if !manifest.exists() {
+        let store = ShardedEntityStore::new(config.online.clone(), schema, config.shards, encoder)?;
+        return Ok((store, 0));
+    }
+    let text = std::fs::read_to_string(&manifest)?;
+    let value: Value = serde_json::from_str(&text)
+        .map_err(|e| ServeError::Config(format!("unreadable MANIFEST.json: {e}")))?;
+    let shards = field(&value, "shards")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServeError::Config("MANIFEST.json lacks `shards`".into()))?
+        as usize;
+    let epoch = field(&value, "epoch")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServeError::Config("MANIFEST.json lacks `epoch`".into()))?;
+    let attributes: Vec<String> = field(&value, "attributes")
+        .and_then(Value::as_seq)
+        .map(|seq| {
+            seq.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    if !attributes.is_empty() && attributes != config.attributes {
+        return Err(ServeError::Config(format!(
+            "checkpoint schema {attributes:?} differs from configured {:?}",
+            config.attributes
+        )));
+    }
+    if shards != config.shards {
+        eprintln!(
+            "[multiem-serve] checkpoint has {shards} shards; overriding configured {}",
+            config.shards
+        );
+    }
+    let snapshots: Vec<Vec<u8>> = (0..shards)
+        .map(|i| std::fs::read(snapshot_path(dir, i, epoch)))
+        .collect::<io::Result<_>>()?;
+    let store = ShardedEntityStore::restore(config.online.clone(), schema, &snapshots, encoder)?;
+    Ok((store, epoch))
+}
+
+// --------------------------------------------------------------------------
+// Connection handling and routing
+// --------------------------------------------------------------------------
+
+/// Poll interval while a keep-alive connection is idle (bounds how long a
+/// worker takes to notice the shutdown flag).
+const IDLE_POLL: Duration = Duration::from_millis(250);
+/// Read timeout once a request has started arriving. A mid-request timeout
+/// must close the connection (bytes were already consumed, so "retry from
+/// the top" would re-parse from the middle of the stream), so it is kept
+/// generous.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn handle_connection<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    use std::io::BufRead;
+
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // Idle wait: consume nothing until a request's first bytes arrive,
+        // so a timeout here never tears a partially read request.
+        writer.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // clean close
+            Ok(_) => {}              // request bytes waiting
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(_) => return Ok(()), // peer vanished
+        }
+        // A request is in flight; allow slow bodies to trickle in.
+        writer.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT))?;
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                write_response(
+                    &mut writer,
+                    400,
+                    "Bad Request",
+                    &error_body(&e.to_string()),
+                    true,
+                )?;
+                return Ok(());
+            }
+            // Timeouts and disconnects mid-request: the stream position is
+            // unknown, drop the connection.
+            Err(_) => return Ok(()),
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let close = request.close;
+        let (status, reason, body) = route(state, &request);
+        write_response(&mut writer, status, reason, &body, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+fn route<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    request: &Request,
+) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "OK", healthz(state)),
+        ("GET", "/stats") => (200, "OK", stats(state)),
+        ("POST", "/records") => match ingest(state, &request.body) {
+            Ok(body) => (200, "OK", body),
+            Err(msg) => (400, "Bad Request", error_body(&msg)),
+        },
+        ("POST", "/match") => match match_one(state, &request.body) {
+            Ok(body) => (200, "OK", body),
+            Err(msg) => (400, "Bad Request", error_body(&msg)),
+        },
+        ("POST", "/snapshot") => match checkpoint(state) {
+            Ok(body) => (200, "OK", body),
+            Err(ServeError::Config(msg)) => (400, "Bad Request", error_body(&msg)),
+            Err(e) => (500, "Internal Server Error", error_body(&e.to_string())),
+        },
+        ("GET" | "POST", _) => (404, "Not Found", error_body("no such route")),
+        _ => (405, "Method Not Allowed", error_body("unsupported method")),
+    }
+}
+
+fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    render(Value::Map(vec![
+        ("status".into(), Value::Str("ok".into())),
+        (
+            "shards".into(),
+            Value::UInt(state.store.num_shards() as u64),
+        ),
+        ("durable".into(), Value::Bool(state.wals.is_some())),
+    ]))
+}
+
+fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let mut entries = match state.store.stats().to_value() {
+        Value::Map(entries) => entries,
+        other => vec![("stats".into(), other)],
+    };
+    let wal_bytes = state
+        .wals
+        .as_ref()
+        .map(|wals| {
+            wals.iter()
+                .map(|wal| wal.lock().expect("wal lock poisoned").bytes())
+                .sum()
+        })
+        .unwrap_or(0);
+    entries.push(("wal_bytes".into(), Value::UInt(wal_bytes)));
+    entries.push((
+        "requests".into(),
+        Value::UInt(state.requests.load(Ordering::Relaxed)),
+    ));
+    render(Value::Map(entries))
+}
+
+fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, String> {
+    let value = parse_body(body)?;
+    let records = field(&value, "records")
+        .and_then(Value::as_seq)
+        .ok_or("body must be {\"records\": [[...], ...]}")?;
+    let arity = state.attributes.len();
+    let mut parsed = Vec::with_capacity(records.len());
+    for (i, item) in records.iter().enumerate() {
+        let record = record_from_value(item).map_err(|e| format!("records[{i}]: {e}"))?;
+        if record.arity() != arity {
+            return Err(format!(
+                "records[{i}] has {} values, schema has {arity} attributes",
+                record.arity()
+            ));
+        }
+        parsed.push(record);
+    }
+
+    let mut results = Vec::with_capacity(parsed.len());
+    for record in parsed {
+        // Lock order: shard write lock first, then that shard's WAL (see
+        // module docs). Writers to different shards share nothing here.
+        let shard = state.store.shard_of(&record);
+        let mut guard = state.store.write_shard(shard);
+        if let Some(wals) = &state.wals {
+            wals[shard]
+                .lock()
+                .expect("wal lock poisoned")
+                .append(&WalOp::Insert(record.clone()))
+                .map_err(|e| format!("wal append failed: {e}"))?;
+        }
+        let (gid, matched) =
+            crate::shard::apply_insert(&mut guard, shard, record).map_err(|e| e.to_string())?;
+        drop(guard);
+        results.push(Value::Map(vec![
+            ("shard".into(), Value::UInt(u64::from(gid.shard))),
+            ("source".into(), Value::UInt(u64::from(gid.entity.source))),
+            ("row".into(), Value::UInt(u64::from(gid.entity.row))),
+            ("matched".into(), Value::Bool(matched)),
+        ]));
+    }
+    Ok(render(Value::Map(vec![
+        ("ingested".into(), Value::UInt(results.len() as u64)),
+        ("results".into(), Value::Seq(results)),
+    ])))
+}
+
+fn match_one<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, String> {
+    let value = parse_body(body)?;
+    let record = field(&value, "record")
+        .ok_or_else(|| "body must be {\"record\": [...]}".to_string())
+        .and_then(record_from_value)?;
+    if record.arity() != state.attributes.len() {
+        return Err(format!(
+            "record has {} values, schema has {} attributes",
+            record.arity(),
+            state.attributes.len()
+        ));
+    }
+    let matches: Vec<Value> = state
+        .store
+        .match_record(&record)
+        .into_iter()
+        .map(|(gid, distance)| {
+            Value::Map(vec![
+                ("shard".into(), Value::UInt(u64::from(gid.shard))),
+                ("source".into(), Value::UInt(u64::from(gid.entity.source))),
+                ("row".into(), Value::UInt(u64::from(gid.entity.row))),
+                ("distance".into(), Value::Float(f64::from(distance))),
+            ])
+        })
+        .collect();
+    Ok(render(Value::Map(vec![(
+        "matches".into(),
+        Value::Seq(matches),
+    )])))
+}
+
+/// Checkpoint protocol (crash-atomic): snapshot every shard and start a new
+/// WAL epoch, with the manifest rename as the single commit point.
+///
+/// 1. take every shard read lock (ascending), then every WAL lock — the
+///    same global order writers use, so no write interleaves;
+/// 2. write `shard-NNN-{epoch+1}.snap` files (temp + rename each);
+/// 3. create empty `wal-NNN-{epoch+1}.log` files;
+/// 4. **commit**: atomically rename the new `MANIFEST.json` naming
+///    `epoch + 1` into place;
+/// 5. swap the in-memory WAL handles and best-effort delete the old epoch's
+///    files.
+///
+/// A crash before step 4 leaves the manifest pointing at the old epoch —
+/// the old snapshots and old WALs are untouched, so startup sees exactly
+/// the pre-checkpoint state and the half-written new epoch is ignored (and
+/// overwritten by the next checkpoint). A crash after step 4 loads the new
+/// snapshots with the new (empty) WALs. No ordering replays an op into a
+/// snapshot that already contains it.
+fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, ServeError> {
+    let Some(dir) = &state.data_dir else {
+        return Err(ServeError::Config(
+            "server runs without a data dir; nothing to checkpoint".into(),
+        ));
+    };
+    let Some(wals) = &state.wals else {
+        return Err(ServeError::Config("server has no WAL".into()));
+    };
+
+    let guards: Vec<_> = (0..state.store.num_shards())
+        .map(|i| state.store.read_shard(i))
+        .collect();
+    let mut wal_guards: Vec<_> = wals
+        .iter()
+        .map(|wal| wal.lock().expect("wal lock poisoned"))
+        .collect();
+    let old_epoch = state.epoch.load(Ordering::SeqCst);
+    let new_epoch = old_epoch + 1;
+
+    let mut total_bytes = 0usize;
+    for (i, guard) in guards.iter().enumerate() {
+        let bytes = guard.snapshot_bytes(state.snapshot_format)?;
+        total_bytes += bytes.len();
+        write_atomic(&snapshot_path(dir, i, new_epoch), &bytes)?;
+    }
+    // Fresh, empty WALs for the new epoch (truncate any leftovers from a
+    // previously crashed checkpoint attempt at this same epoch).
+    let mut new_wals = Vec::with_capacity(wal_guards.len());
+    for shard in 0..wal_guards.len() {
+        let (mut log, _) = Wal::open(&wal_path(dir, shard, new_epoch))?;
+        log.truncate()?;
+        new_wals.push(log);
+    }
+
+    let manifest = Value::Map(vec![
+        (
+            "shards".into(),
+            Value::UInt(state.store.num_shards() as u64),
+        ),
+        ("epoch".into(), Value::UInt(new_epoch)),
+        (
+            "format".into(),
+            Value::Str(
+                match state.snapshot_format {
+                    SnapshotFormat::Json => "json",
+                    SnapshotFormat::Binary => "binary",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "attributes".into(),
+            Value::Seq(
+                state
+                    .attributes
+                    .iter()
+                    .map(|a| Value::Str(a.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    // Commit point: after this rename the new epoch is the only one loaded.
+    write_atomic(&manifest_path(dir), render(manifest).as_bytes())?;
+    state.epoch.store(new_epoch, Ordering::SeqCst);
+
+    let mut truncated = 0u64;
+    for (shard, new_wal) in new_wals.into_iter().enumerate() {
+        let old = std::mem::replace(&mut *wal_guards[shard], new_wal);
+        truncated += old.bytes();
+        drop(old);
+        std::fs::remove_file(wal_path(dir, shard, old_epoch)).ok();
+        std::fs::remove_file(snapshot_path(dir, shard, old_epoch)).ok();
+    }
+
+    Ok(render(Value::Map(vec![
+        ("checkpointed".into(), Value::Bool(true)),
+        (
+            "shards".into(),
+            Value::UInt(state.store.num_shards() as u64),
+        ),
+        ("epoch".into(), Value::UInt(new_epoch)),
+        ("snapshot_bytes".into(), Value::UInt(total_bytes as u64)),
+        ("wal_bytes_truncated".into(), Value::UInt(truncated)),
+    ])))
+}
+
+// --------------------------------------------------------------------------
+// JSON helpers
+// --------------------------------------------------------------------------
+
+fn parse_body(body: &[u8]) -> Result<Value, String> {
+    serde_json::from_slice(body).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value
+        .as_map()?
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, v)| v)
+}
+
+/// `["text", 4.5, null]` → a positional [`Record`].
+fn record_from_value(value: &Value) -> Result<Record, String> {
+    let items = value.as_seq().ok_or("record must be a JSON array")?;
+    let mut values = Vec::with_capacity(items.len());
+    for item in items {
+        values.push(match item {
+            Value::Str(s) => AttrValue::Text(s.clone()),
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => {
+                AttrValue::Number(item.as_f64().unwrap_or(f64::NAN))
+            }
+            Value::Null => AttrValue::Null,
+            _ => return Err("attribute values must be strings, numbers or null".into()),
+        });
+    }
+    Ok(Record::new(values))
+}
+
+fn error_body(msg: &str) -> String {
+    render(Value::Map(vec![(
+        "error".into(),
+        Value::Str(msg.to_string()),
+    )]))
+}
+
+fn render(value: Value) -> String {
+    serde_json::to_string(&value).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_from_value_handles_the_three_kinds() {
+        let v = Value::Seq(vec![
+            Value::Str("sony tv".into()),
+            Value::Float(4.5),
+            Value::Null,
+        ]);
+        let record = record_from_value(&v).unwrap();
+        assert_eq!(record.arity(), 3);
+        assert_eq!(record.values()[0].as_text(), Some("sony tv"));
+        assert_eq!(record.values()[1].as_number(), Some(4.5));
+        assert!(record.values()[2].is_empty());
+        assert!(record_from_value(&Value::Str("not an array".into())).is_err());
+        assert!(record_from_value(&Value::Seq(vec![Value::Bool(true)])).is_err());
+    }
+}

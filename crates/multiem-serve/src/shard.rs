@@ -1,0 +1,450 @@
+//! Hash-partitioned sharding of the online [`EntityStore`].
+//!
+//! [`ShardedEntityStore`] splits the record space into `N` independent
+//! [`EntityStore`] shards, each behind its own `RwLock`:
+//!
+//! * a record is routed to `hash(key(record)) % N`
+//!   ([`ShardedEntityStore::shard_of`], a stable FNV-1a over the record's
+//!   leading token — a cheap blocking key, so near-duplicates co-locate and
+//!   the same record always lands on the same shard across restarts and WAL
+//!   replays);
+//! * ingestion takes the *write* lock of one shard only, so up to `N` writers
+//!   make progress concurrently while the paper's single-writer invariant
+//!   holds within every shard;
+//! * reads ([`ShardedEntityStore::match_record`], stats) take *read* locks
+//!   and fan out across all shards in parallel, merging the per-shard
+//!   candidates with [`merge_ranked`] — the same global top-K an
+//!   un-partitioned index would rank for the candidates each shard's mutual
+//!   top-K rule (Eq. 1) admitted.
+//!
+//! Sharding trades a little recall for write scalability: co-referent
+//! records whose leading tokens differ route to *different* shards and are
+//! never fused into one cluster (each shard only merges what it stores), but
+//! the read path still surfaces both shards' clusters for a query. Shard
+//! counts therefore want to stay modest (4–16) unless write pressure demands
+//! more; `1` recovers the exact single-store behaviour.
+
+use multiem_ann::merge_ranked;
+use multiem_embed::EmbeddingModel;
+use multiem_online::{EntityStore, OnlineConfig, OnlineError, SnapshotFormat, StoreStats};
+use multiem_table::{EntityId, Record, Schema};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A cluster handle that is unique across the whole sharded store: the shard
+/// index plus the shard-local [`EntityId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalEntityId {
+    /// Index of the shard holding the entity.
+    pub shard: u32,
+    /// Shard-local entity id.
+    pub entity: EntityId,
+}
+
+/// Aggregated statistics over all shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedStats {
+    /// Total ingested records across shards.
+    pub records: usize,
+    /// Total clusters across shards (including singletons).
+    pub clusters: usize,
+    /// Total multi-member clusters (matched tuples).
+    pub tuples: usize,
+    /// Total records detached by re-pruning.
+    pub pruned_outliers: usize,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<StoreStats>,
+}
+
+/// N hash-partitioned [`EntityStore`]s with single-writer-per-shard ingestion
+/// and fully concurrent cross-shard reads. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedEntityStore<E: EmbeddingModel> {
+    shards: Vec<RwLock<EntityStore<E>>>,
+    schema: Arc<Schema>,
+    /// Top-K bound used when fanning per-shard candidates back in.
+    k: usize,
+}
+
+impl<E: EmbeddingModel + Clone> ShardedEntityStore<E> {
+    /// Create an empty sharded store. Every shard gets an identically
+    /// configured [`EntityStore`] initialised with `schema` (so the
+    /// attribute-selection strategy must be data-free: `Fixed` or
+    /// `AllAttributes`).
+    ///
+    /// `match_within_source` is forced on: every streamed insert of a shard
+    /// shares one stream source, so the batch pipeline's same-source
+    /// restriction would veto every merge in a serving deployment.
+    pub fn new(
+        mut config: OnlineConfig,
+        schema: Arc<Schema>,
+        num_shards: usize,
+        encoder: E,
+    ) -> Result<Self, OnlineError> {
+        config.match_within_source = true;
+        config.validate().map_err(OnlineError::InvalidConfig)?;
+        let num_shards = num_shards.clamp(1, 4096);
+        let k = config.base.k;
+        let mut shards = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let mut store = EntityStore::new(config.clone(), encoder.clone());
+            store.init_schema(schema.clone())?;
+            shards.push(RwLock::new(store));
+        }
+        Ok(Self { shards, schema, k })
+    }
+
+    /// Rebuild a sharded store from per-shard snapshots (one byte buffer per
+    /// shard, in shard order, as produced by
+    /// [`EntityStore::snapshot_bytes`]).
+    pub fn restore(
+        config: OnlineConfig,
+        schema: Arc<Schema>,
+        snapshots: &[Vec<u8>],
+        encoder: E,
+    ) -> Result<Self, OnlineError> {
+        let k = config.base.k;
+        let mut shards = Vec::with_capacity(snapshots.len());
+        for snapshot in snapshots {
+            let store = EntityStore::restore_bytes(snapshot, encoder.clone())?;
+            shards.push(RwLock::new(store));
+        }
+        if shards.is_empty() {
+            return Self::new(config, schema, 1, encoder);
+        }
+        Ok(Self { shards, schema, k })
+    }
+}
+
+impl<E: EmbeddingModel> ShardedEntityStore<E> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The shard a record routes to: stable FNV-1a over the record's
+    /// *leading token* (the first whitespace-separated token of its first
+    /// non-empty attribute, lowercased), independent of insertion order and
+    /// process restarts.
+    ///
+    /// Routing by leading token is a cheap blocking scheme: co-referent
+    /// records overwhelmingly share their leading token (`"apple iphone 8
+    /// plus 64gb"` / `"apple iphone 8 plus 64 gb"`), so they co-locate and
+    /// fuse inside one shard. Records whose tokens differ in the first
+    /// position end up on different shards — the write path then keeps them
+    /// separate, but the fan-out read path still surfaces both.
+    pub fn shard_of(&self, record: &Record) -> usize {
+        (record_route_hash(record) % self.shards.len() as u64) as usize
+    }
+
+    /// Write-lock one shard (ingestion, refresh). Callers that also append
+    /// to a WAL must take this lock *before* the WAL lock — the serving
+    /// layer's lock order is `shard → wal` everywhere.
+    pub fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, EntityStore<E>> {
+        self.shards[shard].write().expect("shard lock poisoned")
+    }
+
+    /// Read-lock one shard.
+    pub fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, EntityStore<E>> {
+        self.shards[shard].read().expect("shard lock poisoned")
+    }
+
+    /// Insert a record into its shard, returning its global id and whether it
+    /// merged into an existing cluster. Only the owning shard is write-locked.
+    pub fn insert(&self, record: Record) -> Result<(GlobalEntityId, bool), OnlineError> {
+        let shard = self.shard_of(&record);
+        let mut guard = self.write_shard(shard);
+        apply_insert(&mut guard, shard, record)
+    }
+
+    /// Read-only fan-out match: query every shard concurrently under its
+    /// read lock, then merge the per-shard candidates (each already filtered
+    /// by the paper's mutual top-K rule and threshold `m` inside its shard)
+    /// into one globally ranked top-K.
+    pub fn match_record(&self, record: &Record) -> Vec<(GlobalEntityId, f32)> {
+        let per_shard: Vec<Vec<(GlobalEntityId, f32)>> = self
+            .shards
+            .par_iter()
+            .map(|lock| {
+                lock.read()
+                    .expect("shard lock poisoned")
+                    .match_record(record)
+            })
+            .collect::<Vec<Vec<(EntityId, f32)>>>()
+            .into_iter()
+            .enumerate()
+            .map(|(shard, hits)| {
+                hits.into_iter()
+                    .map(|(entity, distance)| {
+                        (
+                            GlobalEntityId {
+                                shard: shard as u32,
+                                entity,
+                            },
+                            distance,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        merge_ranked(&per_shard, self.k)
+    }
+
+    /// Members of the cluster containing `id`, or `None` for unknown ids.
+    pub fn cluster_members(&self, id: GlobalEntityId) -> Option<Vec<GlobalEntityId>> {
+        let shard = id.shard as usize;
+        if shard >= self.shards.len() {
+            return None;
+        }
+        let members = self.read_shard(shard).cluster_members(id.entity)?;
+        Some(
+            members
+                .into_iter()
+                .map(|entity| GlobalEntityId {
+                    shard: id.shard,
+                    entity,
+                })
+                .collect(),
+        )
+    }
+
+    /// Aggregate statistics (read-locks every shard).
+    pub fn stats(&self) -> ShardedStats {
+        let shards: Vec<StoreStats> = self
+            .shards
+            .iter()
+            .map(|lock| lock.read().expect("shard lock poisoned").stats())
+            .collect();
+        ShardedStats {
+            records: shards.iter().map(|s| s.records).sum(),
+            clusters: shards.iter().map(|s| s.clusters).sum(),
+            tuples: shards.iter().map(|s| s.tuples).sum(),
+            pruned_outliers: shards.iter().map(|s| s.pruned_outliers).sum(),
+            shards,
+        }
+    }
+
+    /// Run density-based pruning + index maintenance on every shard
+    /// (write-locks shards one at a time).
+    pub fn refresh(&self) {
+        for shard in 0..self.shards.len() {
+            self.write_shard(shard).refresh();
+        }
+    }
+
+    /// Serialize one shard in the given format (read-locks it).
+    pub fn snapshot_shard(
+        &self,
+        shard: usize,
+        format: SnapshotFormat,
+    ) -> Result<Vec<u8>, OnlineError> {
+        self.read_shard(shard).snapshot_bytes(format)
+    }
+}
+
+/// Apply one insert to an already write-locked shard, returning the global
+/// id and whether the record merged into an existing cluster. Shared by
+/// [`ShardedEntityStore::insert`] and the serving layer's WAL-interposed
+/// write path, so the `matched` semantics and the insert sequence can never
+/// drift between the two.
+pub fn apply_insert<E: EmbeddingModel>(
+    store: &mut EntityStore<E>,
+    shard: usize,
+    record: Record,
+) -> Result<(GlobalEntityId, bool), OnlineError> {
+    let entity = store.insert(record)?;
+    let matched = store
+        .cluster_members(entity)
+        .map(|members| members.len() > 1)
+        .unwrap_or(false);
+    Ok((
+        GlobalEntityId {
+            shard: shard as u32,
+            entity,
+        },
+        matched,
+    ))
+}
+
+/// Stable FNV-1a 64 over a record's routing key: the lowercased leading
+/// token of the first non-empty attribute (see
+/// [`ShardedEntityStore::shard_of`]). Records with no non-empty value hash
+/// their (empty) key to a fixed shard.
+fn record_route_hash(record: &Record) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let token = record
+        .values()
+        .iter()
+        .map(multiem_table::Value::render)
+        .find_map(|text| text.split_whitespace().next().map(str::to_ascii_lowercase))
+        .unwrap_or_default();
+    for byte in token.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiem_core::MultiEmConfig;
+    use multiem_embed::HashedLexicalEncoder;
+
+    fn config() -> OnlineConfig {
+        OnlineConfig::new(MultiEmConfig {
+            m: 0.35,
+            ..MultiEmConfig::default()
+        })
+        .with_all_attributes()
+    }
+
+    fn sharded(n: usize) -> ShardedEntityStore<HashedLexicalEncoder> {
+        ShardedEntityStore::new(
+            config(),
+            Schema::new(["title"]).shared(),
+            n,
+            HashedLexicalEncoder::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let store = sharded(8);
+        let a = Record::from_texts(["apple iphone 8 plus 64gb silver"]);
+        assert_eq!(store.shard_of(&a), store.shard_of(&a.clone()));
+        // Routing keys off the leading token: near-duplicates co-locate...
+        let b = Record::from_texts(["Apple iphone 8 plus 64 gb silver"]);
+        assert_eq!(store.shard_of(&a), store.shard_of(&b));
+        // ...while 64 distinct leading tokens spread across shards.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            seen.insert(store.shard_of(&Record::from_texts([format!("item{i} number")])));
+        }
+        assert!(seen.len() > 1);
+    }
+
+    #[test]
+    fn similar_records_merge_within_a_shard() {
+        let store = sharded(1); // one shard: both records share it
+        let (a, merged_a) = store
+            .insert(Record::from_texts(["golden heart river"]))
+            .unwrap();
+        assert!(!merged_a);
+        let (_b, merged_b) = store
+            .insert(Record::from_texts(["golden heart river live"]))
+            .unwrap();
+        assert!(merged_b, "near-duplicate should fuse into the cluster");
+        assert_eq!(store.cluster_members(a).unwrap().len(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.tuples, 1);
+    }
+
+    #[test]
+    fn match_record_fans_out_across_shards() {
+        let store = sharded(4);
+        // Insert enough near-duplicates that multiple shards hold clusters.
+        let titles = [
+            "golden heart river",
+            "golden heart river live",
+            "golden heart river remaster",
+            "makita drill 18v",
+            "makita drill 18 v",
+        ];
+        for t in titles {
+            store.insert(Record::from_texts([t])).unwrap();
+        }
+        let hits = store.match_record(&Record::from_texts(["golden heart river acoustic"]));
+        assert!(!hits.is_empty());
+        // Results are globally sorted by distance.
+        for pair in hits.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        // A match must point at a river cluster, not the drill.
+        let top = store.cluster_members(hits[0].0).unwrap();
+        let top_record = store
+            .read_shard(top[0].shard as usize)
+            .record(top[0].entity)
+            .unwrap()
+            .clone();
+        assert!(top_record.values()[0].render().contains("river"));
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_store() {
+        let titles = [
+            "golden heart river",
+            "golden heart river live",
+            "sony bravia tv",
+            "dyson v11 vacuum",
+            "sony bravia television",
+        ];
+        let sharded = sharded(1);
+        let mut config_plain = config();
+        config_plain.match_within_source = true;
+        let mut plain = EntityStore::new(config_plain, HashedLexicalEncoder::default());
+        plain.init_schema(Schema::new(["title"]).shared()).unwrap();
+        for t in titles {
+            sharded.insert(Record::from_texts([t])).unwrap();
+            plain.insert(Record::from_texts([t])).unwrap();
+        }
+        let probe = Record::from_texts(["sony bravia tv 55"]);
+        let sharded_hits: Vec<(EntityId, f32)> = sharded
+            .match_record(&probe)
+            .into_iter()
+            .map(|(gid, d)| (gid.entity, d))
+            .collect();
+        assert_eq!(sharded_hits, plain.match_record(&probe));
+        let stats = sharded.stats();
+        let plain_stats = plain.stats();
+        assert_eq!(stats.records, plain_stats.records);
+        assert_eq!(stats.clusters, plain_stats.clusters);
+        assert_eq!(stats.tuples, plain_stats.tuples);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_all_shards() {
+        let store = sharded(3);
+        for i in 0..12 {
+            store
+                .insert(Record::from_texts([format!("item number {i}")]))
+                .unwrap();
+        }
+        let snapshots: Vec<Vec<u8>> = (0..store.num_shards())
+            .map(|s| store.snapshot_shard(s, SnapshotFormat::Binary).unwrap())
+            .collect();
+        let restored = ShardedEntityStore::restore(
+            config(),
+            Schema::new(["title"]).shared(),
+            &snapshots,
+            HashedLexicalEncoder::default(),
+        )
+        .unwrap();
+        assert_eq!(restored.num_shards(), 3);
+        assert_eq!(restored.stats(), store.stats());
+        let probe = Record::from_texts(["item number 7"]);
+        assert_eq!(restored.match_record(&probe), store.match_record(&probe));
+    }
+
+    #[test]
+    fn auto_selection_is_rejected_without_data() {
+        let auto = OnlineConfig::new(MultiEmConfig::default());
+        let err = ShardedEntityStore::new(
+            auto,
+            Schema::new(["title"]).shared(),
+            2,
+            HashedLexicalEncoder::default(),
+        );
+        assert!(matches!(err, Err(OnlineError::InvalidConfig(_))));
+    }
+}

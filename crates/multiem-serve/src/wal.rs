@@ -1,0 +1,228 @@
+//! Write-ahead log for the serving layer.
+//!
+//! Every accepted write is appended to its shard's log file before it is
+//! applied, using the binary framing of [`multiem_online::wire`]:
+//! `[len u32][crc32 u32][payload]`, where the payload is the binary value
+//! encoding of one [`WalOp`]. The server keeps **one `Wal` per shard** so
+//! writers to different shards never contend on logging; on startup each
+//! shard's log is replayed in its own append order through the same
+//! deterministic routing, which restores the exact pre-crash store state
+//! (shards are independent, so per-shard order is the only order that
+//! matters).
+//!
+//! Torn tails — a process killed mid-append — are detected by the frame CRC
+//! and truncated away on open, so the log is always append-clean. A
+//! checkpoint (`POST /snapshot`) persists every shard snapshot and swaps in
+//! a fresh log epoch (see the server's `checkpoint`), bounding replay time.
+
+use multiem_online::wire::{self, Frame};
+use multiem_table::Record;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One durable, replayable operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalOp {
+    /// A single record accepted for ingestion, exactly as received.
+    Insert(Record),
+}
+
+impl WalOp {
+    /// Binary payload of this op (one WAL frame body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        wire::value_to_bytes(&self.to_value())
+    }
+
+    /// Decode a WAL frame body.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let value = wire::value_from_bytes(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Self::from_value(&value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Outcome of opening a WAL file.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Every intact op, in append order.
+    pub ops: Vec<WalOp>,
+    /// Whether a torn tail was found (and truncated away).
+    pub torn_tail: bool,
+}
+
+/// An append-only, CRC-framed operation log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, replay-read every intact frame,
+    /// and truncate any torn tail so the file ends on a frame boundary.
+    pub fn open(path: &Path) -> io::Result<(Self, WalRecovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+
+        let mut ops = Vec::new();
+        let mut clean_bytes: u64 = 0;
+        let mut torn_tail = false;
+        {
+            let mut reader = BufReader::new(&mut file);
+            loop {
+                match wire::read_frame(&mut reader)? {
+                    Frame::Payload(payload) => {
+                        ops.push(WalOp::from_bytes(&payload)?);
+                        clean_bytes += (wire::FRAME_HEADER_BYTES + payload.len()) as u64;
+                    }
+                    Frame::Eof => break,
+                    Frame::Torn => {
+                        torn_tail = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if torn_tail {
+            file.set_len(clean_bytes)?;
+        }
+        file.seek(SeekFrom::Start(clean_bytes))?;
+        Ok((
+            Self {
+                file,
+                path: path.to_path_buf(),
+                bytes: clean_bytes,
+            },
+            WalRecovery { ops, torn_tail },
+        ))
+    }
+
+    /// Append one op and flush it to the OS, so the write survives a process
+    /// kill (machine-crash durability would additionally need fsync; the
+    /// serving layer trades that for latency, like most WAL defaults).
+    pub fn append(&mut self, op: &WalOp) -> io::Result<()> {
+        let payload = op.to_bytes();
+        let mut writer = BufWriter::new(&mut self.file);
+        wire::write_frame(&mut writer, &payload)?;
+        writer.flush()?;
+        drop(writer);
+        self.bytes += (wire::FRAME_HEADER_BYTES + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Drop every logged op (called right after a successful checkpoint has
+    /// persisted the state the ops built).
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read every intact op of a WAL file without opening it for append (used by
+/// tooling/tests).
+pub fn read_ops(path: &Path) -> io::Result<Vec<WalOp>> {
+    let mut ops = Vec::new();
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    while let Frame::Payload(payload) = wire::read_frame(&mut reader)? {
+        ops.push(WalOp::from_bytes(&payload)?);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_wal_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "multiem-wal-test-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn op(text: &str) -> WalOp {
+        WalOp::Insert(Record::from_texts([text]))
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let path = temp_wal_path("roundtrip");
+        {
+            let (mut wal, recovery) = Wal::open(&path).unwrap();
+            assert!(recovery.ops.is_empty());
+            assert!(!recovery.torn_tail);
+            wal.append(&op("first record")).unwrap();
+            wal.append(&op("second record")).unwrap();
+            assert!(wal.bytes() > 0);
+        } // drop without any checkpoint: simulates a killed process
+        let (wal, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.ops, vec![op("first record"), op("second record")]);
+        assert!(!recovery.torn_tail);
+        assert!(wal.bytes() > 0);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = temp_wal_path("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&op("kept")).unwrap();
+            wal.append(&op("torn away")).unwrap();
+        }
+        // Tear the last 2 bytes off, as if the process died mid-write.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+
+        let (mut wal, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.ops, vec![op("kept")]);
+        assert!(recovery.torn_tail);
+        // The file is clean again: appends after recovery read back fine.
+        wal.append(&op("after recovery")).unwrap();
+        drop(wal);
+        let ops = read_ops(&path).unwrap();
+        assert_eq!(ops, vec![op("kept"), op("after recovery")]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let path = temp_wal_path("truncate");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&op("a")).unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        wal.append(&op("b")).unwrap();
+        drop(wal);
+        let (_, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.ops, vec![op("b")]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

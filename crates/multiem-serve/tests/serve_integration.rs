@@ -1,0 +1,373 @@
+//! End-to-end tests of the serving layer: loopback HTTP, kill-and-restart
+//! WAL durability, and multi-threaded ingestion.
+
+use multiem_embed::HashedLexicalEncoder;
+use multiem_serve::http::HttpClient;
+use multiem_serve::{MatchServer, ServeConfig, ServerHandle, ShardedEntityStore};
+use multiem_table::{Record, Schema};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "multiem-serve-it-{}-{}-{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_server(config: ServeConfig) -> (ServerHandle, String) {
+    let server = MatchServer::bind(config, HashedLexicalEncoder::default(), "127.0.0.1:0")
+        .expect("server binds");
+    let addr = server.local_addr().unwrap().to_string();
+    (server.spawn().expect("server spawns"), addr)
+}
+
+fn post_records(client: &mut HttpClient, titles: &[&str]) -> String {
+    let records: Vec<String> = titles.iter().map(|t| format!("[\"{t}\"]")).collect();
+    let body = format!("{{\"records\":[{}]}}", records.join(","));
+    let (status, response) = client.request("POST", "/records", Some(&body)).unwrap();
+    assert_eq!(status, 200, "ingest failed: {response}");
+    response
+}
+
+fn get_stats(client: &mut HttpClient) -> String {
+    let (status, body) = client.request("GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    body
+}
+
+fn match_title(client: &mut HttpClient, title: &str) -> String {
+    let body = format!("{{\"record\":[\"{title}\"]}}");
+    let (status, response) = client.request("POST", "/match", Some(&body)).unwrap();
+    assert_eq!(status, 200, "match failed: {response}");
+    response
+}
+
+/// The store-state part of a stats body: everything before the per-process
+/// `"requests"` counter, which legitimately differs across server lifetimes.
+fn store_part(stats: &str) -> &str {
+    let end = stats
+        .find(",\"requests\"")
+        .expect("stats has requests field");
+    &stats[..end]
+}
+
+/// Pull `"records":N` style counters out of a stats body without a full JSON
+/// parser dependency in the test.
+fn counter(stats: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = stats.find(&needle).unwrap_or_else(|| {
+        panic!("stats body lacks {name}: {stats}");
+    }) + needle.len();
+    stats[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric counter")
+}
+
+#[test]
+fn loopback_http_roundtrip() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    // Liveness.
+    let (status, body) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""));
+    assert!(body.contains("\"durable\":false"));
+
+    // Ingest three records; two are near-duplicates.
+    let response = post_records(
+        &mut client,
+        &[
+            "golden heart river",
+            "makita drill 18v",
+            "golden heart river live",
+        ],
+    );
+    assert!(response.contains("\"ingested\":3"));
+    assert!(
+        response.contains("\"matched\":true"),
+        "the near-duplicate should merge: {response}"
+    );
+
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 3);
+    assert_eq!(counter(&stats, "tuples"), 1);
+
+    // Read-only match finds the river cluster.
+    let matches = match_title(&mut client, "golden heart river remaster");
+    assert!(matches.contains("\"distance\""), "no matches: {matches}");
+    let stats_after = get_stats(&mut client);
+    assert_eq!(counter(&stats_after, "records"), 3, "match must not ingest");
+
+    // Unknown route and malformed bodies.
+    let (status, _) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, body) = client
+        .request("POST", "/records", Some("{not json"))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("error"));
+    let (status, _) = client
+        .request(
+            "POST",
+            "/records",
+            Some("{\"records\":[[\"a\",\"extra\"]]}"),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "arity mismatch must be rejected");
+    // Snapshot without a data dir is a client error, not a crash.
+    let (status, _) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn wal_replay_restores_identical_state_after_kill() {
+    let dir = temp_dir("kill-restart");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        shards: 3,
+        ..ServeConfig::default()
+    };
+
+    let titles = [
+        "apple iphone 8 plus 64gb silver",
+        "sony bravia tv 55",
+        "apple iphone 8 plus 64 gb silver",
+        "dyson v11 vacuum cleaner",
+        "sony bravia television 55 inch",
+        "garmin gps watch",
+    ];
+
+    // First life: ingest over HTTP, record the observable state, then drop
+    // the server WITHOUT checkpointing (the handle shutdown is the kill; no
+    // /snapshot is ever issued).
+    let (stats_before, matches_before) = {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        post_records(&mut client, &titles);
+        let stats = get_stats(&mut client);
+        let matches = match_title(&mut client, "apple iphone 8 plus silver");
+        handle.shutdown();
+        (stats, matches)
+    };
+    assert_eq!(counter(&stats_before, "records"), titles.len() as u64);
+    assert!(counter(&stats_before, "wal_bytes") > 0);
+
+    // Second life: WAL replay must reproduce identical stats and matches.
+    {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        assert_eq!(
+            store_part(&get_stats(&mut client)),
+            store_part(&stats_before)
+        );
+        assert_eq!(
+            match_title(&mut client, "apple iphone 8 plus silver"),
+            matches_before
+        );
+
+        // Checkpoint, write more, and restart again: snapshot + residual WAL
+        // compose.
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"checkpointed\":true"));
+        let stats = get_stats(&mut client);
+        assert_eq!(counter(&stats, "wal_bytes"), 0, "checkpoint truncates WAL");
+        post_records(&mut client, &["bosch washing machine pro"]);
+        handle.shutdown();
+    }
+
+    // Third life: checkpoint restore + replay of the single post-checkpoint op.
+    {
+        let (handle, addr) = spawn_server(config);
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let stats = get_stats(&mut client);
+        assert_eq!(counter(&stats, "records"), titles.len() as u64 + 1);
+        assert_eq!(
+            counter(&stats, "tuples"),
+            counter(&stats_before, "tuples"),
+            "the lone extra record must not change tuples"
+        );
+        assert_eq!(
+            match_title(&mut client, "apple iphone 8 plus silver"),
+            matches_before
+        );
+        handle.shutdown();
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_checkpoint_is_invisible_until_manifest_commit() {
+    let dir = temp_dir("torn-checkpoint");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        shards: 2,
+        ..ServeConfig::default()
+    };
+
+    // Build a checkpointed state (epoch 1) plus one post-checkpoint WAL op.
+    let (stats_before, matches_before) = {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        post_records(
+            &mut client,
+            &[
+                "apple iphone 8 plus",
+                "sony bravia tv",
+                "apple iphone 8 plus 64gb",
+            ],
+        );
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"epoch\":1"));
+        post_records(&mut client, &["garmin gps watch"]);
+        let stats = get_stats(&mut client);
+        let matches = match_title(&mut client, "apple iphone 8");
+        handle.shutdown();
+        (stats, matches)
+    };
+    assert_eq!(counter(&stats_before, "records"), 4);
+
+    // The checkpoint must have garbage-collected every epoch-0 file.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains("-000000."))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "epoch-0 files survived: {leftovers:?}"
+    );
+
+    // Simulate a second checkpoint that crashed AFTER writing its epoch-2
+    // snapshots and WALs but BEFORE the manifest commit: stale epoch-2
+    // files exist (missing the post-checkpoint record), manifest still says
+    // epoch 1.
+    for shard in 0..2 {
+        std::fs::copy(
+            dir.join(format!("shard-{shard:03}-000001.snap")),
+            dir.join(format!("shard-{shard:03}-000002.snap")),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("wal-{shard:03}-000002.log")), b"").unwrap();
+    }
+
+    // Restart: the torn epoch 2 must be ignored; state == pre-kill state.
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let stats = get_stats(&mut client);
+    assert_eq!(store_part(&stats), store_part(&stats_before));
+    assert_eq!(match_title(&mut client, "apple iphone 8"), matches_before);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_writers_and_readers_lose_nothing() {
+    // Direct (in-process) concurrency over the sharded store: writers on
+    // distinct records + readers matching throughout, then every insert must
+    // be accounted for and match results must be stable.
+    let store = ShardedEntityStore::new(
+        ServeConfig::default().online,
+        Schema::new(["title"]).shared(),
+        8,
+        HashedLexicalEncoder::default(),
+    )
+    .unwrap();
+
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 50;
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    store
+                        .insert(Record::from_texts([format!("writer {writer} item {i}")]))
+                        .unwrap();
+                }
+            });
+        }
+        // Two readers hammer match_record while writers run; results only
+        // need to be well-formed (sorted, bounded), not stable mid-write.
+        for _ in 0..2 {
+            let store = &store;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    let hits =
+                        store.match_record(&Record::from_texts([format!("writer 1 item {i}")]));
+                    for pair in hits.windows(2) {
+                        assert!(pair[0].1 <= pair[1].1, "merge order broken");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.stats();
+    assert_eq!(stats.records, WRITERS * PER_WRITER, "no lost inserts");
+    assert_eq!(stats.shards.len(), 8);
+
+    // Stable read results once writes quiesce.
+    let probe = Record::from_texts(["writer 2 item 17"]);
+    let first = store.match_record(&probe);
+    assert!(!first.is_empty(), "probe should find its own record");
+    for _ in 0..10 {
+        assert_eq!(store.match_record(&probe), first);
+    }
+}
+
+#[test]
+fn concurrent_http_clients_see_zero_errors() {
+    let (handle, addr) = spawn_server(ServeConfig {
+        shards: 4,
+        workers: 6,
+        ..ServeConfig::default()
+    });
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(&addr).unwrap();
+                for i in 0..PER_CLIENT {
+                    let title = format!("client {client_id} product {i}");
+                    let body = format!("{{\"records\":[[\"{title}\"]]}}");
+                    let (status, response) =
+                        client.request("POST", "/records", Some(&body)).unwrap();
+                    assert_eq!(status, 200, "write failed: {response}");
+                    if i % 5 == 0 {
+                        let body = format!("{{\"record\":[\"{title}\"]}}");
+                        let (status, _) = client.request("POST", "/match", Some(&body)).unwrap();
+                        assert_eq!(status, 200);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let stats = get_stats(&mut client);
+    assert_eq!(
+        counter(&stats, "records"),
+        (CLIENTS * PER_CLIENT) as u64,
+        "every concurrent write must land: {stats}"
+    );
+    handle.shutdown();
+}

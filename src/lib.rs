@@ -17,7 +17,9 @@
 //! * [`eval`] — tuple / pair metrics and profiling;
 //! * [`baselines`] — the comparison methods of the paper's evaluation;
 //! * [`online`] — the incremental [`EntityStore`](online::EntityStore) for
-//!   streaming ingestion, online matching and snapshot persistence.
+//!   streaming ingestion, online matching and snapshot persistence;
+//! * [`serve`] — the sharded, WAL-durable HTTP serving layer
+//!   ([`MatchServer`](serve::MatchServer)) over the online store.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use multiem_datagen as datagen;
 pub use multiem_embed as embed;
 pub use multiem_eval as eval;
 pub use multiem_online as online;
+pub use multiem_serve as serve;
 pub use multiem_table as table;
 
 /// Commonly used items, importable with `use multiem::prelude::*`.
@@ -55,7 +58,8 @@ pub mod prelude {
     pub use multiem_datagen::{benchmark_dataset, BenchmarkDataset};
     pub use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};
     pub use multiem_eval::{evaluate, EvaluationReport, Metrics};
-    pub use multiem_online::{EntityStore, OnlineConfig};
+    pub use multiem_online::{EntityStore, OnlineConfig, SnapshotFormat};
+    pub use multiem_serve::{MatchServer, ServeConfig, ShardedEntityStore};
     pub use multiem_table::{
         Dataset, EntityId, GroundTruth, MatchTuple, Record, Schema, Table, Value,
     };
