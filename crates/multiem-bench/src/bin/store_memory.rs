@@ -1,0 +1,231 @@
+//! Record-storage benchmark: memory-vs-disk backends of the online
+//! [`EntityStore`] at equal scale — resident record memory, process RSS and
+//! ingest throughput — recorded to `BENCH_store.json` (CI tracks it like
+//! `BENCH_serve.json`).
+//!
+//! ```bash
+//! MULTIEM_SCALE=0.2 cargo run --release -p multiem-bench --bin store_memory -- \
+//!     --out BENCH_store.json --gate
+//! ```
+//!
+//! `--gate` enforces the storage-layer acceptance bar: the disk backend's
+//! resident record memory must be at least 2x below the memory backend's,
+//! with ingest throughput within 2x. Matching output equality between the
+//! backends is always asserted.
+
+use multiem_core::MultiEmConfig;
+use multiem_datagen::benchmark_dataset;
+use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};
+use multiem_online::{EntityStore, OnlineConfig};
+use serde::Value;
+use std::time::Instant;
+
+struct BackendRun {
+    label: &'static str,
+    seconds: f64,
+    records: usize,
+    tuples: Vec<multiem_table::MatchTuple>,
+    resident_bytes: usize,
+    spilled_bytes: u64,
+    segments: usize,
+    approx_bytes: usize,
+    rss_after_kb: Option<u64>,
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut gate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a path"))),
+            "--gate" => gate = true,
+            "--help" | "-h" => {
+                println!(
+                    "store_memory: mem-vs-disk record storage benchmark\n\n\
+                     options:\n\
+                     \x20 --out PATH   write BENCH_store.json-style results to PATH\n\
+                     \x20 --gate       fail unless disk resident memory is 2x lower\n\
+                     \x20              and ingest throughput within 2x of mem\n\n\
+                     env: MULTIEM_SCALE (default 0.2)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let scale = std::env::var("MULTIEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.2)
+        .clamp(0.0005, 1.0);
+    let dataset_name = "music-20";
+    println!("store_memory: dataset `{dataset_name}` at MULTIEM_SCALE={scale}");
+    let data = benchmark_dataset(dataset_name, scale).expect("known preset");
+    let encoder = HashedLexicalEncoder::default();
+    println!(
+        "  {} records across {} sources, dim {}",
+        data.dataset.total_entities(),
+        data.dataset.num_sources(),
+        encoder.dim()
+    );
+
+    let disk_dir = std::env::temp_dir().join(format!("multiem-store-bench-{}", std::process::id()));
+    let base = MultiEmConfig {
+        m: 0.35,
+        ..MultiEmConfig::default()
+    };
+    let mem_config = OnlineConfig::new(base.clone()).with_all_attributes();
+    let disk_config = OnlineConfig::new(base)
+        .with_all_attributes()
+        .with_disk_storage(disk_dir.display().to_string());
+
+    // Disk first: its resident footprint is measured before the memory
+    // backend inflates the process RSS high-water mark.
+    let disk = run_backend("disk", disk_config, &data.dataset, encoder.clone());
+    let mem = run_backend("mem", mem_config, &data.dataset, encoder);
+    std::fs::remove_dir_all(&disk_dir).ok();
+
+    assert_eq!(
+        {
+            let mut t = disk.tuples.clone();
+            t.sort();
+            t
+        },
+        {
+            let mut t = mem.tuples.clone();
+            t.sort();
+            t
+        },
+        "storage backends must produce identical matching output"
+    );
+    println!(
+        "  matching output identical across backends ({} tuples)",
+        mem.tuples.len()
+    );
+
+    let resident_ratio = mem.resident_bytes as f64 / disk.resident_bytes.max(1) as f64;
+    let slowdown = disk.seconds / mem.seconds.max(1e-9);
+    println!(
+        "  resident record memory: mem {} vs disk {} ({resident_ratio:.1}x lower on disk)",
+        format_bytes(mem.resident_bytes),
+        format_bytes(disk.resident_bytes)
+    );
+    println!(
+        "  ingest: mem {:.2}s ({:.0} rec/s) vs disk {:.2}s ({:.0} rec/s); slowdown {slowdown:.2}x",
+        mem.seconds,
+        mem.records as f64 / mem.seconds.max(1e-9),
+        disk.seconds,
+        disk.records as f64 / disk.seconds.max(1e-9),
+    );
+
+    let report = Value::Map(vec![
+        ("dataset".into(), Value::Str(dataset_name.into())),
+        ("scale".into(), Value::Float(scale)),
+        ("records".into(), Value::UInt(mem.records as u64)),
+        ("tuples".into(), Value::UInt(mem.tuples.len() as u64)),
+        ("mem".into(), backend_value(&mem)),
+        ("disk".into(), backend_value(&disk)),
+        ("resident_ratio".into(), Value::Float(resident_ratio)),
+        ("ingest_slowdown".into(), Value::Float(slowdown)),
+    ]);
+    let rendered = serde_json::to_string(&report).expect("report renders");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("  wrote {path}");
+    }
+    println!("{rendered}");
+
+    if gate {
+        if resident_ratio < 2.0 {
+            fail(&format!(
+                "gate: disk resident memory only {resident_ratio:.2}x lower (need >= 2x)"
+            ));
+        }
+        if slowdown > 2.0 {
+            fail(&format!(
+                "gate: disk ingest {slowdown:.2}x slower than mem (allowed <= 2x)"
+            ));
+        }
+        println!("  gates passed: resident {resident_ratio:.1}x lower, slowdown {slowdown:.2}x");
+    }
+}
+
+fn run_backend(
+    label: &'static str,
+    config: OnlineConfig,
+    dataset: &multiem_table::Dataset,
+    encoder: HashedLexicalEncoder,
+) -> BackendRun {
+    let mut store = EntityStore::new(config, encoder);
+    let start = Instant::now();
+    for table in dataset.tables() {
+        store.ingest_batch(table).expect("ingest");
+    }
+    store.refresh();
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = store.storage_stats();
+    let run = BackendRun {
+        label,
+        seconds,
+        records: store.num_records(),
+        tuples: store.tuples(),
+        resident_bytes: stats.resident_bytes,
+        spilled_bytes: stats.spilled_bytes,
+        segments: stats.segments,
+        approx_bytes: store.approx_bytes(),
+        rss_after_kb: read_rss_kb(),
+    };
+    println!(
+        "  [{label}] ingested {} records in {seconds:.2}s; resident {}, spilled {} \
+         ({} segments), store total {}",
+        run.records,
+        format_bytes(run.resident_bytes),
+        format_bytes(run.spilled_bytes as usize),
+        run.segments,
+        format_bytes(run.approx_bytes),
+    );
+    run
+}
+
+fn backend_value(run: &BackendRun) -> Value {
+    let throughput = run.records as f64 / run.seconds.max(1e-9);
+    Value::Map(vec![
+        ("backend".into(), Value::Str(run.label.into())),
+        ("ingest_seconds".into(), Value::Float(run.seconds)),
+        ("records_per_second".into(), Value::Float(throughput)),
+        (
+            "resident_record_bytes".into(),
+            Value::UInt(run.resident_bytes as u64),
+        ),
+        ("spilled_bytes".into(), Value::UInt(run.spilled_bytes)),
+        ("segments".into(), Value::UInt(run.segments as u64)),
+        (
+            "store_approx_bytes".into(),
+            Value::UInt(run.approx_bytes as u64),
+        ),
+        (
+            "process_rss_kb".into(),
+            run.rss_after_kb.map_or(Value::Null, Value::UInt),
+        ),
+    ])
+}
+
+/// Best-effort VmRSS of this process (Linux `/proc`; `None` elsewhere).
+/// Informational only — the gates run on byte-accounted resident memory,
+/// which is attributable per backend within one process.
+fn read_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn format_bytes(bytes: usize) -> String {
+    multiem_eval::format_bytes(bytes)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

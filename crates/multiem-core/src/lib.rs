@@ -51,7 +51,7 @@ pub use config::{IndexBackend, MultiEmConfig};
 pub use error::MultiEmError;
 pub use merging::{hierarchical_merge, two_table_merge, MergeItem, MergedTable};
 pub use pipeline::{MultiEm, MultiEmOutput, PhaseBreakdown};
-pub use pruning::{prune_item, prune_merged_table, PruneOutcome};
+pub use pruning::{prune_item, prune_merged_table, prune_points, PruneOutcome};
 pub use representation::{
     select_attributes, AttributeSelection, AttributeSignificance, EmbeddingStore,
 };

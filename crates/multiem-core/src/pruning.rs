@@ -49,28 +49,38 @@ pub fn prune_item(
     store: &EmbeddingStore,
     config: &MultiEmConfig,
 ) -> PruneOutcome {
-    if members.len() < 2 {
-        return PruneOutcome {
-            kept: members.to_vec(),
-            removed: Vec::new(),
-        };
-    }
     let points: Vec<&[f32]> = members.iter().map(|&id| store.embedding(id)).collect();
+    let (kept, removed) = prune_points(&points, config);
+    PruneOutcome {
+        kept: kept.into_iter().map(|i| members[i]).collect(),
+        removed: removed.into_iter().map(|i| members[i]).collect(),
+    }
+}
+
+/// Algorithm 4 over raw embedding points, returning `(kept, removed)` index
+/// sets. This is the storage-agnostic core of [`prune_item`]: callers that
+/// do not keep a resident [`EmbeddingStore`] (the online store's
+/// spill-to-disk backend) fetch member embeddings themselves and prune the
+/// points directly.
+pub fn prune_points(points: &[&[f32]], config: &MultiEmConfig) -> (Vec<usize>, Vec<usize>) {
+    if points.len() < 2 {
+        return ((0..points.len()).collect(), Vec::new());
+    }
     let dbscan = DbscanConfig {
         eps: config.epsilon,
         min_pts: config.min_pts,
         metric: config.prune_metric,
     };
-    let classes = classify_points(&points, &dbscan);
-    let mut kept = Vec::with_capacity(members.len());
+    let classes = classify_points(points, &dbscan);
+    let mut kept = Vec::with_capacity(points.len());
     let mut removed = Vec::new();
-    for (id, class) in members.iter().zip(&classes) {
+    for (i, class) in classes.iter().enumerate() {
         match class {
-            PointClass::Core | PointClass::Reachable => kept.push(*id),
-            PointClass::Outlier => removed.push(*id),
+            PointClass::Core | PointClass::Reachable => kept.push(i),
+            PointClass::Outlier => removed.push(i),
         }
     }
-    PruneOutcome { kept, removed }
+    (kept, removed)
 }
 
 /// Summary of pruning an entire merged table.

@@ -18,6 +18,48 @@ pub enum SelectionStrategy {
     Fixed(Vec<AttrId>),
 }
 
+/// Tuning of the spill-to-disk segment record store
+/// ([`crate::storage::SegmentRecordStore`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskStorageConfig {
+    /// Directory holding the append-only segment files. One live writer per
+    /// directory: two stores appending into the same directory would race on
+    /// segment file names.
+    pub dir: String,
+    /// Records per sealed segment file. Appends accumulate in an in-memory
+    /// tail; once the tail reaches this many records it is sealed to disk
+    /// and evicted from memory.
+    pub segment_records: usize,
+    /// Capacity (in records) of the in-memory LRU over sealed records. `0`
+    /// disables the cache (every sealed read hits disk).
+    pub cache_records: usize,
+}
+
+impl DiskStorageConfig {
+    /// Disk storage under `dir` with the default segment size (512 records)
+    /// and hot cache (1024 records).
+    pub fn new(dir: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_records: 512,
+            cache_records: 1024,
+        }
+    }
+}
+
+/// Where ingested records and their embeddings live (the pluggable record
+/// storage selected by [`OnlineConfig::storage`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageConfig {
+    /// Keep every record and embedding resident (the PR-1/PR-2 behaviour;
+    /// memory grows linearly with ingest).
+    Memory,
+    /// Spill records and embeddings to append-only, CRC-framed segment
+    /// files, keeping only the unsealed tail and a bounded hot cache in
+    /// memory.
+    Disk(DiskStorageConfig),
+}
+
 /// Configuration of an [`crate::EntityStore`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineConfig {
@@ -42,6 +84,8 @@ pub struct OnlineConfig {
     /// merged pairwise), so the default is `false`; same-source records can
     /// still end up in one cluster transitively.
     pub match_within_source: bool,
+    /// Record/embedding storage backend.
+    pub storage: StorageConfig,
 }
 
 impl OnlineConfig {
@@ -61,6 +105,7 @@ impl OnlineConfig {
             prune_interval: Some(256),
             rebuild_staleness: 0.5,
             match_within_source: false,
+            storage: StorageConfig::Memory,
         }
     }
 
@@ -76,6 +121,13 @@ impl OnlineConfig {
         self
     }
 
+    /// Spill records and embeddings to segment files under `dir` (defaults
+    /// from [`DiskStorageConfig::new`]).
+    pub fn with_disk_storage(mut self, dir: impl Into<String>) -> Self {
+        self.storage = StorageConfig::Disk(DiskStorageConfig::new(dir));
+        self
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.base.validate()?;
@@ -88,6 +140,14 @@ impl OnlineConfig {
         if let SelectionStrategy::Fixed(attrs) = &self.selection {
             if attrs.is_empty() {
                 return Err("fixed attribute selection must not be empty".into());
+            }
+        }
+        if let StorageConfig::Disk(disk) = &self.storage {
+            if disk.dir.trim().is_empty() {
+                return Err("disk storage needs a non-empty directory".into());
+            }
+            if disk.segment_records == 0 {
+                return Err("disk storage segment_records must be at least 1".into());
             }
         }
         Ok(())
@@ -144,5 +204,20 @@ mod tests {
             ..MultiEmConfig::default()
         });
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn storage_config_validates() {
+        let c = OnlineConfig::default().with_disk_storage("/tmp/multiem-x");
+        assert!(c.validate().is_ok());
+        let c = OnlineConfig::default().with_disk_storage("   ");
+        assert!(c.validate().is_err());
+        let mut c = OnlineConfig::default().with_disk_storage("/tmp/multiem-x");
+        if let StorageConfig::Disk(d) = &mut c.storage {
+            d.segment_records = 0;
+        }
+        assert!(c.validate().is_err());
+        // The default stays fully resident.
+        assert_eq!(OnlineConfig::default().storage, StorageConfig::Memory);
     }
 }

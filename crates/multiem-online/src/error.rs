@@ -15,6 +15,8 @@ pub enum OnlineError {
     AlreadyPopulated,
     /// Snapshot serialization or restoration failed.
     Snapshot(String),
+    /// The record-storage backend failed (segment I/O, corrupt frame, ...).
+    Storage(String),
     /// An error bubbled up from the batch pipeline.
     Pipeline(multiem_core::MultiEmError),
 }
@@ -32,6 +34,7 @@ impl fmt::Display for OnlineError {
                 )
             }
             OnlineError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            OnlineError::Storage(msg) => write!(f, "record storage error: {msg}"),
             OnlineError::Pipeline(e) => write!(f, "batch pipeline error: {e}"),
         }
     }

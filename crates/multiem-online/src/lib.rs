@@ -25,7 +25,13 @@
 //!   and resurrect the full store state (embeddings, ANN index, cluster
 //!   partition) so a service can restart without re-ingesting — either as
 //!   JSON or in the compact [`wire`] binary format, which also provides the
-//!   framing of `multiem-serve`'s write-ahead log.
+//!   framing of `multiem-serve`'s write-ahead log;
+//! * record and embedding payloads live behind the pluggable [`storage`]
+//!   layer ([`OnlineConfig::storage`]): fully resident by default, or
+//!   spilled to append-only CRC-framed segment files with a bounded hot
+//!   cache ([`StorageConfig::Disk`]), so resident memory stops growing
+//!   linearly with ingest and snapshots of a disk-backed store carry only
+//!   the segment index (the delta) instead of every record.
 //!
 //! ```
 //! use multiem_core::MultiEmConfig;
@@ -47,11 +53,13 @@
 
 pub mod config;
 pub mod error;
+pub mod storage;
 pub mod store;
 pub mod wire;
 
-pub use config::{OnlineConfig, SelectionStrategy};
+pub use config::{DiskStorageConfig, OnlineConfig, SelectionStrategy, StorageConfig};
 pub use error::OnlineError;
+pub use storage::{RecordStore, StorageStats};
 pub use store::{EntityStore, IngestReport, StoreStats};
 pub use wire::SnapshotFormat;
 

@@ -1,0 +1,121 @@
+//! The fully resident record-store backend.
+
+use super::{record_heap_bytes, RecordIter, RecordStore, StorageStats};
+use crate::Result;
+use multiem_core::representation::EmbeddingStore;
+use multiem_table::{EntityId, Record};
+use serde::{Deserialize, Serialize};
+
+/// In-memory storage: per-source record vectors plus an [`EmbeddingStore`]
+/// — exactly the state the entity store owned before storage became
+/// pluggable, so the memory profile and snapshot contents of the default
+/// configuration are unchanged in spirit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemRecordStore {
+    names: Vec<String>,
+    records: Vec<Vec<Record>>,
+    embeddings: EmbeddingStore,
+    /// Global append order (sources interleave under streaming ingest).
+    order: Vec<EntityId>,
+    /// Running total of [`record_heap_bytes`] across every stored record.
+    record_bytes: usize,
+}
+
+impl MemRecordStore {
+    /// An empty store for embeddings of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            names: Vec::new(),
+            records: Vec::new(),
+            embeddings: EmbeddingStore::empty(dim),
+            order: Vec::new(),
+            record_bytes: 0,
+        }
+    }
+}
+
+impl RecordStore for MemRecordStore {
+    fn dim(&self) -> usize {
+        self.embeddings.dim()
+    }
+
+    fn open_source(&mut self, name: &str) -> u32 {
+        self.names.push(name.to_string());
+        self.records.push(Vec::new());
+        self.embeddings.add_source()
+    }
+
+    fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId> {
+        let id = self.embeddings.push(source, embedding);
+        self.record_bytes += record_heap_bytes(record);
+        self.records[source as usize].push(record.clone());
+        debug_assert_eq!(id.row as usize, self.records[source as usize].len() - 1);
+        self.order.push(id);
+        Ok(id)
+    }
+
+    fn get(&self, id: EntityId) -> Option<Record> {
+        self.records
+            .get(id.source as usize)?
+            .get(id.row as usize)
+            .cloned()
+    }
+
+    fn embedding(&self, id: EntityId) -> Option<Vec<f32>> {
+        if (id.source as usize) < self.records.len()
+            && (id.row as usize) < self.records[id.source as usize].len()
+        {
+            Some(self.embeddings.embedding(id).to_vec())
+        } else {
+            None
+        }
+    }
+
+    fn iter(&self) -> RecordIter<'_> {
+        Box::new(self.order.iter().map(|&id| {
+            let record = self.records[id.source as usize][id.row as usize].clone();
+            (id, record)
+        }))
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn num_sources(&self) -> usize {
+        self.records.len()
+    }
+
+    fn source_len(&self, source: u32) -> usize {
+        self.records.get(source as usize).map_or(0, Vec::len)
+    }
+
+    fn source_name(&self, source: u32) -> Option<&str> {
+        self.names.get(source as usize).map(String::as_str)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn reopen(&mut self) -> Result<()> {
+        // Rebuild the byte accounting the snapshot did not carry precisely.
+        self.record_bytes = self.records.iter().flatten().map(record_heap_bytes).sum();
+        Ok(())
+    }
+
+    fn stats(&self) -> StorageStats {
+        let records = self.len();
+        StorageStats {
+            backend: "memory",
+            records,
+            resident_records: records,
+            resident_bytes: self.record_bytes + self.embeddings.approx_bytes(),
+            spilled_records: 0,
+            spilled_bytes: 0,
+            segments: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Pluggable record/embedding storage for the online entity store.
+//!
+//! [`crate::EntityStore`] used to own every ingested [`Record`] (in
+//! `Vec<Table>`) and every embedding (in an
+//! [`multiem_core::representation::EmbeddingStore`]) directly, so resident
+//! memory grew linearly with ingest. This module factors that ownership out
+//! behind the [`RecordStore`] trait with two backends:
+//!
+//! * [`MemRecordStore`] — everything resident, the original behaviour and
+//!   the default ([`crate::StorageConfig::Memory`]);
+//! * [`SegmentRecordStore`] — records and embeddings spill to append-only,
+//!   CRC-framed segment files (the framing of [`crate::wire`], shared with
+//!   the WAL and the binary snapshot codec), keeping only the unsealed tail
+//!   and a fixed-size hot cache in memory
+//!   ([`crate::StorageConfig::Disk`]).
+//!
+//! The matching state itself (cluster metadata, centroids, the
+//! representative ANN index, union-find) stays in memory in both cases —
+//! it is the *per-record* payload (text + `dim` floats) that dominates
+//! long-running deployments and that the disk backend bounds.
+//!
+//! [`RecordStorage`] is the concrete enum the store embeds (static
+//! dispatch, and it keeps `Clone`/serde derivable); both variants and the
+//! enum itself implement [`RecordStore`].
+
+pub mod mem;
+pub mod segment;
+
+pub use mem::MemRecordStore;
+pub use segment::SegmentRecordStore;
+
+use crate::config::StorageConfig;
+use crate::Result;
+use multiem_table::{EntityId, Record};
+use serde::{Deserialize, Serialize};
+
+/// Boxed iterator over every stored record in append order.
+pub type RecordIter<'a> = Box<dyn Iterator<Item = (EntityId, Record)> + 'a>;
+
+/// Counters describing where records live and what they cost in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StorageStats {
+    /// Backend tag (`"memory"` or `"disk"`).
+    pub backend: &'static str,
+    /// Total stored records.
+    pub records: usize,
+    /// Records whose decoded form is resident (memory backend: all;
+    /// disk backend: unsealed tail + hot cache).
+    pub resident_records: usize,
+    /// Approximate bytes of resident record + embedding payload, including
+    /// the disk backend's per-record index overhead.
+    pub resident_bytes: usize,
+    /// Records that live only in sealed segment files.
+    pub spilled_records: usize,
+    /// On-disk bytes across sealed segment files.
+    pub spilled_bytes: u64,
+    /// Sealed segment files.
+    pub segments: usize,
+    /// Hot-cache hits since the store was opened (volatile: not part of the
+    /// persisted state, resets on restore).
+    pub cache_hits: u64,
+    /// Hot-cache misses (each one is a segment-file read).
+    pub cache_misses: u64,
+}
+
+/// Append-only storage of `(record, embedding)` pairs keyed by
+/// [`EntityId`], with per-source row numbering.
+///
+/// Implementations must preserve exact round-trips: `get` / `embedding`
+/// return byte-identical data to what was appended, in any order, across
+/// `flush` + `reopen` cycles.
+pub trait RecordStore {
+    /// Embedding dimensionality every appended embedding must match.
+    fn dim(&self) -> usize;
+
+    /// Open a new source table, returning its source id.
+    fn open_source(&mut self, name: &str) -> u32;
+
+    /// Append one record with its embedding to `source`, returning the id
+    /// it is retrievable under (row numbers are dense per source).
+    fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId>;
+
+    /// The record stored under `id`, or `None` for unknown ids.
+    fn get(&self, id: EntityId) -> Option<Record>;
+
+    /// The embedding stored under `id`, or `None` for unknown ids.
+    fn embedding(&self, id: EntityId) -> Option<Vec<f32>>;
+
+    /// Iterate every record in append order.
+    fn iter(&self) -> RecordIter<'_>;
+
+    /// Total stored records.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of opened sources.
+    fn num_sources(&self) -> usize;
+
+    /// Records stored for one source (0 for unknown sources).
+    fn source_len(&self, source: u32) -> usize;
+
+    /// Name a source was opened with.
+    fn source_name(&self, source: u32) -> Option<&str>;
+
+    /// Persist any buffered state (the disk backend seals its tail segment,
+    /// so a subsequent snapshot carries no record payload). No-op for the
+    /// memory backend.
+    fn flush(&mut self) -> Result<()>;
+
+    /// Re-attach deserialized metadata to its backing files (the disk
+    /// backend re-scans its segment files and rebuilds frame offsets).
+    /// Called by [`crate::EntityStore`] after snapshot restore.
+    fn reopen(&mut self) -> Result<()>;
+
+    /// Storage counters.
+    fn stats(&self) -> StorageStats;
+}
+
+/// The concrete storage backends, selected by
+/// [`StorageConfig`](crate::StorageConfig).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RecordStorage {
+    /// Fully resident storage.
+    Mem(MemRecordStore),
+    /// Spill-to-disk segment storage.
+    Disk(SegmentRecordStore),
+}
+
+impl RecordStorage {
+    /// Build the backend named by `config` for embeddings of width `dim`.
+    pub fn new(config: &StorageConfig, dim: usize) -> Result<Self> {
+        Ok(match config {
+            StorageConfig::Memory => RecordStorage::Mem(MemRecordStore::new(dim)),
+            StorageConfig::Disk(disk) => {
+                RecordStorage::Disk(SegmentRecordStore::create(disk.clone(), dim)?)
+            }
+        })
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $store:ident => $body:expr) => {
+        match $self {
+            RecordStorage::Mem($store) => $body,
+            RecordStorage::Disk($store) => $body,
+        }
+    };
+}
+
+impl RecordStore for RecordStorage {
+    fn dim(&self) -> usize {
+        delegate!(self, s => s.dim())
+    }
+
+    fn open_source(&mut self, name: &str) -> u32 {
+        delegate!(self, s => s.open_source(name))
+    }
+
+    fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId> {
+        delegate!(self, s => s.append(source, record, embedding))
+    }
+
+    fn get(&self, id: EntityId) -> Option<Record> {
+        delegate!(self, s => s.get(id))
+    }
+
+    fn embedding(&self, id: EntityId) -> Option<Vec<f32>> {
+        delegate!(self, s => s.embedding(id))
+    }
+
+    fn iter(&self) -> RecordIter<'_> {
+        delegate!(self, s => s.iter())
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, s => s.len())
+    }
+
+    fn num_sources(&self) -> usize {
+        delegate!(self, s => s.num_sources())
+    }
+
+    fn source_len(&self, source: u32) -> usize {
+        delegate!(self, s => s.source_len(source))
+    }
+
+    fn source_name(&self, source: u32) -> Option<&str> {
+        delegate!(self, s => s.source_name(source))
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        delegate!(self, s => s.flush())
+    }
+
+    fn reopen(&mut self) -> Result<()> {
+        delegate!(self, s => s.reopen())
+    }
+
+    fn stats(&self) -> StorageStats {
+        delegate!(self, s => s.stats())
+    }
+}
+
+/// Approximate heap footprint of one record's values (used by both backends
+/// for resident-byte accounting).
+pub(crate) fn record_heap_bytes(record: &Record) -> usize {
+    let mut bytes = std::mem::size_of::<Record>();
+    for v in record.values() {
+        bytes += std::mem::size_of_val(v);
+        if let Some(t) = v.as_text() {
+            bytes += t.len();
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiskStorageConfig;
+    use multiem_table::Value;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "multiem-storage-test-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(i: usize) -> Record {
+        Record::new(vec![
+            Value::Text(format!("item number {i}")),
+            Value::Number(i as f64),
+            Value::Null,
+        ])
+    }
+
+    fn embedding(i: usize, dim: usize) -> Vec<f32> {
+        (0..dim).map(|d| (i * 31 + d) as f32 * 0.25).collect()
+    }
+
+    fn exercise(store: &mut dyn RecordStore, n: usize) {
+        let dim = store.dim();
+        let a = store.open_source("alpha");
+        let b = store.open_source("beta");
+        for i in 0..n {
+            let source = if i % 3 == 0 { b } else { a };
+            let id = store
+                .append(source, &record(i), &embedding(i, dim))
+                .unwrap();
+            assert_eq!(id.source, source);
+        }
+        assert_eq!(store.len(), n);
+        assert_eq!(store.num_sources(), 2);
+        assert_eq!(store.source_len(a) + store.source_len(b), n);
+        assert_eq!(store.source_name(b), Some("beta"));
+        assert_eq!(store.source_name(9), None);
+    }
+
+    fn verify(store: &dyn RecordStore, n: usize) {
+        let dim = store.dim();
+        // Reconstruct the expected (source, row) assignment.
+        let mut rows = [0u32; 2];
+        for i in 0..n {
+            let source = u32::from(i % 3 == 0);
+            let id = EntityId::new(source, rows[source as usize]);
+            rows[source as usize] += 1;
+            assert_eq!(store.get(id), Some(record(i)), "record {i}");
+            assert_eq!(
+                store.embedding(id),
+                Some(embedding(i, dim)),
+                "embedding {i}"
+            );
+        }
+        assert_eq!(store.get(EntityId::new(5, 0)), None);
+        assert_eq!(store.embedding(EntityId::new(0, u32::MAX)), None);
+        // Iteration covers everything in append order.
+        let all: Vec<(EntityId, Record)> = store.iter().collect();
+        assert_eq!(all.len(), n);
+        for (i, (_, r)) in all.iter().enumerate() {
+            assert_eq!(r, &record(i));
+        }
+    }
+
+    #[test]
+    fn memory_backend_roundtrips() {
+        let mut store = MemRecordStore::new(4);
+        exercise(&mut store, 40);
+        verify(&store, 40);
+        let stats = store.stats();
+        assert_eq!(stats.backend, "memory");
+        assert_eq!(stats.records, 40);
+        assert_eq!(stats.resident_records, 40);
+        assert_eq!(stats.spilled_records, 0);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn disk_backend_roundtrips_and_spills() {
+        let dir = temp_dir("roundtrip");
+        let config = DiskStorageConfig {
+            segment_records: 8,
+            cache_records: 6,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 40);
+        verify(&store, 40);
+        let stats = store.stats();
+        assert_eq!(stats.backend, "disk");
+        assert_eq!(stats.records, 40);
+        assert_eq!(stats.segments, 5, "40 appends at 8/segment seal 5 files");
+        assert_eq!(stats.spilled_records, 40);
+        assert!(stats.spilled_bytes > 0);
+        assert!(
+            stats.resident_records <= 6,
+            "resident records bounded by the cache: {stats:?}"
+        );
+        assert!(stats.cache_hits + stats.cache_misses > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_backend_flush_seals_partial_tail() {
+        let dir = temp_dir("flush");
+        let config = DiskStorageConfig {
+            segment_records: 100,
+            cache_records: 4,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 10);
+        assert_eq!(store.stats().segments, 0, "tail not yet sealed");
+        store.flush().unwrap();
+        assert_eq!(store.stats().segments, 1);
+        assert_eq!(store.stats().spilled_records, 10);
+        // Appends continue into a fresh tail; mixed segment sizes resolve.
+        exercise_more(&mut store, 10, 5);
+        store.flush().unwrap();
+        assert_eq!(store.stats().segments, 2);
+        verify(&store, 15);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Append records `n..n + extra` following the `exercise` routing.
+    fn exercise_more(store: &mut dyn RecordStore, n: usize, extra: usize) {
+        let dim = store.dim();
+        for i in n..n + extra {
+            let source = u32::from(i % 3 == 0);
+            store
+                .append(source, &record(i), &embedding(i, dim))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn disk_backend_survives_serde_reopen() {
+        let dir = temp_dir("reopen");
+        let config = DiskStorageConfig {
+            segment_records: 7,
+            cache_records: 8,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 30);
+
+        // Serialize metadata + unsealed tail, as a snapshot would.
+        let value = serde::Serialize::to_value(&store);
+        let mut reopened: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        reopened.reopen().unwrap();
+        verify(&reopened, 30);
+        assert_eq!(reopened.stats().segments, store.stats().segments);
+
+        // The reopened store keeps appending where the original left off.
+        exercise_more(&mut reopened, 30, 12);
+        verify(&reopened, 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_backend_reopen_rejects_missing_or_corrupt_segments() {
+        let dir = temp_dir("corrupt");
+        let config = DiskStorageConfig {
+            segment_records: 5,
+            cache_records: 0,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 10);
+        let value = serde::Serialize::to_value(&store);
+
+        // Truncate one segment file: reopen must fail loudly.
+        let seg = dir.join("seg-000001.seg");
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let mut broken: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        assert!(broken.reopen().is_err());
+
+        // A missing file fails too.
+        std::fs::remove_file(&seg).unwrap();
+        let mut missing: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        assert!(missing.reopen().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_reads_correctly() {
+        let dir = temp_dir("nocache");
+        let config = DiskStorageConfig {
+            segment_records: 4,
+            cache_records: 0,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 20);
+        verify(&store, 20);
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits, 0, "cache disabled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enum_dispatch_matches_config() {
+        let mem = RecordStorage::new(&StorageConfig::Memory, 3).unwrap();
+        assert_eq!(mem.stats().backend, "memory");
+        let dir = temp_dir("enum");
+        let disk = RecordStorage::new(
+            &StorageConfig::Disk(DiskStorageConfig::new(dir.display().to_string())),
+            3,
+        )
+        .unwrap();
+        assert_eq!(disk.stats().backend, "disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,549 @@
+//! The spill-to-disk segment record store.
+//!
+//! Appends accumulate in an in-memory *tail*; once the tail reaches
+//! `segment_records` entries (or [`RecordStore::flush`] runs, e.g. at a
+//! serving-layer checkpoint) it is *sealed*: encoded as a run of CRC32
+//! frames ([`crate::wire`], the same framing the WAL and binary snapshots
+//! use) and published atomically as `seg-NNNNNN.seg` under the configured
+//! directory. Sealed segments are immutable; the only resident state they
+//! keep is per-frame offsets (8 bytes/record) plus whatever a bounded,
+//! two-generation hot cache holds.
+//!
+//! One frame holds one record: the serde value tree of the [`Record`]
+//! (binary value codec) followed by the raw little-endian `f32` embedding.
+//! A read miss seeks straight to the frame offset, verifies the CRC and
+//! decodes one record — no segment-wide scan.
+//!
+//! Serialization (for snapshots) carries the segment *index* — file names,
+//! first sequence numbers, sizes — and the unsealed tail, **not** the
+//! sealed payload: a checkpoint of a disk-backed store is a delta, it
+//! re-ships only what changed since the segments were sealed.
+//! [`RecordStore::reopen`] re-attaches the deserialized index to the files,
+//! re-scanning frame headers to rebuild offsets and refusing to open
+//! missing or size-mismatched segments.
+//!
+//! Durability contract: sealed segments survive the process; tail records
+//! live in memory until sealed and must be covered by an external log (the
+//! serving layer's WAL) or a snapshot, exactly like the memory backend.
+//! One live writer per directory — concurrent writers would race on
+//! segment file names.
+
+use super::{record_heap_bytes, RecordIter, RecordStore, StorageStats};
+use crate::config::DiskStorageConfig;
+use crate::error::OnlineError;
+use crate::wire::{self, Frame};
+use crate::Result;
+use multiem_table::{EntityId, Record};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Index entry of one sealed, immutable segment file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SegmentMeta {
+    /// File name under the store directory (`seg-NNNNNN.seg`).
+    file: String,
+    /// Global append sequence of the segment's first record.
+    first_seq: u32,
+    /// Records in the segment.
+    records: usize,
+    /// Total file size in bytes (magic + frames).
+    bytes: u64,
+    /// Byte offset of each frame, rebuilt by `reopen` (not persisted).
+    #[serde(skip)]
+    offsets: Vec<u64>,
+}
+
+/// One appended entry: source, record, embedding.
+type TailEntry = (u32, Record, Vec<f32>);
+
+/// Two-generation (segmented-LRU) cache over sealed records, keyed by
+/// global append sequence. Promotion on hit, wholesale demotion of the
+/// older generation once the newer one fills half the capacity.
+#[derive(Debug, Default, Clone)]
+struct RecordCache {
+    current: HashMap<u32, (Record, Vec<f32>)>,
+    previous: HashMap<u32, (Record, Vec<f32>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RecordCache {
+    fn get(&mut self, seq: u32) -> Option<(Record, Vec<f32>)> {
+        if let Some(hit) = self.current.get(&seq) {
+            self.hits += 1;
+            return Some(hit.clone());
+        }
+        if let Some(hit) = self.previous.remove(&seq) {
+            self.hits += 1;
+            self.current.insert(seq, hit.clone());
+            return Some(hit);
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, cap: usize, seq: u32, entry: (Record, Vec<f32>)) {
+        if cap == 0 {
+            return;
+        }
+        if self.current.len() >= cap.div_ceil(2) {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(seq, entry);
+    }
+
+    fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.current
+            .values()
+            .chain(self.previous.values())
+            .map(|(r, e)| record_heap_bytes(r) + e.len() * 4 + 16)
+            .sum()
+    }
+}
+
+/// Append-only segment-file storage with a bounded resident footprint. See
+/// the [module docs](self).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SegmentRecordStore {
+    config: DiskStorageConfig,
+    dim: usize,
+    /// Source names, in open order.
+    names: Vec<String>,
+    /// Per-source: row -> global append sequence.
+    seq_of: Vec<Vec<u32>>,
+    /// Global append sequence -> id (the inverse of `seq_of`).
+    entity_of_seq: Vec<EntityId>,
+    /// Sealed segments, in sequence order.
+    segments: Vec<SegmentMeta>,
+    /// Records covered by sealed segments (`entity_of_seq[..sealed]`).
+    sealed: usize,
+    /// Unsealed appends (decoded, fully resident).
+    tail: Vec<TailEntry>,
+    /// Hot cache over sealed records; interior-mutable so reads stay
+    /// `&self` (the entity store serves reads under shared locks). Not part
+    /// of the persisted state.
+    #[serde(skip)]
+    cache: Mutex<RecordCache>,
+}
+
+impl Clone for SegmentRecordStore {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            dim: self.dim,
+            names: self.names.clone(),
+            seq_of: self.seq_of.clone(),
+            entity_of_seq: self.entity_of_seq.clone(),
+            segments: self.segments.clone(),
+            sealed: self.sealed,
+            tail: self.tail.clone(),
+            cache: Mutex::new(self.cache.lock().expect("cache lock poisoned").clone()),
+        }
+    }
+}
+
+impl SegmentRecordStore {
+    /// Create (or reuse) the segment directory and start an empty store.
+    pub fn create(config: DiskStorageConfig, dim: usize) -> Result<Self> {
+        std::fs::create_dir_all(&config.dir).map_err(|e| {
+            OnlineError::Storage(format!("cannot create segment dir `{}`: {e}", config.dir))
+        })?;
+        Ok(Self {
+            config,
+            dim,
+            names: Vec::new(),
+            seq_of: Vec::new(),
+            entity_of_seq: Vec::new(),
+            segments: Vec::new(),
+            sealed: 0,
+            tail: Vec::new(),
+            cache: Mutex::new(RecordCache::default()),
+        })
+    }
+
+    /// The segment directory.
+    pub fn dir(&self) -> &Path {
+        Path::new(&self.config.dir)
+    }
+
+    fn path_of(&self, meta: &SegmentMeta) -> PathBuf {
+        self.dir().join(&meta.file)
+    }
+
+    /// Encode one frame payload: record value tree + raw f32 embedding.
+    fn encode_entry(record: &Record, embedding: &[f32]) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::write_value(&mut payload, &serde::Serialize::to_value(record));
+        for x in embedding {
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        payload
+    }
+
+    fn decode_entry(payload: &[u8], dim: usize) -> Result<(Record, Vec<f32>)> {
+        let mut pos = 0;
+        let value = wire::read_value_at(payload, &mut pos)
+            .map_err(|e| OnlineError::Storage(format!("corrupt segment record: {e}")))?;
+        let record: Record = serde::Deserialize::from_value(&value)
+            .map_err(|e| OnlineError::Storage(format!("corrupt segment record: {e}")))?;
+        let raw = &payload[pos..];
+        if raw.len() != dim * 4 {
+            return Err(OnlineError::Storage(format!(
+                "segment record carries {} embedding bytes, expected {}",
+                raw.len(),
+                dim * 4
+            )));
+        }
+        let embedding = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+        Ok((record, embedding))
+    }
+
+    /// Seal the tail into a new immutable segment file (atomic tmp +
+    /// rename; the file is fsynced before publication so a manifest that
+    /// later references it cannot outlive its contents).
+    fn seal(&mut self) -> Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::from(*wire::SEGMENT_MAGIC);
+        let mut offsets = Vec::with_capacity(self.tail.len());
+        for (_, record, embedding) in &self.tail {
+            offsets.push(buf.len() as u64);
+            let payload = Self::encode_entry(record, embedding);
+            wire::write_frame(&mut buf, &payload)
+                .map_err(|e| OnlineError::Storage(format!("segment encode failed: {e}")))?;
+        }
+
+        let file = format!("seg-{:06}.seg", self.segments.len());
+        let path = self.dir().join(&file);
+        let tmp = path.with_extension("tmp");
+        let publish = (|| -> std::io::Result<()> {
+            {
+                use std::io::Write;
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&buf)?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &path)
+        })();
+        publish.map_err(|e| {
+            OnlineError::Storage(format!("cannot seal segment `{}`: {e}", path.display()))
+        })?;
+
+        let records = self.tail.len();
+        let first_seq = self.sealed as u32;
+        // Freshly sealed records stay hot: demote them into the cache so
+        // reads right after a seal (pruning of recent clusters) stay cheap.
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (i, (_, record, embedding)) in self.tail.drain(..).enumerate() {
+                cache.insert(
+                    self.config.cache_records,
+                    first_seq + i as u32,
+                    (record, embedding),
+                );
+            }
+        }
+        self.sealed += records;
+        self.segments.push(SegmentMeta {
+            file,
+            first_seq,
+            records,
+            bytes: buf.len() as u64,
+            offsets,
+        });
+        Ok(())
+    }
+
+    /// Global append sequence of `id`, if stored.
+    fn seq(&self, id: EntityId) -> Option<u32> {
+        self.seq_of
+            .get(id.source as usize)?
+            .get(id.row as usize)
+            .copied()
+    }
+
+    /// The sealed segment covering `seq` (callers guarantee `seq < sealed`).
+    fn segment_of(&self, seq: u32) -> &SegmentMeta {
+        let idx = self
+            .segments
+            .partition_point(|m| m.first_seq <= seq)
+            .checked_sub(1)
+            .expect("sealed sequence below first segment");
+        &self.segments[idx]
+    }
+
+    /// Read one sealed record straight from its segment file.
+    ///
+    /// # Panics
+    /// Panics when the segment file vanished or fails its CRC at runtime —
+    /// the same contract as a poisoned lock: the store's backing state was
+    /// corrupted out from under it. (`reopen` reports such damage as a
+    /// recoverable error instead.)
+    fn read_sealed(&self, seq: u32) -> (Record, Vec<f32>) {
+        let meta = self.segment_of(seq);
+        let offset = meta.offsets[(seq - meta.first_seq) as usize];
+        let path = self.path_of(meta);
+        let entry = (|| -> Result<(Record, Vec<f32>)> {
+            let mut file = std::fs::File::open(&path)
+                .map_err(|e| OnlineError::Storage(format!("open failed: {e}")))?;
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| OnlineError::Storage(format!("seek failed: {e}")))?;
+            match wire::read_frame(&mut file)
+                .map_err(|e| OnlineError::Storage(format!("read failed: {e}")))?
+            {
+                Frame::Payload(payload) => Self::decode_entry(&payload, self.dim),
+                _ => Err(OnlineError::Storage(
+                    "frame truncated or failed its checksum".into(),
+                )),
+            }
+        })();
+        match entry {
+            Ok(entry) => entry,
+            Err(e) => panic!(
+                "segment `{}` corrupted at offset {offset}: {e}",
+                path.display()
+            ),
+        }
+    }
+
+    /// Cache-through lookup of any stored sequence.
+    fn entry(&self, seq: u32) -> (Record, Vec<f32>) {
+        if (seq as usize) >= self.sealed {
+            let (_, record, embedding) = &self.tail[seq as usize - self.sealed];
+            return (record.clone(), embedding.clone());
+        }
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            if let Some(hit) = cache.get(seq) {
+                return hit;
+            }
+        }
+        let entry = self.read_sealed(seq);
+        self.cache.lock().expect("cache lock poisoned").insert(
+            self.config.cache_records,
+            seq,
+            entry.clone(),
+        );
+        entry
+    }
+
+    /// Decode a whole segment file sequentially (bulk iteration path).
+    fn read_segment(&self, meta: &SegmentMeta) -> Vec<(Record, Vec<f32>)> {
+        let path = self.path_of(meta);
+        let decode = (|| -> Result<Vec<(Record, Vec<f32>)>> {
+            let file = std::fs::File::open(&path)
+                .map_err(|e| OnlineError::Storage(format!("open failed: {e}")))?;
+            let mut reader = BufReader::new(file);
+            let mut magic = [0u8; 4];
+            reader
+                .read_exact(&mut magic)
+                .map_err(|e| OnlineError::Storage(format!("read failed: {e}")))?;
+            if &magic != wire::SEGMENT_MAGIC {
+                return Err(OnlineError::Storage("bad segment magic".into()));
+            }
+            let mut out = Vec::with_capacity(meta.records);
+            for _ in 0..meta.records {
+                match wire::read_frame(&mut reader)
+                    .map_err(|e| OnlineError::Storage(format!("read failed: {e}")))?
+                {
+                    Frame::Payload(payload) => out.push(Self::decode_entry(&payload, self.dim)?),
+                    _ => {
+                        return Err(OnlineError::Storage(
+                            "frame truncated or failed its checksum".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(out)
+        })();
+        match decode {
+            Ok(out) => out,
+            Err(e) => panic!("segment `{}` corrupted: {e}", path.display()),
+        }
+    }
+}
+
+impl RecordStore for SegmentRecordStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn open_source(&mut self, name: &str) -> u32 {
+        self.names.push(name.to_string());
+        self.seq_of.push(Vec::new());
+        (self.seq_of.len() - 1) as u32
+    }
+
+    fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId> {
+        assert_eq!(embedding.len(), self.dim, "embedding width mismatch");
+        let seq = self.entity_of_seq.len() as u32;
+        let row = self.seq_of[source as usize].len() as u32;
+        let id = EntityId::new(source, row);
+        self.seq_of[source as usize].push(seq);
+        self.entity_of_seq.push(id);
+        self.tail.push((source, record.clone(), embedding.to_vec()));
+        if self.tail.len() >= self.config.segment_records {
+            self.seal()?;
+        }
+        Ok(id)
+    }
+
+    fn get(&self, id: EntityId) -> Option<Record> {
+        Some(self.entry(self.seq(id)?).0)
+    }
+
+    fn embedding(&self, id: EntityId) -> Option<Vec<f32>> {
+        Some(self.entry(self.seq(id)?).1)
+    }
+
+    fn iter(&self) -> RecordIter<'_> {
+        let sealed = self.segments.iter().flat_map(move |meta| {
+            self.read_segment(meta)
+                .into_iter()
+                .enumerate()
+                .map(move |(i, (record, _))| {
+                    (self.entity_of_seq[meta.first_seq as usize + i], record)
+                })
+        });
+        let tail = self
+            .tail
+            .iter()
+            .enumerate()
+            .map(move |(i, (_, record, _))| (self.entity_of_seq[self.sealed + i], record.clone()));
+        Box::new(sealed.chain(tail))
+    }
+
+    fn len(&self) -> usize {
+        self.entity_of_seq.len()
+    }
+
+    fn num_sources(&self) -> usize {
+        self.seq_of.len()
+    }
+
+    fn source_len(&self, source: u32) -> usize {
+        self.seq_of.get(source as usize).map_or(0, Vec::len)
+    }
+
+    fn source_name(&self, source: u32) -> Option<&str> {
+        self.names.get(source as usize).map(String::as_str)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.seal()
+    }
+
+    fn reopen(&mut self) -> Result<()> {
+        let mut covered = 0usize;
+        for meta in &mut self.segments {
+            let path = Path::new(&self.config.dir).join(&meta.file);
+            let file = std::fs::File::open(&path).map_err(|e| {
+                OnlineError::Storage(format!("segment `{}` missing: {e}", path.display()))
+            })?;
+            let actual = file
+                .metadata()
+                .map_err(|e| {
+                    OnlineError::Storage(format!("segment `{}` unreadable: {e}", path.display()))
+                })?
+                .len();
+            if actual != meta.bytes {
+                return Err(OnlineError::Storage(format!(
+                    "segment `{}` is {actual} bytes on disk, index says {}",
+                    path.display(),
+                    meta.bytes
+                )));
+            }
+            let mut reader = BufReader::new(file);
+            let mut magic = [0u8; 4];
+            reader.read_exact(&mut magic).map_err(|e| {
+                OnlineError::Storage(format!("segment `{}` unreadable: {e}", path.display()))
+            })?;
+            if &magic != wire::SEGMENT_MAGIC {
+                return Err(OnlineError::Storage(format!(
+                    "segment `{}` has a bad magic header",
+                    path.display()
+                )));
+            }
+            // Walk frame headers only, collecting offsets without decoding
+            // payloads; a short file or length mismatch is refused here so
+            // runtime reads never land mid-frame.
+            let mut offsets = Vec::with_capacity(meta.records);
+            let mut pos = 4u64;
+            for i in 0..meta.records {
+                let mut header = [0u8; wire::FRAME_HEADER_BYTES];
+                reader.read_exact(&mut header).map_err(|_| {
+                    OnlineError::Storage(format!(
+                        "segment `{}` truncated at record {i}",
+                        path.display()
+                    ))
+                })?;
+                let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as u64;
+                offsets.push(pos);
+                pos += wire::FRAME_HEADER_BYTES as u64 + len;
+                reader.seek(SeekFrom::Start(pos)).map_err(|e| {
+                    OnlineError::Storage(format!("segment `{}` unreadable: {e}", path.display()))
+                })?;
+            }
+            if pos != meta.bytes {
+                return Err(OnlineError::Storage(format!(
+                    "segment `{}` is {pos} bytes, index says {}",
+                    path.display(),
+                    meta.bytes
+                )));
+            }
+            if meta.first_seq as usize != covered {
+                return Err(OnlineError::Storage(format!(
+                    "segment `{}` starts at sequence {}, expected {covered}",
+                    path.display(),
+                    meta.first_seq
+                )));
+            }
+            covered += meta.records;
+            meta.offsets = offsets;
+        }
+        self.sealed = covered;
+        if covered + self.tail.len() != self.entity_of_seq.len() {
+            return Err(OnlineError::Storage(format!(
+                "segment index covers {covered} records plus {} in the tail, store expects {}",
+                self.tail.len(),
+                self.entity_of_seq.len()
+            )));
+        }
+        self.cache = Mutex::new(RecordCache::default());
+        Ok(())
+    }
+
+    fn stats(&self) -> StorageStats {
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        let tail_bytes: usize = self
+            .tail
+            .iter()
+            .map(|(_, r, e)| record_heap_bytes(r) + e.len() * 4 + 8)
+            .sum();
+        // Resident index overhead: seq maps (4 B/record), the seq -> id map
+        // (8 B/record) and sealed frame offsets (8 B/record).
+        let index_bytes = self.entity_of_seq.len() * 12 + self.sealed * 8;
+        StorageStats {
+            backend: "disk",
+            records: self.entity_of_seq.len(),
+            resident_records: self.tail.len() + cache.len(),
+            resident_bytes: tail_bytes + cache.approx_bytes() + index_bytes,
+            spilled_records: self.sealed,
+            spilled_bytes: self.segments.iter().map(|m| m.bytes).sum(),
+            segments: self.segments.len(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        }
+    }
+}

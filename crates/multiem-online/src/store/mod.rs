@@ -26,16 +26,23 @@
 //! the last pass ("dirty" clusters) every `prune_interval` accepted records:
 //! outliers are detached back into singleton clusters, mirroring what the
 //! batch pipeline does once at the end.
+//!
+//! Record and embedding payloads are owned by a pluggable
+//! [`RecordStore`](crate::storage::RecordStore) ([`OnlineConfig::storage`]):
+//! fully resident by default, or spilled to append-only segment files with a
+//! bounded hot cache ([`crate::storage::SegmentRecordStore`]) so resident
+//! memory stops growing linearly with ingest.
 
 use crate::config::{OnlineConfig, SelectionStrategy};
 use crate::error::OnlineError;
+use crate::storage::{RecordStorage, RecordStore, StorageStats};
 use crate::wire::{self, SnapshotFormat};
 use crate::Result;
 use multiem_ann::{BruteForceIndex, DynamicVectorIndex, HnswIndex, Neighbor, VectorIndex};
 use multiem_cluster::DynamicUnionFind;
 use multiem_core::config::IndexBackend;
 use multiem_core::representation::{select_attributes, AttributeSelection, EmbeddingStore};
-use multiem_core::{hierarchical_merge, prune_item, MergedTable};
+use multiem_core::{hierarchical_merge, prune_item, prune_points, MergedTable};
 use multiem_embed::{l2_normalize, EmbeddingModel};
 use multiem_table::{
     serialize_record_projected, AttrId, Dataset, EntityId, MatchTuple, Record, Schema, Table,
@@ -146,14 +153,15 @@ impl RepIndex {
 struct StoreState {
     config: OnlineConfig,
     schema: Option<Arc<Schema>>,
-    tables: Vec<Table>,
+    /// Record + embedding payloads (pluggable backend; see
+    /// [`crate::storage`]).
+    records: RecordStorage,
     /// Source currently accepting single-record inserts, if any.
     stream_source: Option<u32>,
     /// Attribute projection in effect (resolved from the selection strategy).
     selected: Option<Vec<AttrId>>,
     /// Full Algorithm 1 outcome when the strategy ran it.
     selection: Option<AttributeSelection>,
-    embeddings: EmbeddingStore,
     /// Dense id of the first record of each source.
     dense_base: Vec<usize>,
     /// Dense id -> entity id.
@@ -184,24 +192,28 @@ impl<E: EmbeddingModel> EntityStore<E> {
     /// Create an empty store.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid; use
-    /// [`OnlineConfig::validate`] to check fallible inputs first.
+    /// Panics if the configuration is invalid or the storage backend cannot
+    /// be set up; use [`EntityStore::try_new`] to handle those as errors.
     pub fn new(config: OnlineConfig, encoder: E) -> Self {
-        if let Err(msg) = config.validate() {
-            panic!("invalid OnlineConfig: {msg}");
-        }
+        Self::try_new(config, encoder).unwrap_or_else(|e| panic!("invalid OnlineConfig: {e}"))
+    }
+
+    /// Create an empty store, reporting invalid configuration or a failed
+    /// storage setup (e.g. an uncreatable segment directory) as errors.
+    pub fn try_new(config: OnlineConfig, encoder: E) -> Result<Self> {
+        config.validate().map_err(OnlineError::InvalidConfig)?;
         let dim = encoder.dim();
+        let records = RecordStorage::new(&config.storage, dim)?;
         let index = new_index(&config, 0, dim);
-        Self {
+        Ok(Self {
             encoder,
             state: StoreState {
                 config,
                 schema: None,
-                tables: Vec::new(),
+                records,
                 stream_source: None,
                 selected: None,
                 selection: None,
-                embeddings: EmbeddingStore::empty(dim),
                 dense_base: Vec::new(),
                 entity_of_dense: Vec::new(),
                 uf: DynamicUnionFind::new(),
@@ -213,7 +225,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
                 rebuilds: 0,
                 pruned_outliers: 0,
             },
-        }
+        })
     }
 
     /// The store configuration.
@@ -243,7 +255,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
 
     /// Number of source tables ingested so far.
     pub fn num_sources(&self) -> usize {
-        self.state.tables.len()
+        self.state.records.num_sources()
     }
 
     /// Whether the store holds no records.
@@ -251,12 +263,25 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.num_records() == 0
     }
 
-    /// Borrow an ingested record.
-    pub fn record(&self, id: EntityId) -> Option<&Record> {
-        self.state
-            .tables
-            .get(id.source as usize)?
-            .record(id.row as usize)
+    /// Fetch an ingested record from the storage backend (a disk-backed
+    /// store may read it back from a segment file, so the record is owned).
+    pub fn record(&self, id: EntityId) -> Option<Record> {
+        self.state.records.get(id)
+    }
+
+    /// Counters of the record-storage backend (where records live, resident
+    /// vs spilled bytes, cache behaviour). Cache counters are volatile:
+    /// they reset on restore and differ between otherwise identical stores.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.state.records.stats()
+    }
+
+    /// Persist buffered storage state: a disk-backed store seals its
+    /// in-memory tail into a segment file, so a subsequent snapshot carries
+    /// only the segment index instead of record payloads. No-op for the
+    /// memory backend.
+    pub fn flush_storage(&mut self) -> Result<()> {
+        self.state.records.flush()
     }
 
     /// Current summary statistics.
@@ -278,16 +303,12 @@ impl<E: EmbeddingModel> EntityStore<E> {
         }
     }
 
-    /// Approximate heap footprint of the large store components, in bytes.
+    /// Approximate *resident* heap footprint of the large store components,
+    /// in bytes: the representative index plus whatever the storage backend
+    /// keeps in memory (everything for the memory backend; tail + hot cache
+    /// + per-record index for the disk backend).
     pub fn approx_bytes(&self) -> usize {
-        self.state.embeddings.approx_bytes()
-            + self.state.index.approx_bytes()
-            + self
-                .state
-                .tables
-                .iter()
-                .map(Table::approx_bytes)
-                .sum::<usize>()
+        self.state.records.stats().resident_bytes + self.state.index.approx_bytes()
     }
 
     /// Current matched tuples: every cluster with at least two members.
@@ -332,16 +353,21 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.resolve_selection(dataset)?;
         let selected = self.state.selected.clone().expect("selection resolved");
 
-        // Phase R over the whole dataset at once.
-        self.state.embeddings =
+        // Phase R over the whole dataset at once. The batch embedding store
+        // drives the merge/prune phases below and is then dropped — the
+        // per-record payloads stream into the pluggable record store, which
+        // may spill them to disk as it goes.
+        let embeddings =
             EmbeddingStore::build(dataset, &self.encoder, &selected, &self.state.config.base);
         for (s, table) in dataset.tables().iter().enumerate() {
-            self.state.dense_base.push(self.state.entity_of_dense.len());
-            self.state.tables.push(table.clone());
-            for (row, _) in table.iter() {
+            let source = self.open_source(table.name());
+            debug_assert_eq!(source as usize, s);
+            for (row, record) in table.iter() {
+                let id = EntityId::new(s as u32, row);
                 self.state
-                    .entity_of_dense
-                    .push(EntityId::new(s as u32, row));
+                    .records
+                    .append(source, record, embeddings.embedding(id))?;
+                self.state.entity_of_dense.push(id);
                 self.state.uf.push();
             }
         }
@@ -349,18 +375,14 @@ impl<E: EmbeddingModel> EntityStore<E> {
         // Phases M and P: table-wise hierarchical merging, then density-based
         // pruning of every multi-member item.
         let tables: Vec<MergedTable> = (0..dataset.num_sources() as u32)
-            .map(|s| MergedTable::from_source(dataset, s, &self.state.embeddings))
+            .map(|s| MergedTable::from_source(dataset, s, &embeddings))
             .collect();
         let merge_out = hierarchical_merge(tables, &self.state.config.base, self.encoder.dim());
 
         let mut merged_records = 0usize;
         for item in &merge_out.integrated.items {
             let kept: Vec<EntityId> = if item.members.len() >= 2 && self.state.config.base.pruning {
-                let outcome = prune_item(
-                    &item.members,
-                    &self.state.embeddings,
-                    &self.state.config.base,
-                );
+                let outcome = prune_item(&item.members, &embeddings, &self.state.config.base);
                 self.state.pruned_outliers += outcome.removed.len();
                 outcome.kept
             } else {
@@ -411,7 +433,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
             self.resolve_selection(&ds)?;
         }
 
-        let source = self.open_source(table.name(), table.schema().clone());
+        let source = self.open_source(table.name());
         let selected = self.state.selected.clone().expect("selection resolved");
         let opts = self.state.config.base.serialize.clone();
         let texts: Vec<String> = table
@@ -427,7 +449,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
             ..IngestReport::default()
         };
         for (row, record) in table.iter() {
-            let merged = self.insert_embedded(source, record.clone(), matrix.row(row as usize));
+            let merged = self.insert_embedded(source, record, matrix.row(row as usize))?;
             report.records += 1;
             if merged {
                 report.merged += 1;
@@ -458,8 +480,8 @@ impl<E: EmbeddingModel> EntityStore<E> {
         let source = match self.state.stream_source {
             Some(s) => s,
             None => {
-                let name = format!("stream-{}", self.state.tables.len());
-                let s = self.open_source(&name, schema);
+                let name = format!("stream-{}", self.state.records.num_sources());
+                let s = self.open_source(&name);
                 self.state.stream_source = Some(s);
                 s
             }
@@ -468,8 +490,8 @@ impl<E: EmbeddingModel> EntityStore<E> {
         let text =
             serialize_record_projected(&record, &selected, &self.state.config.base.serialize);
         let emb = self.encoder.encode(&text);
-        let row = self.state.tables[source as usize].len() as u32;
-        self.insert_embedded(source, record, &emb);
+        let row = self.state.records.source_len(source) as u32;
+        self.insert_embedded(source, &record, &emb)?;
         Ok(EntityId::new(source, row))
     }
 
@@ -566,14 +588,17 @@ impl<E: EmbeddingModel> EntityStore<E> {
         }
     }
 
-    fn adopt_state(state: StoreState, encoder: E) -> Result<Self> {
-        if state.embeddings.dim() != encoder.dim() {
+    fn adopt_state(mut state: StoreState, encoder: E) -> Result<Self> {
+        if state.records.dim() != encoder.dim() {
             return Err(OnlineError::Snapshot(format!(
                 "snapshot embeddings have dim {}, encoder produces dim {}",
-                state.embeddings.dim(),
+                state.records.dim(),
                 encoder.dim()
             )));
         }
+        // Re-attach the storage backend to its backing files (disk-backed
+        // snapshots carry the segment index, not the sealed payloads).
+        state.records.reopen()?;
         Ok(Self { encoder, state })
     }
 
@@ -619,12 +644,21 @@ impl<E: EmbeddingModel> EntityStore<E> {
 
     fn dense_of(&self, id: EntityId) -> Option<usize> {
         let base = *self.state.dense_base.get(id.source as usize)?;
-        let table = self.state.tables.get(id.source as usize)?;
-        if (id.row as usize) < table.len() {
+        if (id.row as usize) < self.state.records.source_len(id.source) {
             Some(base + id.row as usize)
         } else {
             None
         }
+    }
+
+    /// The stored embedding of a dense record id. Memory backend: a copy of
+    /// the resident vector; disk backend: tail/cache hit or a segment read.
+    fn embedding_of_dense(&self, dense: usize) -> Vec<f32> {
+        let id = self.state.entity_of_dense[dense];
+        self.state
+            .records
+            .embedding(id)
+            .expect("every ingested record has a stored embedding")
     }
 
     fn canonical_id(&self, root: usize) -> EntityId {
@@ -686,20 +720,17 @@ impl<E: EmbeddingModel> EntityStore<E> {
         Ok(())
     }
 
-    fn open_source(&mut self, name: &str, schema: Arc<Schema>) -> u32 {
+    fn open_source(&mut self, name: &str) -> u32 {
         self.state.dense_base.push(self.state.entity_of_dense.len());
-        self.state.tables.push(Table::new(name, schema));
-        self.state.embeddings.add_source();
-        (self.state.tables.len() - 1) as u32
+        self.state.records.open_source(name)
     }
 
     fn make_meta(&self, members: Vec<usize>) -> ClusterMeta {
         let dim = self.encoder.dim();
         let mut sum = vec![0.0f32; dim];
         for &d in &members {
-            let id = self.state.entity_of_dense[d];
-            for (a, x) in sum.iter_mut().zip(self.state.embeddings.embedding(id)) {
-                *a += *x;
+            for (a, x) in sum.iter_mut().zip(self.embedding_of_dense(d)) {
+                *a += x;
             }
         }
         ClusterMeta {
@@ -781,11 +812,8 @@ impl<E: EmbeddingModel> EntityStore<E> {
 
     /// The shared incremental insert path. Returns whether the record merged
     /// into at least one existing cluster.
-    fn insert_embedded(&mut self, source: u32, record: Record, emb: &[f32]) -> bool {
-        let row_id = self.state.embeddings.push(source, emb);
-        self.state.tables[source as usize]
-            .push(record)
-            .expect("schema checked by caller");
+    fn insert_embedded(&mut self, source: u32, record: &Record, emb: &[f32]) -> Result<bool> {
+        let row_id = self.state.records.append(source, record, emb)?;
         let dense = self.state.uf.push();
         self.state.entity_of_dense.push(row_id);
         debug_assert_eq!(self.dense_of(row_id), Some(dense));
@@ -804,7 +832,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
         if !singleton.is_embedded() {
             let root = self.state.uf.find(dense);
             self.state.clusters.insert(root, singleton);
-            return false;
+            return Ok(false);
         }
 
         let matches: Vec<usize> = self
@@ -842,7 +870,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
             }
         }
         self.maybe_rebuild();
-        merged
+        Ok(merged)
     }
 
     /// Density-based pruning (Algorithm 4) over dirty clusters: outliers are
@@ -865,33 +893,51 @@ impl<E: EmbeddingModel> EntityStore<E> {
                 .clusters
                 .remove(&root)
                 .expect("dirty root exists");
-            let ids: Vec<EntityId> = meta
+            // Fetch member embeddings through the storage backend (resident
+            // for the memory backend; tail/cache hits or segment reads for
+            // disk) and prune the raw points.
+            let points: Vec<Vec<f32>> = meta
                 .members
                 .iter()
-                .map(|&d| self.state.entity_of_dense[d])
+                .map(|&d| self.embedding_of_dense(d))
                 .collect();
-            let outcome = prune_item(&ids, &self.state.embeddings, &self.state.config.base);
-            if outcome.removed.is_empty() {
+            let point_refs: Vec<&[f32]> = points.iter().map(Vec::as_slice).collect();
+            let (kept, removed) = prune_points(&point_refs, &self.state.config.base);
+            if removed.is_empty() {
                 meta.dirty = false;
                 self.state.clusters.insert(root, meta);
                 continue;
             }
-            self.state.pruned_outliers += outcome.removed.len();
+            self.state.pruned_outliers += removed.len();
             self.tombstone(meta.node);
-            for id in &outcome.removed {
-                let dense = self.dense_of(*id).expect("member id");
+            // Rebuild cluster sums from the points already fetched above —
+            // a refetch through `make_meta` would hit the storage backend
+            // (and possibly segment files) a second time per member.
+            for &i in &removed {
+                let dense = meta.members[i];
                 let new_root = self.state.uf.detach(dense);
-                let single = self.make_meta(vec![dense]);
+                let single = ClusterMeta {
+                    members: vec![dense],
+                    sum: points[i].clone(),
+                    node: None,
+                    dirty: false,
+                };
                 self.register_cluster(new_root, single);
             }
-            if !outcome.kept.is_empty() {
-                let kept_dense: Vec<usize> = outcome
-                    .kept
-                    .iter()
-                    .map(|&id| self.dense_of(id).expect("member id"))
-                    .collect();
-                let meta = self.make_meta(kept_dense);
-                self.register_cluster(root, meta);
+            if !kept.is_empty() {
+                let mut sum = vec![0.0f32; self.encoder.dim()];
+                for &i in &kept {
+                    for (a, x) in sum.iter_mut().zip(&points[i]) {
+                        *a += *x;
+                    }
+                }
+                let kept_meta = ClusterMeta {
+                    members: kept.iter().map(|&i| meta.members[i]).collect(),
+                    sum,
+                    node: None,
+                    dirty: false,
+                };
+                self.register_cluster(root, kept_meta);
             }
         }
     }
@@ -1362,6 +1408,131 @@ mod tests {
             auto.init_schema(title_schema()),
             Err(OnlineError::InvalidConfig(_))
         ));
+    }
+
+    fn disk_config(tag: &str) -> (OnlineConfig, std::path::PathBuf) {
+        static DIR_SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "multiem-store-disk-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        let mut cfg = config().with_disk_storage(dir.display().to_string());
+        // Tiny segments and cache so even small tests spill and re-read.
+        if let crate::config::StorageConfig::Disk(disk) = &mut cfg.storage {
+            disk.segment_records = 16;
+            disk.cache_records = 8;
+        }
+        (cfg, dir)
+    }
+
+    #[test]
+    fn disk_backend_matches_memory_backend_exactly() {
+        let ds = music_dataset(17);
+        let (disk_cfg, dir) = disk_config("equiv");
+        let mut on_disk = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+        let mut in_mem = store();
+        for table in ds.tables() {
+            let a = on_disk.ingest_batch(table).unwrap();
+            let b = in_mem.ingest_batch(table).unwrap();
+            assert_eq!(a, b, "ingest reports must not depend on storage");
+        }
+        on_disk.refresh();
+        in_mem.refresh();
+
+        let mut a = on_disk.tuples();
+        let mut b = in_mem.tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "matching must not depend on the storage backend");
+        assert_eq!(on_disk.stats(), in_mem.stats());
+
+        let probe = ds.record(EntityId::new(0, 3)).unwrap().clone();
+        assert_eq!(on_disk.match_record(&probe), in_mem.match_record(&probe));
+        // Records read back identically through the segment files.
+        for id in [EntityId::new(0, 0), EntityId::new(2, 5)] {
+            assert_eq!(on_disk.record(id), in_mem.record(id));
+        }
+
+        let ds_stats = on_disk.storage_stats();
+        assert_eq!(ds_stats.backend, "disk");
+        assert!(ds_stats.spilled_records > 0, "test must actually spill");
+        assert!(
+            ds_stats.resident_records < ds_stats.records,
+            "disk backend must not keep everything resident"
+        );
+        assert!(on_disk.approx_bytes() < in_mem.approx_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_backend_snapshot_restores_and_continues() {
+        let ds = music_dataset(19);
+        let (disk_cfg, dir) = disk_config("snap");
+        let mut s = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+        let tables = ds.tables();
+        for table in &tables[..2] {
+            s.ingest_batch(table).unwrap();
+        }
+
+        // Without a flush the snapshot carries the unsealed tail inline;
+        // with one it carries only the segment index. Both must restore.
+        for flush in [false, true] {
+            let mut current = s.clone();
+            if flush {
+                current.flush_storage().unwrap();
+            }
+            let snapshot = current.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+            let mut restored: EntityStore<HashedLexicalEncoder> =
+                EntityStore::restore_bytes(&snapshot, HashedLexicalEncoder::default()).unwrap();
+            assert_eq!(restored.stats(), current.stats());
+            for table in &tables[2..] {
+                current.ingest_batch(table).unwrap();
+                restored.ingest_batch(table).unwrap();
+            }
+            current.refresh();
+            restored.refresh();
+            let mut a = current.tuples();
+            let mut b = restored.tuples();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "restored disk store must continue identically");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_snapshot_after_flush_is_a_delta() {
+        let ds = music_dataset(23);
+        let (disk_cfg, dir) = disk_config("delta");
+        let mut s = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+        for table in ds.tables() {
+            s.ingest_batch(table).unwrap();
+        }
+        let inline = s.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+        s.flush_storage().unwrap();
+        let delta = s.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+        assert!(
+            delta.len() < inline.len(),
+            "sealing the tail must shrink the snapshot ({} vs {} bytes)",
+            delta.len(),
+            inline.len()
+        );
+        // A memory-backend snapshot of the same data dwarfs the disk delta
+        // (it carries every record and embedding).
+        let mut mem = store();
+        for table in ds.tables() {
+            mem.ingest_batch(table).unwrap();
+        }
+        let full = mem.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+        assert!(
+            delta.len() * 2 < full.len(),
+            "disk snapshot should be well under half the resident one \
+             ({} vs {} bytes)",
+            delta.len(),
+            full.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

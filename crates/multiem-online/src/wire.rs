@@ -43,6 +43,10 @@ pub enum SnapshotFormat {
 /// format).
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"MEB1";
 
+/// Magic prefix of segment files written by the spill-to-disk record store
+/// (`crate::storage::SegmentRecordStore`).
+pub const SEGMENT_MAGIC: &[u8; 4] = b"MES1";
+
 // --------------------------------------------------------------------------
 // Varints
 // --------------------------------------------------------------------------
@@ -171,6 +175,13 @@ pub fn value_from_bytes(bytes: &[u8]) -> Result<Value, WireError> {
         )));
     }
     Ok(value)
+}
+
+/// Decode one value starting at `pos`, advancing it past the value and
+/// leaving any trailing bytes unread (the segment store packs a value
+/// followed by a raw embedding in one frame).
+pub fn read_value_at(bytes: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+    read_value(bytes, pos)
 }
 
 fn read_exact_slice<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], WireError> {

@@ -8,7 +8,7 @@
 
 use multiem_embed::HashedLexicalEncoder;
 use multiem_online::SnapshotFormat;
-use multiem_serve::{MatchServer, ServeConfig};
+use multiem_serve::{FsyncPolicy, MatchServer, ServeConfig, StorageBackend};
 use std::path::PathBuf;
 
 fn main() {
@@ -35,6 +35,16 @@ fn main() {
             }
             "--m" => config.online.base.m = parse(&value("--m"), "--m"),
             "--json-snapshots" => config.snapshot_format = SnapshotFormat::Json,
+            "--storage" => {
+                config.storage =
+                    StorageBackend::parse(&value("--storage")).unwrap_or_else(|e| fail(&e));
+            }
+            "--fsync" => {
+                config.fsync = FsyncPolicy::parse(&value("--fsync")).unwrap_or_else(|e| fail(&e));
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse(&value("--queue-depth"), "--queue-depth");
+            }
             "--help" | "-h" => {
                 println!(
                     "multiem-serve: sharded entity-matching service\n\n\
@@ -45,7 +55,13 @@ fn main() {
                      \x20 --data-dir PATH    enable WAL + checkpoints under PATH\n\
                      \x20 --attrs a,b,c      schema attribute names (default `title`)\n\
                      \x20 --m FLOAT          merge distance threshold (default 0.35)\n\
-                     \x20 --json-snapshots   checkpoint as JSON instead of binary"
+                     \x20 --json-snapshots   checkpoint as JSON instead of binary\n\
+                     \x20 --storage mem|disk record storage backend (disk spills to\n\
+                     \x20                    segment files under --data-dir; default mem)\n\
+                     \x20 --fsync POLICY     WAL fsync: never, interval or always\n\
+                     \x20                    (default interval)\n\
+                     \x20 --queue-depth N    per-shard ingest queue bound; full shards\n\
+                     \x20                    answer 429 + Retry-After (default 4096)"
                 );
                 return;
             }

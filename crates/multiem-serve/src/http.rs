@@ -92,11 +92,26 @@ pub fn write_response<W: Write>(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, reason, body, close, &[])
+}
+
+/// Write one JSON response with extra headers (e.g. `Retry-After` on a 429).
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    body: &str,
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
     if close {
         writer.write_all(b"Connection: close\r\n")?;
     }
@@ -104,6 +119,10 @@ pub fn write_response<W: Write>(
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
+
+/// A fully parsed client-side response: status, lowercased `(name, value)`
+/// header pairs, body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
 
 /// A minimal keep-alive JSON client over one TCP connection (used by the
 /// load generator, the example and the integration tests).
@@ -130,6 +149,19 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        let (status, _, body) = self.request_with_headers(method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// Issue one request, returning `(status, headers, body)` with the
+    /// response headers as lowercased `(name, value)` pairs (used by tests
+    /// that assert on `Retry-After`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<FullResponse> {
         let body = body.unwrap_or("");
         write!(
             self.stream,
@@ -146,6 +178,7 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let line = read_line(&mut self.reader)?
                 .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
@@ -153,18 +186,20 @@ impl HttpClient {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim().to_ascii_lowercase();
+                if name == "content-length" {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|_| bad("bad content-length"))?;
                 }
+                headers.push((name, value.trim().to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|text| (status, text))
+            .map(|text| (status, headers, text))
             .map_err(|e| bad(&format!("non-utf8 body: {e}")))
     }
 }

@@ -13,8 +13,17 @@
 //!   that merges per-shard candidates under the paper's mutual top-K rule;
 //! * [`Wal`] — a binary, length-prefixed, CRC-framed write-ahead log (the
 //!   framing lives in [`multiem_online::wire`], shared with the compact
-//!   snapshot codec) with replay-on-startup and snapshot+truncate
-//!   checkpointing, so restarts never re-ingest;
+//!   snapshot codec and the segment files) with replay-on-startup, a
+//!   configurable [`FsyncPolicy`] for machine-crash durability, and
+//!   epoch-versioned **delta** checkpoints (only dirty shards re-snapshot;
+//!   the atomic manifest rename stays the commit point), so restarts never
+//!   re-ingest;
+//! * pluggable record storage per shard
+//!   ([`StorageBackend`], `--storage mem|disk`): the disk backend spills
+//!   records and embeddings to append-only segment files with a bounded
+//!   hot cache, so serving memory stops growing linearly with ingest;
+//! * backpressure — a bounded per-shard ingest queue; `POST /records`
+//!   answers `429` + `Retry-After` when a target shard is full;
 //! * [`MatchServer`] — a dependency-free HTTP/1.1 server on
 //!   `std::net::TcpListener`, driven by the fixed-size thread pool that now
 //!   also backs the `rayon` compat shim, exposing `POST /records`,
@@ -44,6 +53,6 @@ pub mod server;
 pub mod shard;
 pub mod wal;
 
-pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle};
+pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle, StorageBackend};
 pub use shard::{GlobalEntityId, ShardedEntityStore, ShardedStats};
-pub use wal::{Wal, WalOp};
+pub use wal::{FsyncPolicy, Wal, WalOp};

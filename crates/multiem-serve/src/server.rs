@@ -10,10 +10,10 @@
 //! | Route            | Body                                   | Effect |
 //! |------------------|----------------------------------------|--------|
 //! | `GET /healthz`   | —                                      | liveness probe |
-//! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size |
-//! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard |
+//! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters |
+//! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + `Retry-After` when a target shard's ingest queue is full |
 //! | `POST /match`    | `{"record": [v, ...]}`                 | read-only fan-out match across all shards |
-//! | `POST /snapshot` | —                                      | checkpoint: persist every shard, truncate the WAL |
+//! | `POST /snapshot` | —                                      | delta checkpoint: persist changed shards, truncate the WAL |
 //!
 //! Attribute values are JSON strings, numbers or `null`, positionally
 //! aligned with the configured schema.
@@ -29,16 +29,22 @@
 //! the same deterministic routing. Killing the process at any point loses
 //! at most the torn tail of a final append; acknowledged writes survive.
 //!
-//! Checkpoints are epoch-versioned and commit via an atomic manifest
-//! rename (see [`checkpoint`]'s step list), so a crash *during* a
-//! checkpoint can neither duplicate replayed ops into a snapshot that
-//! already contains them nor leave a torn manifest behind.
+//! Checkpoints are epoch-versioned **deltas** that commit via an atomic
+//! manifest rename (see [`checkpoint`]'s step list): only shards whose
+//! write sequence moved since the last checkpoint write a new snapshot
+//! file, the manifest records a per-shard snapshot-epoch vector, and with
+//! [`StorageBackend::Disk`] even a dirty shard's snapshot is just its
+//! segment index + cluster state (record payloads already live in sealed
+//! segment files). A crash *during* a checkpoint can neither duplicate
+//! replayed ops into a snapshot that already contains them nor leave a
+//! torn manifest behind. The WAL's [`FsyncPolicy`] decides what a
+//! machine crash (as opposed to a process kill) can lose.
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response_with, Request};
 use crate::shard::ShardedEntityStore;
-use crate::wal::{Wal, WalOp};
+use crate::wal::{FsyncPolicy, Wal, WalOp};
 use multiem_embed::EmbeddingModel;
-use multiem_online::{OnlineConfig, OnlineError, SnapshotFormat};
+use multiem_online::{DiskStorageConfig, OnlineConfig, OnlineError, SnapshotFormat, StorageConfig};
 use multiem_table::{Record, Schema, Value as AttrValue};
 use rayon::ThreadPool;
 use serde::{Serialize, Value};
@@ -85,6 +91,30 @@ impl From<OnlineError> for ServeError {
     }
 }
 
+/// Record-storage backend of the served shards (`--storage mem|disk`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Fully resident record storage (the default).
+    Memory,
+    /// Spill-to-disk segment storage under `<data_dir>/segments/shard-NNN`.
+    /// Requires a data dir; checkpoints of disk-backed shards are deltas
+    /// (segment index + cluster state, no record payloads).
+    Disk,
+}
+
+impl StorageBackend {
+    /// Parse a `--storage` CLI value (`mem` or `disk`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "mem" | "memory" => Ok(StorageBackend::Memory),
+            "disk" => Ok(StorageBackend::Disk),
+            other => Err(format!(
+                "unknown storage backend `{other}` (expected mem or disk)"
+            )),
+        }
+    }
+}
+
 /// Configuration of a [`MatchServer`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -102,6 +132,15 @@ pub struct ServeConfig {
     pub data_dir: Option<PathBuf>,
     /// Checkpoint encoding.
     pub snapshot_format: SnapshotFormat,
+    /// Where ingested records live ([`StorageBackend::Disk`] needs
+    /// `data_dir`).
+    pub storage: StorageBackend,
+    /// WAL fsync policy (ignored without a data dir).
+    pub fsync: FsyncPolicy,
+    /// Per-shard bound on records admitted but not yet applied: `POST
+    /// /records` answers `429` with `Retry-After` when a target shard is
+    /// full. `0` rejects every write (useful for drain/maintenance).
+    pub queue_depth: u64,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +157,9 @@ impl Default for ServeConfig {
             online,
             data_dir: None,
             snapshot_format: SnapshotFormat::Binary,
+            storage: StorageBackend::Memory,
+            fsync: FsyncPolicy::default(),
+            queue_depth: 4096,
         }
     }
 }
@@ -128,10 +170,30 @@ struct ServerState<E: EmbeddingModel> {
     /// is always `shard i write lock → wals[i]`; the checkpoint takes every
     /// shard lock (ascending) before any WAL lock.
     wals: Option<Vec<Mutex<Wal>>>,
-    /// Checkpoint epoch: WAL and snapshot files are named by it, and the
-    /// manifest names the only epoch that is ever loaded. Mutated only under
-    /// all shard + WAL locks (the checkpoint).
+    /// Checkpoint epoch: WAL files are named by it, and the manifest names
+    /// the only epoch that is ever loaded. Mutated only under all shard +
+    /// WAL locks (the checkpoint).
     epoch: AtomicU64,
+    /// Per-shard epoch of the latest persisted snapshot (0 = never
+    /// snapshotted). Delta checkpoints only advance the entries of shards
+    /// that changed; the manifest records the whole vector.
+    shard_epochs: Mutex<Vec<u64>>,
+    /// Per-shard count of applied writes (replayed WAL ops count too) —
+    /// compared against `checkpoint_seq` to decide which shards a delta
+    /// checkpoint must re-snapshot.
+    write_seq: Vec<AtomicU64>,
+    /// `write_seq` as of the last checkpoint (guarded by the checkpoint's
+    /// all-locks critical section).
+    checkpoint_seq: Mutex<Vec<u64>>,
+    /// Per-shard records admitted to ingestion but not yet applied; bounded
+    /// by `queue_depth` (backpressure).
+    inflight: Vec<AtomicU64>,
+    queue_depth: u64,
+    /// Records refused with `429 Too Many Requests` since startup.
+    rejected: AtomicU64,
+    /// Configured record-storage backend (lock-free copy for `/healthz`
+    /// and for sizing the checkpoint's lock acquisition).
+    storage: StorageBackend,
     data_dir: Option<PathBuf>,
     snapshot_format: SnapshotFormat,
     attributes: Vec<String>,
@@ -213,8 +275,36 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         }
         let schema = Schema::new(config.attributes.iter().map(String::as_str)).shared();
 
+        // Resolve the storage backend into the per-shard store config (the
+        // sharded store gives each shard its own segment subdirectory).
+        let mut config = config;
+        match (config.storage, &config.data_dir) {
+            (StorageBackend::Memory, _) => {}
+            (StorageBackend::Disk, None) => {
+                return Err(ServeError::Config(
+                    "disk storage needs --data-dir (segments live under it)".into(),
+                ));
+            }
+            (StorageBackend::Disk, Some(dir)) => {
+                // Segments live under the data dir; keep any caller-tuned
+                // segment/cache sizes, override only the directory.
+                let segments_dir = dir.join("segments").display().to_string();
+                config.online.storage = match config.online.storage {
+                    StorageConfig::Disk(mut disk) => {
+                        disk.dir = segments_dir;
+                        StorageConfig::Disk(disk)
+                    }
+                    StorageConfig::Memory => {
+                        StorageConfig::Disk(DiskStorageConfig::new(segments_dir))
+                    }
+                };
+            }
+        }
+
         let mut wals = None;
         let mut epoch = 0u64;
+        let mut shard_epochs = vec![0u64; config.shards];
+        let mut replayed = vec![0u64; config.shards];
         let store = match &config.data_dir {
             None => ShardedEntityStore::new(
                 config.online.clone(),
@@ -224,15 +314,18 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             )?,
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let (store, checkpoint_epoch) =
+                let (store, checkpoint_epoch, epochs) =
                     restore_or_create(&config, schema.clone(), dir, encoder)?;
                 epoch = checkpoint_epoch;
+                shard_epochs = epochs;
+                replayed = vec![0u64; store.num_shards()];
                 // One WAL per shard; replay each shard's surviving ops in
                 // its own order (shards are independent, so cross-shard
                 // interleaving does not matter).
                 let mut logs = Vec::with_capacity(store.num_shards());
-                for shard in 0..store.num_shards() {
-                    let (log, recovery) = Wal::open(&wal_path(dir, shard, epoch))?;
+                for (shard, dirtied) in replayed.iter_mut().enumerate() {
+                    let (log, recovery) =
+                        Wal::open_with(&wal_path(dir, shard, epoch), config.fsync)?;
                     if recovery.torn_tail {
                         eprintln!("[multiem-serve] truncated a torn WAL tail (shard {shard})");
                     }
@@ -244,6 +337,9 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                                  different schema or store configuration"
                             ))
                         })?;
+                        // Replayed ops dirty their shard: the next delta
+                        // checkpoint must re-snapshot it.
+                        *dirtied += 1;
                     }
                     logs.push(Mutex::new(log));
                 }
@@ -252,6 +348,11 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             }
         };
 
+        let num_shards = store.num_shards();
+        // The sharded store clamps shard counts (and a checkpoint pins its
+        // own); size the per-shard bookkeeping off the real count.
+        shard_epochs.resize(num_shards, 0);
+        replayed.resize(num_shards, 0);
         let listener = TcpListener::bind(addr)?;
         let pool = ThreadPool::new(config.workers.max(1));
         Ok(Self {
@@ -259,6 +360,13 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 store,
                 wals,
                 epoch: AtomicU64::new(epoch),
+                shard_epochs: Mutex::new(shard_epochs),
+                write_seq: replayed.iter().map(|&n| AtomicU64::new(n)).collect(),
+                checkpoint_seq: Mutex::new(vec![0u64; num_shards]),
+                inflight: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+                queue_depth: config.queue_depth,
+                rejected: AtomicU64::new(0),
+                storage: config.storage,
                 data_dir: config.data_dir.clone(),
                 snapshot_format: config.snapshot_format,
                 attributes: config.attributes.clone(),
@@ -313,20 +421,23 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
     }
 }
 
-/// Load the store named by `MANIFEST.json` (the manifest's epoch is the only
-/// source of truth — files from interrupted checkpoints of other epochs are
+/// Load the store named by `MANIFEST.json` (the manifest is the only source
+/// of truth — files from interrupted checkpoints of other epochs are
 /// ignored), or create a fresh one at epoch 0 when no manifest exists.
-/// Returns the store and the manifest epoch.
+/// Returns the store, the manifest (WAL) epoch, and the per-shard snapshot
+/// epochs (`shard_epochs[i] == 0` means shard `i` was never snapshotted and
+/// restores empty — delta checkpoints skip untouched shards).
 fn restore_or_create<E: EmbeddingModel + Clone>(
     config: &ServeConfig,
     schema: Arc<Schema>,
     dir: &Path,
     encoder: E,
-) -> Result<(ShardedEntityStore<E>, u64), ServeError> {
+) -> Result<(ShardedEntityStore<E>, u64, Vec<u64>), ServeError> {
     let manifest = manifest_path(dir);
     if !manifest.exists() {
         let store = ShardedEntityStore::new(config.online.clone(), schema, config.shards, encoder)?;
-        return Ok((store, 0));
+        let shards = store.num_shards();
+        return Ok((store, 0, vec![0; shards]));
     }
     let text = std::fs::read_to_string(&manifest)?;
     let value: Value = serde_json::from_str(&text)
@@ -358,11 +469,31 @@ fn restore_or_create<E: EmbeddingModel + Clone>(
             config.shards
         );
     }
-    let snapshots: Vec<Vec<u8>> = (0..shards)
-        .map(|i| std::fs::read(snapshot_path(dir, i, epoch)))
+    // Per-shard snapshot epochs (pre-delta manifests lack the field: every
+    // shard was written at the manifest epoch).
+    let shard_epochs: Vec<u64> = field(&value, "shard_epochs")
+        .and_then(Value::as_seq)
+        .map(|seq| seq.iter().filter_map(Value::as_u64).collect())
+        .unwrap_or_else(|| vec![epoch; shards]);
+    if shard_epochs.len() != shards {
+        return Err(ServeError::Config(format!(
+            "MANIFEST.json lists {} shard epochs for {shards} shards",
+            shard_epochs.len()
+        )));
+    }
+    let snapshots: Vec<Option<Vec<u8>>> = shard_epochs
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            if e == 0 {
+                Ok(None)
+            } else {
+                std::fs::read(snapshot_path(dir, i, e)).map(Some)
+            }
+        })
         .collect::<io::Result<_>>()?;
     let store = ShardedEntityStore::restore(config.online.clone(), schema, &snapshots, encoder)?;
-    Ok((store, epoch))
+    Ok((store, epoch, shard_epochs))
 }
 
 // --------------------------------------------------------------------------
@@ -411,12 +542,13 @@ fn handle_connection<E: EmbeddingModel>(
             Ok(Some(request)) => request,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                write_response(
+                write_response_with(
                     &mut writer,
                     400,
                     "Bad Request",
                     &error_body(&e.to_string()),
                     true,
+                    &[],
                 )?;
                 return Ok(());
             }
@@ -426,36 +558,75 @@ fn handle_connection<E: EmbeddingModel>(
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
         let close = request.close;
-        let (status, reason, body) = route(state, &request);
-        write_response(&mut writer, status, reason, &body, close)?;
+        let response = route(state, &request);
+        let mut extra: Vec<(&str, String)> = Vec::new();
+        if let Some(seconds) = response.retry_after {
+            extra.push(("Retry-After", seconds.to_string()));
+        }
+        write_response_with(
+            &mut writer,
+            response.status,
+            response.reason,
+            &response.body,
+            close,
+            &extra,
+        )?;
         if close {
             return Ok(());
         }
     }
 }
 
-fn route<E: EmbeddingModel>(
-    state: &ServerState<E>,
-    request: &Request,
-) -> (u16, &'static str, String) {
+/// One routed response (status line, JSON body, optional `Retry-After`).
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Response {
+    fn new(status: u16, reason: &'static str, body: String) -> Self {
+        Self {
+            status,
+            reason,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "OK", healthz(state)),
-        ("GET", "/stats") => (200, "OK", stats(state)),
+        ("GET", "/healthz") => Response::new(200, "OK", healthz(state)),
+        ("GET", "/stats") => Response::new(200, "OK", stats(state)),
         ("POST", "/records") => match ingest(state, &request.body) {
-            Ok(body) => (200, "OK", body),
-            Err(msg) => (400, "Bad Request", error_body(&msg)),
+            Ok(body) => Response::new(200, "OK", body),
+            Err(IngestError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
+            Err(IngestError::Overloaded { rejected }) => Response {
+                status: 429,
+                reason: "Too Many Requests",
+                body: render(Value::Map(vec![
+                    (
+                        "error".into(),
+                        Value::Str("ingest queue full; retry later".into()),
+                    ),
+                    ("rejected".into(), Value::UInt(rejected)),
+                ])),
+                retry_after: Some(1),
+            },
         },
         ("POST", "/match") => match match_one(state, &request.body) {
-            Ok(body) => (200, "OK", body),
-            Err(msg) => (400, "Bad Request", error_body(&msg)),
+            Ok(body) => Response::new(200, "OK", body),
+            Err(msg) => Response::new(400, "Bad Request", error_body(&msg)),
         },
         ("POST", "/snapshot") => match checkpoint(state) {
-            Ok(body) => (200, "OK", body),
-            Err(ServeError::Config(msg)) => (400, "Bad Request", error_body(&msg)),
-            Err(e) => (500, "Internal Server Error", error_body(&e.to_string())),
+            Ok(body) => Response::new(200, "OK", body),
+            Err(ServeError::Config(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
+            Err(e) => Response::new(500, "Internal Server Error", error_body(&e.to_string())),
         },
-        ("GET" | "POST", _) => (404, "Not Found", error_body("no such route")),
-        _ => (405, "Method Not Allowed", error_body("unsupported method")),
+        ("GET" | "POST", _) => Response::new(404, "Not Found", error_body("no such route")),
+        _ => Response::new(405, "Method Not Allowed", error_body("unsupported method")),
     }
 }
 
@@ -467,6 +638,18 @@ fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
             Value::UInt(state.store.num_shards() as u64),
         ),
         ("durable".into(), Value::Bool(state.wals.is_some())),
+        // Config-derived, deliberately lock-free: the liveness probe must
+        // answer even while a checkpoint holds every shard lock.
+        (
+            "storage".into(),
+            Value::Str(
+                match state.storage {
+                    StorageBackend::Memory => "memory",
+                    StorageBackend::Disk => "disk",
+                }
+                .into(),
+            ),
+        ),
     ]))
 }
 
@@ -489,26 +672,128 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
         "requests".into(),
         Value::UInt(state.requests.load(Ordering::Relaxed)),
     ));
+    // Everything below `requests` is process-local (counters reset on
+    // restart, cache contents differ) — the store-state prefix above stays
+    // byte-identical across a kill + WAL replay.
+    entries.push((
+        "rejected".into(),
+        Value::UInt(state.rejected.load(Ordering::Relaxed)),
+    ));
+    entries.push(("queue_depth".into(), Value::UInt(state.queue_depth)));
+    entries.push(("storage".into(), state.store.storage_stats().to_value()));
     render(Value::Map(entries))
 }
 
-fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, String> {
-    let value = parse_body(body)?;
+/// A shard lock held for the duration of a checkpoint: shared for the
+/// memory backend (reads keep serving), exclusive for the disk backend
+/// (its storage tail is sealed under the lock).
+enum ShardGuard<'a, E: EmbeddingModel> {
+    Read(std::sync::RwLockReadGuard<'a, multiem_online::EntityStore<E>>),
+    Write(std::sync::RwLockWriteGuard<'a, multiem_online::EntityStore<E>>),
+}
+
+impl<E: EmbeddingModel> ShardGuard<'_, E> {
+    fn get(&self) -> &multiem_online::EntityStore<E> {
+        match self {
+            ShardGuard::Read(g) => g,
+            ShardGuard::Write(g) => g,
+        }
+    }
+}
+
+/// Why `POST /records` was refused.
+enum IngestError {
+    /// Malformed body (`400`).
+    Invalid(String),
+    /// A target shard's ingest queue is full (`429` + `Retry-After`).
+    Overloaded { rejected: u64 },
+}
+
+/// Admission slots on the per-shard ingest queues, released on drop (also
+/// on error paths, so a failed insert never leaks queue capacity).
+struct QueueSlots<'a, E: EmbeddingModel> {
+    state: &'a ServerState<E>,
+    /// `(shard, records admitted)` pairs.
+    acquired: Vec<(usize, u64)>,
+}
+
+impl<E: EmbeddingModel> Drop for QueueSlots<'_, E> {
+    fn drop(&mut self) {
+        for &(shard, n) in &self.acquired {
+            self.state.inflight[shard].fetch_sub(n, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Admit a whole batch onto its target shards' queues, or refuse the batch
+/// atomically when any shard lacks room. `Err` means the batch can *never*
+/// fit (a per-shard count above the queue depth): retrying it verbatim
+/// would loop forever, so the caller must answer with a terminal 400
+/// rather than 429 + `Retry-After`. (`queue_depth == 0` is the explicit
+/// drain mode, where 429-everything is the intent.)
+fn admit<'a, E: EmbeddingModel>(
+    state: &'a ServerState<E>,
+    records: &[Record],
+) -> Result<Option<QueueSlots<'a, E>>, String> {
+    let mut per_shard: Vec<(usize, u64)> = Vec::new();
+    for record in records {
+        let shard = state.store.shard_of(record);
+        match per_shard.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, n)) => *n += 1,
+            None => per_shard.push((shard, 1)),
+        }
+    }
+    if state.queue_depth > 0 {
+        if let Some((shard, n)) = per_shard.iter().find(|(_, n)| *n > state.queue_depth) {
+            return Err(format!(
+                "batch routes {n} records to shard {shard}, above the ingest queue \
+                 depth {}; split the batch",
+                state.queue_depth
+            ));
+        }
+    }
+    let mut slots = QueueSlots {
+        state,
+        acquired: Vec::with_capacity(per_shard.len()),
+    };
+    for (shard, n) in per_shard {
+        let before = state.inflight[shard].fetch_add(n, Ordering::SeqCst);
+        slots.acquired.push((shard, n));
+        if before + n > state.queue_depth {
+            // Dropping `slots` rolls back every acquisition.
+            return Ok(None);
+        }
+    }
+    Ok(Some(slots))
+}
+
+fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, IngestError> {
+    let value = parse_body(body).map_err(IngestError::Invalid)?;
     let records = field(&value, "records")
         .and_then(Value::as_seq)
-        .ok_or("body must be {\"records\": [[...], ...]}")?;
+        .ok_or_else(|| IngestError::Invalid("body must be {\"records\": [[...], ...]}".into()))?;
     let arity = state.attributes.len();
     let mut parsed = Vec::with_capacity(records.len());
     for (i, item) in records.iter().enumerate() {
-        let record = record_from_value(item).map_err(|e| format!("records[{i}]: {e}"))?;
+        let record = record_from_value(item)
+            .map_err(|e| IngestError::Invalid(format!("records[{i}]: {e}")))?;
         if record.arity() != arity {
-            return Err(format!(
+            return Err(IngestError::Invalid(format!(
                 "records[{i}] has {} values, schema has {arity} attributes",
                 record.arity()
-            ));
+            )));
         }
         parsed.push(record);
     }
+
+    // Backpressure: the whole batch is admitted or refused before any write
+    // lands, so a 429 never leaves a half-applied request behind. The slots
+    // release when the request finishes (`_slots` drops on every path).
+    let Some(_slots) = admit(state, &parsed).map_err(IngestError::Invalid)? else {
+        let rejected = parsed.len() as u64;
+        state.rejected.fetch_add(rejected, Ordering::Relaxed);
+        return Err(IngestError::Overloaded { rejected });
+    };
 
     let mut results = Vec::with_capacity(parsed.len());
     for record in parsed {
@@ -521,10 +806,11 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
                 .lock()
                 .expect("wal lock poisoned")
                 .append(&WalOp::Insert(record.clone()))
-                .map_err(|e| format!("wal append failed: {e}"))?;
+                .map_err(|e| IngestError::Invalid(format!("wal append failed: {e}")))?;
         }
-        let (gid, matched) =
-            crate::shard::apply_insert(&mut guard, shard, record).map_err(|e| e.to_string())?;
+        let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
+            .map_err(|e| IngestError::Invalid(e.to_string()))?;
+        state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
         drop(guard);
         results.push(Value::Map(vec![
             ("shard".into(), Value::UInt(u64::from(gid.shard))),
@@ -570,24 +856,35 @@ fn match_one<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<S
     )])))
 }
 
-/// Checkpoint protocol (crash-atomic): snapshot every shard and start a new
-/// WAL epoch, with the manifest rename as the single commit point.
+/// Delta checkpoint protocol (crash-atomic): snapshot the shards that
+/// changed since the last checkpoint and start a new WAL epoch, with the
+/// manifest rename as the single commit point.
 ///
-/// 1. take every shard read lock (ascending), then every WAL lock — the
-///    same global order writers use, so no write interleaves;
-/// 2. write `shard-NNN-{epoch+1}.snap` files (temp + rename each);
-/// 3. create empty `wal-NNN-{epoch+1}.log` files;
+/// 1. take every shard lock (ascending), then every WAL lock — the same
+///    global order writers use, so no write interleaves. Memory-backed
+///    stores take **read** locks (reads keep serving through the
+///    checkpoint, as in PR 2); disk-backed stores take **write** locks
+///    because dirty shards seal their storage tail here;
+/// 2. for every *dirty* shard (its `write_seq` moved since the last
+///    checkpoint, or it has no snapshot yet despite holding records):
+///    flush its storage and write `shard-NNN-{epoch+1}.snap` (temp +
+///    rename each). Clean shards keep their existing snapshot file — with
+///    the disk backend even a dirty shard's snapshot is only the segment
+///    index + cluster state, so the checkpoint cost tracks the delta, not
+///    the store size;
+/// 3. create empty `wal-NNN-{epoch+1}.log` files for **all** shards (WAL
+///    truncation is keyed to the new delta epoch);
 /// 4. **commit**: atomically rename the new `MANIFEST.json` naming
-///    `epoch + 1` into place;
-/// 5. swap the in-memory WAL handles and best-effort delete the old epoch's
-///    files.
+///    `epoch + 1` and the per-shard snapshot epochs into place;
+/// 5. swap the in-memory WAL handles and best-effort delete the old
+///    epoch's WALs and each re-snapshotted shard's superseded snapshot.
 ///
 /// A crash before step 4 leaves the manifest pointing at the old epoch —
 /// the old snapshots and old WALs are untouched, so startup sees exactly
 /// the pre-checkpoint state and the half-written new epoch is ignored (and
 /// overwritten by the next checkpoint). A crash after step 4 loads the new
-/// snapshots with the new (empty) WALs. No ordering replays an op into a
-/// snapshot that already contains it.
+/// manifest's mix of old and new snapshots with the new (empty) WALs. No
+/// ordering replays an op into a snapshot that already contains it.
 fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, ServeError> {
     let Some(dir) = &state.data_dir else {
         return Err(ServeError::Config(
@@ -598,37 +895,67 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         return Err(ServeError::Config("server has no WAL".into()));
     };
 
-    let guards: Vec<_> = (0..state.store.num_shards())
-        .map(|i| state.store.read_shard(i))
+    let num_shards = state.store.num_shards();
+    // Only the disk backend mutates shard state here (sealing storage
+    // tails); the memory backend checkpoints under read locks so matches
+    // keep serving.
+    let mut guards: Vec<ShardGuard<'_, E>> = (0..num_shards)
+        .map(|i| match state.storage {
+            StorageBackend::Memory => ShardGuard::Read(state.store.read_shard(i)),
+            StorageBackend::Disk => ShardGuard::Write(state.store.write_shard(i)),
+        })
         .collect();
     let mut wal_guards: Vec<_> = wals
         .iter()
         .map(|wal| wal.lock().expect("wal lock poisoned"))
         .collect();
+    let mut shard_epochs = state.shard_epochs.lock().expect("epoch lock poisoned");
+    let mut checkpoint_seq = state.checkpoint_seq.lock().expect("seq lock poisoned");
     let old_epoch = state.epoch.load(Ordering::SeqCst);
     let new_epoch = old_epoch + 1;
 
     let mut total_bytes = 0usize;
-    for (i, guard) in guards.iter().enumerate() {
-        let bytes = guard.snapshot_bytes(state.snapshot_format)?;
+    let mut snapshots_written = 0u64;
+    let mut superseded: Vec<(usize, u64)> = Vec::new();
+    for (i, guard) in guards.iter_mut().enumerate() {
+        let seq = state.write_seq[i].load(Ordering::SeqCst);
+        let dirty = seq != checkpoint_seq[i] || (shard_epochs[i] == 0 && !guard.get().is_empty());
+        if !dirty {
+            continue;
+        }
+        // Seal the storage tail first (disk backend): the snapshot then
+        // carries the segment index instead of record payloads.
+        if let ShardGuard::Write(store) = guard {
+            store.flush_storage()?;
+        }
+        let bytes = guard.get().snapshot_bytes(state.snapshot_format)?;
         total_bytes += bytes.len();
         write_atomic(&snapshot_path(dir, i, new_epoch), &bytes)?;
+        if shard_epochs[i] != 0 {
+            superseded.push((i, shard_epochs[i]));
+        }
+        shard_epochs[i] = new_epoch;
+        checkpoint_seq[i] = seq;
+        snapshots_written += 1;
     }
     // Fresh, empty WALs for the new epoch (truncate any leftovers from a
     // previously crashed checkpoint attempt at this same epoch).
     let mut new_wals = Vec::with_capacity(wal_guards.len());
-    for shard in 0..wal_guards.len() {
-        let (mut log, _) = Wal::open(&wal_path(dir, shard, new_epoch))?;
+    for (shard, wal) in wal_guards.iter_mut().enumerate() {
+        // Make the superseded log durable before committing past it.
+        wal.sync()?;
+        let (mut log, _) = Wal::open_with(&wal_path(dir, shard, new_epoch), wal.fsync_policy())?;
         log.truncate()?;
         new_wals.push(log);
     }
 
     let manifest = Value::Map(vec![
-        (
-            "shards".into(),
-            Value::UInt(state.store.num_shards() as u64),
-        ),
+        ("shards".into(), Value::UInt(num_shards as u64)),
         ("epoch".into(), Value::UInt(new_epoch)),
+        (
+            "shard_epochs".into(),
+            Value::Seq(shard_epochs.iter().map(|&e| Value::UInt(e)).collect()),
+        ),
         (
             "format".into(),
             Value::Str(
@@ -660,16 +987,16 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         truncated += old.bytes();
         drop(old);
         std::fs::remove_file(wal_path(dir, shard, old_epoch)).ok();
-        std::fs::remove_file(snapshot_path(dir, shard, old_epoch)).ok();
+    }
+    for (shard, epoch) in superseded {
+        std::fs::remove_file(snapshot_path(dir, shard, epoch)).ok();
     }
 
     Ok(render(Value::Map(vec![
         ("checkpointed".into(), Value::Bool(true)),
-        (
-            "shards".into(),
-            Value::UInt(state.store.num_shards() as u64),
-        ),
+        ("shards".into(), Value::UInt(num_shards as u64)),
         ("epoch".into(), Value::UInt(new_epoch)),
+        ("snapshots_written".into(), Value::UInt(snapshots_written)),
         ("snapshot_bytes".into(), Value::UInt(total_bytes as u64)),
         ("wal_bytes_truncated".into(), Value::UInt(truncated)),
     ])))

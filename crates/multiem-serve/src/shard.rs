@@ -87,27 +87,38 @@ impl<E: EmbeddingModel + Clone> ShardedEntityStore<E> {
         let num_shards = num_shards.clamp(1, 4096);
         let k = config.base.k;
         let mut shards = Vec::with_capacity(num_shards);
-        for _ in 0..num_shards {
-            let mut store = EntityStore::new(config.clone(), encoder.clone());
+        for shard in 0..num_shards {
+            let mut store = EntityStore::try_new(shard_config(&config, shard), encoder.clone())?;
             store.init_schema(schema.clone())?;
             shards.push(RwLock::new(store));
         }
         Ok(Self { shards, schema, k })
     }
 
-    /// Rebuild a sharded store from per-shard snapshots (one byte buffer per
-    /// shard, in shard order, as produced by
-    /// [`EntityStore::snapshot_bytes`]).
+    /// Rebuild a sharded store from per-shard snapshots, in shard order, as
+    /// produced by [`EntityStore::snapshot_bytes`]. A `None` entry stands
+    /// for a shard that was never checkpointed (delta checkpoints skip
+    /// untouched shards): it is recreated empty from `config`, which is
+    /// deterministic, so the combination restores the exact sharded state.
     pub fn restore(
-        config: OnlineConfig,
+        mut config: OnlineConfig,
         schema: Arc<Schema>,
-        snapshots: &[Vec<u8>],
+        snapshots: &[Option<Vec<u8>>],
         encoder: E,
     ) -> Result<Self, OnlineError> {
+        config.match_within_source = true;
         let k = config.base.k;
         let mut shards = Vec::with_capacity(snapshots.len());
-        for snapshot in snapshots {
-            let store = EntityStore::restore_bytes(snapshot, encoder.clone())?;
+        for (shard, snapshot) in snapshots.iter().enumerate() {
+            let store = match snapshot {
+                Some(bytes) => EntityStore::restore_bytes(bytes, encoder.clone())?,
+                None => {
+                    let mut store =
+                        EntityStore::try_new(shard_config(&config, shard), encoder.clone())?;
+                    store.init_schema(schema.clone())?;
+                    store
+                }
+            };
             shards.push(RwLock::new(store));
         }
         if shards.is_empty() {
@@ -115,6 +126,18 @@ impl<E: EmbeddingModel + Clone> ShardedEntityStore<E> {
         }
         Ok(Self { shards, schema, k })
     }
+}
+
+/// The per-shard store configuration: disk-backed storage gets a shard-own
+/// segment directory (`<dir>/shard-NNN`) so shards never race on segment
+/// file names; everything else is shared verbatim.
+fn shard_config(config: &OnlineConfig, shard: usize) -> OnlineConfig {
+    let mut config = config.clone();
+    if let multiem_online::StorageConfig::Disk(disk) = &mut config.storage {
+        let dir = std::path::Path::new(&disk.dir).join(format!("shard-{shard:03}"));
+        disk.dir = dir.display().to_string();
+    }
+    config
 }
 
 impl<E: EmbeddingModel> ShardedEntityStore<E> {
@@ -246,6 +269,30 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
     ) -> Result<Vec<u8>, OnlineError> {
         self.read_shard(shard).snapshot_bytes(format)
     }
+
+    /// Aggregate record-storage counters across every shard (read-locks
+    /// them one at a time).
+    pub fn storage_stats(&self) -> multiem_online::StorageStats {
+        let mut total: Option<multiem_online::StorageStats> = None;
+        for shard in 0..self.shards.len() {
+            let stats = self.read_shard(shard).storage_stats();
+            total = Some(match total {
+                None => stats,
+                Some(mut sum) => {
+                    sum.records += stats.records;
+                    sum.resident_records += stats.resident_records;
+                    sum.resident_bytes += stats.resident_bytes;
+                    sum.spilled_records += stats.spilled_records;
+                    sum.spilled_bytes += stats.spilled_bytes;
+                    sum.segments += stats.segments;
+                    sum.cache_hits += stats.cache_hits;
+                    sum.cache_misses += stats.cache_misses;
+                    sum
+                }
+            });
+        }
+        total.expect("a sharded store has at least one shard")
+    }
 }
 
 /// Apply one insert to an already write-locked shard, returning the global
@@ -375,8 +422,7 @@ mod tests {
         let top_record = store
             .read_shard(top[0].shard as usize)
             .record(top[0].entity)
-            .unwrap()
-            .clone();
+            .unwrap();
         assert!(top_record.values()[0].render().contains("river"));
     }
 
@@ -420,8 +466,8 @@ mod tests {
                 .insert(Record::from_texts([format!("item number {i}")]))
                 .unwrap();
         }
-        let snapshots: Vec<Vec<u8>> = (0..store.num_shards())
-            .map(|s| store.snapshot_shard(s, SnapshotFormat::Binary).unwrap())
+        let snapshots: Vec<Option<Vec<u8>>> = (0..store.num_shards())
+            .map(|s| Some(store.snapshot_shard(s, SnapshotFormat::Binary).unwrap()))
             .collect();
         let restored = ShardedEntityStore::restore(
             config(),
@@ -434,6 +480,61 @@ mod tests {
         assert_eq!(restored.stats(), store.stats());
         let probe = Record::from_texts(["item number 7"]);
         assert_eq!(restored.match_record(&probe), store.match_record(&probe));
+    }
+
+    #[test]
+    fn disk_shards_get_private_segment_dirs_and_agree_with_memory() {
+        static DIR_SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "multiem-shard-disk-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        let mut disk_cfg = config().with_disk_storage(dir.display().to_string());
+        if let multiem_online::StorageConfig::Disk(d) = &mut disk_cfg.storage {
+            d.segment_records = 2; // force seals on a handful of records
+        }
+        let on_disk = ShardedEntityStore::new(
+            disk_cfg,
+            Schema::new(["title"]).shared(),
+            3,
+            HashedLexicalEncoder::default(),
+        )
+        .unwrap();
+        let in_mem = sharded(3);
+        let titles = [
+            "golden heart river",
+            "golden heart river live",
+            "makita drill 18v",
+            "makita drill 18 v",
+            "sony bravia tv",
+            "dyson v11 vacuum",
+            "sony bravia television",
+        ];
+        for t in titles {
+            on_disk.insert(Record::from_texts([t])).unwrap();
+            in_mem.insert(Record::from_texts([t])).unwrap();
+        }
+        assert_eq!(on_disk.stats(), in_mem.stats());
+        let probe = Record::from_texts(["sony bravia tv 55"]);
+        assert_eq!(on_disk.match_record(&probe), in_mem.match_record(&probe));
+
+        // Each shard sealed into its own subdirectory — no name races.
+        let storage = on_disk.storage_stats();
+        assert_eq!(storage.backend, "disk");
+        assert!(storage.spilled_records > 0);
+        let shard_dirs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        for shard in 0..3 {
+            assert!(
+                shard_dirs.contains(&format!("shard-{shard:03}")),
+                "missing per-shard segment dir: {shard_dirs:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

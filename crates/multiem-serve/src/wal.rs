@@ -21,6 +21,45 @@ use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When the WAL calls `fsync` (ROADMAP: "fsync policy for machine-crash
+/// durability"). Every append is always flushed to the OS, so acknowledged
+/// writes survive a *process* kill under any policy; the policy decides how
+/// much a whole-machine crash (power loss) can lose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync: machine-crash durability rides on the OS flushing dirty
+    /// pages (typically within ~30 s). Fastest.
+    Never,
+    /// Fsync at most once per interval, piggybacked on appends: a machine
+    /// crash loses at most the last interval's writes. The default
+    /// ([`FsyncPolicy::default`] is 200 ms).
+    Interval(Duration),
+    /// Fsync after every append: an acknowledged write survives power loss,
+    /// at a per-write latency cost.
+    Always,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Interval(Duration::from_millis(200))
+    }
+}
+
+impl FsyncPolicy {
+    /// Parse a `--fsync` CLI value (`never`, `interval`, `always`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::default()),
+            "always" => Ok(FsyncPolicy::Always),
+            other => Err(format!(
+                "unknown fsync policy `{other}` (expected never, interval or always)"
+            )),
+        }
+    }
+}
 
 /// One durable, replayable operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,12 +98,19 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     bytes: u64,
+    fsync: FsyncPolicy,
+    last_sync: Instant,
 }
 
 impl Wal {
+    /// [`Wal::open_with`] under the default fsync policy.
+    pub fn open(path: &Path) -> io::Result<(Self, WalRecovery)> {
+        Self::open_with(path, FsyncPolicy::default())
+    }
+
     /// Open (or create) the log at `path`, replay-read every intact frame,
     /// and truncate any torn tail so the file ends on a frame boundary.
-    pub fn open(path: &Path) -> io::Result<(Self, WalRecovery)> {
+    pub fn open_with(path: &Path, fsync: FsyncPolicy) -> io::Result<(Self, WalRecovery)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -100,14 +146,16 @@ impl Wal {
                 file,
                 path: path.to_path_buf(),
                 bytes: clean_bytes,
+                fsync,
+                last_sync: Instant::now(),
             },
             WalRecovery { ops, torn_tail },
         ))
     }
 
     /// Append one op and flush it to the OS, so the write survives a process
-    /// kill (machine-crash durability would additionally need fsync; the
-    /// serving layer trades that for latency, like most WAL defaults).
+    /// kill; the configured [`FsyncPolicy`] decides whether (and how often)
+    /// the append is additionally fsynced for machine-crash durability.
     pub fn append(&mut self, op: &WalOp) -> io::Result<()> {
         let payload = op.to_bytes();
         let mut writer = BufWriter::new(&mut self.file);
@@ -115,7 +163,29 @@ impl Wal {
         writer.flush()?;
         drop(writer);
         self.bytes += (wire::FRAME_HEADER_BYTES + payload.len()) as u64;
+        match self.fsync {
+            FsyncPolicy::Never => {}
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Interval(interval) => {
+                if self.last_sync.elapsed() >= interval {
+                    self.sync()?;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Force an fsync now (checkpoints call this before snapshotting so the
+    /// superseded log is durable at its commit point).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
     }
 
     /// Drop every logged op (called right after a successful checkpoint has
@@ -209,6 +279,57 @@ mod tests {
         drop(wal);
         let ops = read_ops(&path).unwrap();
         assert_eq!(ops, vec![op("kept"), op("after recovery")]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn fsync_always_survives_a_simulated_torn_tail() {
+        let path = temp_wal_path("fsync-always");
+        {
+            let (mut wal, _) = Wal::open_with(&path, FsyncPolicy::Always).unwrap();
+            assert_eq!(wal.fsync_policy(), FsyncPolicy::Always);
+            wal.append(&op("durable one")).unwrap();
+            wal.append(&op("durable two")).unwrap();
+            wal.append(&op("torn victim")).unwrap();
+        }
+        // Simulate a machine crash that tore the tail mid-frame: under
+        // `always`, every *previous* append was fsynced before the next was
+        // acknowledged, so tearing the last frame can only lose that frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let (mut wal, recovery) = Wal::open_with(&path, FsyncPolicy::Always).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.ops, vec![op("durable one"), op("durable two")]);
+        // The truncated log keeps accepting synced appends.
+        wal.append(&op("after crash")).unwrap();
+        drop(wal);
+        let ops = read_ops(&path).unwrap();
+        assert_eq!(
+            ops,
+            vec![op("durable one"), op("durable two"), op("after crash")]
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_apply() {
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert!(matches!(
+            FsyncPolicy::parse("interval"),
+            Ok(FsyncPolicy::Interval(_))
+        ));
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+
+        // A zero interval syncs on every append, like `always`.
+        let path = temp_wal_path("fsync-interval");
+        let (mut wal, _) = Wal::open_with(&path, FsyncPolicy::Interval(Duration::ZERO)).unwrap();
+        wal.append(&op("synced")).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(recovery.ops, vec![op("synced")]);
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

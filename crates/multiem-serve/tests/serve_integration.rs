@@ -1,9 +1,10 @@
 //! End-to-end tests of the serving layer: loopback HTTP, kill-and-restart
-//! WAL durability, and multi-threaded ingestion.
+//! WAL durability (memory and disk record storage), delta checkpoints,
+//! ingest backpressure and multi-threaded ingestion.
 
 use multiem_embed::HashedLexicalEncoder;
 use multiem_serve::http::HttpClient;
-use multiem_serve::{MatchServer, ServeConfig, ServerHandle, ShardedEntityStore};
+use multiem_serve::{MatchServer, ServeConfig, ServerHandle, ShardedEntityStore, StorageBackend};
 use multiem_table::{Record, Schema};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -274,6 +275,284 @@ fn interrupted_checkpoint_is_invisible_until_manifest_commit() {
     assert_eq!(match_title(&mut client, "apple iphone 8"), matches_before);
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A serve config whose shards spill records to segment files under the
+/// data dir, with tiny segments so even small tests exercise sealing.
+fn disk_config(dir: &std::path::Path, shards: usize) -> ServeConfig {
+    let mut config = ServeConfig {
+        data_dir: Some(dir.to_path_buf()),
+        shards,
+        storage: StorageBackend::Disk,
+        ..ServeConfig::default()
+    };
+    config.online.storage =
+        multiem_online::StorageConfig::Disk(multiem_online::DiskStorageConfig {
+            segment_records: 4,
+            cache_records: 8,
+            ..multiem_online::DiskStorageConfig::new(String::new())
+        });
+    config
+}
+
+#[test]
+fn disk_backend_kill_and_restart_mid_delta_checkpoint() {
+    let dir = temp_dir("disk-kill-restart");
+    let config = disk_config(&dir, 3);
+
+    let titles = [
+        "apple iphone 8 plus 64gb silver",
+        "sony bravia tv 55",
+        "apple iphone 8 plus 64 gb silver",
+        "dyson v11 vacuum cleaner",
+        "sony bravia television 55 inch",
+        "garmin gps watch",
+        "makita drill 18v",
+        "makita drill 18 v cordless",
+    ];
+
+    // First life: ingest, delta-checkpoint, ingest more, then die without a
+    // second checkpoint — the classic "killed mid-delta-epoch" state: a
+    // committed delta checkpoint plus a non-empty WAL on top of it.
+    let (stats_before, matches_before) = {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        assert!(client
+            .request("GET", "/healthz", None)
+            .unwrap()
+            .1
+            .contains("\"storage\":\"disk\""));
+        post_records(&mut client, &titles[..5]);
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"checkpointed\":true"));
+        post_records(&mut client, &titles[5..]);
+        let stats = get_stats(&mut client);
+        let matches = match_title(&mut client, "apple iphone 8 plus silver");
+        handle.shutdown();
+        (stats, matches)
+    };
+    assert_eq!(counter(&stats_before, "records"), titles.len() as u64);
+    assert!(
+        counter(&stats_before, "wal_bytes") > 0,
+        "post-checkpoint ops logged"
+    );
+    assert!(
+        counter(&stats_before, "spilled_records") > 0,
+        "records spilled to segments"
+    );
+
+    // Second life: checkpoint restore (segment index + cluster state) plus
+    // WAL replay must reproduce byte-identical store stats and matches.
+    {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        assert_eq!(
+            store_part(&get_stats(&mut client)),
+            store_part(&stats_before),
+            "disk-backed restart must restore byte-identical store state"
+        );
+        assert_eq!(
+            match_title(&mut client, "apple iphone 8 plus silver"),
+            matches_before
+        );
+        // Another checkpoint + restart composes.
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        handle.shutdown();
+    }
+    {
+        let (handle, addr) = spawn_server(config);
+        let mut client = HttpClient::connect(&addr).unwrap();
+        // The second checkpoint truncated the WAL, so compare the cluster
+        // state (everything before `wal_bytes`) and the match results.
+        let stats = get_stats(&mut client);
+        assert_eq!(counter(&stats, "records"), titles.len() as u64);
+        assert_eq!(counter(&stats, "tuples"), counter(&stats_before, "tuples"));
+        assert_eq!(
+            counter(&stats, "clusters"),
+            counter(&stats_before, "clusters")
+        );
+        assert_eq!(counter(&stats, "wal_bytes"), 0, "checkpoint truncated WAL");
+        assert_eq!(
+            match_title(&mut client, "apple iphone 8 plus silver"),
+            matches_before
+        );
+        handle.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_backend_interrupted_delta_checkpoint_is_invisible() {
+    let dir = temp_dir("disk-torn-checkpoint");
+    let config = disk_config(&dir, 2);
+
+    // Committed epoch 1 plus one post-checkpoint WAL op.
+    let (stats_before, matches_before) = {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        post_records(
+            &mut client,
+            &[
+                "apple iphone 8 plus",
+                "sony bravia tv",
+                "apple iphone 8 plus 64gb",
+                "dyson v11 vacuum",
+                "makita drill 18v",
+            ],
+        );
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"epoch\":1"));
+        post_records(&mut client, &["garmin gps watch"]);
+        let stats = get_stats(&mut client);
+        let matches = match_title(&mut client, "apple iphone 8");
+        handle.shutdown();
+        (stats, matches)
+    };
+
+    // Simulate a second delta checkpoint that crashed after writing its
+    // epoch-2 shard snapshots and empty WALs but BEFORE the manifest
+    // commit. The stale epoch-2 files miss the post-checkpoint record; the
+    // manifest still names epoch 1.
+    for shard in 0..2 {
+        std::fs::copy(
+            dir.join(format!("shard-{shard:03}-000001.snap")),
+            dir.join(format!("shard-{shard:03}-000002.snap")),
+        )
+        .unwrap();
+        std::fs::write(dir.join(format!("wal-{shard:03}-000002.log")), b"").unwrap();
+    }
+
+    // Restart: the torn epoch 2 is ignored; state == pre-kill state.
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(
+        store_part(&get_stats(&mut client)),
+        store_part(&stats_before)
+    );
+    assert_eq!(match_title(&mut client, "apple iphone 8"), matches_before);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delta_checkpoint_skips_clean_shards() {
+    let dir = temp_dir("delta-skip");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        shards: 4,
+        ..ServeConfig::default()
+    };
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+    post_records(&mut client, &["golden heart river", "makita drill"]);
+
+    // First checkpoint: only the shards that received records snapshot.
+    let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let written = counter(&body, "snapshots_written");
+    assert!(
+        (1..=2).contains(&written),
+        "only touched shards snapshot: {body}"
+    );
+
+    // No writes since: the next checkpoint is a pure epoch roll.
+    let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(counter(&body, "snapshots_written"), 0, "{body}");
+    assert!(body.contains("\"epoch\":2"));
+
+    // One more record re-dirties exactly one shard.
+    post_records(&mut client, &["golden heart river live"]);
+    let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(counter(&body, "snapshots_written"), 1, "{body}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_ingest_queue_answers_429_with_retry_after() {
+    // queue_depth 0: every write is refused (the drain/maintenance mode),
+    // which makes the backpressure path deterministic to observe.
+    let (handle, addr) = spawn_server(ServeConfig {
+        queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    let (status, headers, body) = client
+        .request_with_headers(
+            "POST",
+            "/records",
+            Some("{\"records\":[[\"golden heart river\"],[\"makita drill\"]]}"),
+        )
+        .unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("queue full"), "{body}");
+    let retry_after = headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .map(|(_, value)| value.as_str());
+    assert_eq!(retry_after, Some("1"), "429 must carry Retry-After");
+
+    // Nothing was ingested; the rejection is counted in /stats.
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 0);
+    assert_eq!(counter(&stats, "rejected"), 2);
+    assert_eq!(counter(&stats, "queue_depth"), 0);
+
+    // Reads still work while writes shed load.
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_larger_than_queue_depth_gets_terminal_400() {
+    // A batch that routes more records to one shard than the queue could
+    // ever hold must not 429 (the client would retry it verbatim forever):
+    // it gets a terminal 400 telling the client to split.
+    let (handle, addr) = spawn_server(ServeConfig {
+        queue_depth: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = HttpClient::connect(&addr).unwrap();
+    // Same leading token => same shard for all three.
+    let (status, body) = client
+        .request(
+            "POST",
+            "/records",
+            Some("{\"records\":[[\"golden one\"],[\"golden two\"],[\"golden three\"]]}"),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("split the batch"), "{body}");
+    // A fitting batch on the same connection still lands.
+    let (status, _) = client
+        .request(
+            "POST",
+            "/records",
+            Some("{\"records\":[[\"golden one\"],[\"golden two\"]]}"),
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn default_queue_depth_accepts_normal_traffic() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+    post_records(&mut client, &["golden heart river", "makita drill 18v"]);
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 2);
+    assert_eq!(counter(&stats, "rejected"), 0);
+    handle.shutdown();
 }
 
 #[test]

@@ -124,6 +124,56 @@ fn online_quality_is_order_insensitive() {
     );
 }
 
+/// The spill-to-disk record store must be invisible to matching: ingesting
+/// through a disk-backed store produces exactly the tuples of the resident
+/// store (hence, transitively, batch-equivalent pair-F1 within the same 2
+/// points), while keeping less resident than it spills.
+#[test]
+fn disk_storage_backend_preserves_online_quality() {
+    let dir = std::env::temp_dir().join(format!("multiem-equiv-disk-{}", std::process::id()));
+    let ds = dataset(Domain::Music, 7);
+
+    let mut disk_cfg = OnlineConfig::new(batch_config())
+        .with_all_attributes()
+        .with_disk_storage(dir.display().to_string());
+    if let multiem::online::StorageConfig::Disk(d) = &mut disk_cfg.storage {
+        d.segment_records = 32; // force plenty of sealed segments
+        d.cache_records = 16;
+    }
+    let mut on_disk = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+    let config = OnlineConfig::new(batch_config()).with_all_attributes();
+    let mut in_mem = EntityStore::new(config, HashedLexicalEncoder::default());
+    for table in ds.tables() {
+        on_disk.ingest_batch(table).unwrap();
+        in_mem.ingest_batch(table).unwrap();
+    }
+    on_disk.refresh();
+    in_mem.refresh();
+
+    let mut a = on_disk.tuples();
+    let mut b = in_mem.tuples();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "storage backend must not change matching");
+
+    let batch = run_batch(&ds);
+    let disk_f1 = evaluate(&on_disk.tuples(), ds.ground_truth().unwrap())
+        .pair
+        .f1;
+    assert!(
+        (batch - disk_f1).abs() <= 0.02,
+        "pair-F1 diverged with disk storage: batch {batch:.4} vs disk {disk_f1:.4}"
+    );
+
+    let storage = on_disk.storage_stats();
+    assert!(storage.spilled_records > 0, "test must exercise spilling");
+    assert!(
+        storage.resident_records < storage.records,
+        "disk backend keeps a bounded resident set: {storage:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Snapshot/restore round-trip in the middle of a streaming run: the restored
 /// store finishes ingestion and lands on identical tuples.
 #[test]
