@@ -114,6 +114,7 @@ impl RecordStore for MemRecordStore {
             spilled_records: 0,
             spilled_bytes: 0,
             segments: 0,
+            segments_deleted: 0,
             cache_hits: 0,
             cache_misses: 0,
         }

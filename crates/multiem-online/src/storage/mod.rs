@@ -56,6 +56,9 @@ pub struct StorageStats {
     pub spilled_bytes: u64,
     /// Sealed segment files.
     pub segments: usize,
+    /// Unreferenced segment files deleted by [`RecordStore::gc`] over this
+    /// store's lifetime (volatile: resets on restore).
+    pub segments_deleted: u64,
     /// Hot-cache hits since the store was opened (volatile: not part of the
     /// persisted state, resets on restore).
     pub cache_hits: u64,
@@ -115,6 +118,16 @@ pub trait RecordStore {
     /// backend re-scans its segment files and rebuilds frame offsets).
     /// Called by [`crate::EntityStore`] after snapshot restore.
     fn reopen(&mut self) -> Result<()>;
+
+    /// Garbage-collect backing files the store no longer references (the
+    /// disk backend deletes segment files absent from its committed segment
+    /// index — orphans left behind by a crash between sealing and
+    /// checkpoint commit). Returns the number of files deleted; the
+    /// cumulative count is surfaced as
+    /// [`StorageStats::segments_deleted`]. No-op for the memory backend.
+    fn gc(&mut self) -> Result<u64> {
+        Ok(0)
+    }
 
     /// Storage counters.
     fn stats(&self) -> StorageStats;
@@ -198,6 +211,10 @@ impl RecordStore for RecordStorage {
 
     fn reopen(&mut self) -> Result<()> {
         delegate!(self, s => s.reopen())
+    }
+
+    fn gc(&mut self) -> Result<u64> {
+        delegate!(self, s => s.gc())
     }
 
     fn stats(&self) -> StorageStats {
@@ -411,6 +428,46 @@ mod tests {
         std::fs::remove_file(&seg).unwrap();
         let mut missing: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
         assert!(missing.reopen().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_deletes_only_unreferenced_segment_files() {
+        let dir = temp_dir("gc");
+        let config = DiskStorageConfig {
+            segment_records: 5,
+            cache_records: 4,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 12); // seals seg-000000 and seg-000001
+        let sealed = store.stats().segments;
+        assert_eq!(sealed, 2);
+
+        // Orphans a crash between sealing and checkpoint commit could
+        // leave: a segment beyond the index and an interrupted seal's tmp.
+        std::fs::write(dir.join("seg-000042.seg"), b"orphan").unwrap();
+        std::fs::write(dir.join("seg-000007.tmp"), b"torn seal").unwrap();
+        // Foreign files are not ours to delete.
+        std::fs::write(dir.join("NOTES.md"), b"keep").unwrap();
+
+        assert_eq!(store.gc().unwrap(), 2);
+        assert!(!dir.join("seg-000042.seg").exists());
+        assert!(!dir.join("seg-000007.tmp").exists());
+        assert!(dir.join("NOTES.md").exists());
+        // Referenced segments survive and still serve reads.
+        verify(&store, 12);
+        let stats = store.stats();
+        assert_eq!(stats.segments, sealed);
+        assert_eq!(stats.segments_deleted, 2, "cumulative counter");
+        // A second pass finds nothing.
+        assert_eq!(store.gc().unwrap(), 0);
+        assert_eq!(store.stats().segments_deleted, 2);
+
+        // The memory backend's gc is a no-op.
+        let mut mem = MemRecordStore::new(4);
+        assert_eq!(mem.gc().unwrap(), 0);
+        assert_eq!(mem.stats().segments_deleted, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -131,6 +131,9 @@ pub struct SegmentRecordStore {
     /// of the persisted state.
     #[serde(skip)]
     cache: Mutex<RecordCache>,
+    /// Files deleted by [`RecordStore::gc`] this store lifetime (volatile).
+    #[serde(skip)]
+    gc_deleted: u64,
 }
 
 impl Clone for SegmentRecordStore {
@@ -145,6 +148,7 @@ impl Clone for SegmentRecordStore {
             sealed: self.sealed,
             tail: self.tail.clone(),
             cache: Mutex::new(self.cache.lock().expect("cache lock poisoned").clone()),
+            gc_deleted: self.gc_deleted,
         }
     }
 }
@@ -165,6 +169,7 @@ impl SegmentRecordStore {
             sealed: 0,
             tail: Vec::new(),
             cache: Mutex::new(RecordCache::default()),
+            gc_deleted: 0,
         })
     }
 
@@ -524,6 +529,33 @@ impl RecordStore for SegmentRecordStore {
         Ok(())
     }
 
+    fn gc(&mut self) -> Result<u64> {
+        let entries = std::fs::read_dir(self.dir()).map_err(|e| {
+            OnlineError::Storage(format!(
+                "cannot list segment dir `{}`: {e}",
+                self.config.dir
+            ))
+        })?;
+        let mut deleted = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            // Only touch files this store's naming scheme produced: sealed
+            // segments and the tmp files of interrupted seals. Anything
+            // else in the directory is not ours to delete.
+            let ours =
+                name.starts_with("seg-") && (name.ends_with(".seg") || name.ends_with(".tmp"));
+            if !ours || self.segments.iter().any(|meta| meta.file == name) {
+                continue;
+            }
+            std::fs::remove_file(entry.path()).map_err(|e| {
+                OnlineError::Storage(format!("cannot delete orphaned segment `{name}`: {e}"))
+            })?;
+            deleted += 1;
+        }
+        self.gc_deleted += deleted;
+        Ok(deleted)
+    }
+
     fn stats(&self) -> StorageStats {
         let cache = self.cache.lock().expect("cache lock poisoned");
         let tail_bytes: usize = self
@@ -542,6 +574,7 @@ impl RecordStore for SegmentRecordStore {
             spilled_records: self.sealed,
             spilled_bytes: self.segments.iter().map(|m| m.bytes).sum(),
             segments: self.segments.len(),
+            segments_deleted: self.gc_deleted,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }

@@ -284,6 +284,16 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.state.records.flush()
     }
 
+    /// Garbage-collect storage files the backend no longer references (a
+    /// disk-backed store deletes segment files absent from its segment
+    /// index — orphans from crashes between sealing and checkpoint
+    /// commit). Returns the number of files deleted; callers should run
+    /// this only after the state referencing the surviving files is
+    /// durably committed. No-op for the memory backend.
+    pub fn gc_storage(&mut self) -> Result<u64> {
+        self.state.records.gc()
+    }
+
     /// Current summary statistics.
     pub fn stats(&self) -> StoreStats {
         StoreStats {

@@ -5,6 +5,14 @@
 //! throughput and p50/p99 latency. Without `--addr` it spins up an embedded
 //! in-memory server so the run is fully self-contained (what CI does).
 //!
+//! `--connections` opens more keep-alive sockets than there are in-flight
+//! requests (`--clients` drives concurrency; each client thread rotates its
+//! requests round-robin over its share of the connection pool, leaving the
+//! rest idle). That shape exercises the event-driven multiplexer the way
+//! production traffic does — many mostly-idle connections over few workers
+//! — and would have deadlocked the old thread-per-connection front end as
+//! soon as connections exceeded `--workers`.
+//!
 //! ```bash
 //! cargo run --release -p multiem-serve --bin loadgen -- --smoke --out BENCH_serve.json
 //! ```
@@ -45,11 +53,14 @@ const VARIANTS: &[&str] = &[
 struct Options {
     addr: Option<String>,
     clients: usize,
+    /// Keep-alive connections across all clients (0 = one per client).
+    connections: usize,
     requests: usize,
     write_ratio: f64,
     seed: u64,
     shards: usize,
     workers: usize,
+    io_threads: usize,
     out: Option<String>,
 }
 
@@ -58,11 +69,13 @@ impl Default for Options {
         Self {
             addr: None,
             clients: 4,
+            connections: 0,
             requests: 2000,
             write_ratio: 0.6,
             seed: 42,
             shards: 4,
             workers: 4,
+            io_threads: 2,
             out: None,
         }
     }
@@ -86,29 +99,41 @@ fn main() {
         match arg.as_str() {
             "--addr" => opts.addr = Some(value("--addr")),
             "--clients" => opts.clients = parse(&value("--clients"), "--clients"),
+            "--connections" => {
+                opts.connections = parse(&value("--connections"), "--connections");
+            }
             "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
             "--write-ratio" => opts.write_ratio = parse(&value("--write-ratio"), "--write-ratio"),
             "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
             "--shards" => opts.shards = parse(&value("--shards"), "--shards"),
             "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
+            "--io-threads" => opts.io_threads = parse(&value("--io-threads"), "--io-threads"),
             "--out" => opts.out = Some(value("--out")),
             "--smoke" => {
                 opts.clients = 4;
                 opts.requests = 240;
+                // 8x the worker count: proves idle keep-alive connections
+                // no longer consume workers (the old front end deadlocked
+                // here).
+                opts.connections = 32;
             }
             "--help" | "-h" => {
                 println!(
                     "loadgen: seeded mixed read/write workload for multiem-serve\n\n\
                      options:\n\
                      \x20 --addr HOST:PORT    target an external server (default: embedded)\n\
-                     \x20 --clients N         concurrent clients (default 4)\n\
+                     \x20 --clients N         concurrent in-flight requesters (default 4)\n\
+                     \x20 --connections N     keep-alive connections spread across clients;\n\
+                     \x20                     may exceed --workers (default: one per client)\n\
                      \x20 --requests N        total requests across clients (default 2000)\n\
                      \x20 --write-ratio F     fraction of writes (default 0.6)\n\
                      \x20 --seed N            workload seed (default 42)\n\
                      \x20 --shards N          shards of the embedded server (default 4)\n\
                      \x20 --workers N         workers of the embedded server (default 4)\n\
+                     \x20 --io-threads N      I/O event loops of the embedded server (default 2)\n\
                      \x20 --out PATH          also write the JSON report to PATH\n\
-                     \x20 --smoke             small CI-sized run (4 clients, 240 requests)"
+                     \x20 --smoke             small CI-sized run (4 clients, 240 requests,\n\
+                     \x20                     32 connections over 4 workers)"
                 );
                 return;
             }
@@ -118,6 +143,13 @@ fn main() {
     if opts.clients == 0 || opts.requests == 0 {
         fail("--clients and --requests must be at least 1");
     }
+    // Every client owns at least one socket, so the effective pool is never
+    // smaller than --clients (the report records the effective number).
+    let connections = if opts.connections == 0 {
+        opts.clients
+    } else {
+        opts.connections.max(opts.clients)
+    };
 
     // Embedded server unless an external one was named.
     let mut embedded = None;
@@ -127,6 +159,7 @@ fn main() {
             let config = ServeConfig {
                 shards: opts.shards,
                 workers: opts.workers,
+                io_threads: opts.io_threads,
                 ..ServeConfig::default()
             };
             let server = MatchServer::bind(config, HashedLexicalEncoder::default(), "127.0.0.1:0")
@@ -152,7 +185,13 @@ fn main() {
                 let addr = addr.clone();
                 let seed = opts.seed.wrapping_add(client as u64);
                 let write_ratio = opts.write_ratio;
-                scope.spawn(move || run_client(&addr, seed, per_client, write_ratio))
+                // Spread the connection pool over the clients; every client
+                // owns at least one socket and rotates its requests across
+                // its share, so `connections - clients` sockets sit idle at
+                // any moment (the multiplexer must carry them for free).
+                let own =
+                    connections / opts.clients + usize::from(client < connections % opts.clients);
+                scope.spawn(move || run_client(&addr, seed, per_client, write_ratio, own))
             })
             .collect();
         handles
@@ -178,11 +217,14 @@ fn main() {
     let total = all_ns.len() + errors;
     let throughput = total as f64 / elapsed.as_secs_f64();
     let report = format!(
-        "{{\"clients\":{},\"requests\":{},\"writes\":{},\"reads\":{},\"errors\":{},\
+        "{{\"clients\":{},\"connections\":{},\"workers\":{},\"requests\":{},\"writes\":{},\
+         \"reads\":{},\"errors\":{},\
          \"write_ratio\":{},\"seed\":{},\"elapsed_s\":{:.3},\"throughput_rps\":{:.1},\
          \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"write_p50_ms\":{:.3},\"write_p99_ms\":{:.3},\
          \"read_p50_ms\":{:.3},\"read_p99_ms\":{:.3}}}",
         opts.clients,
+        connections,
+        opts.workers,
         total,
         write_ns.len(),
         read_ns.len(),
@@ -200,11 +242,13 @@ fn main() {
     );
 
     println!(
-        "loadgen: {} requests ({} writes / {} reads) from {} clients in {:.2}s",
+        "loadgen: {} requests ({} writes / {} reads) from {} clients over {} \
+         keep-alive connections in {:.2}s",
         total,
         write_ns.len(),
         read_ns.len(),
         opts.clients,
+        connections,
         elapsed.as_secs_f64()
     );
     println!(
@@ -228,15 +272,31 @@ fn main() {
     }
 }
 
-fn run_client(addr: &str, seed: u64, requests: usize, write_ratio: f64) -> ClientReport {
+fn run_client(
+    addr: &str,
+    seed: u64,
+    requests: usize,
+    write_ratio: f64,
+    connections: usize,
+) -> ClientReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut report = ClientReport::default();
     let mut written: Vec<String> = Vec::new();
-    let Ok(mut client) = HttpClient::connect(addr) else {
-        report.errors = requests;
-        return report;
-    };
-    for _ in 0..requests {
+    // Open the whole connection share up front: all of them are live
+    // keep-alive sockets for the duration, but only one carries a request
+    // at any moment (the rest idle on the server's event loops).
+    let mut clients: Vec<HttpClient> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        match HttpClient::connect(addr) {
+            Ok(client) => clients.push(client),
+            Err(_) => {
+                report.errors = requests;
+                return report;
+            }
+        }
+    }
+    for request_index in 0..requests {
+        let client = &mut clients[request_index % connections];
         let write = written.is_empty() || rng.gen_bool(write_ratio);
         let title = if write {
             // A third of the writes are near-duplicates of earlier ones, so
@@ -275,9 +335,9 @@ fn run_client(addr: &str, seed: u64, requests: usize, write_ratio: f64) -> Clien
             Ok((_status, _body)) => report.errors += 1,
             Err(_) => {
                 report.errors += 1;
-                // The connection may be poisoned; reconnect for the rest.
+                // The connection may be poisoned; reconnect that slot.
                 match HttpClient::connect(addr) {
-                    Ok(fresh) => client = fresh,
+                    Ok(fresh) => clients[request_index % connections] = fresh,
                     Err(_) => break, // server gone; stop this client
                 }
             }

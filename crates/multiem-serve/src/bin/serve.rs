@@ -25,6 +25,7 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--shards" => config.shards = parse(&value("--shards"), "--shards"),
             "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--io-threads" => config.io_threads = parse(&value("--io-threads"), "--io-threads"),
             "--data-dir" => config.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--attrs" => {
                 config.attributes = value("--attrs")
@@ -51,7 +52,9 @@ fn main() {
                      options:\n\
                      \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7878)\n\
                      \x20 --shards N         store shards (default 4)\n\
-                     \x20 --workers N        HTTP worker threads (default 4)\n\
+                     \x20 --workers N        request-execution worker threads (default 4)\n\
+                     \x20 --io-threads N     I/O event loops, each multiplexing many\n\
+                     \x20                    nonblocking connections (default 2)\n\
                      \x20 --data-dir PATH    enable WAL + checkpoints under PATH\n\
                      \x20 --attrs a,b,c      schema attribute names (default `title`)\n\
                      \x20 --m FLOAT          merge distance threshold (default 0.35)\n\
@@ -76,19 +79,26 @@ fn main() {
     let bound = server.local_addr().expect("listener has an address");
     println!("multiem-serve listening on http://{bound}");
     println!(
-        "  {} shard(s), {} worker(s), durability: {}",
+        "  {} shard(s), {} worker(s), {} I/O event loop(s), durability: {}",
         config.shards,
         config.workers,
+        config.io_threads,
         config
             .data_dir
             .as_ref()
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "in-memory".into())
     );
-    println!("  POST /records  POST /match  POST /snapshot  GET /stats  GET /healthz");
+    println!(
+        "  POST /records  POST /match  POST /snapshot  POST /admin/shutdown  \
+         GET /stats  GET /healthz"
+    );
     if let Err(e) = server.run() {
         fail(&format!("server error: {e}"));
     }
+    // run() returns only after a graceful shutdown: accepting stopped,
+    // in-flight requests drained, WALs flushed.
+    println!("multiem-serve: drained and flushed; exiting");
 }
 
 fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {

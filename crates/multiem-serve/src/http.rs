@@ -5,17 +5,27 @@
 //! honoured. No chunked encoding, no TLS — the serving layer sits behind a
 //! reverse proxy in any real deployment, exactly like the related VectorDB
 //! repo's thin request layer.
+//!
+//! The server side is built for the event-driven reactor in [`crate::net`]:
+//! [`RequestParser`] consumes bytes **incrementally** — a header split
+//! across reads, a body trickling in one byte at a time, or several
+//! pipelined requests arriving in one read all parse correctly — so the
+//! I/O layer never blocks a thread waiting for the rest of a request. The
+//! blocking conveniences ([`read_request`], [`HttpClient`]) are thin
+//! wrappers used by tests, the load generator and the example client.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 /// Upper bound on accepted bodies (64 MiB) — a malformed or hostile
-/// `Content-Length` must not make a worker allocate unbounded memory.
+/// `Content-Length` must not make the server allocate unbounded memory.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
 
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
 const MAX_HEADERS: usize = 100;
-const MAX_LINE_BYTES: usize = 16 << 10;
 
 /// One parsed request.
 #[derive(Debug, Clone)]
@@ -30,58 +40,196 @@ pub struct Request {
     pub close: bool,
 }
 
-/// Read one request off a keep-alive connection. `Ok(None)` means the peer
-/// closed cleanly between requests.
-pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
-    let request_line = match read_line(reader)? {
-        None => return Ok(None),
-        Some(line) if line.is_empty() => return Ok(None),
-        Some(line) => line,
-    };
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| bad("missing method"))?
-        .to_ascii_uppercase();
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(bad("unsupported HTTP version"));
-    }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+/// Incremental HTTP/1.1 request parser: feed it whatever bytes the socket
+/// yields, in any fragmentation, and take complete requests out as they
+/// materialise.
+///
+/// The parser is a resumable state machine over one buffer: it waits for the
+/// blank line ending the head, parses request line + headers, then waits for
+/// `Content-Length` body bytes. Bytes beyond the first complete request stay
+/// buffered (keep-alive pipelining), and limits ([`MAX_HEAD_BYTES`],
+/// [`MAX_BODY_BYTES`], 100 headers) are enforced as soon as they are
+/// decidable, so a hostile peer cannot balloon memory by never finishing a
+/// request.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// How far `buf` has been scanned for the head terminator, so repeated
+    /// `try_next` calls on a trickling connection stay O(new bytes).
+    scanned: usize,
+}
 
-    let mut content_length = 0usize;
-    let mut close = false;
-    for _ in 0..MAX_HEADERS {
-        let line = read_line(reader)?.ok_or_else(|| bad("connection closed mid-headers"))?;
-        if line.is_empty() {
-            let mut body = vec![0u8; content_length];
-            reader.read_exact(&mut body)?;
-            return Ok(Some(Request {
-                method,
-                path,
-                body,
-                close,
-            }));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(bad("malformed header"));
-        };
-        let value = value.trim();
-        match name.trim().to_ascii_lowercase().as_str() {
-            "content-length" => {
-                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
-                if content_length > MAX_BODY_BYTES {
-                    return Err(bad("body too large"));
-                }
-            }
-            "connection" => {
-                close = value.eq_ignore_ascii_case("close");
-            }
-            _ => {}
-        }
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
     }
-    Err(bad("too many headers"))
+
+    /// Append freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the parser holds no buffered bytes (i.e. the connection is
+    /// between requests).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the parser holds the start of a not-yet-complete request
+    /// (used by the reactor's mid-request timeout).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Try to take one complete request out of the buffer. `Ok(None)` means
+    /// more bytes are needed; an `InvalidData` error means the peer sent
+    /// something that can never become a valid request (the connection
+    /// should answer 400 and close).
+    pub fn try_next(&mut self) -> io::Result<Option<Request>> {
+        // 1. Find the blank line terminating the head.
+        let Some(head_end) = self.find_head_end() else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(bad("request head too large"));
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+
+        // 2. Parse request line + headers (errors are terminal).
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| bad("request head is not valid UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or_else(|| bad("missing request line"))?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| bad("missing method"))?
+            .to_ascii_uppercase();
+        let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+        let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("unsupported HTTP version"));
+        }
+        let path = target.split('?').next().unwrap_or(target).to_string();
+
+        let mut content_length = 0usize;
+        let mut close = false;
+        let mut headers = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                continue; // the terminator's empty split remainder
+            }
+            headers += 1;
+            if headers > MAX_HEADERS {
+                return Err(bad("too many headers"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad("malformed header"));
+            };
+            let value = value.trim();
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                    if content_length > MAX_BODY_BYTES {
+                        return Err(bad("body too large"));
+                    }
+                }
+                "connection" => {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+                _ => {}
+            }
+        }
+
+        // 3. Wait for the whole body before consuming anything.
+        let body_start = head_end + 4;
+        let total = body_start + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..total].to_vec();
+        self.buf.drain(..total);
+        self.scanned = 0;
+        Ok(Some(Request {
+            method,
+            path,
+            body,
+            close,
+        }))
+    }
+
+    /// Offset of the `\r\n\r\n` head terminator, scanning only bytes not yet
+    /// examined by earlier calls.
+    fn find_head_end(&mut self) -> Option<usize> {
+        let start = self.scanned.saturating_sub(3);
+        let found = self.buf[start..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|i| start + i);
+        if found.is_none() {
+            self.scanned = self.buf.len();
+        }
+        found
+    }
+}
+
+/// Read one request off a blocking reader (test / tooling convenience; the
+/// server itself feeds a [`RequestParser`] from nonblocking sockets).
+/// `Ok(None)` means the peer closed cleanly between requests. Bytes of a
+/// *second* pipelined request that share a buffered read with the first are
+/// consumed from `reader` and dropped — use a long-lived [`RequestParser`]
+/// when pipelining matters.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut parser = RequestParser::new();
+    loop {
+        if let Some(request) = parser.try_next()? {
+            return Ok(Some(request));
+        }
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return if parser.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            };
+        }
+        let n = chunk.len();
+        parser.feed(chunk);
+        reader.consume(n);
+    }
+}
+
+/// Serialize one JSON response to its on-wire bytes (the reactor's write
+/// path queues these on the connection's output buffer).
+pub fn render_response(
+    status: u16,
+    reason: &str,
+    body: &str,
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// Write one JSON response.
@@ -104,19 +252,7 @@ pub fn write_response_with<W: Write>(
     close: bool,
     extra_headers: &[(&str, String)],
 ) -> io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
-        body.len()
-    )?;
-    for (name, value) in extra_headers {
-        write!(writer, "{name}: {value}\r\n")?;
-    }
-    if close {
-        writer.write_all(b"Connection: close\r\n")?;
-    }
-    writer.write_all(b"\r\n")?;
-    writer.write_all(body.as_bytes())?;
+    writer.write_all(&render_response(status, reason, body, close, extra_headers))?;
     writer.flush()
 }
 
@@ -169,39 +305,45 @@ impl HttpClient {
             body.len()
         )?;
         self.stream.flush()?;
-
-        let status_line = read_line(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"))?;
-        let status: u16 = status_line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("malformed status line"))?;
-        let mut content_length = 0usize;
-        let mut headers = Vec::new();
-        loop {
-            let line = read_line(&mut self.reader)?
-                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
-            if line.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = line.split_once(':') {
-                let name = name.trim().to_ascii_lowercase();
-                if name == "content-length" {
-                    content_length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| bad("bad content-length"))?;
-                }
-                headers.push((name, value.trim().to_string()));
-            }
-        }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
-        String::from_utf8(body)
-            .map(|text| (status, headers, text))
-            .map_err(|e| bad(&format!("non-utf8 body: {e}")))
+        read_response(&mut self.reader)
     }
+}
+
+/// Parse one HTTP response (status line, headers, `Content-Length` body)
+/// off a blocking reader. Shared by [`HttpClient`] and the raw-socket
+/// integration tests.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<FullResponse> {
+    let status_line = read_line(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            if name == "content-length" {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+            headers.push((name, value.trim().to_string()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(|text| (status, headers, text))
+        .map_err(|e| bad(&format!("non-utf8 body: {e}")))
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -213,12 +355,12 @@ fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
     let mut line = String::new();
     let n = reader
         .by_ref()
-        .take(MAX_LINE_BYTES as u64)
+        .take(MAX_HEAD_BYTES as u64)
         .read_line(&mut line)?;
     if n == 0 {
         return Ok(None);
     }
-    if n >= MAX_LINE_BYTES {
+    if n >= MAX_HEAD_BYTES {
         return Err(bad("header line too long"));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
@@ -264,6 +406,60 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_survives_any_fragmentation() {
+        let raw = b"POST /records HTTP/1.1\r\nHost: h\r\nContent-Length: 11\r\n\r\nhello world";
+        // Feed the whole request one byte at a time.
+        let mut parser = RequestParser::new();
+        for (i, byte) in raw.iter().enumerate() {
+            assert!(
+                parser.try_next().unwrap().is_none(),
+                "complete request after only {i} bytes"
+            );
+            parser.feed(&[*byte]);
+        }
+        let req = parser.try_next().unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+        assert!(parser.is_empty());
+
+        // Feed it again split exactly at the header terminator.
+        let mut parser = RequestParser::new();
+        let split = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 2;
+        parser.feed(&raw[..split]);
+        assert!(parser.try_next().unwrap().is_none());
+        parser.feed(&raw[split..]);
+        assert_eq!(parser.try_next().unwrap().unwrap().body, b"hello world");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_from_one_buffer() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+        let first = parser.try_next().unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert!(parser.has_partial());
+        let second = parser.try_next().unwrap().unwrap();
+        assert_eq!((second.path.as_str(), &second.body[..]), ("/b", &b"hi"[..]));
+        assert!(parser.is_empty());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn unbounded_heads_are_rejected_incrementally() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        // A peer that streams headers forever must be cut off once the head
+        // budget is exhausted, even though no terminator ever arrives.
+        for i in 0..2000 {
+            parser.feed(format!("X-Filler-{i}: {i}\r\n").as_bytes());
+            if parser.try_next().is_err() {
+                return;
+            }
+        }
+        panic!("oversized head was never rejected");
+    }
+
+    #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
         write_response(&mut out, 200, "OK", "{\"a\":1}", false).unwrap();
@@ -271,5 +467,9 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+        let closed = render_response(400, "Bad Request", "{}", true, &[]);
+        assert!(String::from_utf8(closed)
+            .unwrap()
+            .contains("Connection: close\r\n"));
     }
 }

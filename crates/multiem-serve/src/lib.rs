@@ -24,13 +24,19 @@
 //!   hot cache, so serving memory stops growing linearly with ingest;
 //! * backpressure — a bounded per-shard ingest queue; `POST /records`
 //!   answers `429` + `Retry-After` when a target shard is full;
-//! * [`MatchServer`] — a dependency-free HTTP/1.1 server on
-//!   `std::net::TcpListener`, driven by the fixed-size thread pool that now
-//!   also backs the `rayon` compat shim, exposing `POST /records`,
-//!   `POST /match`, `POST /snapshot`, `GET /stats` and `GET /healthz`;
+//! * [`MatchServer`] — a dependency-free HTTP/1.1 server exposing
+//!   `POST /records`, `POST /match`, `POST /snapshot`,
+//!   `POST /admin/shutdown`, `GET /stats` and `GET /healthz`, fronted by
+//!   the event-driven [`Reactor`] in [`net`]: an acceptor plus a few I/O
+//!   event loops multiplex *many* nonblocking keep-alive connections
+//!   (incremental request parsing, buffered writeback), and only fully
+//!   parsed requests occupy the fixed-size worker thread pool — so
+//!   connection count and worker count scale independently, and graceful
+//!   shutdown drains in-flight requests and flushes WALs before exit;
 //! * `loadgen` (a `src/bin` tool) — a seeded mixed read/write load generator
-//!   reporting p50/p99 latency and throughput, used by CI to track the
-//!   serving-path perf trajectory (`BENCH_serve.json`).
+//!   (`--connections` keep-alive sockets, decoupled from in-flight request
+//!   concurrency) reporting p50/p99 latency and throughput, used by CI to
+//!   track the serving-path perf trajectory (`BENCH_serve.json`).
 //!
 //! ```no_run
 //! use multiem_embed::HashedLexicalEncoder;
@@ -49,10 +55,12 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod net;
 pub mod server;
 pub mod shard;
 pub mod wal;
 
+pub use net::Reactor;
 pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle, StorageBackend};
 pub use shard::{GlobalEntityId, ShardedEntityStore, ShardedStats};
 pub use wal::{FsyncPolicy, Wal, WalOp};

@@ -1,19 +1,23 @@
 //! The HTTP matching service.
 //!
 //! [`MatchServer`] glues the pieces together: a [`ShardedEntityStore`]
-//! behind per-shard `RwLock`s, an optional [`Wal`] for durability, and a
-//! fixed-size [`rayon::ThreadPool`] driving keep-alive HTTP/1.1 connections
-//! from a `std::net::TcpListener`.
+//! behind per-shard `RwLock`s, an optional [`Wal`] for durability, and the
+//! event-driven [`Reactor`](crate::net::Reactor) front end — an acceptor
+//! plus `io_threads` event loops multiplexing nonblocking keep-alive
+//! connections, with fully parsed requests executed on the fixed-size
+//! [`rayon::ThreadPool`] worker pool. Connection count and worker count
+//! scale independently: idle connections cost buffers, not threads.
 //!
 //! # Endpoints
 //!
 //! | Route            | Body                                   | Effect |
 //! |------------------|----------------------------------------|--------|
-//! | `GET /healthz`   | —                                      | liveness probe |
-//! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters |
+//! | `GET /healthz`   | —                                      | liveness probe (answered on the I/O thread, no shard locks) |
+//! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters (lock-free: shards a writer holds report their last published stats) |
 //! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + `Retry-After` when a target shard's ingest queue is full |
 //! | `POST /match`    | `{"record": [v, ...]}`                 | read-only fan-out match across all shards |
-//! | `POST /snapshot` | —                                      | delta checkpoint: persist changed shards, truncate the WAL |
+//! | `POST /snapshot` | —                                      | delta checkpoint: persist changed shards, truncate the WAL, GC orphaned segment files |
+//! | `POST /admin/shutdown` | —                                | graceful shutdown: stop accepting, drain in-flight requests, flush WALs, exit 0 |
 //!
 //! Attribute values are JSON strings, numbers or `null`, positionally
 //! aligned with the configured schema.
@@ -40,7 +44,8 @@
 //! torn manifest behind. The WAL's [`FsyncPolicy`] decides what a
 //! machine crash (as opposed to a process kill) can lose.
 
-use crate::http::{read_request, write_response_with, Request};
+use crate::http::{render_response, Request};
+use crate::net::Reactor;
 use crate::shard::ShardedEntityStore;
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 use multiem_embed::EmbeddingModel;
@@ -48,13 +53,12 @@ use multiem_online::{DiskStorageConfig, OnlineConfig, OnlineError, SnapshotForma
 use multiem_table::{Record, Schema, Value as AttrValue};
 use rayon::ThreadPool;
 use serde::{Serialize, Value};
-use std::io::{self, BufReader, BufWriter};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Everything that can go wrong while building or operating the service.
 #[derive(Debug)]
@@ -120,8 +124,12 @@ impl StorageBackend {
 pub struct ServeConfig {
     /// Number of hash-partitioned store shards.
     pub shards: usize,
-    /// Worker threads serving connections.
+    /// Worker threads executing parsed requests (the compute pool — no
+    /// longer tied to connection count).
     pub workers: usize,
+    /// I/O event-loop threads, each multiplexing many nonblocking
+    /// connections (the reactor).
+    pub io_threads: usize,
     /// Attribute names of the served schema (positional).
     pub attributes: Vec<String>,
     /// Store configuration shared by every shard. The selection strategy
@@ -153,6 +161,7 @@ impl Default for ServeConfig {
         Self {
             shards: 4,
             workers: 4,
+            io_threads: 2,
             attributes: vec!["title".to_string()],
             online,
             data_dir: None,
@@ -191,6 +200,9 @@ struct ServerState<E: EmbeddingModel> {
     queue_depth: u64,
     /// Records refused with `429 Too Many Requests` since startup.
     rejected: AtomicU64,
+    /// Per-shard WAL size, published after every append/checkpoint so
+    /// `/stats` never touches a WAL lock (appends hold it through fsyncs).
+    wal_bytes: Vec<AtomicU64>,
     /// Configured record-storage backend (lock-free copy for `/healthz`
     /// and for sizing the checkpoint's lock acquisition).
     storage: StorageBackend,
@@ -198,18 +210,28 @@ struct ServerState<E: EmbeddingModel> {
     snapshot_format: SnapshotFormat,
     attributes: Vec<String>,
     requests: AtomicU64,
+    /// Set to begin a graceful shutdown (shared with the reactor and the
+    /// `POST /admin/shutdown` route).
+    shutdown: Arc<AtomicBool>,
+    /// Bound address (the shutdown route self-connects to unblock the
+    /// acceptor).
+    addr: SocketAddr,
 }
 
-/// The serving layer: a sharded store, a WAL, and an HTTP front end.
+/// The serving layer: a sharded store, a WAL, and an event-driven HTTP
+/// front end ([`crate::net`]).
 pub struct MatchServer<E: EmbeddingModel> {
     state: Arc<ServerState<E>>,
     listener: TcpListener,
-    pool: ThreadPool,
+    io_threads: usize,
+    pool: Arc<ThreadPool>,
 }
 
 /// Handle of a server spawned on a background thread. Dropping it (or
-/// calling [`ServerHandle::shutdown`]) stops the accept loop and joins the
-/// server thread; the WAL keeps all acknowledged writes.
+/// calling [`ServerHandle::shutdown`]) begins a graceful shutdown — stop
+/// accepting, drain in-flight requests (bounded by
+/// [`crate::net::DRAIN_DEADLINE`]), flush WALs — and joins the server
+/// thread. Acknowledged writes always survive.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -222,14 +244,16 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting, drain workers, join the server thread.
+    /// Gracefully stop: no new connections, drain in-flight requests,
+    /// flush WALs, join the server thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop.
+        // Unblock the accept loop (the event loops notice the flag at
+        // their next poll tick).
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -354,7 +378,15 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         shard_epochs.resize(num_shards, 0);
         replayed.resize(num_shards, 0);
         let listener = TcpListener::bind(addr)?;
-        let pool = ThreadPool::new(config.workers.max(1));
+        let bound = listener.local_addr()?;
+        let wal_bytes = match &wals {
+            Some(wals) => wals
+                .iter()
+                .map(|wal| AtomicU64::new(wal.lock().expect("wal lock poisoned").bytes()))
+                .collect(),
+            None => (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+        };
+        let pool = Arc::new(ThreadPool::new(config.workers.max(1)));
         Ok(Self {
             state: Arc::new(ServerState {
                 store,
@@ -366,13 +398,17 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 inflight: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
                 queue_depth: config.queue_depth,
                 rejected: AtomicU64::new(0),
+                wal_bytes,
                 storage: config.storage,
                 data_dir: config.data_dir.clone(),
                 snapshot_format: config.snapshot_format,
                 attributes: config.attributes.clone(),
                 requests: AtomicU64::new(0),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                addr: bound,
             }),
             listener,
+            io_threads: config.io_threads.max(1),
             pool,
         })
     }
@@ -382,42 +418,75 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         self.listener.local_addr()
     }
 
-    /// Serve until the process exits (the CLI entry point).
+    /// Serve until a shutdown is signalled (`POST /admin/shutdown`, or the
+    /// flag a [`ServerHandle`] sets), then drain in-flight requests and
+    /// flush the WALs. The CLI entry point: returning `Ok` means a clean
+    /// exit 0.
     pub fn run(self) -> io::Result<()> {
-        let never = Arc::new(AtomicBool::new(false));
-        self.run_until(&never);
+        let state = Arc::clone(&self.state);
+        let shutdown = Arc::clone(&state.shutdown);
+
+        let handler_state = Arc::clone(&state);
+        let handler = Arc::new(move |request: Request| -> (Vec<u8>, bool) {
+            handler_state.requests.fetch_add(1, Ordering::Relaxed);
+            let close = request.close;
+            let response = route(&handler_state, &request);
+            (response.render(close), close)
+        });
+
+        // Liveness probes are answered inline on the I/O threads: they take
+        // no shard locks, so they stay green even when every worker is busy
+        // or a checkpoint holds the store.
+        let fast_state = Arc::clone(&state);
+        let fast = Arc::new(move |request: &Request| -> Option<(Vec<u8>, bool)> {
+            let body = match (request.method.as_str(), request.path.as_str()) {
+                ("GET", "/healthz") => healthz(&fast_state),
+                ("GET", "/stats") => stats(&fast_state),
+                _ => return None,
+            };
+            fast_state.requests.fetch_add(1, Ordering::Relaxed);
+            Some((
+                render_response(200, "OK", &body, request.close, &[]),
+                request.close,
+            ))
+        });
+
+        let reactor = Reactor::start(
+            self.listener,
+            self.io_threads,
+            Arc::clone(&self.pool),
+            handler,
+            fast,
+            Arc::clone(&shutdown),
+        )?;
+        // Blocks until shutdown is signalled and in-flight work drains.
+        reactor.join();
+        drop(self.pool); // joins any worker still finishing an abandoned job
+
+        // Make everything acknowledged durable before exiting.
+        if let Some(wals) = &state.wals {
+            for wal in wals {
+                let _ = wal.lock().expect("wal lock poisoned").sync();
+            }
+        }
         Ok(())
     }
 
-    /// Serve on a background thread; the handle shuts the server down.
+    /// Serve on a background thread; the handle gracefully shuts the
+    /// server down.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
+        let shutdown = Arc::clone(&self.state.shutdown);
         let thread = std::thread::Builder::new()
-            .name("multiem-serve-accept".into())
-            .spawn(move || self.run_until(&flag))?;
+            .name("multiem-serve".into())
+            .spawn(move || {
+                let _ = self.run();
+            })?;
         Ok(ServerHandle {
             addr,
             shutdown,
             thread: Some(thread),
         })
-    }
-
-    fn run_until(self, shutdown: &Arc<AtomicBool>) {
-        for stream in self.listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let state = Arc::clone(&self.state);
-            let flag = Arc::clone(shutdown);
-            self.pool.execute(move || {
-                let _ = handle_connection(&state, stream, &flag);
-            });
-        }
-        // Dropping `self.pool` joins the workers after queued connections
-        // drain, so in-flight requests finish before shutdown returns.
     }
 }
 
@@ -497,85 +566,8 @@ fn restore_or_create<E: EmbeddingModel + Clone>(
 }
 
 // --------------------------------------------------------------------------
-// Connection handling and routing
+// Routing (executed on the worker pool; `net.rs` owns all socket I/O)
 // --------------------------------------------------------------------------
-
-/// Poll interval while a keep-alive connection is idle (bounds how long a
-/// worker takes to notice the shutdown flag).
-const IDLE_POLL: Duration = Duration::from_millis(250);
-/// Read timeout once a request has started arriving. A mid-request timeout
-/// must close the connection (bytes were already consumed, so "retry from
-/// the top" would re-parse from the middle of the stream), so it is kept
-/// generous.
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
-
-fn handle_connection<E: EmbeddingModel>(
-    state: &ServerState<E>,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
-    use std::io::BufRead;
-
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        // Idle wait: consume nothing until a request's first bytes arrive,
-        // so a timeout here never tears a partially read request.
-        writer.get_ref().set_read_timeout(Some(IDLE_POLL))?;
-        match reader.fill_buf() {
-            Ok([]) => return Ok(()), // clean close
-            Ok(_) => {}              // request bytes waiting
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(_) => return Ok(()), // peer vanished
-        }
-        // A request is in flight; allow slow bodies to trickle in.
-        writer.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT))?;
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                write_response_with(
-                    &mut writer,
-                    400,
-                    "Bad Request",
-                    &error_body(&e.to_string()),
-                    true,
-                    &[],
-                )?;
-                return Ok(());
-            }
-            // Timeouts and disconnects mid-request: the stream position is
-            // unknown, drop the connection.
-            Err(_) => return Ok(()),
-        };
-        state.requests.fetch_add(1, Ordering::Relaxed);
-        let close = request.close;
-        let response = route(state, &request);
-        let mut extra: Vec<(&str, String)> = Vec::new();
-        if let Some(seconds) = response.retry_after {
-            extra.push(("Retry-After", seconds.to_string()));
-        }
-        write_response_with(
-            &mut writer,
-            response.status,
-            response.reason,
-            &response.body,
-            close,
-            &extra,
-        )?;
-        if close {
-            return Ok(());
-        }
-    }
-}
 
 /// One routed response (status line, JSON body, optional `Retry-After`).
 struct Response {
@@ -594,12 +586,41 @@ impl Response {
             retry_after: None,
         }
     }
+
+    /// On-wire bytes of this response.
+    fn render(&self, close: bool) -> Vec<u8> {
+        let mut extra: Vec<(&str, String)> = Vec::new();
+        if let Some(seconds) = self.retry_after {
+            extra.push(("Retry-After", seconds.to_string()));
+        }
+        render_response(self.status, self.reason, &self.body, close, &extra)
+    }
 }
 
 fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
+        // The reactor normally intercepts these two on its inline fast
+        // path (see `run`); the arms stay as the single source of the
+        // route table in case the front-end wiring ever changes, and call
+        // the same `healthz` / `stats` renderers.
         ("GET", "/healthz") => Response::new(200, "OK", healthz(state)),
         ("GET", "/stats") => Response::new(200, "OK", stats(state)),
+        ("POST", "/admin/shutdown") => {
+            // Begin the graceful drain: the reactor stops parsing new
+            // requests, finishes in-flight ones (this response included),
+            // then `run` flushes the WALs and returns cleanly. The
+            // self-connect unblocks the acceptor thread.
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(state.addr);
+            Response::new(
+                200,
+                "OK",
+                render(Value::Map(vec![(
+                    "shutting_down".into(),
+                    Value::Bool(true),
+                )])),
+            )
+        }
         ("POST", "/records") => match ingest(state, &request.body) {
             Ok(body) => Response::new(200, "OK", body),
             Err(IngestError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
@@ -653,17 +674,25 @@ fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     ]))
 }
 
+/// Render `/stats`. Runs on the I/O fast path, so it must never block on a
+/// shard write lock or a WAL lock: shard stats fall back to their last
+/// published value when a writer holds the shard
+/// ([`ShardedEntityStore::stats`]), and WAL sizes read published atomics.
 fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
-    let mut entries = match state.store.stats().to_value() {
+    // One nonblocking pass yields both the store and the storage counters.
+    let (sharded, storage) = state.store.stats_with_storage();
+    let mut entries = match sharded.to_value() {
         Value::Map(entries) => entries,
         other => vec![("stats".into(), other)],
     };
     let wal_bytes = state
         .wals
         .as_ref()
-        .map(|wals| {
-            wals.iter()
-                .map(|wal| wal.lock().expect("wal lock poisoned").bytes())
+        .map(|_| {
+            state
+                .wal_bytes
+                .iter()
+                .map(|bytes| bytes.load(Ordering::Relaxed))
                 .sum()
         })
         .unwrap_or(0);
@@ -680,7 +709,7 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
         Value::UInt(state.rejected.load(Ordering::Relaxed)),
     ));
     entries.push(("queue_depth".into(), Value::UInt(state.queue_depth)));
-    entries.push(("storage".into(), state.store.storage_stats().to_value()));
+    entries.push(("storage".into(), storage.to_value()));
     render(Value::Map(entries))
 }
 
@@ -802,11 +831,10 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
         let shard = state.store.shard_of(&record);
         let mut guard = state.store.write_shard(shard);
         if let Some(wals) = &state.wals {
-            wals[shard]
-                .lock()
-                .expect("wal lock poisoned")
-                .append(&WalOp::Insert(record.clone()))
+            let mut wal = wals[shard].lock().expect("wal lock poisoned");
+            wal.append(&WalOp::Insert(record.clone()))
                 .map_err(|e| IngestError::Invalid(format!("wal append failed: {e}")))?;
+            state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
         }
         let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
             .map_err(|e| IngestError::Invalid(e.to_string()))?;
@@ -876,8 +904,11 @@ fn match_one<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<S
 ///    truncation is keyed to the new delta epoch);
 /// 4. **commit**: atomically rename the new `MANIFEST.json` naming
 ///    `epoch + 1` and the per-shard snapshot epochs into place;
-/// 5. swap the in-memory WAL handles and best-effort delete the old
-///    epoch's WALs and each re-snapshotted shard's superseded snapshot.
+/// 5. swap the in-memory WAL handles, best-effort delete the old epoch's
+///    WALs and each re-snapshotted shard's superseded snapshot, and (disk
+///    backend) GC segment files the committed segment index no longer
+///    references — orphans left by checkpoints that crashed between
+///    sealing and committing.
 ///
 /// A crash before step 4 leaves the manifest pointing at the old epoch —
 /// the old snapshots and old WALs are untouched, so startup sees exactly
@@ -986,10 +1017,26 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         let old = std::mem::replace(&mut *wal_guards[shard], new_wal);
         truncated += old.bytes();
         drop(old);
+        state.wal_bytes[shard].store(0, Ordering::Relaxed);
         std::fs::remove_file(wal_path(dir, shard, old_epoch)).ok();
     }
     for (shard, epoch) in superseded {
         std::fs::remove_file(snapshot_path(dir, shard, epoch)).ok();
+    }
+
+    // Post-commit housekeeping, still under the shard locks: GC segment
+    // files the committed index no longer references (best-effort — the
+    // checkpoint itself already committed), and republish each shard's
+    // stats so the lock-free `/stats` path reflects the checkpointed state.
+    let mut segments_deleted = 0u64;
+    for (i, guard) in guards.iter_mut().enumerate() {
+        if let ShardGuard::Write(store) = guard {
+            match store.gc_storage() {
+                Ok(deleted) => segments_deleted += deleted,
+                Err(e) => eprintln!("[multiem-serve] segment GC failed (shard {i}): {e}"),
+            }
+        }
+        state.store.publish_stats(i, guard.get());
     }
 
     Ok(render(Value::Map(vec![
@@ -999,6 +1046,7 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         ("snapshots_written".into(), Value::UInt(snapshots_written)),
         ("snapshot_bytes".into(), Value::UInt(total_bytes as u64)),
         ("wal_bytes_truncated".into(), Value::UInt(truncated)),
+        ("segments_deleted".into(), Value::UInt(segments_deleted)),
     ])))
 }
 

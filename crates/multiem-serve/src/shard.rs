@@ -26,11 +26,13 @@
 
 use multiem_ann::merge_ranked;
 use multiem_embed::EmbeddingModel;
-use multiem_online::{EntityStore, OnlineConfig, OnlineError, SnapshotFormat, StoreStats};
+use multiem_online::{
+    EntityStore, OnlineConfig, OnlineError, SnapshotFormat, StorageStats, StoreStats,
+};
 use multiem_table::{EntityId, Record, Schema};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A cluster handle that is unique across the whole sharded store: the shard
 /// index plus the shard-local [`EntityId`].
@@ -57,11 +59,51 @@ pub struct ShardedStats {
     pub shards: Vec<StoreStats>,
 }
 
+/// One shard: the store behind its `RwLock`, plus the last stats it
+/// *published* — a copy refreshed whenever stats are computed under a
+/// successful lock, and served as-is when a writer (most importantly a
+/// disk-backend checkpoint, which write-locks every shard) holds the store.
+/// That keeps `/stats` and `/healthz` answerable without ever waiting on a
+/// shard write lock.
+#[derive(Debug)]
+struct Shard<E: EmbeddingModel> {
+    store: RwLock<EntityStore<E>>,
+    published: Mutex<(StoreStats, StorageStats)>,
+}
+
+impl<E: EmbeddingModel> Shard<E> {
+    fn new(store: EntityStore<E>) -> Self {
+        let published = Mutex::new((store.stats(), store.storage_stats()));
+        Self {
+            store: RwLock::new(store),
+            published,
+        }
+    }
+
+    /// Fresh stats when the shard is readable right now, else the last
+    /// published copy (never blocks on a writer).
+    fn stats_nonblocking(&self) -> (StoreStats, StorageStats) {
+        match self.store.try_read() {
+            Ok(store) => {
+                let fresh = (store.stats(), store.storage_stats());
+                *self.published.lock().expect("stats lock poisoned") = fresh;
+                fresh
+            }
+            Err(_) => *self.published.lock().expect("stats lock poisoned"),
+        }
+    }
+
+    fn publish(&self, store: &EntityStore<E>) {
+        *self.published.lock().expect("stats lock poisoned") =
+            (store.stats(), store.storage_stats());
+    }
+}
+
 /// N hash-partitioned [`EntityStore`]s with single-writer-per-shard ingestion
 /// and fully concurrent cross-shard reads. See the [module docs](self).
 #[derive(Debug)]
 pub struct ShardedEntityStore<E: EmbeddingModel> {
-    shards: Vec<RwLock<EntityStore<E>>>,
+    shards: Vec<Shard<E>>,
     schema: Arc<Schema>,
     /// Top-K bound used when fanning per-shard candidates back in.
     k: usize,
@@ -90,7 +132,7 @@ impl<E: EmbeddingModel + Clone> ShardedEntityStore<E> {
         for shard in 0..num_shards {
             let mut store = EntityStore::try_new(shard_config(&config, shard), encoder.clone())?;
             store.init_schema(schema.clone())?;
-            shards.push(RwLock::new(store));
+            shards.push(Shard::new(store));
         }
         Ok(Self { shards, schema, k })
     }
@@ -119,7 +161,7 @@ impl<E: EmbeddingModel + Clone> ShardedEntityStore<E> {
                     store
                 }
             };
-            shards.push(RwLock::new(store));
+            shards.push(Shard::new(store));
         }
         if shards.is_empty() {
             return Self::new(config, schema, 1, encoder);
@@ -170,12 +212,26 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
     /// to a WAL must take this lock *before* the WAL lock — the serving
     /// layer's lock order is `shard → wal` everywhere.
     pub fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, EntityStore<E>> {
-        self.shards[shard].write().expect("shard lock poisoned")
+        self.shards[shard]
+            .store
+            .write()
+            .expect("shard lock poisoned")
     }
 
     /// Read-lock one shard.
     pub fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, EntityStore<E>> {
-        self.shards[shard].read().expect("shard lock poisoned")
+        self.shards[shard]
+            .store
+            .read()
+            .expect("shard lock poisoned")
+    }
+
+    /// Republish one shard's stats for the lock-free stats path. Callers
+    /// already holding the shard's write guard (the checkpoint) use this so
+    /// `/stats` served *during* long exclusive sections reflects the state
+    /// at the start of the section, not something arbitrarily old.
+    pub fn publish_stats(&self, shard: usize, store: &EntityStore<E>) {
+        self.shards[shard].publish(store);
     }
 
     /// Insert a record into its shard, returning its global id and whether it
@@ -194,8 +250,10 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         let per_shard: Vec<Vec<(GlobalEntityId, f32)>> = self
             .shards
             .par_iter()
-            .map(|lock| {
-                lock.read()
+            .map(|shard| {
+                shard
+                    .store
+                    .read()
                     .expect("shard lock poisoned")
                     .match_record(record)
             })
@@ -237,20 +295,51 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         )
     }
 
-    /// Aggregate statistics (read-locks every shard).
+    /// Aggregate statistics. **Never blocks on a shard write lock**: a
+    /// shard a writer currently holds (e.g. a disk-backend checkpoint
+    /// holding every shard) reports its last published stats instead, so
+    /// `/stats` and health checks stay responsive through exclusive
+    /// sections. Quiescent stores always report fresh, exact values.
     pub fn stats(&self) -> ShardedStats {
-        let shards: Vec<StoreStats> = self
-            .shards
-            .iter()
-            .map(|lock| lock.read().expect("shard lock poisoned").stats())
-            .collect();
-        ShardedStats {
+        self.stats_with_storage().0
+    }
+
+    /// Store and storage statistics from one nonblocking pass over the
+    /// shards (the `/stats` fast path runs on an I/O thread, so each shard
+    /// is visited — and its stats computed — exactly once).
+    pub fn stats_with_storage(&self) -> (ShardedStats, StorageStats) {
+        let per_shard: Vec<(StoreStats, StorageStats)> =
+            self.shards.iter().map(Shard::stats_nonblocking).collect();
+        let mut storage: Option<StorageStats> = None;
+        for (_, stats) in &per_shard {
+            storage = Some(match storage {
+                None => *stats,
+                Some(mut sum) => {
+                    sum.records += stats.records;
+                    sum.resident_records += stats.resident_records;
+                    sum.resident_bytes += stats.resident_bytes;
+                    sum.spilled_records += stats.spilled_records;
+                    sum.spilled_bytes += stats.spilled_bytes;
+                    sum.segments += stats.segments;
+                    sum.segments_deleted += stats.segments_deleted;
+                    sum.cache_hits += stats.cache_hits;
+                    sum.cache_misses += stats.cache_misses;
+                    sum
+                }
+            });
+        }
+        let shards: Vec<StoreStats> = per_shard.into_iter().map(|(store, _)| store).collect();
+        let sharded = ShardedStats {
             records: shards.iter().map(|s| s.records).sum(),
             clusters: shards.iter().map(|s| s.clusters).sum(),
             tuples: shards.iter().map(|s| s.tuples).sum(),
             pruned_outliers: shards.iter().map(|s| s.pruned_outliers).sum(),
             shards,
-        }
+        };
+        (
+            sharded,
+            storage.expect("a sharded store has at least one shard"),
+        )
     }
 
     /// Run density-based pruning + index maintenance on every shard
@@ -270,28 +359,11 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         self.read_shard(shard).snapshot_bytes(format)
     }
 
-    /// Aggregate record-storage counters across every shard (read-locks
-    /// them one at a time).
-    pub fn storage_stats(&self) -> multiem_online::StorageStats {
-        let mut total: Option<multiem_online::StorageStats> = None;
-        for shard in 0..self.shards.len() {
-            let stats = self.read_shard(shard).storage_stats();
-            total = Some(match total {
-                None => stats,
-                Some(mut sum) => {
-                    sum.records += stats.records;
-                    sum.resident_records += stats.resident_records;
-                    sum.resident_bytes += stats.resident_bytes;
-                    sum.spilled_records += stats.spilled_records;
-                    sum.spilled_bytes += stats.spilled_bytes;
-                    sum.segments += stats.segments;
-                    sum.cache_hits += stats.cache_hits;
-                    sum.cache_misses += stats.cache_misses;
-                    sum
-                }
-            });
-        }
-        total.expect("a sharded store has at least one shard")
+    /// Aggregate record-storage counters across every shard. Like
+    /// [`ShardedEntityStore::stats`], never blocks on a write lock (held
+    /// shards report their last published counters).
+    pub fn storage_stats(&self) -> StorageStats {
+        self.stats_with_storage().1
     }
 }
 

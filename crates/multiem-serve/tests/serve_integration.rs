@@ -1,13 +1,18 @@
 //! End-to-end tests of the serving layer: loopback HTTP, kill-and-restart
 //! WAL durability (memory and disk record storage), delta checkpoints,
-//! ingest backpressure and multi-threaded ingestion.
+//! ingest backpressure, multi-threaded ingestion, and the event-driven
+//! multiplexer (slow clients, idle keep-alive fleets larger than the worker
+//! pool, malformed requests, graceful shutdown, segment GC).
 
 use multiem_embed::HashedLexicalEncoder;
-use multiem_serve::http::HttpClient;
+use multiem_serve::http::{read_response, HttpClient};
 use multiem_serve::{MatchServer, ServeConfig, ServerHandle, ShardedEntityStore, StorageBackend};
 use multiem_table::{Record, Schema};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 
 static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
 
@@ -553,6 +558,282 @@ fn default_queue_depth_accepts_normal_traffic() {
     assert_eq!(counter(&stats, "records"), 2);
     assert_eq!(counter(&stats, "rejected"), 0);
     handle.shutdown();
+}
+
+// --------------------------------------------------------------------------
+// Event-driven multiplexer: slow clients, idle fleets, malformed requests,
+// graceful shutdown, segment GC
+// --------------------------------------------------------------------------
+
+/// Send `pieces` over a raw socket with a pause between each, then read the
+/// response — the server's incremental parser must reassemble the request
+/// no matter where the fragmentation falls.
+fn trickle(addr: &str, pieces: &[&[u8]], pause: Duration) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for piece in pieces {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(pause);
+    }
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    (status, body)
+}
+
+#[test]
+fn header_split_across_reads_parses_fine() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let (status, body) = trickle(
+        &addr,
+        &[
+            b"GET /hea",
+            b"lthz HT",
+            b"TP/1.1\r\nHo",
+            b"st: trickle\r\n",
+            b"\r\n",
+        ],
+        Duration::from_millis(20),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""));
+    handle.shutdown();
+}
+
+#[test]
+fn body_trickled_byte_by_byte_parses_fine() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let body_bytes = b"{\"records\":[[\"golden heart river\"]]}";
+    let head = format!(
+        "POST /records HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body_bytes.len()
+    );
+    let mut pieces: Vec<&[u8]> = vec![head.as_bytes()];
+    pieces.extend(body_bytes.chunks(1));
+    let (status, response) = trickle(&addr, &pieces, Duration::from_millis(2));
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"ingested\":1"), "{response}");
+
+    // The trickled record actually landed.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(counter(&get_stats(&mut client), "records"), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_client_does_not_block_other_connections() {
+    // One worker: under the old thread-per-connection front end, a client
+    // holding the worker mid-request starved everyone else. The reactor
+    // parses incrementally on an I/O thread, so the slow sender costs no
+    // worker until its request completes.
+    let (handle, addr) = spawn_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    let slow_body = b"{\"records\":[[\"slow sender\"]]}";
+    let (first, rest) = slow_body.split_at(5);
+    let mut slow = TcpStream::connect(&addr).unwrap();
+    slow.write_all(
+        format!(
+            "POST /records HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            slow_body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    slow.write_all(first).unwrap();
+    slow.flush().unwrap();
+
+    // While the slow request dangles, fast clients cycle freely.
+    let mut fast = HttpClient::connect(&addr).unwrap();
+    for _ in 0..5 {
+        let (status, _) = fast.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+    }
+    post_records(&mut fast, &["makita drill 18v"]);
+
+    // Finish the slow request; it still parses and executes.
+    slow.write_all(rest).unwrap();
+    slow.flush().unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let (status, body) = {
+        let mut reader = BufReader::new(slow);
+        let (status, _, body) = read_response(&mut reader).unwrap();
+        (status, body)
+    };
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(counter(&get_stats(&mut fast), "records"), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keepalive_connections_far_beyond_workers_all_serve() {
+    // 2 workers, 32 keep-alive connections: the old front end pinned one
+    // worker per connection, so connections 3..32 would starve forever.
+    // With the multiplexer, idle connections cost buffers only.
+    const CONNECTIONS: usize = 32;
+    let (handle, addr) = spawn_server(ServeConfig {
+        workers: 2,
+        io_threads: 2,
+        ..ServeConfig::default()
+    });
+
+    let mut clients: Vec<HttpClient> = (0..CONNECTIONS)
+        .map(|_| HttpClient::connect(&addr).unwrap())
+        .collect();
+    // Two full rounds over every connection, interleaved with long idle
+    // stretches for all the others — each request must land.
+    for round in 0..2 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            let title = format!("conn {i} round {round}");
+            let body = format!("{{\"records\":[[\"{title}\"]]}}");
+            let (status, response) = client.request("POST", "/records", Some(&body)).unwrap();
+            assert_eq!(status, 200, "conn {i} round {round}: {response}");
+        }
+    }
+    let stats = get_stats(&mut clients[0]);
+    assert_eq!(counter(&stats, "records"), (CONNECTIONS * 2) as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_request_gets_400_and_the_connection_closes() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+
+    // Garbage that can never become a request: the incremental parser must
+    // answer 400 and hang up.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("error"), "{body}");
+    // The server closed the connection after the 400.
+    use std::io::Read;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection must close after a parse error");
+
+    // A bad HTTP version is rejected the same way.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(b"GET / SMTP/3.7\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, _, _) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 400);
+
+    // The server is unharmed.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn admin_shutdown_drains_and_flushes_the_wal() {
+    let dir = temp_dir("graceful");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        shards: 2,
+        // `never` means durability at exit depends entirely on the
+        // graceful path's final WAL flush.
+        fsync: multiem_serve::FsyncPolicy::Never,
+        ..ServeConfig::default()
+    };
+
+    let (handle, addr) = spawn_server(config.clone());
+    let mut client = HttpClient::connect(&addr).unwrap();
+    post_records(&mut client, &["golden heart river", "makita drill 18v"]);
+
+    // The shutdown request itself is served (drain includes it), then the
+    // server thread exits on its own.
+    let (status, body) = client.request("POST", "/admin/shutdown", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"shutting_down\":true"), "{body}");
+    handle.shutdown(); // joins the already-exiting thread
+
+    // New connections are refused once the server is down.
+    assert!(
+        HttpClient::connect(&addr).is_err()
+            || HttpClient::connect(&addr)
+                .and_then(|mut c| c.request("GET", "/healthz", None))
+                .is_err(),
+        "server must stop serving after shutdown"
+    );
+
+    // Acknowledged writes survived the graceful exit.
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(counter(&get_stats(&mut client), "records"), 2);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_garbage_collects_orphaned_segments() {
+    let dir = temp_dir("segment-gc");
+    let config = disk_config(&dir, 2);
+
+    let (handle, addr) = spawn_server(config.clone());
+    let mut client = HttpClient::connect(&addr).unwrap();
+    post_records(
+        &mut client,
+        &[
+            "apple iphone 8 plus",
+            "apple iphone 8 plus 64gb",
+            "sony bravia tv",
+            "sony bravia television",
+            "makita drill 18v",
+            "dyson v11 vacuum",
+            "garmin gps watch",
+            "bosch washing machine",
+        ],
+    );
+    // Seal the tails so the segment dirs exist and hold real files.
+    let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // Plant orphans a crashed checkpoint could have left behind: a sealed
+    // segment beyond the committed index and an interrupted seal's tmp.
+    let shard0 = dir.join("segments").join("shard-000");
+    assert!(shard0.is_dir(), "disk shards have segment dirs");
+    std::fs::write(shard0.join("seg-000099.seg"), b"orphaned payload").unwrap();
+    std::fs::write(shard0.join("seg-000050.tmp"), b"torn seal").unwrap();
+    // A foreign file must never be touched.
+    std::fs::write(shard0.join("KEEP.txt"), b"not ours").unwrap();
+
+    // Dirty a shard so the next checkpoint does real work, then checkpoint:
+    // post-commit GC must sweep exactly the two orphans.
+    post_records(&mut client, &["apple iphone 8 plus 64 gb silver"]);
+    let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(counter(&body, "segments_deleted"), 2, "{body}");
+    assert!(!shard0.join("seg-000099.seg").exists());
+    assert!(!shard0.join("seg-000050.tmp").exists());
+    assert!(shard0.join("KEEP.txt").exists(), "foreign files survive GC");
+
+    // The counter surfaces in /stats storage counters.
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "segments_deleted"), 2, "{stats}");
+
+    // A restart over the GC'd directory restores cleanly.
+    handle.shutdown();
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(counter(&get_stats(&mut client), "records"), 9);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
