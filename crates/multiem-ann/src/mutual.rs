@@ -86,10 +86,21 @@ where
 /// rank a single un-partitioned index would have produced for candidates it
 /// scored with the same distances. The serving layer uses this to merge
 /// per-shard match results.
+///
+/// Non-finite distances (NaN, ±∞) are dropped before ranking: a NaN would
+/// make any comparator non-total and scramble the merged order, and a
+/// candidate without a finite distance is meaningless to rank. The sort
+/// itself uses [`f32::total_cmp`], so the comparator is total even if a
+/// new non-finite class ever slips through.
 pub fn merge_ranked<T: Clone>(lists: &[Vec<(T, f32)>], k: usize) -> Vec<(T, f32)> {
-    let mut all: Vec<(T, f32)> = lists.iter().flatten().cloned().collect();
+    let mut all: Vec<(T, f32)> = lists
+        .iter()
+        .flatten()
+        .filter(|(_, distance)| distance.is_finite())
+        .cloned()
+        .collect();
     // Stable sort: equal distances keep (list, position) order.
-    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    all.sort_by(|a, b| a.1.total_cmp(&b.1));
     all.truncate(k);
     all
 }
@@ -189,6 +200,44 @@ mod tests {
         assert_eq!(names, vec!["c0", "a0", "a1", "c1"]);
         assert!(merge_ranked::<&str>(&[], 5).is_empty());
         assert_eq!(merge_ranked(&lists, 0).len(), 0);
+    }
+
+    #[test]
+    fn merge_ranked_drops_non_finite_distances() {
+        // One NaN used to poison the whole comparator (`partial_cmp(..)
+        // .unwrap_or(Equal)` is non-total), leaving the merged ranking
+        // unspecified. NaN and ±∞ must be filtered, finite order preserved.
+        let lists = vec![
+            vec![("nan", f32::NAN), ("a", 0.2), ("inf", f32::INFINITY)],
+            vec![("b", 0.1), ("neg-inf", f32::NEG_INFINITY), ("c", 0.3)],
+        ];
+        let merged = merge_ranked(&lists, 10);
+        let names: Vec<&str> = merged.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        assert!(merged.iter().all(|(_, d)| d.is_finite()));
+        // An all-NaN input merges to nothing rather than garbage.
+        assert!(merge_ranked(&[vec![("x", f32::NAN)]], 3).is_empty());
+    }
+
+    #[test]
+    fn merge_ranked_k_beyond_candidates_and_tie_stability() {
+        // `k` larger than the total candidate count returns everything.
+        let lists = vec![vec![("a", 0.5)], vec![("b", 0.25)]];
+        let merged = merge_ranked(&lists, 100);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].0, "b");
+
+        // Equal distances across shards keep (list, position) order no
+        // matter how many ties pile up — the stable-sort guarantee the
+        // sharded read path leans on for deterministic responses.
+        let tied = vec![
+            vec![("s0-a", 0.4), ("s0-b", 0.4)],
+            vec![("s1-a", 0.4)],
+            vec![("s2-a", 0.4), ("s2-b", 0.4)],
+        ];
+        let merged = merge_ranked(&tied, 10);
+        let names: Vec<&str> = merged.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["s0-a", "s0-b", "s1-a", "s2-a", "s2-b"]);
     }
 
     #[test]

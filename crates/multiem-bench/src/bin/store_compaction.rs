@@ -1,0 +1,228 @@
+//! Deletion + compaction benchmark of the disk-backed online
+//! [`EntityStore`]: ingest a dataset, delete just over half the records,
+//! compact, and measure how many on-disk segment bytes come back — recorded
+//! to `BENCH_compact.json` (CI tracks it like `BENCH_store.json`).
+//!
+//! ```bash
+//! MULTIEM_SCALE=0.2 cargo run --release -p multiem-bench --bin store_compaction -- \
+//!     --out BENCH_compact.json --gate
+//! ```
+//!
+//! `--gate` enforces the deletion-layer acceptance bar: compaction must
+//! reclaim at least 50% of the sealed segment bytes after the deletions,
+//! and the delete+compact machinery must not slow ingest beyond 2x the
+//! memory backend (the same ingest-cost bound `store_memory` holds the
+//! disk backend to). Matching equality between a disk and a memory store
+//! that saw the identical insert+delete sequence is always asserted.
+
+use multiem_core::MultiEmConfig;
+use multiem_datagen::benchmark_dataset;
+use multiem_embed::HashedLexicalEncoder;
+use multiem_online::{EntityStore, OnlineConfig};
+use multiem_table::EntityId;
+use serde::Value;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut gate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a path"))),
+            "--gate" => gate = true,
+            "--help" | "-h" => {
+                println!(
+                    "store_compaction: deletion + segment compaction benchmark\n\n\
+                     options:\n\
+                     \x20 --out PATH   write BENCH_compact.json-style results to PATH\n\
+                     \x20 --gate       fail unless compaction reclaims >= 50% of segment\n\
+                     \x20              bytes and ingest stays within 2x of the mem backend\n\n\
+                     env: MULTIEM_SCALE (default 0.2)"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let scale = std::env::var("MULTIEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.2)
+        .clamp(0.0005, 1.0);
+    let dataset_name = "music-20";
+    println!("store_compaction: dataset `{dataset_name}` at MULTIEM_SCALE={scale}");
+    let data = benchmark_dataset(dataset_name, scale).expect("known preset");
+    let encoder = HashedLexicalEncoder::default();
+
+    let disk_dir =
+        std::env::temp_dir().join(format!("multiem-compact-bench-{}", std::process::id()));
+    let base = MultiEmConfig {
+        m: 0.35,
+        ..MultiEmConfig::default()
+    };
+    let mem_config = OnlineConfig::new(base.clone()).with_all_attributes();
+    let disk_config = OnlineConfig::new(base)
+        .with_all_attributes()
+        .with_disk_storage(disk_dir.display().to_string());
+
+    // Ingest the same dataset into both backends (timed: the ingest-cost
+    // gate bounds what the tombstone bookkeeping costs the hot path).
+    let mut on_disk = EntityStore::new(disk_config, encoder.clone());
+    let mut in_mem = EntityStore::new(mem_config, encoder);
+    let disk_ingest = time(|| {
+        for table in data.dataset.tables() {
+            on_disk.ingest_batch(table).expect("disk ingest");
+        }
+        on_disk.refresh();
+    });
+    let mem_ingest = time(|| {
+        for table in data.dataset.tables() {
+            in_mem.ingest_batch(table).expect("mem ingest");
+        }
+        in_mem.refresh();
+    });
+    let records = on_disk.num_records();
+    on_disk.flush_storage().expect("flush");
+    let disk_bytes_before = dir_bytes(&disk_dir);
+    println!(
+        "  ingested {records} records: disk {disk_ingest:.2}s, mem {mem_ingest:.2}s; \
+         sealed segments hold {} bytes",
+        disk_bytes_before
+    );
+
+    // Delete just over half of every source (even rows plus every 16th odd
+    // row, ~56%), identically on both backends. A hair over half keeps the
+    // >= 50% byte-reclaim gate insensitive to per-record size jitter.
+    let mut victims: Vec<EntityId> = Vec::new();
+    for (source, table) in data.dataset.tables().iter().enumerate() {
+        for row in 0..table.len() as u32 {
+            if row % 2 == 0 || row % 16 == 1 {
+                victims.push(EntityId::new(source as u32, row));
+            }
+        }
+    }
+    let delete_seconds = time(|| {
+        for id in &victims {
+            assert!(on_disk.delete_record(*id).expect("disk delete"));
+        }
+    });
+    for id in &victims {
+        assert!(in_mem.delete_record(*id).expect("mem delete"));
+    }
+    let deleted_fraction = victims.len() as f64 / records as f64;
+    println!(
+        "  deleted {} of {records} records ({:.0}%) in {delete_seconds:.2}s \
+         ({:.0} deletes/s)",
+        victims.len(),
+        deleted_fraction * 100.0,
+        victims.len() as f64 / delete_seconds.max(1e-9)
+    );
+
+    // Matching output must be identical across backends after deletion.
+    let mut disk_tuples = on_disk.tuples();
+    let mut mem_tuples = in_mem.tuples();
+    disk_tuples.sort();
+    mem_tuples.sort();
+    assert_eq!(
+        disk_tuples, mem_tuples,
+        "deletion must not desynchronise the storage backends"
+    );
+
+    // Compact + sweep, then measure what the directory actually holds.
+    let compact_seconds = time(|| {
+        let report = on_disk.compact_storage().expect("compact");
+        assert!(report.segments_compacted > 0, "compaction must trigger");
+    });
+    on_disk.gc_storage().expect("gc");
+    let disk_bytes_after = dir_bytes(&disk_dir);
+    let reclaimed_fraction = 1.0 - disk_bytes_after as f64 / disk_bytes_before.max(1) as f64;
+    let storage = on_disk.storage_stats();
+    println!(
+        "  compaction: {disk_bytes_before} -> {disk_bytes_after} bytes on disk \
+         ({:.1}% reclaimed) in {compact_seconds:.2}s; {} segments remain",
+        reclaimed_fraction * 100.0,
+        storage.segments
+    );
+
+    let slowdown = disk_ingest / mem_ingest.max(1e-9);
+    let report = Value::Map(vec![
+        ("dataset".into(), Value::Str(dataset_name.into())),
+        ("scale".into(), Value::Float(scale)),
+        ("records".into(), Value::UInt(records as u64)),
+        ("deleted".into(), Value::UInt(victims.len() as u64)),
+        ("deleted_fraction".into(), Value::Float(deleted_fraction)),
+        ("disk_ingest_seconds".into(), Value::Float(disk_ingest)),
+        ("mem_ingest_seconds".into(), Value::Float(mem_ingest)),
+        ("ingest_slowdown".into(), Value::Float(slowdown)),
+        ("delete_seconds".into(), Value::Float(delete_seconds)),
+        ("compact_seconds".into(), Value::Float(compact_seconds)),
+        ("disk_bytes_before".into(), Value::UInt(disk_bytes_before)),
+        ("disk_bytes_after".into(), Value::UInt(disk_bytes_after)),
+        (
+            "reclaimed_fraction".into(),
+            Value::Float(reclaimed_fraction),
+        ),
+        ("compactions".into(), Value::UInt(storage.compactions)),
+        (
+            "reclaimed_bytes".into(),
+            Value::UInt(storage.reclaimed_bytes),
+        ),
+    ]);
+    let rendered = serde_json::to_string(&report).expect("report renders");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("  wrote {path}");
+    }
+    println!("{rendered}");
+    std::fs::remove_dir_all(&disk_dir).ok();
+
+    if gate {
+        if reclaimed_fraction < 0.5 {
+            fail(&format!(
+                "gate: compaction reclaimed only {:.1}% of segment bytes (need >= 50%)",
+                reclaimed_fraction * 100.0
+            ));
+        }
+        if slowdown > 2.0 {
+            fail(&format!(
+                "gate: disk ingest {slowdown:.2}x slower than mem (allowed <= 2x)"
+            ));
+        }
+        println!(
+            "  gates passed: {:.1}% reclaimed, ingest slowdown {slowdown:.2}x",
+            reclaimed_fraction * 100.0
+        );
+    }
+}
+
+fn time(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// Total bytes of the segment files under `dir` (recursive: the sharded
+/// layout nests per-shard directories).
+fn dir_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

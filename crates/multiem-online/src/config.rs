@@ -20,7 +20,7 @@ pub enum SelectionStrategy {
 
 /// Tuning of the spill-to-disk segment record store
 /// ([`crate::storage::SegmentRecordStore`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiskStorageConfig {
     /// Directory holding the append-only segment files. One live writer per
     /// directory: two stores appending into the same directory would race on
@@ -33,23 +33,31 @@ pub struct DiskStorageConfig {
     /// Capacity (in records) of the in-memory LRU over sealed records. `0`
     /// disables the cache (every sealed read hits disk).
     pub cache_records: usize,
+    /// Compaction threshold: a sealed segment whose *live* fraction
+    /// (non-deleted records / records in the file) is at or below this
+    /// value is rewritten by the next compaction pass
+    /// ([`crate::storage::RecordStore::compact`]), reclaiming the bytes its
+    /// tombstoned records pin. `0.0` compacts only fully-dead segments;
+    /// `1.0` rewrites any segment with at least one deletion.
+    pub compact_live_ratio: f64,
 }
 
 impl DiskStorageConfig {
-    /// Disk storage under `dir` with the default segment size (512 records)
-    /// and hot cache (1024 records).
+    /// Disk storage under `dir` with the default segment size (512 records),
+    /// hot cache (1024 records) and compaction threshold (0.6).
     pub fn new(dir: impl Into<String>) -> Self {
         Self {
             dir: dir.into(),
             segment_records: 512,
             cache_records: 1024,
+            compact_live_ratio: 0.6,
         }
     }
 }
 
 /// Where ingested records and their embeddings live (the pluggable record
 /// storage selected by [`OnlineConfig::storage`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum StorageConfig {
     /// Keep every record and embedding resident (the PR-1/PR-2 behaviour;
     /// memory grows linearly with ingest).
@@ -149,6 +157,9 @@ impl OnlineConfig {
             if disk.segment_records == 0 {
                 return Err("disk storage segment_records must be at least 1".into());
             }
+            if !(0.0..=1.0).contains(&disk.compact_live_ratio) {
+                return Err("disk storage compact_live_ratio must be in [0, 1]".into());
+            }
         }
         Ok(())
     }
@@ -215,6 +226,11 @@ mod tests {
         let mut c = OnlineConfig::default().with_disk_storage("/tmp/multiem-x");
         if let StorageConfig::Disk(d) = &mut c.storage {
             d.segment_records = 0;
+        }
+        assert!(c.validate().is_err());
+        let mut c = OnlineConfig::default().with_disk_storage("/tmp/multiem-x");
+        if let StorageConfig::Disk(d) = &mut c.storage {
+            d.compact_live_ratio = 1.5;
         }
         assert!(c.validate().is_err());
         // The default stays fully resident.

@@ -31,7 +31,14 @@
 //!   spilled to append-only CRC-framed segment files with a bounded hot
 //!   cache ([`StorageConfig::Disk`]), so resident memory stops growing
 //!   linearly with ingest and snapshots of a disk-backed store carry only
-//!   the segment index (the delta) instead of every record.
+//!   the segment index (the delta) instead of every record;
+//! * [`EntityStore::delete_record`] erases a record end to end: it is
+//!   detached from its cluster (the representative is rebuilt from the
+//!   survivors), its payload is tombstoned in storage, and — for the disk
+//!   backend — [`EntityStore::compact_storage`] rewrites segment files
+//!   whose live fraction fell below
+//!   [`DiskStorageConfig::compact_live_ratio`], so deleted records stop
+//!   pinning whole files.
 //!
 //! ```
 //! use multiem_core::MultiEmConfig;
@@ -59,7 +66,7 @@ pub mod wire;
 
 pub use config::{DiskStorageConfig, OnlineConfig, SelectionStrategy, StorageConfig};
 pub use error::OnlineError;
-pub use storage::{RecordStore, StorageStats};
+pub use storage::{CompactionReport, RecordStore, StorageStats};
 pub use store::{EntityStore, IngestReport, StoreStats};
 pub use wire::SnapshotFormat;
 

@@ -10,15 +10,21 @@ use serde::{Deserialize, Serialize};
 /// — exactly the state the entity store owned before storage became
 /// pluggable, so the memory profile and snapshot contents of the default
 /// configuration are unchanged in spirit.
+///
+/// Deletion frees the record payload in place (the slot flips to `None`,
+/// dropping its strings); the embedding slot stays allocated inside the
+/// dense matrix — rows are positional — but is no longer readable.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemRecordStore {
     names: Vec<String>,
-    records: Vec<Vec<Record>>,
+    records: Vec<Vec<Option<Record>>>,
     embeddings: EmbeddingStore,
     /// Global append order (sources interleave under streaming ingest).
     order: Vec<EntityId>,
     /// Running total of [`record_heap_bytes`] across every stored record.
     record_bytes: usize,
+    /// Records tombstoned so far (cumulative, persisted).
+    deleted: usize,
 }
 
 impl MemRecordStore {
@@ -30,7 +36,12 @@ impl MemRecordStore {
             embeddings: EmbeddingStore::empty(dim),
             order: Vec::new(),
             record_bytes: 0,
+            deleted: 0,
         }
+    }
+
+    fn slot(&self, id: EntityId) -> Option<&Option<Record>> {
+        self.records.get(id.source as usize)?.get(id.row as usize)
     }
 }
 
@@ -48,33 +59,46 @@ impl RecordStore for MemRecordStore {
     fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId> {
         let id = self.embeddings.push(source, embedding);
         self.record_bytes += record_heap_bytes(record);
-        self.records[source as usize].push(record.clone());
+        self.records[source as usize].push(Some(record.clone()));
         debug_assert_eq!(id.row as usize, self.records[source as usize].len() - 1);
         self.order.push(id);
         Ok(id)
     }
 
     fn get(&self, id: EntityId) -> Option<Record> {
-        self.records
-            .get(id.source as usize)?
-            .get(id.row as usize)
-            .cloned()
+        self.slot(id)?.clone()
     }
 
     fn embedding(&self, id: EntityId) -> Option<Vec<f32>> {
-        if (id.source as usize) < self.records.len()
-            && (id.row as usize) < self.records[id.source as usize].len()
-        {
+        if self.slot(id)?.is_some() {
             Some(self.embeddings.embedding(id).to_vec())
         } else {
             None
         }
     }
 
+    fn delete(&mut self, id: EntityId) -> Result<bool> {
+        let Some(slot) = self
+            .records
+            .get_mut(id.source as usize)
+            .and_then(|rows| rows.get_mut(id.row as usize))
+        else {
+            return Ok(false);
+        };
+        match slot.take() {
+            Some(record) => {
+                self.record_bytes = self.record_bytes.saturating_sub(record_heap_bytes(&record));
+                self.deleted += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     fn iter(&self) -> RecordIter<'_> {
-        Box::new(self.order.iter().map(|&id| {
-            let record = self.records[id.source as usize][id.row as usize].clone();
-            (id, record)
+        Box::new(self.order.iter().filter_map(|&id| {
+            let record = self.records[id.source as usize][id.row as usize].clone()?;
+            Some((id, record))
         }))
     }
 
@@ -100,7 +124,13 @@ impl RecordStore for MemRecordStore {
 
     fn reopen(&mut self) -> Result<()> {
         // Rebuild the byte accounting the snapshot did not carry precisely.
-        self.record_bytes = self.records.iter().flatten().map(record_heap_bytes).sum();
+        self.record_bytes = self
+            .records
+            .iter()
+            .flatten()
+            .flatten()
+            .map(record_heap_bytes)
+            .sum();
         Ok(())
     }
 
@@ -109,12 +139,15 @@ impl RecordStore for MemRecordStore {
         StorageStats {
             backend: "memory",
             records,
-            resident_records: records,
+            deleted_records: self.deleted,
+            resident_records: records - self.deleted,
             resident_bytes: self.record_bytes + self.embeddings.approx_bytes(),
             spilled_records: 0,
             spilled_bytes: 0,
             segments: 0,
             segments_deleted: 0,
+            compactions: 0,
+            reclaimed_bytes: 0,
             cache_hits: 0,
             cache_misses: 0,
         }

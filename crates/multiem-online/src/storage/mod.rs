@@ -42,28 +42,54 @@ pub type RecordIter<'a> = Box<dyn Iterator<Item = (EntityId, Record)> + 'a>;
 pub struct StorageStats {
     /// Backend tag (`"memory"` or `"disk"`).
     pub backend: &'static str,
-    /// Total stored records.
+    /// Total appended records, including tombstoned ones (row ids stay
+    /// stable under deletion, so the append count never shrinks).
     pub records: usize,
-    /// Records whose decoded form is resident (memory backend: all;
+    /// Records tombstoned by [`RecordStore::delete`] over the store's
+    /// lifetime (persisted: survives snapshot/restore).
+    pub deleted_records: usize,
+    /// Records whose decoded form is resident (memory backend: all live;
     /// disk backend: unsealed tail + hot cache).
     pub resident_records: usize,
     /// Approximate bytes of resident record + embedding payload, including
     /// the disk backend's per-record index overhead.
     pub resident_bytes: usize,
-    /// Records that live only in sealed segment files.
+    /// Records that live only in sealed segment files (live + tombstoned
+    /// frames still present on disk).
     pub spilled_records: usize,
     /// On-disk bytes across sealed segment files.
     pub spilled_bytes: u64,
     /// Sealed segment files.
     pub segments: usize,
     /// Unreferenced segment files deleted by [`RecordStore::gc`] over this
-    /// store's lifetime (volatile: resets on restore).
+    /// store's lifetime. Persisted through snapshot/restore; the restored
+    /// value lags by at most the sweeps since the snapshot was taken (GC
+    /// runs after the snapshot that the counter rides in).
     pub segments_deleted: u64,
+    /// Segment files rewritten or dropped by [`RecordStore::compact`] over
+    /// the store's lifetime (persisted: survives snapshot/restore).
+    pub compactions: u64,
+    /// On-disk bytes reclaimed by compaction over the store's lifetime
+    /// (persisted). Counted when the rewrite commits; the superseded files
+    /// are physically removed by the next [`RecordStore::gc`].
+    pub reclaimed_bytes: u64,
     /// Hot-cache hits since the store was opened (volatile: not part of the
     /// persisted state, resets on restore).
     pub cache_hits: u64,
     /// Hot-cache misses (each one is a segment-file read).
     pub cache_misses: u64,
+}
+
+/// Outcome of one [`RecordStore::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CompactionReport {
+    /// Segment files rewritten or dropped by this pass.
+    pub segments_compacted: u64,
+    /// Fresh segment files the pass sealed (0 when every compacted segment
+    /// was fully dead).
+    pub segments_written: u64,
+    /// Bytes of superseded segment files minus bytes of their replacements.
+    pub reclaimed_bytes: u64,
 }
 
 /// Append-only storage of `(record, embedding)` pairs keyed by
@@ -83,13 +109,22 @@ pub trait RecordStore {
     /// it is retrievable under (row numbers are dense per source).
     fn append(&mut self, source: u32, record: &Record, embedding: &[f32]) -> Result<EntityId>;
 
-    /// The record stored under `id`, or `None` for unknown ids.
+    /// The record stored under `id`, or `None` for unknown or deleted ids.
     fn get(&self, id: EntityId) -> Option<Record>;
 
-    /// The embedding stored under `id`, or `None` for unknown ids.
+    /// The embedding stored under `id`, or `None` for unknown or deleted
+    /// ids.
     fn embedding(&self, id: EntityId) -> Option<Vec<f32>>;
 
-    /// Iterate every record in append order.
+    /// Tombstone the record under `id`: `get` / `embedding` return `None`
+    /// from now on, and the payload is freed (memory backend) or marked
+    /// dead pending [`RecordStore::compact`] (disk backend). Row numbering
+    /// is unaffected — ids of other records never shift. Returns whether a
+    /// live record was deleted (`false` for unknown or already-deleted
+    /// ids).
+    fn delete(&mut self, id: EntityId) -> Result<bool>;
+
+    /// Iterate every *live* record in append order.
     fn iter(&self) -> RecordIter<'_>;
 
     /// Total stored records.
@@ -129,12 +164,28 @@ pub trait RecordStore {
         Ok(0)
     }
 
+    /// Rewrite sealed segment files whose live fraction fell to or below
+    /// the configured threshold
+    /// ([`DiskStorageConfig::compact_live_ratio`](crate::DiskStorageConfig))
+    /// into fresh sealed files holding only live records, dropping
+    /// fully-dead files outright. The in-memory index switches atomically;
+    /// superseded files stay on disk until [`RecordStore::gc`] sweeps them,
+    /// so callers persisting snapshots must commit the post-compaction
+    /// index before sweeping. No-op for the memory backend.
+    fn compact(&mut self) -> Result<CompactionReport> {
+        Ok(CompactionReport::default())
+    }
+
     /// Storage counters.
     fn stats(&self) -> StorageStats;
 }
 
 /// The concrete storage backends, selected by
 /// [`StorageConfig`](crate::StorageConfig).
+// One store embeds exactly one backend, so the size gap between the two
+// variants buys nothing by boxing (and the vendored serde stand-in has no
+// `Box` support).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum RecordStorage {
     /// Fully resident storage.
@@ -185,6 +236,10 @@ impl RecordStore for RecordStorage {
         delegate!(self, s => s.embedding(id))
     }
 
+    fn delete(&mut self, id: EntityId) -> Result<bool> {
+        delegate!(self, s => s.delete(id))
+    }
+
     fn iter(&self) -> RecordIter<'_> {
         delegate!(self, s => s.iter())
     }
@@ -215,6 +270,10 @@ impl RecordStore for RecordStorage {
 
     fn gc(&mut self) -> Result<u64> {
         delegate!(self, s => s.gc())
+    }
+
+    fn compact(&mut self) -> Result<CompactionReport> {
+        delegate!(self, s => s.compact())
     }
 
     fn stats(&self) -> StorageStats {
@@ -468,6 +527,239 @@ mod tests {
         let mut mem = MemRecordStore::new(4);
         assert_eq!(mem.gc().unwrap(), 0);
         assert_eq!(mem.stats().segments_deleted, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The `(append index, id)` pairs of the `exercise` routing.
+    fn exercise_ids(n: usize) -> Vec<EntityId> {
+        let mut rows = [0u32; 2];
+        (0..n)
+            .map(|i| {
+                let source = u32::from(i % 3 == 0);
+                let id = EntityId::new(source, rows[source as usize]);
+                rows[source as usize] += 1;
+                id
+            })
+            .collect()
+    }
+
+    /// Delete every even-indexed append of an `exercise(store, n)` run.
+    fn delete_evens(store: &mut dyn RecordStore, n: usize) {
+        for (i, id) in exercise_ids(n).iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(store.delete(*id).unwrap(), "delete {i}");
+                assert!(!store.delete(*id).unwrap(), "idempotent {i}");
+            }
+        }
+        assert!(
+            !store.delete(EntityId::new(7, 0)).unwrap(),
+            "unknown source"
+        );
+        assert!(
+            !store.delete(EntityId::new(0, u32::MAX)).unwrap(),
+            "unknown row"
+        );
+    }
+
+    /// Read-only verification after [`delete_evens`]: deleted lookups go
+    /// `None`, survivors read back exact, iteration skips the dead.
+    fn verify_deleted(store: &dyn RecordStore, n: usize) {
+        let ids = exercise_ids(n);
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(store.get(*id), None, "deleted record {i} readable");
+                assert_eq!(store.embedding(*id), None);
+            } else {
+                assert_eq!(store.get(*id), Some(record(i)), "survivor {i}");
+                assert_eq!(store.embedding(*id), Some(embedding(i, store.dim())));
+            }
+        }
+        let live: Vec<(EntityId, Record)> = store.iter().collect();
+        assert_eq!(live.len(), n - n.div_ceil(2), "iter yields only live");
+        assert!(live.iter().all(|(id, _)| ids
+            .iter()
+            .enumerate()
+            .any(|(i, known)| known == id && i % 2 == 1)));
+        let stats = store.stats();
+        assert_eq!(stats.records, n, "append count never shrinks");
+        assert_eq!(stats.deleted_records, n.div_ceil(2));
+    }
+
+    /// [`delete_evens`] + [`verify_deleted`].
+    fn exercise_delete(store: &mut dyn RecordStore, n: usize) {
+        delete_evens(store, n);
+        verify_deleted(store, n);
+    }
+
+    #[test]
+    fn memory_backend_deletes_and_frees() {
+        let mut store = MemRecordStore::new(4);
+        exercise(&mut store, 20);
+        let bytes_before = store.stats().resident_bytes;
+        exercise_delete(&mut store, 20);
+        assert!(
+            store.stats().resident_bytes < bytes_before,
+            "deletes must free record payload in place"
+        );
+    }
+
+    #[test]
+    fn disk_backend_deletes_across_tail_and_sealed() {
+        let dir = temp_dir("delete");
+        let config = DiskStorageConfig {
+            segment_records: 6,
+            cache_records: 4,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 20); // 3 sealed segments + 2 in the tail
+        exercise_delete(&mut store, 20);
+
+        // Serde + reopen keeps the tombstones.
+        let value = serde::Serialize::to_value(&store);
+        let mut reopened: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        reopened.reopen().unwrap();
+        let stats = reopened.stats();
+        assert_eq!(stats.deleted_records, 10);
+        assert_eq!(reopened.iter().count(), 10);
+        // Appends continue after deletes and a reopen.
+        exercise_more(&mut reopened, 20, 4);
+        assert_eq!(reopened.stats().records, 24);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_rewrites_hollow_segments_and_reclaims_bytes() {
+        let dir = temp_dir("compact");
+        let config = DiskStorageConfig {
+            segment_records: 4,
+            cache_records: 0,
+            compact_live_ratio: 0.6,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 16); // 4 sealed segments of 4
+        let before = store.stats();
+        assert_eq!(before.segments, 4);
+
+        // Nothing dead: compaction is a no-op.
+        let report = store.compact().unwrap();
+        assert_eq!(report, CompactionReport::default());
+
+        // Delete half of every segment (alternating append order).
+        exercise_delete(&mut store, 16);
+        let report = store.compact().unwrap();
+        assert_eq!(report.segments_compacted, 4, "all segments were half dead");
+        assert!(report.reclaimed_bytes > 0);
+        let after = store.stats();
+        assert_eq!(after.compactions, 4);
+        assert_eq!(after.reclaimed_bytes, report.reclaimed_bytes);
+        assert!(
+            after.spilled_bytes * 10 <= before.spilled_bytes * 6,
+            "half the records deleted must reclaim ~half the bytes \
+             ({} -> {})",
+            before.spilled_bytes,
+            after.spilled_bytes
+        );
+        // The merged run packs 8 survivors into 2 files of 4.
+        assert_eq!(after.segments, 2);
+        assert_eq!(after.spilled_records, 8);
+
+        // Reads still come back exact after the rewrite...
+        verify_deleted(&store, 16);
+        // ...and GC sweeps exactly the superseded files.
+        let swept = store.gc().unwrap();
+        assert_eq!(swept, 4, "four original files replaced by two");
+        verify_deleted(&store, 16);
+
+        // A snapshot taken after compaction reopens cleanly (sparse
+        // segment index survives serde).
+        let value = serde::Serialize::to_value(&store);
+        let mut reopened: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        reopened.reopen().unwrap();
+        verify_deleted(&reopened, 16);
+        let restored = reopened.stats();
+        assert_eq!(restored.compactions, 4, "compaction counter persisted");
+        assert_eq!(restored.segments_deleted, 4, "gc counter persisted");
+        assert_eq!(restored.reclaimed_bytes, after.reclaimed_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_refuses_an_index_missing_a_live_segment() {
+        // A snapshot whose segment list lost an entry while the sequence
+        // map still marks those records live must fail restore loudly —
+        // accepting it would defer the damage to a panic on first read.
+        let dir = temp_dir("lost-segment");
+        let config = DiskStorageConfig {
+            segment_records: 5,
+            cache_records: 0,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        exercise(&mut store, 10); // two sealed segments
+        let mut value = serde::Serialize::to_value(&store);
+        if let serde::Value::Map(entries) = &mut value {
+            for (key, field) in entries.iter_mut() {
+                if key == "segments" {
+                    if let serde::Value::Seq(segments) = field {
+                        segments.pop();
+                    }
+                }
+            }
+        }
+        let mut broken: SegmentRecordStore = serde::Deserialize::from_value(&value).unwrap();
+        let err = broken.reopen();
+        assert!(err.is_err(), "truncated segment index must be refused");
+        assert!(
+            format!("{}", err.unwrap_err()).contains("not covered"),
+            "error should name the uncovered sequence"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fully_dead_segments_vanish_without_successor() {
+        let dir = temp_dir("all-dead");
+        let config = DiskStorageConfig {
+            segment_records: 5,
+            cache_records: 0,
+            ..DiskStorageConfig::new(dir.display().to_string())
+        };
+        let mut store = SegmentRecordStore::create(config, 4).unwrap();
+        let source = store.open_source("only");
+        for i in 0..10 {
+            store.append(source, &record(i), &embedding(i, 4)).unwrap();
+        }
+        // Kill the entire first segment (rows 0..5).
+        for row in 0..5 {
+            assert!(store.delete(EntityId::new(source, row)).unwrap());
+        }
+        let report = store.compact().unwrap();
+        assert_eq!(report.segments_compacted, 1);
+        assert_eq!(report.segments_written, 0, "no survivors, no new file");
+        let stats = store.stats();
+        assert_eq!(stats.segments, 1, "only the live segment remains");
+        store.gc().unwrap();
+        // Survivors read fine; the second segment is untouched.
+        for row in 5..10 {
+            assert_eq!(
+                store.get(EntityId::new(source, row)),
+                Some(record(row as usize))
+            );
+        }
+        // Deleting a tail record and sealing skips the dead entry.
+        for i in 10..13 {
+            store.append(source, &record(i), &embedding(i, 4)).unwrap();
+        }
+        assert!(store.delete(EntityId::new(source, 11)).unwrap());
+        store.flush().unwrap();
+        assert_eq!(store.get(EntityId::new(source, 11)), None);
+        assert_eq!(
+            store.get(EntityId::new(source, 12)),
+            Some(record(12)),
+            "live tail record survives a seal that skipped a dead one"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

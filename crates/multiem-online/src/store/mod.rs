@@ -35,7 +35,7 @@
 
 use crate::config::{OnlineConfig, SelectionStrategy};
 use crate::error::OnlineError;
-use crate::storage::{RecordStorage, RecordStore, StorageStats};
+use crate::storage::{CompactionReport, RecordStorage, RecordStore, StorageStats};
 use crate::wire::{self, SnapshotFormat};
 use crate::Result;
 use multiem_ann::{BruteForceIndex, DynamicVectorIndex, HnswIndex, Neighbor, VectorIndex};
@@ -67,8 +67,10 @@ pub struct IngestReport {
 /// A point-in-time summary of the store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
-    /// Total ingested records.
+    /// Live records (ingested minus deleted).
     pub records: usize,
+    /// Records removed by [`EntityStore::delete_record`] so far.
+    pub deleted: usize,
     /// Number of source tables (batches) ingested.
     pub sources: usize,
     /// Current number of clusters (including singletons).
@@ -175,6 +177,9 @@ struct StoreState {
     accepted_since_prune: usize,
     rebuilds: usize,
     pruned_outliers: usize,
+    /// Records removed by [`EntityStore::delete_record`] (their dense slots
+    /// stay allocated as detached orphans; payloads are freed by storage).
+    deleted_records: usize,
 }
 
 /// A long-lived, incrementally updatable multi-table matching engine.
@@ -224,6 +229,7 @@ impl<E: EmbeddingModel> EntityStore<E> {
                 accepted_since_prune: 0,
                 rebuilds: 0,
                 pruned_outliers: 0,
+                deleted_records: 0,
             },
         })
     }
@@ -248,9 +254,14 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.state.selection.as_ref()
     }
 
-    /// Total number of ingested records.
+    /// Number of *live* records (ingested minus deleted).
     pub fn num_records(&self) -> usize {
-        self.state.entity_of_dense.len()
+        self.state.entity_of_dense.len() - self.state.deleted_records
+    }
+
+    /// Records removed by [`EntityStore::delete_record`] so far.
+    pub fn num_deleted(&self) -> usize {
+        self.state.deleted_records
     }
 
     /// Number of source tables ingested so far.
@@ -258,9 +269,11 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.state.records.num_sources()
     }
 
-    /// Whether the store holds no records.
+    /// Whether the store has never ingested a record (a store whose every
+    /// record was deleted still counts as populated — its id space is
+    /// allocated).
     pub fn is_empty(&self) -> bool {
-        self.num_records() == 0
+        self.state.entity_of_dense.is_empty()
     }
 
     /// Fetch an ingested record from the storage backend (a disk-backed
@@ -294,10 +307,71 @@ impl<E: EmbeddingModel> EntityStore<E> {
         self.state.records.gc()
     }
 
+    /// Compact the storage backend: sealed segment files whose live
+    /// fraction fell to or below the configured
+    /// [`compact_live_ratio`](crate::DiskStorageConfig::compact_live_ratio)
+    /// are rewritten into fresh files holding only live records (fully-dead
+    /// files are dropped outright). Superseded files stay on disk until
+    /// [`EntityStore::gc_storage`] sweeps them, so callers persisting
+    /// snapshots should commit the post-compaction state before sweeping.
+    /// No-op for the memory backend.
+    pub fn compact_storage(&mut self) -> Result<CompactionReport> {
+        self.state.records.compact()
+    }
+
+    /// Delete one record: detach it from its cluster (the survivors keep
+    /// matching; the cluster representative is recomputed without the
+    /// deleted member), tombstone the stored record and embedding, and
+    /// forget the id — [`EntityStore::record`] returns `None` and
+    /// [`EntityStore::match_record`] can never surface it again. Returns
+    /// whether a live record was deleted (`false` for unknown or
+    /// already-deleted ids — deletion is idempotent).
+    ///
+    /// Deletion does **not** re-match the surviving members of the cluster:
+    /// records that only co-referred transitively through the deleted one
+    /// stay fused until a pruning pass separates them.
+    pub fn delete_record(&mut self, id: EntityId) -> Result<bool> {
+        let Some(dense) = self.dense_of(id) else {
+            return Ok(false);
+        };
+        // The stored embedding doubles as the liveness check (deleted rows
+        // read back as `None`) and as the amount to subtract from the
+        // cluster's running sum.
+        let Some(embedding) = self.state.records.embedding(id) else {
+            return Ok(false);
+        };
+
+        let root = self.state.uf.find(dense);
+        let mut meta = self
+            .state
+            .clusters
+            .remove(&root)
+            .expect("every live record belongs to a cluster");
+        meta.members.retain(|&d| d != dense);
+        self.state.uf.detach(dense);
+        self.tombstone(meta.node);
+        meta.node = None;
+        if !meta.members.is_empty() {
+            // The cluster survives without the deleted member: rebuild its
+            // centroid sum and re-index the representative.
+            for (a, x) in meta.sum.iter_mut().zip(&embedding) {
+                *a -= *x;
+            }
+            let surviving_root = self.state.uf.find(meta.members[0]);
+            self.register_cluster(surviving_root, meta);
+        }
+
+        self.state.records.delete(id)?;
+        self.state.deleted_records += 1;
+        self.maybe_rebuild();
+        Ok(true)
+    }
+
     /// Current summary statistics.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             records: self.num_records(),
+            deleted: self.state.deleted_records,
             sources: self.num_sources(),
             clusters: self.state.clusters.len(),
             tuples: self
@@ -1542,6 +1616,131 @@ mod tests {
             delta.len(),
             full.len()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_record_detaches_and_forgets() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &["golden heart river", "makita drill 18v"],
+        ))
+        .unwrap();
+        let id = s
+            .insert(Record::from_texts(["golden heart river live"]))
+            .unwrap();
+        assert_eq!(s.cluster_members(id).unwrap().len(), 2);
+
+        assert!(s.delete_record(id).unwrap());
+        assert!(!s.delete_record(id).unwrap(), "idempotent");
+        assert!(!s.delete_record(EntityId::new(9, 9)).unwrap(), "unknown");
+        assert_eq!(s.record(id), None);
+        assert_eq!(s.cluster_members(id), None, "deleted ids are unknown");
+        // The survivor is a singleton again with a working representative.
+        let anchor = EntityId::new(0, 0);
+        assert_eq!(s.cluster_members(anchor).unwrap(), vec![anchor]);
+        let hits = s.match_record(&Record::from_texts(["golden heart river remaster"]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, anchor, "match must never surface a deleted id");
+
+        let stats = s.stats();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.tuples, 0);
+        assert_eq!(s.num_records(), 2);
+        assert_eq!(s.num_deleted(), 1);
+
+        // Deleting the last member of a singleton cluster drops the cluster.
+        assert!(s.delete_record(EntityId::new(0, 1)).unwrap());
+        assert!(s
+            .match_record(&Record::from_texts(["makita drill 18v"]))
+            .is_empty());
+    }
+
+    #[test]
+    fn deletion_is_identical_across_storage_backends() {
+        let ds = music_dataset(29);
+        let (disk_cfg, dir) = disk_config("delete-equiv");
+        let mut on_disk = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+        let mut in_mem = store();
+        for table in ds.tables() {
+            on_disk.ingest_batch(table).unwrap();
+            in_mem.ingest_batch(table).unwrap();
+        }
+        // Delete every third record of every source, both stores alike.
+        for source in 0..ds.num_sources() as u32 {
+            for row in (0..ds.tables()[source as usize].len() as u32).step_by(3) {
+                let id = EntityId::new(source, row);
+                assert_eq!(
+                    on_disk.delete_record(id).unwrap(),
+                    in_mem.delete_record(id).unwrap()
+                );
+            }
+        }
+        on_disk.refresh();
+        in_mem.refresh();
+        assert_eq!(on_disk.stats(), in_mem.stats());
+        let mut a = on_disk.tuples();
+        let mut b = in_mem.tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "deletion must not depend on the storage backend");
+        let probe = ds.record(EntityId::new(1, 1)).unwrap().clone();
+        assert_eq!(on_disk.match_record(&probe), in_mem.match_record(&probe));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_after_delete_and_compaction_continues_identically() {
+        let ds = music_dataset(31);
+        let (disk_cfg, dir) = disk_config("delete-snap");
+        let mut s = EntityStore::new(disk_cfg, HashedLexicalEncoder::default());
+        for table in ds.tables() {
+            s.ingest_batch(table).unwrap();
+        }
+        s.flush_storage().unwrap();
+        let spilled_before = s.storage_stats().spilled_bytes;
+        // Delete more than half of source 0 and 1 so segments hollow out.
+        let mut deleted = 0;
+        for source in 0..2u32 {
+            for row in 0..ds.tables()[source as usize].len() as u32 {
+                if row % 3 != 2 && s.delete_record(EntityId::new(source, row)).unwrap() {
+                    deleted += 1;
+                }
+            }
+        }
+        assert!(deleted > 0);
+        let report = s.compact_storage().unwrap();
+        assert!(report.segments_compacted > 0, "compaction must trigger");
+        assert!(s.storage_stats().spilled_bytes < spilled_before);
+        s.gc_storage().unwrap();
+
+        let snapshot = s.snapshot_bytes(SnapshotFormat::Binary).unwrap();
+        let mut restored: EntityStore<HashedLexicalEncoder> =
+            EntityStore::restore_bytes(&snapshot, HashedLexicalEncoder::default()).unwrap();
+        assert_eq!(restored.stats(), s.stats());
+        assert_eq!(
+            restored.storage_stats().deleted_records,
+            s.storage_stats().deleted_records
+        );
+        // Both stores keep evolving identically after restore: insert and
+        // delete the same things.
+        let probe = ds.record(EntityId::new(2, 3)).unwrap().clone();
+        let ia = s.insert(probe.clone()).unwrap();
+        let ib = restored.insert(probe).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(
+            s.delete_record(ia).unwrap(),
+            restored.delete_record(ib).unwrap()
+        );
+        let mut a = s.tuples();
+        let mut b = restored.tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,9 +1,13 @@
 //! Seeded mixed read/write load generator for `multiem-serve`.
 //!
 //! Hammers a server with concurrent keep-alive clients issuing a seeded mix
-//! of `POST /records` (writes) and `POST /match` (reads), then reports
-//! throughput and p50/p99 latency. Without `--addr` it spins up an embedded
-//! in-memory server so the run is fully self-contained (what CI does).
+//! of `POST /records` (writes), `POST /match` (reads) and — with
+//! `--delete-ratio` — `DELETE /records/{id}` calls against its own earlier
+//! inserts, then reports throughput and p50/p99 latency. A `429` answer is
+//! not an error: the client honours the server's `Retry-After` (capped at 2s
+//! per wait) and retries a bounded number of times. Without `--addr` it
+//! spins up an embedded in-memory server so the run is fully self-contained
+//! (what CI does).
 //!
 //! `--connections` opens more keep-alive sockets than there are in-flight
 //! requests (`--clients` drives concurrency; each client thread rotates its
@@ -21,10 +25,11 @@
 
 use multiem_embed::HashedLexicalEncoder;
 use multiem_serve::http::HttpClient;
+use multiem_serve::metrics::percentile_ms;
 use multiem_serve::{MatchServer, ServeConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const BRANDS: &[&str] = &[
     "apple", "sony", "makita", "dyson", "bosch", "lenovo", "canon", "garmin", "philips", "asus",
@@ -57,6 +62,8 @@ struct Options {
     connections: usize,
     requests: usize,
     write_ratio: f64,
+    /// Fraction of requests deleting a record this run inserted earlier.
+    delete_ratio: f64,
     seed: u64,
     shards: usize,
     workers: usize,
@@ -72,6 +79,7 @@ impl Default for Options {
             connections: 0,
             requests: 2000,
             write_ratio: 0.6,
+            delete_ratio: 0.0,
             seed: 42,
             shards: 4,
             workers: 4,
@@ -85,7 +93,11 @@ impl Default for Options {
 struct ClientReport {
     write_ns: Vec<u64>,
     read_ns: Vec<u64>,
+    delete_ns: Vec<u64>,
     errors: usize,
+    /// Requests that got a 429 and were retried after the server's
+    /// `Retry-After` (successful retries do not count as errors).
+    retried_429: usize,
 }
 
 fn main() {
@@ -104,6 +116,9 @@ fn main() {
             }
             "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
             "--write-ratio" => opts.write_ratio = parse(&value("--write-ratio"), "--write-ratio"),
+            "--delete-ratio" => {
+                opts.delete_ratio = parse(&value("--delete-ratio"), "--delete-ratio");
+            }
             "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
             "--shards" => opts.shards = parse(&value("--shards"), "--shards"),
             "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
@@ -127,6 +142,8 @@ fn main() {
                      \x20                     may exceed --workers (default: one per client)\n\
                      \x20 --requests N        total requests across clients (default 2000)\n\
                      \x20 --write-ratio F     fraction of writes (default 0.6)\n\
+                     \x20 --delete-ratio F    fraction of requests deleting an earlier\n\
+                     \x20                     insert of this run (default 0)\n\
                      \x20 --seed N            workload seed (default 42)\n\
                      \x20 --shards N          shards of the embedded server (default 4)\n\
                      \x20 --workers N         workers of the embedded server (default 4)\n\
@@ -185,13 +202,16 @@ fn main() {
                 let addr = addr.clone();
                 let seed = opts.seed.wrapping_add(client as u64);
                 let write_ratio = opts.write_ratio;
+                let delete_ratio = opts.delete_ratio;
                 // Spread the connection pool over the clients; every client
                 // owns at least one socket and rotates its requests across
                 // its share, so `connections - clients` sockets sit idle at
                 // any moment (the multiplexer must carry them for free).
                 let own =
                     connections / opts.clients + usize::from(client < connections % opts.clients);
-                scope.spawn(move || run_client(&addr, seed, per_client, write_ratio, own))
+                scope.spawn(move || {
+                    run_client(&addr, seed, per_client, write_ratio, delete_ratio, own)
+                })
             })
             .collect();
         handles
@@ -203,33 +223,48 @@ fn main() {
 
     let mut write_ns: Vec<u64> = Vec::new();
     let mut read_ns: Vec<u64> = Vec::new();
+    let mut delete_ns: Vec<u64> = Vec::new();
     let mut errors = 0usize;
+    let mut retried_429 = 0usize;
     for report in reports {
         write_ns.extend(report.write_ns);
         read_ns.extend(report.read_ns);
+        delete_ns.extend(report.delete_ns);
         errors += report.errors;
+        retried_429 += report.retried_429;
     }
-    let mut all_ns: Vec<u64> = write_ns.iter().chain(read_ns.iter()).copied().collect();
+    let mut all_ns: Vec<u64> = write_ns
+        .iter()
+        .chain(read_ns.iter())
+        .chain(delete_ns.iter())
+        .copied()
+        .collect();
     write_ns.sort_unstable();
     read_ns.sort_unstable();
+    delete_ns.sort_unstable();
     all_ns.sort_unstable();
 
     let total = all_ns.len() + errors;
     let throughput = total as f64 / elapsed.as_secs_f64();
     let report = format!(
         "{{\"clients\":{},\"connections\":{},\"workers\":{},\"requests\":{},\"writes\":{},\
-         \"reads\":{},\"errors\":{},\
-         \"write_ratio\":{},\"seed\":{},\"elapsed_s\":{:.3},\"throughput_rps\":{:.1},\
+         \"reads\":{},\"deletes\":{},\"errors\":{},\"retried_429\":{},\
+         \"write_ratio\":{},\"delete_ratio\":{},\"seed\":{},\"elapsed_s\":{:.3},\
+         \"throughput_rps\":{:.1},\
          \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"write_p50_ms\":{:.3},\"write_p99_ms\":{:.3},\
-         \"read_p50_ms\":{:.3},\"read_p99_ms\":{:.3}}}",
+         \"read_p50_ms\":{:.3},\"read_p99_ms\":{:.3},\"delete_p50_ms\":{:.3},\
+         \"delete_p99_ms\":{:.3}}}",
         opts.clients,
         connections,
         opts.workers,
         total,
         write_ns.len(),
         read_ns.len(),
+        delete_ns.len(),
         errors,
+        retried_429,
         opts.write_ratio,
+        opts.delete_ratio,
         opts.seed,
         elapsed.as_secs_f64(),
         throughput,
@@ -239,14 +274,17 @@ fn main() {
         percentile_ms(&write_ns, 0.99),
         percentile_ms(&read_ns, 0.50),
         percentile_ms(&read_ns, 0.99),
+        percentile_ms(&delete_ns, 0.50),
+        percentile_ms(&delete_ns, 0.99),
     );
 
     println!(
-        "loadgen: {} requests ({} writes / {} reads) from {} clients over {} \
+        "loadgen: {} requests ({} writes / {} reads / {} deletes) from {} clients over {} \
          keep-alive connections in {:.2}s",
         total,
         write_ns.len(),
         read_ns.len(),
+        delete_ns.len(),
         opts.clients,
         connections,
         elapsed.as_secs_f64()
@@ -272,16 +310,27 @@ fn main() {
     }
 }
 
+/// One request kind of the seeded mix.
+enum Op {
+    Write(String),
+    Read(String),
+    Delete((u64, u64, u64)),
+}
+
 fn run_client(
     addr: &str,
     seed: u64,
     requests: usize,
     write_ratio: f64,
+    delete_ratio: f64,
     connections: usize,
 ) -> ClientReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut report = ClientReport::default();
     let mut written: Vec<String> = Vec::new();
+    // Ids of this client's own inserts, consumed (at most once each) by
+    // delete traffic.
+    let mut inserted: Vec<(u64, u64, u64)> = Vec::new();
     // Open the whole connection share up front: all of them are live
     // keep-alive sockets for the duration, but only one carries a request
     // at any moment (the rest idle on the server's event loops).
@@ -296,12 +345,12 @@ fn run_client(
         }
     }
     for request_index in 0..requests {
-        let client = &mut clients[request_index % connections];
-        let write = written.is_empty() || rng.gen_bool(write_ratio);
-        let title = if write {
+        let op = if !inserted.is_empty() && rng.gen_bool(delete_ratio) {
+            Op::Delete(inserted.swap_remove(rng.gen_range(0..inserted.len())))
+        } else if written.is_empty() || rng.gen_bool(write_ratio) {
             // A third of the writes are near-duplicates of earlier ones, so
             // the store actually exercises its merge path under load.
-            if !written.is_empty() && rng.gen_bool(0.33) {
+            let title = if !written.is_empty() && rng.gen_bool(0.33) {
                 let base = &written[rng.gen_range(0..written.len())];
                 format!("{base}{}", VARIANTS[rng.gen_range(0..VARIANTS.len())])
             } else {
@@ -311,34 +360,73 @@ fn run_client(
                     PRODUCTS[rng.gen_range(0..PRODUCTS.len())],
                     rng.gen_range(0..10_000u32)
                 )
+            };
+            Op::Write(title)
+        } else {
+            Op::Read(written[rng.gen_range(0..written.len())].clone())
+        };
+        let (method, path, body) = match &op {
+            Op::Write(title) => (
+                "POST",
+                "/records".to_string(),
+                Some(format!("{{\"records\":[[{}]]}}", json_string(title))),
+            ),
+            Op::Read(title) => (
+                "POST",
+                "/match".to_string(),
+                Some(format!("{{\"record\":[{}]}}", json_string(title))),
+            ),
+            Op::Delete((shard, source, row)) => {
+                ("DELETE", format!("/records/{shard}-{source}-{row}"), None)
             }
-        } else {
-            written[rng.gen_range(0..written.len())].clone()
         };
-        let body = if write {
-            format!("{{\"records\":[[{}]]}}", json_string(&title))
-        } else {
-            format!("{{\"record\":[{}]}}", json_string(&title))
-        };
-        let path = if write { "/records" } else { "/match" };
-        let start = Instant::now();
-        match client.request("POST", path, Some(&body)) {
-            Ok((200, _)) => {
-                let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                if write {
-                    report.write_ns.push(ns);
-                    written.push(title);
-                } else {
-                    report.read_ns.push(ns);
+
+        // A 429 answer obeys the server's Retry-After (capped) instead of
+        // counting as an error — the whole point of adaptive backpressure.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let start = Instant::now();
+            match client_request(
+                &mut clients[request_index % connections],
+                method,
+                &path,
+                &body,
+            ) {
+                Ok((200, _, response)) => {
+                    let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    match &op {
+                        Op::Write(title) => {
+                            report.write_ns.push(ns);
+                            written.push(title.clone());
+                            inserted.extend(extract_ids(&response));
+                        }
+                        Op::Read(_) => report.read_ns.push(ns),
+                        Op::Delete(_) => report.delete_ns.push(ns),
+                    }
+                    break;
                 }
-            }
-            Ok((_status, _body)) => report.errors += 1,
-            Err(_) => {
-                report.errors += 1;
-                // The connection may be poisoned; reconnect that slot.
-                match HttpClient::connect(addr) {
-                    Ok(fresh) => clients[request_index % connections] = fresh,
-                    Err(_) => break, // server gone; stop this client
+                Ok((429, headers, _)) if attempts < 4 => {
+                    report.retried_429 += 1;
+                    let wait = headers
+                        .iter()
+                        .find(|(name, _)| name == "retry-after")
+                        .and_then(|(_, value)| value.parse::<u64>().ok())
+                        .unwrap_or(1);
+                    std::thread::sleep(Duration::from_millis((wait * 1000).min(2000)));
+                }
+                Ok((_status, _, _)) => {
+                    report.errors += 1;
+                    break;
+                }
+                Err(_) => {
+                    report.errors += 1;
+                    // The connection may be poisoned; reconnect that slot.
+                    match HttpClient::connect(addr) {
+                        Ok(fresh) => clients[request_index % connections] = fresh,
+                        Err(_) => return report, // server gone; stop this client
+                    }
+                    break;
                 }
             }
         }
@@ -346,12 +434,41 @@ fn run_client(
     report
 }
 
-fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1.0e6
+fn client_request(
+    client: &mut HttpClient,
+    method: &str,
+    path: &str,
+    body: &Option<String>,
+) -> std::io::Result<multiem_serve::http::FullResponse> {
+    client.request_with_headers(method, path, body.as_deref())
+}
+
+/// `(shard, source, row)` triples out of a `POST /records` response body.
+fn extract_ids(body: &str) -> Vec<(u64, u64, u64)> {
+    let Ok(value) = serde_json::from_str::<serde::Value>(body) else {
+        return Vec::new();
+    };
+    let field = |map: &serde::Value, name: &str| -> Option<u64> {
+        map.as_map()?
+            .iter()
+            .find(|(key, _)| key == name)
+            .and_then(|(_, v)| v.as_u64())
+    };
+    value
+        .as_map()
+        .and_then(|entries| {
+            entries
+                .iter()
+                .find(|(key, _)| key == "results")
+                .and_then(|(_, results)| results.as_seq())
+        })
+        .map(|results| {
+            results
+                .iter()
+                .filter_map(|r| Some((field(r, "shard")?, field(r, "source")?, field(r, "row")?)))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn json_string(text: &str) -> String {

@@ -23,10 +23,17 @@
 //!   records and embeddings to append-only segment files with a bounded
 //!   hot cache, so serving memory stops growing linearly with ingest;
 //! * backpressure — a bounded per-shard ingest queue; `POST /records`
-//!   answers `429` + `Retry-After` when a target shard is full;
+//!   answers `429` with a `Retry-After` derived from the rejecting shard's
+//!   backlog and measured drain rate when a target shard is full;
+//! * record deletion — `DELETE /records/{id}` and the batch
+//!   `POST /records/delete` WAL-append a [`WalOp::Delete`] and detach the
+//!   record from its cluster; tombstoned records are reclaimed from disk
+//!   by the checkpoint-time segment compaction
+//!   ([`multiem_online::RecordStore::compact`]);
 //! * [`MatchServer`] — a dependency-free HTTP/1.1 server exposing
-//!   `POST /records`, `POST /match`, `POST /snapshot`,
-//!   `POST /admin/shutdown`, `GET /stats` and `GET /healthz`, fronted by
+//!   `POST /records`, `DELETE /records/{id}`, `POST /match`,
+//!   `POST /snapshot`, `POST /admin/shutdown`, `GET /stats` and
+//!   `GET /healthz`, fronted by
 //!   the event-driven [`Reactor`] in [`net`]: an acceptor plus a few I/O
 //!   event loops multiplex *many* nonblocking keep-alive connections
 //!   (incremental request parsing, buffered writeback), and only fully
@@ -55,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod metrics;
 pub mod net;
 pub mod server;
 pub mod shard;

@@ -1,0 +1,46 @@
+//! Small latency-report helpers shared by the load generator and tests.
+
+/// The `q`-quantile (0.0..=1.0) of an ascending-sorted slice of nanosecond
+/// latencies, in milliseconds. Nearest-rank on the sorted samples: an empty
+/// slice reports `0.0`, one sample reports itself for every quantile.
+pub fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_sample_percentiles() {
+        // 0 samples: every quantile is 0 (the loadgen report must not NaN
+        // or panic when a leg issued no requests of some kind).
+        assert_eq!(percentile_ms(&[], 0.0), 0.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[], 0.99), 0.0);
+        // 1 sample: that sample answers every quantile.
+        let one = [2_000_000u64]; // 2 ms
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_ms(&one, q), 2.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_pick_the_expected_ranks() {
+        // 1..=100 ms as nanoseconds.
+        let sorted: Vec<u64> = (1..=100).map(|ms| ms * 1_000_000).collect();
+        assert_eq!(percentile_ms(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_ms(&sorted, 1.0), 100.0);
+        // Nearest-rank rounding: (100 - 1) * 0.5 = 49.5 rounds to index 50.
+        assert_eq!(percentile_ms(&sorted, 0.5), 51.0);
+        assert_eq!(percentile_ms(&sorted, 0.99), 99.0);
+        // Two samples: the halfway quantile rounds up to the later one.
+        let two = [1_000_000u64, 3_000_000];
+        assert_eq!(percentile_ms(&two, 0.5), 3.0);
+        assert_eq!(percentile_ms(&two, 0.49), 1.0);
+    }
+}

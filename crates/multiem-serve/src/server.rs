@@ -14,9 +14,11 @@
 //! |------------------|----------------------------------------|--------|
 //! | `GET /healthz`   | —                                      | liveness probe (answered on the I/O thread, no shard locks) |
 //! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters (lock-free: shards a writer holds report their last published stats) |
-//! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + `Retry-After` when a target shard's ingest queue is full |
+//! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + adaptive `Retry-After` (backlog / drain rate, clamped 1..=30) when a target shard's ingest queue is full |
+//! | `DELETE /records/{shard}-{source}-{row}` | —              | WAL-append + delete one record (404 for unknown/already-deleted ids) |
+//! | `POST /records/delete` | `{"ids": [[shard, source, row], ...]}` | batch deletion; per-id outcomes, unknown ids report `false` |
 //! | `POST /match`    | `{"record": [v, ...]}`                 | read-only fan-out match across all shards |
-//! | `POST /snapshot` | —                                      | delta checkpoint: persist changed shards, truncate the WAL, GC orphaned segment files |
+//! | `POST /snapshot` | —                                      | delta checkpoint: persist changed shards (disk shards compact low-live segments first), truncate the WAL, GC orphaned + superseded segment files |
 //! | `POST /admin/shutdown` | —                                | graceful shutdown: stop accepting, drain in-flight requests, flush WALs, exit 0 |
 //!
 //! Attribute values are JSON strings, numbers or `null`, positionally
@@ -50,7 +52,7 @@ use crate::shard::ShardedEntityStore;
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 use multiem_embed::EmbeddingModel;
 use multiem_online::{DiskStorageConfig, OnlineConfig, OnlineError, SnapshotFormat, StorageConfig};
-use multiem_table::{Record, Schema, Value as AttrValue};
+use multiem_table::{EntityId, Record, Schema, Value as AttrValue};
 use rayon::ThreadPool;
 use serde::{Serialize, Value};
 use std::io;
@@ -59,6 +61,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Everything that can go wrong while building or operating the service.
 #[derive(Debug)]
@@ -200,6 +203,13 @@ struct ServerState<E: EmbeddingModel> {
     queue_depth: u64,
     /// Records refused with `429 Too Many Requests` since startup.
     rejected: AtomicU64,
+    /// Per-shard records *applied* through the HTTP ingest path since
+    /// startup (WAL replay excluded) — the counter behind the adaptive
+    /// `Retry-After` on 429s.
+    drained: Vec<AtomicU64>,
+    /// Per-shard windowed drain-rate estimates (sampled on 429s, so a
+    /// long-idle stretch skews at most the first refusal of a burst).
+    drain_windows: Vec<Mutex<DrainWindow>>,
     /// Per-shard WAL size, published after every append/checkpoint so
     /// `/stats` never touches a WAL lock (appends hold it through fsyncs).
     wal_bytes: Vec<AtomicU64>,
@@ -354,13 +364,26 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                         eprintln!("[multiem-serve] truncated a torn WAL tail (shard {shard})");
                     }
                     for op in recovery.ops {
-                        let WalOp::Insert(record) = op;
-                        store.insert(record).map_err(|e| {
-                            ServeError::Config(format!(
-                                "WAL replay failed ({e}); the log was written under a \
-                                 different schema or store configuration"
-                            ))
-                        })?;
+                        match op {
+                            WalOp::Insert(record) => {
+                                store.insert(record).map_err(|e| {
+                                    ServeError::Config(format!(
+                                        "WAL replay failed ({e}); the log was written under \
+                                         a different schema or store configuration"
+                                    ))
+                                })?;
+                            }
+                            WalOp::Delete(entity) => {
+                                // Idempotent: replaying a delete of an id a
+                                // snapshot already dropped is a no-op.
+                                store
+                                    .write_shard(shard)
+                                    .delete_record(entity)
+                                    .map_err(|e| {
+                                        ServeError::Config(format!("WAL delete replay failed: {e}"))
+                                    })?;
+                            }
+                        }
                         // Replayed ops dirty their shard: the next delta
                         // checkpoint must re-snapshot it.
                         *dirtied += 1;
@@ -398,6 +421,10 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 inflight: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
                 queue_depth: config.queue_depth,
                 rejected: AtomicU64::new(0),
+                drained: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+                drain_windows: (0..num_shards)
+                    .map(|_| Mutex::new(DrainWindow::new()))
+                    .collect(),
                 wal_bytes,
                 storage: config.storage,
                 data_dir: config.data_dir.clone(),
@@ -624,7 +651,10 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
         ("POST", "/records") => match ingest(state, &request.body) {
             Ok(body) => Response::new(200, "OK", body),
             Err(IngestError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
-            Err(IngestError::Overloaded { rejected }) => Response {
+            Err(IngestError::Overloaded {
+                rejected,
+                retry_after,
+            }) => Response {
                 status: 429,
                 reason: "Too Many Requests",
                 body: render(Value::Map(vec![
@@ -633,10 +663,40 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
                         Value::Str("ingest queue full; retry later".into()),
                     ),
                     ("rejected".into(), Value::UInt(rejected)),
+                    ("retry_after".into(), Value::UInt(retry_after)),
                 ])),
-                retry_after: Some(1),
+                retry_after: Some(retry_after),
             },
         },
+        ("POST", "/records/delete") => match delete_batch(state, &request.body) {
+            Ok(body) => Response::new(200, "OK", body),
+            Err(DeleteError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
+            Err(DeleteError::Internal(msg)) => {
+                Response::new(500, "Internal Server Error", error_body(&msg))
+            }
+        },
+        ("DELETE", path) if path.starts_with("/records/") => {
+            match parse_record_id(&path["/records/".len()..]) {
+                Some(id) => match delete_one(state, id) {
+                    Ok(true) => Response::new(
+                        200,
+                        "OK",
+                        render(Value::Map(vec![("deleted".into(), Value::Bool(true))])),
+                    ),
+                    Ok(false) => Response::new(
+                        404,
+                        "Not Found",
+                        error_body("unknown or already-deleted record"),
+                    ),
+                    Err(msg) => Response::new(500, "Internal Server Error", error_body(&msg)),
+                },
+                None => Response::new(
+                    400,
+                    "Bad Request",
+                    error_body("record id must be shard-source-row (e.g. /records/0-1-42)"),
+                ),
+            }
+        }
         ("POST", "/match") => match match_one(state, &request.body) {
             Ok(body) => Response::new(200, "OK", body),
             Err(msg) => Response::new(400, "Bad Request", error_body(&msg)),
@@ -646,9 +706,115 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
             Err(ServeError::Config(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
             Err(e) => Response::new(500, "Internal Server Error", error_body(&e.to_string())),
         },
-        ("GET" | "POST", _) => Response::new(404, "Not Found", error_body("no such route")),
+        ("GET" | "POST" | "DELETE", _) => {
+            Response::new(404, "Not Found", error_body("no such route"))
+        }
         _ => Response::new(405, "Method Not Allowed", error_body("unsupported method")),
     }
+}
+
+/// Parse a `{shard}-{source}-{row}` record id (the triple `POST /records`
+/// returns for every ingested record).
+fn parse_record_id(text: &str) -> Option<crate::shard::GlobalEntityId> {
+    let mut parts = text.split('-');
+    let shard: u32 = parts.next()?.parse().ok()?;
+    let source: u32 = parts.next()?.parse().ok()?;
+    let row: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(crate::shard::GlobalEntityId {
+        shard,
+        entity: EntityId::new(source, row),
+    })
+}
+
+/// Apply one deletion: WAL-append first (the op must survive a crash that
+/// happens mid-apply), then detach the record under the shard's write lock.
+/// Same `shard → wal` lock order as ingestion. A delete of an unknown id
+/// still logs — replaying it is a no-op, and the log stays a faithful
+/// record of what was requested.
+fn delete_one<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    id: crate::shard::GlobalEntityId,
+) -> Result<bool, String> {
+    let shard = id.shard as usize;
+    if shard >= state.store.num_shards() {
+        return Ok(false);
+    }
+    let mut guard = state.store.write_shard(shard);
+    if let Some(wals) = &state.wals {
+        let mut wal = wals[shard].lock().expect("wal lock poisoned");
+        wal.append(&WalOp::Delete(id.entity))
+            .map_err(|e| format!("wal append failed: {e}"))?;
+        state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
+    }
+    let deleted = guard.delete_record(id.entity).map_err(|e| e.to_string())?;
+    if deleted {
+        state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(deleted)
+}
+
+/// Why `POST /records/delete` failed.
+enum DeleteError {
+    /// Malformed body (`400`).
+    Invalid(String),
+    /// A WAL or store failure mid-batch (`500` — already-applied deletions
+    /// stand, and retrying the batch is safe because deletion is
+    /// idempotent).
+    Internal(String),
+}
+
+/// `POST /records/delete`: batch deletion of `{"ids": [[shard, source,
+/// row], ...]}` triples. Per-id outcomes come back positionally; unknown or
+/// repeated ids report `false` rather than failing the batch.
+fn delete_batch<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    body: &[u8],
+) -> Result<String, DeleteError> {
+    let value = parse_body(body).map_err(DeleteError::Invalid)?;
+    let ids = field(&value, "ids")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| {
+            DeleteError::Invalid("body must be {\"ids\": [[shard, source, row], ...]}".into())
+        })?;
+    let mut parsed = Vec::with_capacity(ids.len());
+    for (i, item) in ids.iter().enumerate() {
+        let triple = item
+            .as_seq()
+            .filter(|seq| seq.len() == 3)
+            .and_then(|seq| {
+                let shard = seq[0].as_u64()? as u32;
+                let source = seq[1].as_u64()? as u32;
+                let row = seq[2].as_u64()? as u32;
+                Some(crate::shard::GlobalEntityId {
+                    shard,
+                    entity: EntityId::new(source, row),
+                })
+            })
+            .ok_or_else(|| {
+                DeleteError::Invalid(format!("ids[{i}] must be a [shard, source, row] triple"))
+            })?;
+        parsed.push(triple);
+    }
+    let mut deleted = 0u64;
+    let mut missing = 0u64;
+    let mut results = Vec::with_capacity(parsed.len());
+    for id in parsed {
+        let ok = delete_one(state, id).map_err(DeleteError::Internal)?;
+        if ok {
+            deleted += 1;
+        } else {
+            missing += 1;
+        }
+        results.push(Value::Bool(ok));
+    }
+    Ok(render(Value::Map(vec![
+        ("deleted".into(), Value::UInt(deleted)),
+        ("missing".into(), Value::UInt(missing)),
+        ("results".into(), Value::Seq(results)),
+    ])))
 }
 
 fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
@@ -735,7 +901,60 @@ enum IngestError {
     /// Malformed body (`400`).
     Invalid(String),
     /// A target shard's ingest queue is full (`429` + `Retry-After`).
-    Overloaded { rejected: u64 },
+    Overloaded {
+        /// Records turned away by this refusal.
+        rejected: u64,
+        /// Seconds the client should wait, derived from the rejecting
+        /// shard's backlog and measured drain rate.
+        retry_after: u64,
+    },
+}
+
+/// Per-shard drain-rate sample: the applied-record counter at the start of
+/// the current window, and the rate the last *completed* window measured.
+struct DrainWindow {
+    since: Instant,
+    drained: u64,
+    /// Records/s over the last completed window (`0.0` until one closes —
+    /// conservatively treated as "no measurable drain").
+    rate: f64,
+}
+
+impl DrainWindow {
+    fn new() -> Self {
+        Self {
+            since: Instant::now(),
+            drained: 0,
+            rate: 0.0,
+        }
+    }
+
+    /// Close the window (at >= 1 s granularity) against the current applied
+    /// count and return the freshest rate estimate. Sampling happens on
+    /// 429s, so under a sustained burst the estimate tracks the *current*
+    /// shard throughput within about a second — a lifetime average would
+    /// report hours-old rates on long-lived servers.
+    fn sample(&mut self, drained_now: u64) -> f64 {
+        let dt = self.since.elapsed().as_secs_f64();
+        if dt >= 1.0 {
+            self.rate = drained_now.saturating_sub(self.drained) as f64 / dt;
+            self.since = Instant::now();
+            self.drained = drained_now;
+        }
+        self.rate
+    }
+}
+
+/// `Retry-After` seconds for a 429: how long the rejecting shard needs to
+/// drain its current backlog at its recently measured ingest rate, clamped
+/// to `1..=30`. A shard with no measurable drain (stalled, or no window has
+/// closed yet) gets the maximum backoff instead of a hardcoded `1` that
+/// would send every client straight back into the full queue.
+fn derive_retry_after(backlog: u64, rate: f64) -> u64 {
+    if rate <= 0.0 {
+        return 30;
+    }
+    ((backlog as f64 / rate).ceil() as u64).clamp(1, 30)
 }
 
 /// Admission slots on the per-shard ingest queues, released on drop (also
@@ -754,6 +973,17 @@ impl<E: EmbeddingModel> Drop for QueueSlots<'_, E> {
     }
 }
 
+/// Outcome of queue admission: slots, or the shard that refused the batch.
+enum Admission<'a, E: EmbeddingModel> {
+    /// The whole batch holds queue slots.
+    Admitted(QueueSlots<'a, E>),
+    /// A target shard lacked room; its backlog drives the `Retry-After`.
+    Refused {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+}
+
 /// Admit a whole batch onto its target shards' queues, or refuse the batch
 /// atomically when any shard lacks room. `Err` means the batch can *never*
 /// fit (a per-shard count above the queue depth): retrying it verbatim
@@ -763,7 +993,7 @@ impl<E: EmbeddingModel> Drop for QueueSlots<'_, E> {
 fn admit<'a, E: EmbeddingModel>(
     state: &'a ServerState<E>,
     records: &[Record],
-) -> Result<Option<QueueSlots<'a, E>>, String> {
+) -> Result<Admission<'a, E>, String> {
     let mut per_shard: Vec<(usize, u64)> = Vec::new();
     for record in records {
         let shard = state.store.shard_of(record);
@@ -790,10 +1020,11 @@ fn admit<'a, E: EmbeddingModel>(
         slots.acquired.push((shard, n));
         if before + n > state.queue_depth {
             // Dropping `slots` rolls back every acquisition.
-            return Ok(None);
+            drop(slots);
+            return Ok(Admission::Refused { shard });
         }
     }
-    Ok(Some(slots))
+    Ok(Admission::Admitted(slots))
 }
 
 fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, IngestError> {
@@ -818,10 +1049,21 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
     // Backpressure: the whole batch is admitted or refused before any write
     // lands, so a 429 never leaves a half-applied request behind. The slots
     // release when the request finishes (`_slots` drops on every path).
-    let Some(_slots) = admit(state, &parsed).map_err(IngestError::Invalid)? else {
-        let rejected = parsed.len() as u64;
-        state.rejected.fetch_add(rejected, Ordering::Relaxed);
-        return Err(IngestError::Overloaded { rejected });
+    let _slots = match admit(state, &parsed).map_err(IngestError::Invalid)? {
+        Admission::Admitted(slots) => slots,
+        Admission::Refused { shard } => {
+            let rejected = parsed.len() as u64;
+            state.rejected.fetch_add(rejected, Ordering::Relaxed);
+            let rate = state.drain_windows[shard]
+                .lock()
+                .expect("drain window poisoned")
+                .sample(state.drained[shard].load(Ordering::Relaxed));
+            let backlog = state.inflight[shard].load(Ordering::SeqCst) + rejected;
+            return Err(IngestError::Overloaded {
+                rejected,
+                retry_after: derive_retry_after(backlog, rate),
+            });
+        }
     };
 
     let mut results = Vec::with_capacity(parsed.len());
@@ -839,6 +1081,7 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
         let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
             .map_err(|e| IngestError::Invalid(e.to_string()))?;
         state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
+        state.drained[shard].fetch_add(1, Ordering::Relaxed);
         drop(guard);
         results.push(Value::Map(vec![
             ("shard".into(), Value::UInt(u64::from(gid.shard))),
@@ -947,6 +1190,8 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
 
     let mut total_bytes = 0usize;
     let mut snapshots_written = 0u64;
+    let mut compactions = 0u64;
+    let mut reclaimed_bytes = 0u64;
     let mut superseded: Vec<(usize, u64)> = Vec::new();
     for (i, guard) in guards.iter_mut().enumerate() {
         let seq = state.write_seq[i].load(Ordering::SeqCst);
@@ -955,9 +1200,16 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
             continue;
         }
         // Seal the storage tail first (disk backend): the snapshot then
-        // carries the segment index instead of record payloads.
+        // carries the segment index instead of record payloads. Then
+        // compact: segments deletion has hollowed out are rewritten *before*
+        // the snapshot, so the committed manifest references the compacted
+        // files and the superseded ones become gc-able right after the
+        // commit below.
         if let ShardGuard::Write(store) = guard {
             store.flush_storage()?;
+            let report = store.compact_storage()?;
+            compactions += report.segments_compacted;
+            reclaimed_bytes += report.reclaimed_bytes;
         }
         let bytes = guard.get().snapshot_bytes(state.snapshot_format)?;
         total_bytes += bytes.len();
@@ -1047,6 +1299,8 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         ("snapshot_bytes".into(), Value::UInt(total_bytes as u64)),
         ("wal_bytes_truncated".into(), Value::UInt(truncated)),
         ("segments_deleted".into(), Value::UInt(segments_deleted)),
+        ("compactions".into(), Value::UInt(compactions)),
+        ("reclaimed_bytes".into(), Value::UInt(reclaimed_bytes)),
     ])))
 }
 
@@ -1097,6 +1351,49 @@ fn render(value: Value) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_after_tracks_backlog_over_drain_rate() {
+        // No measurable drain: maximum backoff, not a hardcoded 1.
+        assert_eq!(derive_retry_after(10, 0.0), 30);
+        // 5 queued at 10 records/s drain in 1s.
+        assert_eq!(derive_retry_after(5, 10.0), 1);
+        // 50 queued at 10/s = 5s.
+        assert_eq!(derive_retry_after(50, 10.0), 5);
+        // A deep backlog over a slow shard clamps at 30.
+        assert_eq!(derive_retry_after(10_000, 0.1), 30);
+        // A tiny backlog still asks for at least one second.
+        assert_eq!(derive_retry_after(1, 1_000_000.0), 1);
+    }
+
+    #[test]
+    fn drain_window_measures_recent_rate_not_lifetime() {
+        let mut window = DrainWindow {
+            since: Instant::now() - std::time::Duration::from_secs(2),
+            drained: 0,
+            rate: 0.0,
+        };
+        // 100 records applied over the 2s window: ~50/s.
+        let rate = window.sample(100);
+        assert!((40.0..=60.0).contains(&rate), "rate {rate}");
+        // Within the same (fresh) window the stored estimate answers; the
+        // extra 100 records do not skew it until a window closes.
+        let again = window.sample(200);
+        assert_eq!(again, rate);
+        // A fresh window has no estimate yet.
+        assert_eq!(DrainWindow::new().sample(0), 0.0);
+    }
+
+    #[test]
+    fn record_ids_parse_and_reject_garbage() {
+        let id = parse_record_id("2-0-17").unwrap();
+        assert_eq!(id.shard, 2);
+        assert_eq!(id.entity, EntityId::new(0, 17));
+        assert!(parse_record_id("2-0").is_none());
+        assert!(parse_record_id("2-0-17-9").is_none());
+        assert!(parse_record_id("a-b-c").is_none());
+        assert!(parse_record_id("").is_none());
+    }
 
     #[test]
     fn record_from_value_handles_the_three_kinds() {

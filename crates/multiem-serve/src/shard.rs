@@ -47,8 +47,10 @@ pub struct GlobalEntityId {
 /// Aggregated statistics over all shards.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardedStats {
-    /// Total ingested records across shards.
+    /// Total live records across shards.
     pub records: usize,
+    /// Total records deleted across shards.
+    pub deleted: usize,
     /// Total clusters across shards (including singletons).
     pub clusters: usize,
     /// Total multi-member clusters (matched tuples).
@@ -242,6 +244,18 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         apply_insert(&mut guard, shard, record)
     }
 
+    /// Delete a record by its global id, write-locking only the owning
+    /// shard. Returns whether a live record was deleted (`false` for
+    /// unknown shards/ids and repeated deletes — deletion is idempotent).
+    pub fn delete(&self, id: GlobalEntityId) -> Result<bool, OnlineError> {
+        let shard = id.shard as usize;
+        if shard >= self.shards.len() {
+            return Ok(false);
+        }
+        let mut guard = self.write_shard(shard);
+        guard.delete_record(id.entity)
+    }
+
     /// Read-only fan-out match: query every shard concurrently under its
     /// read lock, then merge the per-shard candidates (each already filtered
     /// by the paper's mutual top-K rule and threshold `m` inside its shard)
@@ -316,12 +330,15 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
                 None => *stats,
                 Some(mut sum) => {
                     sum.records += stats.records;
+                    sum.deleted_records += stats.deleted_records;
                     sum.resident_records += stats.resident_records;
                     sum.resident_bytes += stats.resident_bytes;
                     sum.spilled_records += stats.spilled_records;
                     sum.spilled_bytes += stats.spilled_bytes;
                     sum.segments += stats.segments;
                     sum.segments_deleted += stats.segments_deleted;
+                    sum.compactions += stats.compactions;
+                    sum.reclaimed_bytes += stats.reclaimed_bytes;
                     sum.cache_hits += stats.cache_hits;
                     sum.cache_misses += stats.cache_misses;
                     sum
@@ -331,6 +348,7 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         let shards: Vec<StoreStats> = per_shard.into_iter().map(|(store, _)| store).collect();
         let sharded = ShardedStats {
             records: shards.iter().map(|s| s.records).sum(),
+            deleted: shards.iter().map(|s| s.deleted).sum(),
             clusters: shards.iter().map(|s| s.clusters).sum(),
             tuples: shards.iter().map(|s| s.tuples).sum(),
             pruned_outliers: shards.iter().map(|s| s.pruned_outliers).sum(),
@@ -528,6 +546,39 @@ mod tests {
         assert_eq!(stats.records, plain_stats.records);
         assert_eq!(stats.clusters, plain_stats.clusters);
         assert_eq!(stats.tuples, plain_stats.tuples);
+    }
+
+    #[test]
+    fn delete_detaches_record_from_its_cluster() {
+        let store = sharded(2);
+        let (a, _) = store
+            .insert(Record::from_texts(["golden heart river"]))
+            .unwrap();
+        let (b, merged) = store
+            .insert(Record::from_texts(["golden heart river live"]))
+            .unwrap();
+        assert!(merged);
+        assert_eq!(store.cluster_members(a).unwrap().len(), 2);
+
+        assert!(store.delete(b).unwrap());
+        assert!(!store.delete(b).unwrap(), "deletion is idempotent");
+        assert_eq!(store.cluster_members(a).unwrap(), vec![a]);
+        assert!(store.cluster_members(b).is_none(), "deleted id is unknown");
+        // Out-of-range shards are a clean miss, not a panic.
+        assert!(!store
+            .delete(GlobalEntityId {
+                shard: 99,
+                entity: EntityId::new(0, 0)
+            })
+            .unwrap());
+
+        let stats = store.stats();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.tuples, 0);
+        // The deleted record can never come back through a match.
+        let hits = store.match_record(&Record::from_texts(["golden heart river live"]));
+        assert!(hits.iter().all(|(gid, _)| *gid != b));
     }
 
     #[test]

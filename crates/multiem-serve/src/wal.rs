@@ -16,7 +16,7 @@
 //! a fresh log epoch (see the server's `checkpoint`), bounding replay time.
 
 use multiem_online::wire::{self, Frame};
-use multiem_table::Record;
+use multiem_table::{EntityId, Record};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write};
@@ -66,6 +66,11 @@ impl FsyncPolicy {
 pub enum WalOp {
     /// A single record accepted for ingestion, exactly as received.
     Insert(Record),
+    /// A record deletion, keyed by the shard-local entity id (the WAL is
+    /// per-shard, so the shard index is implied by which log the op is in).
+    /// Replaying a delete of an id the store no longer knows is a no-op —
+    /// deletion is idempotent end to end.
+    Delete(EntityId),
 }
 
 impl WalOp {
@@ -330,6 +335,29 @@ mod tests {
         drop(wal);
         let (_, recovery) = Wal::open(&path).unwrap();
         assert_eq!(recovery.ops, vec![op("synced")]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn delete_ops_roundtrip_alongside_inserts() {
+        let path = temp_wal_path("delete-ops");
+        let delete = WalOp::Delete(EntityId::new(2, 17));
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&op("kept record")).unwrap();
+            wal.append(&delete).unwrap();
+            wal.append(&WalOp::Delete(EntityId::new(0, 0))).unwrap();
+        }
+        let (_, recovery) = Wal::open(&path).unwrap();
+        assert_eq!(
+            recovery.ops,
+            vec![
+                op("kept record"),
+                delete,
+                WalOp::Delete(EntityId::new(0, 0))
+            ]
+        );
+        assert!(!recovery.torn_tail);
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

@@ -497,11 +497,15 @@ fn full_ingest_queue_answers_429_with_retry_after() {
         .unwrap();
     assert_eq!(status, 429, "{body}");
     assert!(body.contains("queue full"), "{body}");
-    let retry_after = headers
+    let retry_after: u64 = headers
         .iter()
         .find(|(name, _)| name == "retry-after")
-        .map(|(_, value)| value.as_str());
-    assert_eq!(retry_after, Some("1"), "429 must carry Retry-After");
+        .map(|(_, value)| value.parse().expect("numeric Retry-After"))
+        .expect("429 must carry Retry-After");
+    // Nothing has ever drained on this server, so the adaptive backoff
+    // reports the maximum — not the old hardcoded 1 that sent clients
+    // straight back into the full queue.
+    assert_eq!(retry_after, 30, "no drain history => maximum backoff");
 
     // Nothing was ingested; the rejection is counted in /stats.
     let stats = get_stats(&mut client);
@@ -558,6 +562,298 @@ fn default_queue_depth_accepts_normal_traffic() {
     assert_eq!(counter(&stats, "records"), 2);
     assert_eq!(counter(&stats, "rejected"), 0);
     handle.shutdown();
+}
+
+// --------------------------------------------------------------------------
+// Record deletion + segment compaction
+// --------------------------------------------------------------------------
+
+/// Ingest titles one request at a time, returning each record's
+/// `(shard, source, row)` id triple from the response.
+fn ingest_with_ids(client: &mut HttpClient, titles: &[&str]) -> Vec<(u64, u64, u64)> {
+    let mut ids = Vec::with_capacity(titles.len());
+    for title in titles {
+        let response = post_records(client, &[title]);
+        let value: serde::Value = serde_json::from_str(&response).expect("ingest response JSON");
+        let field = |map: &serde::Value, name: &str| -> u64 {
+            map.as_map()
+                .and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|(key, _)| key == name)
+                        .and_then(|(_, v)| v.as_u64())
+                })
+                .unwrap_or_else(|| panic!("response lacks {name}: {response}"))
+        };
+        let results = value
+            .as_map()
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|(key, _)| key == "results")
+                    .and_then(|(_, v)| v.as_seq())
+            })
+            .expect("ingest response has results");
+        assert_eq!(results.len(), 1);
+        ids.push((
+            field(&results[0], "shard"),
+            field(&results[0], "source"),
+            field(&results[0], "row"),
+        ));
+    }
+    ids
+}
+
+fn delete_record(client: &mut HttpClient, id: (u64, u64, u64)) -> u16 {
+    let (shard, source, row) = id;
+    let (status, _) = client
+        .request("DELETE", &format!("/records/{shard}-{source}-{row}"), None)
+        .unwrap();
+    status
+}
+
+#[test]
+fn delete_endpoints_remove_records_and_count() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let titles = [
+        "golden heart river",
+        "golden heart river live",
+        "makita drill 18v",
+        "zanussi fridge compact",
+    ];
+    let ids = ingest_with_ids(&mut client, &titles);
+    assert_eq!(counter(&get_stats(&mut client), "records"), 4);
+
+    // Single delete: the near-duplicate leaves its cluster.
+    assert_eq!(delete_record(&mut client, ids[1]), 200);
+    // Idempotent: a second delete of the same id is a 404.
+    assert_eq!(delete_record(&mut client, ids[1]), 404);
+    // Unknown ids and malformed ids answer 404 / 400, not 500.
+    assert_eq!(delete_record(&mut client, (0, 0, 999)), 404);
+    let (status, _) = client
+        .request("DELETE", "/records/not-an-id", None)
+        .unwrap();
+    assert_eq!(status, 400);
+
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 3);
+    assert_eq!(counter(&stats, "deleted"), 1);
+    assert_eq!(counter(&stats, "tuples"), 0, "the river pair is gone");
+
+    // The deleted record can no longer be matched; its twin still can.
+    let matches = match_title(&mut client, "golden heart river remaster");
+    let needle = format!(
+        "\"shard\":{},\"source\":{},\"row\":{}",
+        ids[1].0, ids[1].1, ids[1].2
+    );
+    assert!(
+        !matches.contains(&needle),
+        "deleted id resurfaced: {matches}"
+    );
+
+    // Batch deletion: one live, one already gone.
+    let body = format!(
+        "{{\"ids\":[[{},{},{}],[{},{},{}]]}}",
+        ids[2].0, ids[2].1, ids[2].2, ids[1].0, ids[1].1, ids[1].2
+    );
+    let (status, response) = client
+        .request("POST", "/records/delete", Some(&body))
+        .unwrap();
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"deleted\":1"), "{response}");
+    assert!(response.contains("\"missing\":1"), "{response}");
+    let stats = get_stats(&mut client);
+    assert_eq!(counter(&stats, "records"), 2);
+    assert_eq!(counter(&stats, "deleted"), 2);
+
+    // Malformed batch bodies are client errors.
+    let (status, _) = client
+        .request("POST", "/records/delete", Some("{\"ids\":[[1,2]]}"))
+        .unwrap();
+    assert_eq!(status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn delete_half_compaction_and_kill_restart() {
+    // The end-to-end erasure story: delete half the records, force
+    // compaction through a checkpoint, "kill" (drop without a final
+    // checkpoint so the post-checkpoint deletes live only in the WAL),
+    // restart, and require (a) deleted ids stay gone, (b) survivors match
+    // exactly as on a never-killed control server, (c) segment bytes shrink.
+    let titles: Vec<String> = (0..24)
+        .map(|i| format!("item{i} unique product number {i}"))
+        .collect();
+    let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+
+    // Run the same op sequence against a server; returns (stats, per-title
+    // match responses, spilled bytes before/after the compacting
+    // checkpoint). `restart_mid_way` kills and restarts the server between
+    // the compacting checkpoint and the WAL-only deletes.
+    let run = |dir: &std::path::Path, restart_mid_way: bool| {
+        let config = disk_config(dir, 2);
+        let mut handle;
+        let mut addr;
+        (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let ids = ingest_with_ids(&mut client, &title_refs);
+
+        // Seal every tail so the spilled footprint is comparable.
+        let (status, _) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200);
+        let spilled_before = counter(&get_stats(&mut client), "spilled_bytes");
+        assert!(spilled_before > 0, "records must be spilled to segments");
+
+        // Delete every other row of each shard: every sealed segment drops
+        // to ~half live, under the 0.6 compaction threshold.
+        let mut deleted: Vec<usize> = Vec::new();
+        let mut rows_seen: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (i, id) in ids.iter().enumerate() {
+            let nth = rows_seen.entry(id.0).or_insert(0);
+            if (*nth).is_multiple_of(2) {
+                assert_eq!(delete_record(&mut client, *id), 200, "delete {id:?}");
+                deleted.push(i);
+            }
+            *nth += 1;
+        }
+
+        // The compacting checkpoint: dirty shards flush + compact, the
+        // manifest commits the rewritten segment index, GC sweeps the
+        // superseded files.
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(counter(&body, "compactions") > 0, "{body}");
+        assert!(counter(&body, "reclaimed_bytes") > 0, "{body}");
+        let spilled_after = counter(&get_stats(&mut client), "spilled_bytes");
+        assert!(
+            spilled_after * 10 <= spilled_before * 7,
+            "compaction must reclaim a solid share of segment bytes \
+             ({spilled_before} -> {spilled_after})"
+        );
+
+        if restart_mid_way {
+            handle.shutdown();
+            (handle, addr) = spawn_server(config.clone());
+            client = HttpClient::connect(&addr).unwrap();
+        }
+
+        // Two more deletes covered only by the WAL (no checkpoint after).
+        let survivors: Vec<usize> = (0..ids.len()).filter(|i| !deleted.contains(i)).collect();
+        for &i in &survivors[..2] {
+            assert_eq!(delete_record(&mut client, ids[i]), 200);
+            deleted.push(i);
+        }
+
+        if restart_mid_way {
+            // Kill again: these last deletes must replay from the WAL.
+            handle.shutdown();
+            (handle, addr) = spawn_server(config);
+            client = HttpClient::connect(&addr).unwrap();
+        }
+
+        // Deleted ids are gone for good (a re-delete is a 404)...
+        for &i in &deleted {
+            assert_eq!(delete_record(&mut client, ids[i]), 404, "id {i} came back");
+        }
+        // ...and every survivor still matches.
+        let matches: Vec<String> = (0..ids.len())
+            .filter(|i| !deleted.contains(i))
+            .map(|i| match_title(&mut client, title_refs[i]))
+            .collect();
+        let stats = get_stats(&mut client);
+        handle.shutdown();
+        (store_part(&stats).to_string(), matches, deleted.len())
+    };
+
+    let dir_killed = temp_dir("del-compact-killed");
+    let dir_control = temp_dir("del-compact-control");
+    let (stats_killed, matches_killed, deleted_killed) = run(&dir_killed, true);
+    let (stats_control, matches_control, deleted_control) = run(&dir_control, false);
+    assert_eq!(deleted_killed, deleted_control);
+    assert_eq!(
+        stats_killed, stats_control,
+        "restarted store state must be byte-identical to the never-killed run"
+    );
+    assert_eq!(
+        matches_killed, matches_control,
+        "survivors must match identically after kill-restart"
+    );
+    std::fs::remove_dir_all(&dir_killed).ok();
+    std::fs::remove_dir_all(&dir_control).ok();
+}
+
+#[test]
+fn deleted_counters_survive_kill_restart() {
+    // `deleted`, `compactions`, `reclaimed_bytes` and `segments_deleted`
+    // are persisted: after a checkpoint + restart the /stats counters must
+    // not go backwards (they used to reset to zero on restore).
+    let dir = temp_dir("counter-persist");
+    let config = disk_config(&dir, 2);
+    let (before, after) = {
+        let (handle, addr) = spawn_server(config.clone());
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let titles: Vec<String> = (0..16)
+            .map(|i| format!("obj{i} padded title {i}"))
+            .collect();
+        let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+        let ids = ingest_with_ids(&mut client, &title_refs);
+        // Seal everything, then hollow out every segment (alternating rows
+        // per shard) so the next checkpoint must compact.
+        let (status, _) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200);
+        let mut rows_seen: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for id in &ids {
+            let nth = rows_seen.entry(id.0).or_insert(0);
+            if (*nth).is_multiple_of(2) {
+                assert_eq!(delete_record(&mut client, *id), 200);
+            }
+            *nth += 1;
+        }
+        let (status, body) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(counter(&body, "compactions") > 0, "{body}");
+
+        // That checkpoint's post-commit GC bumped `segments_deleted` after
+        // its own snapshot was written. Dirty every shard with one more
+        // insert, then checkpoint again so the swept counts persist too.
+        let mut dirtied = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let filler = format!("filler{i} spare entry");
+            let id = ingest_with_ids(&mut client, &[&filler]);
+            dirtied.insert(id[0].0);
+            if dirtied.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(dirtied.len(), 2, "fillers must dirty both shards");
+        let (status, _) = client.request("POST", "/snapshot", None).unwrap();
+        assert_eq!(status, 200);
+
+        let stats = get_stats(&mut client);
+        handle.shutdown();
+
+        let (handle, addr) = spawn_server(config);
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let restored = get_stats(&mut client);
+        handle.shutdown();
+        (stats, restored)
+    };
+    for name in [
+        "deleted",
+        "compactions",
+        "reclaimed_bytes",
+        "segments_deleted",
+    ] {
+        assert_eq!(
+            counter(&before, name),
+            counter(&after, name),
+            "{name} went backwards across restart:\n{before}\n{after}"
+        );
+    }
+    assert!(counter(&after, "compactions") > 0);
+    assert!(counter(&after, "segments_deleted") > 0);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 // --------------------------------------------------------------------------
