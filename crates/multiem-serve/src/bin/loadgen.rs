@@ -29,6 +29,7 @@ use multiem_serve::metrics::percentile_ms;
 use multiem_serve::{MatchServer, ServeConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 const BRANDS: &[&str] = &[
@@ -69,6 +70,8 @@ struct Options {
     workers: usize,
     io_threads: usize,
     out: Option<String>,
+    /// Fetch `GET /metrics` after the run and print the server-side view.
+    scrape_metrics: bool,
 }
 
 impl Default for Options {
@@ -85,6 +88,7 @@ impl Default for Options {
             workers: 4,
             io_threads: 2,
             out: None,
+            scrape_metrics: false,
         }
     }
 }
@@ -124,6 +128,7 @@ fn main() {
             "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
             "--io-threads" => opts.io_threads = parse(&value("--io-threads"), "--io-threads"),
             "--out" => opts.out = Some(value("--out")),
+            "--scrape-metrics" => opts.scrape_metrics = true,
             "--smoke" => {
                 opts.clients = 4;
                 opts.requests = 240;
@@ -149,6 +154,10 @@ fn main() {
                      \x20 --workers N         workers of the embedded server (default 4)\n\
                      \x20 --io-threads N      I/O event loops of the embedded server (default 2)\n\
                      \x20 --out PATH          also write the JSON report to PATH\n\
+                     \x20 --scrape-metrics    fetch GET /metrics after the run and print\n\
+                     \x20                     the server-side p50/p99 next to the client's\n\
+                     \x20                     (embedded runs also cross-check the request\n\
+                     \x20                     counters against what this tool issued)\n\
                      \x20 --smoke             small CI-sized run (4 clients, 240 requests,\n\
                      \x20                     32 connections over 4 workers)"
                 );
@@ -246,6 +255,30 @@ fn main() {
 
     let total = all_ns.len() + errors;
     let throughput = total as f64 / elapsed.as_secs_f64();
+
+    // Server-side view: scrape /metrics while the server is still up and
+    // derive its own p50/p99 from the exported latency histograms.
+    let server_view = if opts.scrape_metrics {
+        match scrape_server_metrics(&addr) {
+            Ok(view) => Some(view),
+            Err(e) => {
+                eprintln!("error: --scrape-metrics failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let server_fields = server_view
+        .as_ref()
+        .map(|view| {
+            format!(
+                ",\"server_requests_total\":{},\"server_p50_ms\":{:.3},\"server_p99_ms\":{:.3}",
+                view.workload_requests, view.p50_ms, view.p99_ms
+            )
+        })
+        .unwrap_or_default();
     let report = format!(
         "{{\"clients\":{},\"connections\":{},\"workers\":{},\"requests\":{},\"writes\":{},\
          \"reads\":{},\"deletes\":{},\"errors\":{},\"retried_429\":{},\
@@ -253,7 +286,7 @@ fn main() {
          \"throughput_rps\":{:.1},\
          \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"write_p50_ms\":{:.3},\"write_p99_ms\":{:.3},\
          \"read_p50_ms\":{:.3},\"read_p99_ms\":{:.3},\"delete_p50_ms\":{:.3},\
-         \"delete_p99_ms\":{:.3}}}",
+         \"delete_p99_ms\":{:.3}{}}}",
         opts.clients,
         connections,
         opts.workers,
@@ -276,6 +309,7 @@ fn main() {
         percentile_ms(&read_ns, 0.99),
         percentile_ms(&delete_ns, 0.50),
         percentile_ms(&delete_ns, 0.99),
+        server_fields,
     );
 
     println!(
@@ -289,11 +323,47 @@ fn main() {
         connections,
         elapsed.as_secs_f64()
     );
+    let client_p50 = percentile_ms(&all_ns, 0.50);
+    let client_p99 = percentile_ms(&all_ns, 0.99);
     println!(
-        "  throughput {throughput:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, errors {errors}",
-        percentile_ms(&all_ns, 0.50),
-        percentile_ms(&all_ns, 0.99),
+        "  throughput {throughput:.0} req/s, p50 {client_p50:.2} ms, p99 {client_p99:.2} ms, \
+         errors {errors}"
     );
+    if let Some(view) = &server_view {
+        println!(
+            "  server-side (/metrics): {} requests counted, p50 {:.2} ms, p99 {:.2} ms",
+            view.workload_requests, view.p50_ms, view.p99_ms
+        );
+        // Client latency includes the socket round-trip; server latency is
+        // parse→respond. Large gaps between the two views point at queueing
+        // or measurement bugs, so flag anything beyond 2x.
+        for (name, client, server) in [
+            ("p50", client_p50, view.p50_ms),
+            ("p99", client_p99, view.p99_ms),
+        ] {
+            if diverges_2x(client, server) {
+                println!(
+                    "  WARNING: {name} diverges >2x between client ({client:.2} ms) and \
+                     server ({server:.2} ms) views"
+                );
+            }
+        }
+        // Embedded runs own all the traffic, so the server's counters must
+        // account for exactly what this tool sent: every success, plus one
+        // count per 429 answer that was retried.
+        if opts.addr.is_none() && errors == 0 {
+            let issued = (total + retried_429) as u64;
+            if view.workload_requests != issued {
+                eprintln!(
+                    "error: /metrics counted {} workload requests but loadgen issued {issued} \
+                     ({total} completed + {retried_429} retried 429s)",
+                    view.workload_requests
+                );
+                std::process::exit(1);
+            }
+            println!("  server counters match: {issued} issued == {issued} counted");
+        }
+    }
     println!("{report}");
     if let Some(path) = &opts.out {
         std::fs::write(path, &report)
@@ -308,6 +378,133 @@ fn main() {
         eprintln!("error: {errors} request(s) failed");
         std::process::exit(1);
     }
+}
+
+/// The server's own view of the run, read back from `GET /metrics`.
+struct ServerView {
+    /// `multiem_requests_total` summed over the workload endpoints
+    /// (`records`, `match`, `records_delete`), all status classes.
+    workload_requests: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Endpoints this tool drives traffic at (the `endpoint` label values).
+const WORKLOAD_ENDPOINTS: &[&str] = &["records", "match", "records_delete"];
+
+/// Fetch `/metrics` and reduce the Prometheus text exposition to the
+/// server-side request count and latency percentiles for the workload
+/// endpoints.
+fn scrape_server_metrics(addr: &str) -> Result<ServerView, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let (status, _, body) = client
+        .request_with_headers("GET", "/metrics", None)
+        .map_err(|e| format!("GET /metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics answered {status}"));
+    }
+
+    let mut workload_requests = 0u64;
+    // Cumulative histogram buckets per endpoint, in exposition order.
+    let mut per_endpoint: HashMap<String, Vec<(f64, u64)>> = HashMap::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("multiem_requests_total{") {
+            let (labels, value) = split_sample(rest)?;
+            if label_value(labels, "endpoint").is_some_and(|e| WORKLOAD_ENDPOINTS.contains(&e)) {
+                workload_requests += value as u64;
+            }
+        } else if let Some(rest) = line.strip_prefix("multiem_request_duration_seconds_bucket{") {
+            let (labels, value) = split_sample(rest)?;
+            let Some(endpoint) = label_value(labels, "endpoint") else {
+                continue;
+            };
+            if !WORKLOAD_ENDPOINTS.contains(&endpoint) {
+                continue;
+            }
+            let le = match label_value(labels, "le") {
+                Some("+Inf") => f64::INFINITY,
+                Some(text) => text
+                    .parse()
+                    .map_err(|_| format!("bad le bound `{text}` in: {line}"))?,
+                None => continue,
+            };
+            per_endpoint
+                .entry(endpoint.to_string())
+                .or_default()
+                .push((le, value as u64));
+        }
+    }
+
+    // Per-endpoint buckets are cumulative; turn each into per-bucket deltas
+    // and merge across endpoints keyed by the `le` bound (positive floats
+    // order the same as their bit patterns, so the BTreeMap walks bounds
+    // ascending).
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    for buckets in per_endpoint.values() {
+        let mut previous = 0u64;
+        for &(le, cumulative) in buckets {
+            *merged.entry(le.to_bits()).or_insert(0) += cumulative.saturating_sub(previous);
+            previous = cumulative;
+        }
+    }
+
+    Ok(ServerView {
+        workload_requests,
+        p50_ms: merged_quantile_ms(&merged, 0.50),
+        p99_ms: merged_quantile_ms(&merged, 0.99),
+    })
+}
+
+/// Split `endpoint="match",le="0.01"} 42` into its label body and value.
+fn split_sample(rest: &str) -> Result<(&str, f64), String> {
+    let (labels, value) = rest
+        .split_once('}')
+        .ok_or_else(|| format!("malformed sample line: {rest}"))?;
+    let value = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("malformed sample value: {rest}"))?;
+    Ok((labels, value))
+}
+
+/// The value of label `name` inside a Prometheus label body.
+fn label_value<'a>(labels: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("{name}=\"");
+    let start = labels.find(&marker)? + marker.len();
+    let end = labels[start..].find('"')? + start;
+    Some(&labels[start..end])
+}
+
+/// Nearest-rank quantile over merged histogram deltas, answered as the
+/// matched bucket's upper bound in milliseconds.
+fn merged_quantile_ms(merged: &BTreeMap<u64, u64>, q: f64) -> f64 {
+    let total: u64 = merged.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total - 1) as f64 * q).round() as u64;
+    let mut seen = 0u64;
+    for (&bits, &count) in merged {
+        seen += count;
+        if seen > rank {
+            let le = f64::from_bits(bits);
+            if le.is_finite() {
+                return le * 1000.0;
+            }
+            break;
+        }
+    }
+    // Only the +Inf bucket matched; answer the largest finite bound.
+    merged
+        .keys()
+        .map(|&bits| f64::from_bits(bits))
+        .rfind(|le| le.is_finite())
+        .map_or(0.0, |le| le * 1000.0)
+}
+
+/// True when `a` and `b` disagree by more than 2x (both must be measured).
+fn diverges_2x(a: f64, b: f64) -> bool {
+    a > 0.0 && b > 0.0 && (a.max(b) / a.min(b)) > 2.0
 }
 
 /// One request kind of the seeded mix.

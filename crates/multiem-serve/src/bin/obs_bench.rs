@@ -1,0 +1,237 @@
+//! Telemetry-overhead gate: prove observability is cheap enough to leave on.
+//!
+//! Runs the same seeded mixed workload twice — against an embedded server
+//! with full telemetry (histograms, per-stage spans, sampled traces) and
+//! against one started with the `--no-telemetry` kill switch — interleaving
+//! best-of-N trials so machine noise hits both modes evenly, then reports
+//! the throughput cost of telemetry as a percentage. CI runs this with
+//! `--gate 5` and fails the build if instrumenting the request path ever
+//! costs more than 5% of throughput.
+//!
+//! ```bash
+//! cargo run --release -p multiem-serve --bin obs_bench -- --gate 5 --out BENCH_obs.json
+//! ```
+
+use multiem_embed::HashedLexicalEncoder;
+use multiem_serve::http::HttpClient;
+use multiem_serve::{MatchServer, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+struct Options {
+    trials: usize,
+    requests: usize,
+    clients: usize,
+    shards: usize,
+    workers: usize,
+    seed: u64,
+    /// Maximum tolerated telemetry overhead in percent (None = report only).
+    gate: Option<f64>,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            trials: 3,
+            requests: 3000,
+            clients: 4,
+            shards: 4,
+            workers: 4,
+            seed: 42,
+            gate: None,
+            out: None,
+        }
+    }
+}
+
+fn main() {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--trials" => opts.trials = parse(&value("--trials"), "--trials"),
+            "--requests" => opts.requests = parse(&value("--requests"), "--requests"),
+            "--clients" => opts.clients = parse(&value("--clients"), "--clients"),
+            "--shards" => opts.shards = parse(&value("--shards"), "--shards"),
+            "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
+            "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
+            "--gate" => opts.gate = Some(parse(&value("--gate"), "--gate")),
+            "--out" => opts.out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!(
+                    "obs_bench: measure the throughput cost of telemetry\n\n\
+                     options:\n\
+                     \x20 --trials N     best-of-N interleaved trials per mode (default 3)\n\
+                     \x20 --requests N   requests per trial (default 3000)\n\
+                     \x20 --clients N    concurrent client threads (default 4)\n\
+                     \x20 --shards N     embedded server shards (default 4)\n\
+                     \x20 --workers N    embedded server workers (default 4)\n\
+                     \x20 --seed N       workload seed (default 42)\n\
+                     \x20 --gate PCT     exit non-zero if telemetry costs more than\n\
+                     \x20                PCT percent of throughput (default: report only)\n\
+                     \x20 --out PATH     also write the JSON report to PATH"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if opts.trials == 0 || opts.requests == 0 || opts.clients == 0 {
+        fail("--trials, --requests and --clients must be at least 1");
+    }
+
+    // Interleave trials (on, off, on, off, ...) so drift in machine load
+    // lands on both modes instead of biasing whichever ran last.
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for trial in 0..opts.trials {
+        for telemetry in [true, false] {
+            let rps = run_trial(&opts, telemetry, trial);
+            let best = if telemetry {
+                &mut best_on
+            } else {
+                &mut best_off
+            };
+            *best = best.max(rps);
+            println!(
+                "  trial {}/{} telemetry={}: {rps:.0} req/s",
+                trial + 1,
+                opts.trials,
+                if telemetry { "on" } else { "off" }
+            );
+        }
+    }
+
+    let overhead_pct = if best_off > 0.0 {
+        (best_off - best_on) / best_off * 100.0
+    } else {
+        0.0
+    };
+    let report = format!(
+        "{{\"trials\":{},\"requests\":{},\"clients\":{},\"shards\":{},\"workers\":{},\
+         \"seed\":{},\"telemetry_on_rps\":{:.1},\"telemetry_off_rps\":{:.1},\
+         \"overhead_pct\":{:.2}}}",
+        opts.trials,
+        opts.requests,
+        opts.clients,
+        opts.shards,
+        opts.workers,
+        opts.seed,
+        best_on,
+        best_off,
+        overhead_pct
+    );
+    println!(
+        "obs_bench: telemetry on {best_on:.0} req/s, off {best_off:.0} req/s, \
+         overhead {overhead_pct:.2}%"
+    );
+    println!("{report}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &report)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("  report written to {path}");
+    }
+    if let Some(gate) = opts.gate {
+        if overhead_pct > gate {
+            eprintln!("error: telemetry overhead {overhead_pct:.2}% exceeds the {gate}% gate");
+            std::process::exit(1);
+        }
+        println!("  within the {gate}% gate");
+    }
+}
+
+/// One trial: fresh embedded server, seeded mixed workload, throughput out.
+fn run_trial(opts: &Options, telemetry: bool, trial: usize) -> f64 {
+    let mut config = ServeConfig {
+        shards: opts.shards,
+        workers: opts.workers,
+        ..ServeConfig::default()
+    };
+    config.obs.telemetry = telemetry;
+    if telemetry {
+        // Realistic "on" shape: sample some traces too, not just histograms.
+        config.obs.trace_sample_rate = 0.01;
+    }
+    // Keep trace/log output off the bench's stderr.
+    config.obs.log_level = multiem_serve::obs::Level::Error;
+
+    let server = MatchServer::bind(config, HashedLexicalEncoder::default(), "127.0.0.1:0")
+        .unwrap_or_else(|e| fail(&format!("embedded server failed: {e}")));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(&format!("no local addr: {e}")))
+        .to_string();
+    let handle = server
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn failed: {e}")));
+
+    let per_client = opts.requests.div_ceil(opts.clients);
+    let started = Instant::now();
+    let completed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|client| {
+                let addr = addr.clone();
+                let seed = opts
+                    .seed
+                    .wrapping_add(client as u64)
+                    .wrapping_add(trial as u64 * 1000);
+                scope.spawn(move || run_client(&addr, seed, per_client))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .sum()
+    });
+    let elapsed = started.elapsed();
+    handle.shutdown();
+
+    if completed < per_client * opts.clients {
+        fail(&format!(
+            "trial dropped requests: {completed} of {} completed",
+            per_client * opts.clients
+        ));
+    }
+    completed as f64 / elapsed.as_secs_f64()
+}
+
+/// Issue `requests` mixed writes/reads; count how many answered 200.
+fn run_client(addr: &str, seed: u64, requests: usize) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut client = match HttpClient::connect(addr) {
+        Ok(client) => client,
+        Err(_) => return 0,
+    };
+    let mut written: Vec<String> = Vec::new();
+    let mut completed = 0usize;
+    for _ in 0..requests {
+        let (path, body) = if written.is_empty() || rng.gen_bool(0.6) {
+            let title = format!("brand product {}", rng.gen_range(0..100_000u32));
+            written.push(title.clone());
+            ("/records", format!("{{\"records\":[[\"{title}\"]]}}"))
+        } else {
+            let title = &written[rng.gen_range(0..written.len())];
+            ("/match", format!("{{\"record\":[\"{title}\"]}}"))
+        };
+        if let Ok((200, _, _)) = client.request_with_headers("POST", path, Some(&body)) {
+            completed += 1;
+        }
+    }
+    completed
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("invalid value `{text}` for {flag}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -8,6 +8,7 @@
 
 use multiem_embed::HashedLexicalEncoder;
 use multiem_online::SnapshotFormat;
+use multiem_serve::obs::Level;
 use multiem_serve::{FsyncPolicy, MatchServer, ServeConfig, StorageBackend};
 use std::path::PathBuf;
 
@@ -46,6 +47,21 @@ fn main() {
             "--queue-depth" => {
                 config.queue_depth = parse(&value("--queue-depth"), "--queue-depth");
             }
+            "--log-level" => {
+                config.obs.log_level =
+                    Level::parse(&value("--log-level")).unwrap_or_else(|e| fail(&e));
+            }
+            "--log-file" => config.obs.log_file = Some(PathBuf::from(value("--log-file"))),
+            "--access-log" => config.obs.access_log = Some(PathBuf::from(value("--access-log"))),
+            "--trace-sample-rate" => {
+                config.obs.trace_sample_rate =
+                    parse(&value("--trace-sample-rate"), "--trace-sample-rate");
+            }
+            "--slow-request-ms" => {
+                config.obs.slow_request_ms =
+                    parse(&value("--slow-request-ms"), "--slow-request-ms");
+            }
+            "--no-telemetry" => config.obs.telemetry = false,
             "--help" | "-h" => {
                 println!(
                     "multiem-serve: sharded entity-matching service\n\n\
@@ -64,7 +80,18 @@ fn main() {
                      \x20 --fsync POLICY     WAL fsync: never, interval or always\n\
                      \x20                    (default interval)\n\
                      \x20 --queue-depth N    per-shard ingest queue bound; full shards\n\
-                     \x20                    answer 429 + Retry-After (default 4096)"
+                     \x20                    answer 429 + Retry-After (default 4096)\n\
+                     \x20 --log-level LVL    structured-log level: error, warn, info\n\
+                     \x20                    or debug (default info)\n\
+                     \x20 --log-file PATH    write structured JSON logs to PATH\n\
+                     \x20                    instead of stderr\n\
+                     \x20 --access-log PATH  append one JSON access line per request\n\
+                     \x20 --trace-sample-rate R  emit the trace of every ~1/R-th\n\
+                     \x20                    request as a JSON line (0 disables)\n\
+                     \x20 --slow-request-ms N  force-emit traces of requests slower\n\
+                     \x20                    than N ms, sampled or not (0 disables)\n\
+                     \x20 --no-telemetry     disable histograms, traces and the\n\
+                     \x20                    access log (counters stay on)"
                 );
                 return;
             }
@@ -91,7 +118,7 @@ fn main() {
     );
     println!(
         "  POST /records  POST /match  POST /snapshot  POST /admin/shutdown  \
-         GET /stats  GET /healthz"
+         GET /stats  GET /healthz  GET /metrics"
     );
     if let Err(e) = server.run() {
         fail(&format!("server error: {e}"));

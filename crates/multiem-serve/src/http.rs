@@ -16,7 +16,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on accepted bodies (64 MiB) — a malformed or hostile
 /// `Content-Length` must not make the server allocate unbounded memory.
@@ -38,6 +38,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to close the connection after this exchange.
     pub close: bool,
+    /// Nanoseconds the parser spent assembling this request across however
+    /// many `try_next` calls it took (the trace's `parse` span).
+    pub parse_ns: u64,
 }
 
 /// Incremental HTTP/1.1 request parser: feed it whatever bytes the socket
@@ -57,6 +60,9 @@ pub struct RequestParser {
     /// How far `buf` has been scanned for the head terminator, so repeated
     /// `try_next` calls on a trickling connection stay O(new bytes).
     scanned: usize,
+    /// Parse time accumulated for the in-progress request (carried onto the
+    /// completed [`Request`] and reset).
+    parse_ns: u64,
 }
 
 impl RequestParser {
@@ -87,6 +93,25 @@ impl RequestParser {
     /// something that can never become a valid request (the connection
     /// should answer 400 and close).
     pub fn try_next(&mut self) -> io::Result<Option<Request>> {
+        let started = Instant::now();
+        let result = self.try_next_inner();
+        let spent = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        match result {
+            Ok(Some(mut request)) => {
+                request.parse_ns = self.parse_ns.saturating_add(spent);
+                self.parse_ns = 0;
+                Ok(Some(request))
+            }
+            other => {
+                // Incomplete request: bank the time spent scanning so the
+                // completed request's parse span covers every fragment.
+                self.parse_ns = self.parse_ns.saturating_add(spent);
+                other
+            }
+        }
+    }
+
+    fn try_next_inner(&mut self) -> io::Result<Option<Request>> {
         // 1. Find the blank line terminating the head.
         let Some(head_end) = self.find_head_end() else {
             if self.buf.len() > MAX_HEAD_BYTES {
@@ -159,6 +184,7 @@ impl RequestParser {
             path,
             body,
             close,
+            parse_ns: 0, // stamped by `try_next`
         }))
     }
 
@@ -215,10 +241,30 @@ pub fn render_response(
     close: bool,
     extra_headers: &[(&str, String)],
 ) -> Vec<u8> {
+    render_response_typed(
+        status,
+        reason,
+        "application/json",
+        body,
+        close,
+        extra_headers,
+    )
+}
+
+/// [`render_response`] with an explicit `Content-Type` (the `/metrics`
+/// endpoint serves Prometheus text exposition, not JSON).
+pub fn render_response_typed(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 128);
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -420,6 +466,8 @@ mod tests {
         let req = parser.try_next().unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, b"hello world");
+        // The parse span accumulated across every fragmented call.
+        assert!(req.parse_ns > 0);
         assert!(parser.is_empty());
 
         // Feed it again split exactly at the header terminator.

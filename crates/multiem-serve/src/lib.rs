@@ -43,7 +43,15 @@
 //! * `loadgen` (a `src/bin` tool) — a seeded mixed read/write load generator
 //!   (`--connections` keep-alive sockets, decoupled from in-flight request
 //!   concurrency) reporting p50/p99 latency and throughput, used by CI to
-//!   track the serving-path perf trajectory (`BENCH_serve.json`).
+//!   track the serving-path perf trajectory (`BENCH_serve.json`);
+//! * observability ([`obs`]) — a dependency-free metrics registry behind
+//!   `GET /metrics` (Prometheus text exposition; counters, gauges and
+//!   lock-free log-linear latency histograms), per-request span traces
+//!   (`--trace-sample-rate`, `--slow-request-ms`) whose stage durations sum
+//!   exactly to the access-log latency, and leveled JSON-lines structured
+//!   logging (`--log-level`, `--access-log`). Scraping never takes a shard
+//!   or WAL lock, and everything with measurable cost sits behind
+//!   `--no-telemetry` so CI can gate the overhead.
 //!
 //! ```no_run
 //! use multiem_embed::HashedLexicalEncoder;
@@ -64,11 +72,13 @@
 pub mod http;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod server;
 pub mod shard;
 pub mod wal;
 
 pub use net::Reactor;
+pub use obs::{ObsConfig, Telemetry};
 pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle, StorageBackend};
-pub use shard::{GlobalEntityId, ShardedEntityStore, ShardedStats};
-pub use wal::{FsyncPolicy, Wal, WalOp};
+pub use shard::{GlobalEntityId, MatchTiming, ShardedEntityStore, ShardedStats};
+pub use wal::{AppendTiming, FsyncPolicy, Wal, WalOp};

@@ -46,6 +46,7 @@
 //! do the loops exit. The server layer then flushes WALs and exits cleanly.
 
 use crate::http::{render_response, Request, RequestParser};
+use crate::obs::NetMetrics;
 use rayon::ThreadPool;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -74,9 +75,11 @@ const POLL_EMPTY: Duration = Duration::from_millis(50);
 /// Bytes read per `read` call on a ready connection.
 const READ_CHUNK: usize = 16 << 10;
 
-/// The worker-pool request handler: consumes a parsed request, returns the
-/// rendered response bytes and whether to close the connection afterwards.
-pub type Handler = dyn Fn(Request) -> (Vec<u8>, bool) + Send + Sync;
+/// The worker-pool request handler: consumes a parsed request plus the
+/// instant the I/O loop dispatched it (the difference to the handler's own
+/// entry time is the trace's `queue_wait` span), returns the rendered
+/// response bytes and whether to close the connection afterwards.
+pub type Handler = dyn Fn(Request, Instant) -> (Vec<u8>, bool) + Send + Sync;
 
 /// Inline fast-path handler, run on the I/O thread itself: return `Some`
 /// for requests that must stay responsive when every worker is busy
@@ -119,6 +122,7 @@ impl Reactor {
         handler: Arc<Handler>,
         fast: Arc<FastHandler>,
         shutdown: Arc<AtomicBool>,
+        net_metrics: NetMetrics,
     ) -> io::Result<Self> {
         let io_threads = io_threads.max(1);
         let mut senders = Vec::with_capacity(io_threads);
@@ -136,6 +140,7 @@ impl Reactor {
                 fast: Arc::clone(&fast),
                 shutdown: Arc::clone(&shutdown),
                 drain_deadline: None,
+                net_metrics: net_metrics.clone(),
             };
             senders.push(tx);
             loops.push(
@@ -229,6 +234,7 @@ struct EventLoop {
     fast: Arc<FastHandler>,
     shutdown: Arc<AtomicBool>,
     drain_deadline: Option<Instant>,
+    net_metrics: NetMetrics,
 }
 
 impl EventLoop {
@@ -273,6 +279,7 @@ impl EventLoop {
         // Shutdown: anything still open is past the drain deadline.
         for conn in self.conns.iter_mut().filter_map(Option::take) {
             let _ = conn.stream.shutdown(Shutdown::Both);
+            self.net_metrics.closed.inc();
         }
     }
 
@@ -296,6 +303,7 @@ impl EventLoop {
                 if self.shutdown.load(Ordering::SeqCst) {
                     return false; // refused at the door during drain
                 }
+                self.net_metrics.accepted.inc();
                 self.next_generation += 1;
                 let conn = Conn {
                     stream,
@@ -381,8 +389,9 @@ impl EventLoop {
                     let generation = conn.generation;
                     let tx = self.tx.clone();
                     let handler = Arc::clone(&self.handler);
+                    let dispatched = Instant::now();
                     self.pool.execute_then(
-                        move || handler(request),
+                        move || handler(request, dispatched),
                         move |(bytes, close)| {
                             // The loop may be gone past the drain deadline;
                             // nothing to do with the response then.
@@ -403,6 +412,7 @@ impl EventLoop {
     fn close(&mut self, slot: usize) {
         if let Some(conn) = self.conns[slot].take() {
             let _ = conn.stream.shutdown(Shutdown::Both);
+            self.net_metrics.closed.inc();
             self.free.push(slot);
         }
     }

@@ -1,0 +1,210 @@
+//! Leveled JSON-lines structured logging.
+//!
+//! A [`Logger`] writes one JSON object per line — `{"ts_ms": ..., "level":
+//! "warn", "event": "wal_torn_tail", ...fields}` — to stderr or a file,
+//! replacing the serving layer's historical bare `eprintln!` calls with
+//! machine-parseable output. Levels filter at the call site (one integer
+//! compare before any field is rendered), so `debug` events cost nothing at
+//! the default `info` level.
+//!
+//! The same type backs the access log (`--access-log PATH`): an access
+//! [`Logger`] is just a file-bound logger whose every line is an `access`
+//! event, one per request.
+
+use serde::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The server cannot do what was asked of it.
+    Error,
+    /// Something surprising that the server worked around.
+    Warn,
+    /// Lifecycle events: startup, checkpoints, shutdown, sampled traces.
+    Info,
+    /// Per-request detail (access lines on the main logger, stage dumps).
+    Debug,
+}
+
+impl Level {
+    /// Parse a `--log-level` CLI value.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error, warn, info or debug)"
+            )),
+        }
+    }
+
+    /// The level's lowercase name (as written into every line).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Where a logger writes.
+#[derive(Debug)]
+enum Sink {
+    Stderr,
+    File(BufWriter<File>),
+}
+
+/// A leveled JSON-lines logger. Cheap to share (`Arc`), cheap to skip
+/// (level check first), serialized line-at-a-time under a mutex so
+/// concurrent workers never interleave bytes.
+#[derive(Debug)]
+pub struct Logger {
+    level: Level,
+    sink: Mutex<Sink>,
+}
+
+impl Logger {
+    /// A logger writing to stderr at `level`.
+    pub fn stderr(level: Level) -> Self {
+        Self {
+            level,
+            sink: Mutex::new(Sink::Stderr),
+        }
+    }
+
+    /// A logger appending to the file at `path` at `level`.
+    pub fn file(level: Level, path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            level,
+            sink: Mutex::new(Sink::File(BufWriter::new(file))),
+        })
+    }
+
+    /// Whether `level` would be written (callers can skip building fields).
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level
+    }
+
+    /// Write one event line: `{"ts_ms":..., "level":..., "event":...,
+    /// ...fields}` (field order preserved). Silently drops lines below the
+    /// configured level and swallows I/O errors — logging must never take
+    /// the serving path down.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, Value)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 3);
+        entries.push(("ts_ms".into(), Value::UInt(now_ms())));
+        entries.push(("level".into(), Value::Str(level.name().into())));
+        entries.push(("event".into(), Value::Str(event.into())));
+        for (name, value) in fields {
+            entries.push(((*name).into(), value.clone()));
+        }
+        let line = serde_json::to_string(&Value::Map(entries)).unwrap_or_else(|_| "{}".into());
+        let mut sink = self.sink.lock().expect("log sink poisoned");
+        match &mut *sink {
+            Sink::Stderr => {
+                let stderr = io::stderr();
+                let mut out = stderr.lock();
+                let _ = writeln!(out, "{line}");
+            }
+            Sink::File(writer) => {
+                let _ = writeln!(writer, "{line}");
+                // One flush per line keeps `tail -f` live; lines are small
+                // and the page cache absorbs the write.
+                let _ = writer.flush();
+            }
+        }
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(Level::Error, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&str, Value)]) {
+        self.log(Level::Debug, event, fields);
+    }
+}
+
+/// Milliseconds since the Unix epoch.
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("warn"), Ok(Level::Warn));
+        assert!(Level::parse("verbose").is_err());
+        assert_eq!(Level::Debug.name(), "debug");
+    }
+
+    #[test]
+    fn file_logger_writes_parseable_json_lines_and_filters() {
+        let dir = std::env::temp_dir().join(format!("multiem-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.log");
+        let logger = Logger::file(Level::Info, &path).unwrap();
+        assert!(logger.enabled(Level::Warn));
+        assert!(!logger.enabled(Level::Debug));
+        logger.info(
+            "startup",
+            &[
+                ("shards", Value::UInt(4)),
+                ("addr", Value::Str("127.0.0.1:0".into())),
+            ],
+        );
+        logger.debug("dropped", &[]); // below level: never written
+        logger.warn("wal_torn_tail", &[("shard", Value::UInt(2))]);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "debug line must be filtered: {text}");
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        let field = |name: &str| {
+            first
+                .as_map()
+                .unwrap()
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("level"), Some(Value::Str("info".into())));
+        assert_eq!(field("event"), Some(Value::Str("startup".into())));
+        // The parser may hand integers back as Int or UInt; compare values.
+        assert_eq!(field("shards").and_then(|v| v.as_u64()), Some(4));
+        assert!(matches!(field("ts_ms").and_then(|v| v.as_u64()), Some(ms) if ms > 0));
+        assert!(lines[1].contains("\"event\":\"wal_torn_tail\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

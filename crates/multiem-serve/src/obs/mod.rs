@@ -1,0 +1,557 @@
+//! Dependency-free observability for the serving stack.
+//!
+//! Before this layer, the only latency numbers came from the load
+//! generator's client-side clock and the server's logging story was three
+//! bare `eprintln!` calls. This module gives the server the means to
+//! measure itself, cheaply enough to stay on by default:
+//!
+//! * [`registry`] — named counter/gauge/histogram families behind plain
+//!   atomics, rendered as Prometheus text exposition by `GET /metrics`.
+//!   Scraping takes only the registry's own mutex — never a shard or WAL
+//!   lock;
+//! * [`histogram`] — lock-free log-linear latency histograms, mergeable
+//!   across I/O loops and worker threads, quantile-queried with the same
+//!   nearest-rank rule as [`crate::metrics::percentile_ms`];
+//! * [`trace`] — per-request span stacks over the pipeline stages (parse →
+//!   queue-wait → fan-out → ANN search → rank-merge → WAL append → fsync →
+//!   apply → respond), sampled by `--trace-sample-rate` and force-emitted
+//!   past `--slow-request-ms`;
+//! * [`log`] — a leveled JSON-lines logger (`--log-level`, `--log-file`)
+//!   plus an optional per-request access log (`--access-log`).
+//!
+//! [`Telemetry`] bundles all four and lives in the server state. The
+//! always-on part (request counters) is a relaxed `fetch_add` per request;
+//! everything with measurable cost — histograms, traces, the access log —
+//! sits behind the `enabled` flag that `--no-telemetry` clears, which is
+//! what the CI overhead gate (`BENCH_obs.json`, ≤5%) compares against.
+
+pub mod histogram;
+pub mod log;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use log::{Level, Logger};
+pub use registry::{Counter, Gauge, Registry};
+pub use trace::{Stage, Trace, Tracer};
+
+use serde::Value;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The crate version baked into `/healthz` and `multiem_build_info`.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Observability configuration (the `--log-level` / `--access-log` /
+/// `--trace-sample-rate` / `--slow-request-ms` / `--no-telemetry` flags).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch for the measurable-cost telemetry (histograms, traces,
+    /// access log). `false` is `--no-telemetry`: counters stay on, the rest
+    /// is skipped — the baseline of the CI overhead gate.
+    pub telemetry: bool,
+    /// Minimum level the structured logger writes.
+    pub log_level: Level,
+    /// Structured-log destination (`None` = stderr).
+    pub log_file: Option<PathBuf>,
+    /// Access-log path; `None` disables per-request access lines.
+    pub access_log: Option<PathBuf>,
+    /// Fraction of requests whose traces are emitted (deterministic
+    /// every-Nth; `0.0` disables sampling).
+    pub trace_sample_rate: f64,
+    /// Force-emit the trace of any request at least this slow (`0`
+    /// disables the threshold).
+    pub slow_request_ms: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            telemetry: true,
+            log_level: Level::Info,
+            log_file: None,
+            access_log: None,
+            trace_sample_rate: 0.0,
+            slow_request_ms: 0,
+        }
+    }
+}
+
+/// Route classes the request metrics are labelled by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /records` (ingest).
+    Records,
+    /// `DELETE /records/{id}` and `POST /records/delete`.
+    RecordsDelete,
+    /// `POST /match`.
+    Match,
+    /// `POST /snapshot` (checkpoint).
+    Snapshot,
+    /// `POST /admin/shutdown`.
+    Shutdown,
+    /// Anything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    /// Number of endpoint classes.
+    pub const COUNT: usize = 9;
+
+    /// All endpoint classes, in label order.
+    pub const ALL: [Endpoint; Endpoint::COUNT] = [
+        Endpoint::Healthz,
+        Endpoint::Stats,
+        Endpoint::Metrics,
+        Endpoint::Records,
+        Endpoint::RecordsDelete,
+        Endpoint::Match,
+        Endpoint::Snapshot,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Records => "records",
+            Endpoint::RecordsDelete => "records_delete",
+            Endpoint::Match => "match",
+            Endpoint::Snapshot => "snapshot",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classify a request (mirrors the server's route table).
+    pub fn of(method: &str, path: &str) -> Endpoint {
+        match (method, path) {
+            ("GET", "/healthz") => Endpoint::Healthz,
+            ("GET", "/stats") => Endpoint::Stats,
+            ("GET", "/metrics") => Endpoint::Metrics,
+            ("POST", "/records") => Endpoint::Records,
+            ("POST", "/records/delete") => Endpoint::RecordsDelete,
+            ("DELETE", p) if p.starts_with("/records/") => Endpoint::RecordsDelete,
+            ("POST", "/match") => Endpoint::Match,
+            ("POST", "/snapshot") => Endpoint::Snapshot,
+            ("POST", "/admin/shutdown") => Endpoint::Shutdown,
+            _ => Endpoint::Other,
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// `status` label values, coarse classes (429 split out because it is the
+/// backpressure signal worth alerting on separately).
+const STATUS_CLASSES: [&str; 4] = ["2xx", "4xx", "429", "5xx"];
+
+/// Index into [`STATUS_CLASSES`] for an HTTP status code.
+fn status_class(status: u16) -> usize {
+    match status {
+        429 => 2,
+        400..=499 => 1,
+        500..=599 => 3,
+        _ => 0,
+    }
+}
+
+/// Every metric handle the serving layer records into, pre-registered with
+/// fixed labels so the hot path never allocates or hashes a label string.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// `multiem_requests_total{endpoint, status}` — one counter per pair.
+    requests: Vec<[Arc<Counter>; STATUS_CLASSES.len()]>,
+    /// Records accepted through `POST /records`.
+    pub ingested_records: Arc<Counter>,
+    /// Records deleted through the delete routes.
+    pub deleted_records: Arc<Counter>,
+    /// Records refused with a 429.
+    pub rejected_records: Arc<Counter>,
+    /// Bytes appended to WALs (frames, across shards).
+    pub wal_appended_bytes: Arc<Counter>,
+    /// WAL `fdatasync` calls.
+    pub wal_fsyncs: Arc<Counter>,
+    /// Checkpoints committed.
+    pub checkpoints: Arc<Counter>,
+    /// Connections the acceptor handed to the event loops.
+    pub connections_accepted: Arc<Counter>,
+    /// Connections the event loops closed.
+    pub connections_closed: Arc<Counter>,
+    /// End-to-end request latency histograms, one per endpoint.
+    request_duration: Vec<Arc<Histogram>>,
+    /// Per-stage latency histograms, one per [`Stage`].
+    stage_duration: Vec<Arc<Histogram>>,
+    /// Seconds since startup (refreshed at scrape time).
+    pub uptime_seconds: Arc<Gauge>,
+    /// Current WAL bytes across shards (refreshed at scrape time).
+    pub wal_bytes: Arc<Gauge>,
+    /// Checkpoint epoch from the manifest (refreshed at scrape time).
+    pub checkpoint_epoch: Arc<Gauge>,
+    /// Records admitted to ingest queues but not yet applied (scrape time).
+    pub queue_inflight: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    /// Register every family on `registry` and return the handles.
+    pub fn register(registry: &Registry) -> Self {
+        let requests = Endpoint::ALL
+            .iter()
+            .map(|endpoint| {
+                STATUS_CLASSES.map(|status| {
+                    registry.counter(
+                        "multiem_requests_total",
+                        "Requests served, by endpoint and status class.",
+                        &format!("endpoint=\"{}\",status=\"{status}\"", endpoint.name()),
+                    )
+                })
+            })
+            .collect();
+        let request_duration = Endpoint::ALL
+            .iter()
+            .map(|endpoint| {
+                registry.histogram(
+                    "multiem_request_duration_seconds",
+                    "End-to-end request latency (parse through response render).",
+                    &format!("endpoint=\"{}\"", endpoint.name()),
+                )
+            })
+            .collect();
+        let stage_duration = Stage::ALL
+            .iter()
+            .map(|stage| {
+                registry.histogram(
+                    "multiem_stage_duration_seconds",
+                    "Per-stage request latency (see the trace span schema).",
+                    &format!("stage=\"{}\"", stage.name()),
+                )
+            })
+            .collect();
+        let build = registry.gauge(
+            "multiem_build_info",
+            "Build metadata; the value is always 1.",
+            &format!("version=\"{BUILD_VERSION}\""),
+        );
+        build.set(1.0);
+        Self {
+            requests,
+            ingested_records: registry.counter(
+                "multiem_ingested_records_total",
+                "Records accepted through POST /records.",
+                "",
+            ),
+            deleted_records: registry.counter(
+                "multiem_deleted_records_total",
+                "Records deleted through the delete routes.",
+                "",
+            ),
+            rejected_records: registry.counter(
+                "multiem_rejected_records_total",
+                "Records refused with 429 (ingest backpressure).",
+                "",
+            ),
+            wal_appended_bytes: registry.counter(
+                "multiem_wal_appended_bytes_total",
+                "Bytes appended to write-ahead logs.",
+                "",
+            ),
+            wal_fsyncs: registry.counter("multiem_wal_fsyncs_total", "WAL fdatasync calls.", ""),
+            checkpoints: registry.counter(
+                "multiem_checkpoints_total",
+                "Checkpoints committed.",
+                "",
+            ),
+            connections_accepted: registry.counter(
+                "multiem_connections_accepted_total",
+                "Connections accepted.",
+                "",
+            ),
+            connections_closed: registry.counter(
+                "multiem_connections_closed_total",
+                "Connections closed.",
+                "",
+            ),
+            request_duration,
+            stage_duration,
+            uptime_seconds: registry.gauge(
+                "multiem_uptime_seconds",
+                "Seconds since server start.",
+                "",
+            ),
+            wal_bytes: registry.gauge("multiem_wal_bytes", "Current WAL size across shards.", ""),
+            checkpoint_epoch: registry.gauge(
+                "multiem_checkpoint_epoch",
+                "Monotonic checkpoint epoch (0 = never checkpointed).",
+                "",
+            ),
+            queue_inflight: registry.gauge(
+                "multiem_queue_inflight",
+                "Records admitted to ingest queues but not yet applied.",
+                "",
+            ),
+        }
+    }
+
+    /// Count one request outcome (always on — one relaxed add).
+    pub fn count_request(&self, endpoint: Endpoint, status: u16) {
+        self.requests[endpoint.index()][status_class(status)].inc();
+    }
+
+    /// Requests counted for `endpoint`, summed over status classes.
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()]
+            .iter()
+            .map(|c| c.get())
+            .sum()
+    }
+
+    /// The end-to-end latency histogram of `endpoint`.
+    pub fn duration(&self, endpoint: Endpoint) -> &Histogram {
+        &self.request_duration[endpoint.index()]
+    }
+
+    /// The latency histogram of `stage`.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stage_duration[stage as usize]
+    }
+}
+
+/// The counter pair the reactor's I/O threads record into (cheap `Clone` of
+/// two `Arc`s, handed to [`crate::net::Reactor::start`]).
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    /// Connections adopted by an event loop.
+    pub accepted: Arc<Counter>,
+    /// Connections closed by an event loop.
+    pub closed: Arc<Counter>,
+}
+
+impl NetMetrics {
+    /// Detached counters (for tests or reactors without a registry).
+    pub fn detached() -> Self {
+        Self {
+            accepted: Arc::new(Counter::default()),
+            closed: Arc::new(Counter::default()),
+        }
+    }
+}
+
+/// The server's observability bundle: registry + metric handles, structured
+/// logger, optional access logger, tracer, and the start instant behind
+/// `uptime_seconds`. See the [module docs](self).
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Whether measurable-cost telemetry (histograms, traces, access log)
+    /// records; counters run regardless.
+    pub enabled: bool,
+    /// The metric registry `GET /metrics` renders.
+    pub registry: Registry,
+    /// The structured logger (events, traces).
+    pub logger: Arc<Logger>,
+    /// Access logger, when `--access-log` is set.
+    pub access: Option<Logger>,
+    /// Request-id + sampling source.
+    pub tracer: Tracer,
+    /// All pre-registered metric handles.
+    pub metrics: ServeMetrics,
+    started: Instant,
+}
+
+impl Telemetry {
+    /// Build the bundle from `config` (opens log files eagerly so a bad
+    /// path fails startup, not the first request).
+    pub fn new(config: &ObsConfig) -> io::Result<Self> {
+        let registry = Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let logger = Arc::new(match &config.log_file {
+            Some(path) => Logger::file(config.log_level, path)?,
+            None => Logger::stderr(config.log_level),
+        });
+        let access = if config.telemetry {
+            config
+                .access_log
+                .as_ref()
+                .map(|path| Logger::file(Level::Info, path))
+                .transpose()?
+        } else {
+            None
+        };
+        Ok(Self {
+            enabled: config.telemetry,
+            registry,
+            logger,
+            access,
+            tracer: Tracer::new(config.trace_sample_rate, config.slow_request_ms),
+            metrics,
+            started: Instant::now(),
+        })
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The reactor's counter pair.
+    pub fn net_metrics(&self) -> NetMetrics {
+        NetMetrics {
+            accepted: Arc::clone(&self.metrics.connections_accepted),
+            closed: Arc::clone(&self.metrics.connections_closed),
+        }
+    }
+
+    /// Record one finished request: count it (always), then — telemetry
+    /// permitting — close the trace against `total_ns` (its spans then sum
+    /// to exactly the latency the access log reports), feed the end-to-end
+    /// and per-stage histograms, emit the trace if sampled or slow, and
+    /// write the access-log line.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_request(
+        &self,
+        method: &str,
+        path: &str,
+        endpoint: Endpoint,
+        status: u16,
+        bytes: u64,
+        total_ns: u64,
+        trace: &mut Trace,
+    ) {
+        self.metrics.count_request(endpoint, status);
+        if !self.enabled {
+            return;
+        }
+        trace.finish(total_ns);
+        self.metrics.duration(endpoint).record(total_ns);
+        for (stage, ns) in trace.spans() {
+            self.metrics.stage(stage).record(ns);
+        }
+        if self.tracer.should_emit(trace, total_ns) {
+            let slow = self.tracer.slow_ns() > 0 && total_ns >= self.tracer.slow_ns();
+            trace::emit(&self.logger, trace, method, path, status, total_ns, slow);
+        }
+        if let Some(access) = &self.access {
+            access.info(
+                "access",
+                &[
+                    ("request_id", Value::UInt(trace.id)),
+                    ("method", Value::Str(method.to_string())),
+                    ("path", Value::Str(path.to_string())),
+                    ("status", Value::UInt(u64::from(status))),
+                    ("bytes", Value::UInt(bytes)),
+                    ("latency_ns", Value::UInt(total_ns)),
+                    ("fan_out", Value::UInt(trace.fan_out_width())),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_classify_the_route_table() {
+        assert_eq!(Endpoint::of("GET", "/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of("GET", "/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of("POST", "/records"), Endpoint::Records);
+        assert_eq!(
+            Endpoint::of("POST", "/records/delete"),
+            Endpoint::RecordsDelete
+        );
+        assert_eq!(
+            Endpoint::of("DELETE", "/records/0-1-2"),
+            Endpoint::RecordsDelete
+        );
+        assert_eq!(Endpoint::of("POST", "/match"), Endpoint::Match);
+        assert_eq!(Endpoint::of("POST", "/snapshot"), Endpoint::Snapshot);
+        assert_eq!(Endpoint::of("POST", "/admin/shutdown"), Endpoint::Shutdown);
+        assert_eq!(Endpoint::of("GET", "/nope"), Endpoint::Other);
+        assert_eq!(Endpoint::of("PUT", "/records"), Endpoint::Other);
+    }
+
+    #[test]
+    fn status_classes_split_out_429() {
+        assert_eq!(STATUS_CLASSES[status_class(200)], "2xx");
+        assert_eq!(STATUS_CLASSES[status_class(404)], "4xx");
+        assert_eq!(STATUS_CLASSES[status_class(429)], "429");
+        assert_eq!(STATUS_CLASSES[status_class(500)], "5xx");
+    }
+
+    #[test]
+    fn finish_request_feeds_counters_histograms_and_respects_the_kill_switch() {
+        let on = Telemetry::new(&ObsConfig {
+            trace_sample_rate: 1.0,
+            ..ObsConfig::default()
+        })
+        .unwrap();
+        let mut trace = on.tracer.start();
+        trace.add(Stage::Parse, 1_000);
+        trace.add(Stage::AnnSearch, 5_000);
+        on.finish_request(
+            "POST",
+            "/match",
+            Endpoint::Match,
+            200,
+            64,
+            10_000,
+            &mut trace,
+        );
+        assert_eq!(on.metrics.requests_for(Endpoint::Match), 1);
+        assert_eq!(on.metrics.duration(Endpoint::Match).count(), 1);
+        assert_eq!(on.metrics.stage(Stage::AnnSearch).count(), 1);
+        // Respond picked up the residual: spans sum to the total latency.
+        assert_eq!(trace.get(Stage::Respond), 4_000);
+        assert_eq!(trace.total_ns(), 10_000);
+
+        let off = Telemetry::new(&ObsConfig {
+            telemetry: false,
+            ..ObsConfig::default()
+        })
+        .unwrap();
+        let mut trace = off.tracer.start();
+        trace.add(Stage::Parse, 1_000);
+        off.finish_request(
+            "POST",
+            "/match",
+            Endpoint::Match,
+            429,
+            64,
+            10_000,
+            &mut trace,
+        );
+        // Counters stay on; the histogram does not record.
+        assert_eq!(off.metrics.requests_for(Endpoint::Match), 1);
+        assert_eq!(off.metrics.duration(Endpoint::Match).count(), 0);
+        // The scrape still renders a complete exposition.
+        let text = off.registry.render();
+        assert!(text.contains("multiem_requests_total{endpoint=\"match\",status=\"429\"} 1"));
+        assert!(text.contains(&format!(
+            "multiem_build_info{{version=\"{BUILD_VERSION}\"}} 1"
+        )));
+    }
+
+    #[test]
+    fn uptime_moves_forward() {
+        let telemetry = Telemetry::new(&ObsConfig::default()).unwrap();
+        assert!(telemetry.uptime_seconds() >= 0.0);
+        telemetry
+            .metrics
+            .uptime_seconds
+            .set(telemetry.uptime_seconds());
+        assert!(telemetry.metrics.uptime_seconds.get() >= 0.0);
+    }
+}

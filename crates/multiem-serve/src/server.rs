@@ -14,6 +14,7 @@
 //! |------------------|----------------------------------------|--------|
 //! | `GET /healthz`   | —                                      | liveness probe (answered on the I/O thread, no shard locks) |
 //! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters (lock-free: shards a writer holds report their last published stats) |
+//! | `GET /metrics`   | —                                      | Prometheus text exposition: request/ingest/delete/429 counters, WAL byte/fsync counters, end-to-end + per-stage latency histograms, uptime/epoch/queue gauges (same lock-free discipline as `/stats`) |
 //! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + adaptive `Retry-After` (backlog / drain rate, clamped 1..=30) when a target shard's ingest queue is full |
 //! | `DELETE /records/{shard}-{source}-{row}` | —              | WAL-append + delete one record (404 for unknown/already-deleted ids) |
 //! | `POST /records/delete` | `{"ids": [[shard, source, row], ...]}` | batch deletion; per-id outcomes, unknown ids report `false` |
@@ -46,8 +47,9 @@
 //! torn manifest behind. The WAL's [`FsyncPolicy`] decides what a
 //! machine crash (as opposed to a process kill) can lose.
 
-use crate::http::{render_response, Request};
+use crate::http::{render_response, render_response_typed, Request};
 use crate::net::Reactor;
+use crate::obs::{Endpoint, Logger, ObsConfig, Stage, Telemetry, Trace, BUILD_VERSION};
 use crate::shard::ShardedEntityStore;
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 use multiem_embed::EmbeddingModel;
@@ -152,6 +154,9 @@ pub struct ServeConfig {
     /// /records` answers `429` with `Retry-After` when a target shard is
     /// full. `0` rejects every write (useful for drain/maintenance).
     pub queue_depth: u64,
+    /// Observability: metrics, tracing and structured logging (see
+    /// [`ObsConfig`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +177,7 @@ impl Default for ServeConfig {
             storage: StorageBackend::Memory,
             fsync: FsyncPolicy::default(),
             queue_depth: 4096,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -220,6 +226,10 @@ struct ServerState<E: EmbeddingModel> {
     snapshot_format: SnapshotFormat,
     attributes: Vec<String>,
     requests: AtomicU64,
+    /// Metrics registry + logger + tracer (`GET /metrics`, the access log,
+    /// sampled traces). Recording is atomics; scraping takes only the
+    /// registry's own mutex.
+    telemetry: Telemetry,
     /// Set to begin a graceful shutdown (shared with the reactor and the
     /// `POST /admin/shutdown` route).
     shutdown: Arc<AtomicBool>,
@@ -308,6 +318,10 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             ));
         }
         let schema = Schema::new(config.attributes.iter().map(String::as_str)).shared();
+        // Telemetry comes up first so restore/replay warnings already go
+        // through the structured logger (and a bad --log-file/--access-log
+        // path fails startup, not the first request).
+        let telemetry = Telemetry::new(&config.obs)?;
 
         // Resolve the storage backend into the per-shard store config (the
         // sharded store gives each shard its own segment subdirectory).
@@ -349,7 +363,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 let (store, checkpoint_epoch, epochs) =
-                    restore_or_create(&config, schema.clone(), dir, encoder)?;
+                    restore_or_create(&config, schema.clone(), dir, encoder, &telemetry.logger)?;
                 epoch = checkpoint_epoch;
                 shard_epochs = epochs;
                 replayed = vec![0u64; store.num_shards()];
@@ -361,7 +375,9 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                     let (log, recovery) =
                         Wal::open_with(&wal_path(dir, shard, epoch), config.fsync)?;
                     if recovery.torn_tail {
-                        eprintln!("[multiem-serve] truncated a torn WAL tail (shard {shard})");
+                        telemetry
+                            .logger
+                            .warn("wal_torn_tail", &[("shard", Value::UInt(shard as u64))]);
                     }
                     for op in recovery.ops {
                         match op {
@@ -431,6 +447,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 snapshot_format: config.snapshot_format,
                 attributes: config.attributes.clone(),
                 requests: AtomicU64::new(0),
+                telemetry,
                 shutdown: Arc::new(AtomicBool::new(false)),
                 addr: bound,
             }),
@@ -453,27 +470,72 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         let state = Arc::clone(&self.state);
         let shutdown = Arc::clone(&state.shutdown);
 
-        let handler_state = Arc::clone(&state);
-        let handler = Arc::new(move |request: Request| -> (Vec<u8>, bool) {
-            handler_state.requests.fetch_add(1, Ordering::Relaxed);
-            let close = request.close;
-            let response = route(&handler_state, &request);
-            (response.render(close), close)
-        });
+        state.telemetry.logger.info(
+            "startup",
+            &[
+                ("addr", Value::Str(state.addr.to_string())),
+                ("shards", Value::UInt(state.store.num_shards() as u64)),
+                ("durable", Value::Bool(state.wals.is_some())),
+                ("version", Value::Str(BUILD_VERSION.into())),
+            ],
+        );
 
-        // Liveness probes are answered inline on the I/O threads: they take
-        // no shard locks, so they stay green even when every worker is busy
-        // or a checkpoint holds the store.
+        let handler_state = Arc::clone(&state);
+        let handler = Arc::new(
+            move |request: Request, dispatched: Instant| -> (Vec<u8>, bool) {
+                let entered = Instant::now();
+                handler_state.requests.fetch_add(1, Ordering::Relaxed);
+                let mut trace = handler_state.telemetry.tracer.start();
+                trace.add(Stage::Parse, request.parse_ns);
+                let queue_ns = entered.saturating_duration_since(dispatched).as_nanos();
+                trace.add(Stage::QueueWait, queue_ns.min(u128::from(u64::MAX)) as u64);
+                let close = request.close;
+                let response = route(&handler_state, &request, &mut trace);
+                let status = response.status;
+                let bytes = response.render(close);
+                // End-to-end latency = parse + queue wait + worker execution
+                // (the same wall-clock sum the trace's spans decompose).
+                let executed = entered.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                let total_ns = request
+                    .parse_ns
+                    .saturating_add(trace.get(Stage::QueueWait))
+                    .saturating_add(executed);
+                handler_state.telemetry.finish_request(
+                    &request.method,
+                    &request.path,
+                    Endpoint::of(&request.method, &request.path),
+                    status,
+                    bytes.len() as u64,
+                    total_ns,
+                    &mut trace,
+                );
+                (bytes, close)
+            },
+        );
+
+        // Liveness probes and the metrics scrape are answered inline on the
+        // I/O threads: they take no shard or WAL locks, so they stay green
+        // even when every worker is busy or a checkpoint holds the store.
+        // Fast-path requests count toward `multiem_requests_total` but not
+        // the duration histograms — those cover exactly the worker path.
         let fast_state = Arc::clone(&state);
         let fast = Arc::new(move |request: &Request| -> Option<(Vec<u8>, bool)> {
-            let body = match (request.method.as_str(), request.path.as_str()) {
-                ("GET", "/healthz") => healthz(&fast_state),
-                ("GET", "/stats") => stats(&fast_state),
+            let (body, content_type) = match (request.method.as_str(), request.path.as_str()) {
+                ("GET", "/healthz") => (healthz(&fast_state), "application/json"),
+                ("GET", "/stats") => (stats(&fast_state), "application/json"),
+                ("GET", "/metrics") => (
+                    metrics_scrape(&fast_state),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                ),
                 _ => return None,
             };
             fast_state.requests.fetch_add(1, Ordering::Relaxed);
+            fast_state
+                .telemetry
+                .metrics
+                .count_request(Endpoint::of(&request.method, &request.path), 200);
             Some((
-                render_response(200, "OK", &body, request.close, &[]),
+                render_response_typed(200, "OK", content_type, &body, request.close, &[]),
                 request.close,
             ))
         });
@@ -485,6 +547,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             handler,
             fast,
             Arc::clone(&shutdown),
+            state.telemetry.net_metrics(),
         )?;
         // Blocks until shutdown is signalled and in-flight work drains.
         reactor.join();
@@ -528,6 +591,7 @@ fn restore_or_create<E: EmbeddingModel + Clone>(
     schema: Arc<Schema>,
     dir: &Path,
     encoder: E,
+    logger: &Logger,
 ) -> Result<(ShardedEntityStore<E>, u64, Vec<u64>), ServeError> {
     let manifest = manifest_path(dir);
     if !manifest.exists() {
@@ -560,9 +624,12 @@ fn restore_or_create<E: EmbeddingModel + Clone>(
         )));
     }
     if shards != config.shards {
-        eprintln!(
-            "[multiem-serve] checkpoint has {shards} shards; overriding configured {}",
-            config.shards
+        logger.warn(
+            "checkpoint_shard_override",
+            &[
+                ("checkpoint_shards", Value::UInt(shards as u64)),
+                ("configured_shards", Value::UInt(config.shards as u64)),
+            ],
         );
     }
     // Per-shard snapshot epochs (pre-delta manifests lack the field: every
@@ -624,14 +691,19 @@ impl Response {
     }
 }
 
-fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Response {
+fn route<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    request: &Request,
+    trace: &mut Trace,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        // The reactor normally intercepts these two on its inline fast
+        // The reactor normally intercepts these three on its inline fast
         // path (see `run`); the arms stay as the single source of the
         // route table in case the front-end wiring ever changes, and call
-        // the same `healthz` / `stats` renderers.
+        // the same renderers.
         ("GET", "/healthz") => Response::new(200, "OK", healthz(state)),
         ("GET", "/stats") => Response::new(200, "OK", stats(state)),
+        ("GET", "/metrics") => Response::new(200, "OK", metrics_scrape(state)),
         ("POST", "/admin/shutdown") => {
             // Begin the graceful drain: the reactor stops parsing new
             // requests, finishes in-flight ones (this response included),
@@ -648,7 +720,7 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
                 )])),
             )
         }
-        ("POST", "/records") => match ingest(state, &request.body) {
+        ("POST", "/records") => match ingest(state, &request.body, trace) {
             Ok(body) => Response::new(200, "OK", body),
             Err(IngestError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
             Err(IngestError::Overloaded {
@@ -668,7 +740,7 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
                 retry_after: Some(retry_after),
             },
         },
-        ("POST", "/records/delete") => match delete_batch(state, &request.body) {
+        ("POST", "/records/delete") => match delete_batch(state, &request.body, trace) {
             Ok(body) => Response::new(200, "OK", body),
             Err(DeleteError::Invalid(msg)) => Response::new(400, "Bad Request", error_body(&msg)),
             Err(DeleteError::Internal(msg)) => {
@@ -677,7 +749,7 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
         },
         ("DELETE", path) if path.starts_with("/records/") => {
             match parse_record_id(&path["/records/".len()..]) {
-                Some(id) => match delete_one(state, id) {
+                Some(id) => match delete_one(state, id, trace) {
                     Ok(true) => Response::new(
                         200,
                         "OK",
@@ -697,7 +769,7 @@ fn route<E: EmbeddingModel>(state: &ServerState<E>, request: &Request) -> Respon
                 ),
             }
         }
-        ("POST", "/match") => match match_one(state, &request.body) {
+        ("POST", "/match") => match match_one(state, &request.body, trace) {
             Ok(body) => Response::new(200, "OK", body),
             Err(msg) => Response::new(400, "Bad Request", error_body(&msg)),
         },
@@ -737,6 +809,7 @@ fn parse_record_id(text: &str) -> Option<crate::shard::GlobalEntityId> {
 fn delete_one<E: EmbeddingModel>(
     state: &ServerState<E>,
     id: crate::shard::GlobalEntityId,
+    trace: &mut Trace,
 ) -> Result<bool, String> {
     let shard = id.shard as usize;
     if shard >= state.store.num_shards() {
@@ -745,15 +818,44 @@ fn delete_one<E: EmbeddingModel>(
     let mut guard = state.store.write_shard(shard);
     if let Some(wals) = &state.wals {
         let mut wal = wals[shard].lock().expect("wal lock poisoned");
-        wal.append(&WalOp::Delete(id.entity))
+        let timing = wal
+            .append_timed(&WalOp::Delete(id.entity))
             .map_err(|e| format!("wal append failed: {e}"))?;
         state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
+        record_wal_timing(state, trace, &timing);
     }
+    let apply_started = Instant::now();
     let deleted = guard.delete_record(id.entity).map_err(|e| e.to_string())?;
+    trace.add(Stage::Apply, elapsed_ns(apply_started));
     if deleted {
         state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
+        state.telemetry.metrics.deleted_records.inc();
     }
     Ok(deleted)
+}
+
+/// Fold one WAL append's timing into the request trace and the WAL
+/// counters (`wal_append` excludes the fsync portion; `fsync` gets it).
+fn record_wal_timing<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    trace: &mut Trace,
+    timing: &crate::wal::AppendTiming,
+) {
+    trace.add(
+        Stage::WalAppend,
+        timing.total_ns.saturating_sub(timing.fsync_ns),
+    );
+    trace.add(Stage::Fsync, timing.fsync_ns);
+    let metrics = &state.telemetry.metrics;
+    metrics.wal_appended_bytes.add(timing.appended_bytes);
+    if timing.fsynced {
+        metrics.wal_fsyncs.inc();
+    }
+}
+
+/// Nanoseconds since `started`, saturated into a `u64`.
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 /// Why `POST /records/delete` failed.
@@ -772,6 +874,7 @@ enum DeleteError {
 fn delete_batch<E: EmbeddingModel>(
     state: &ServerState<E>,
     body: &[u8],
+    trace: &mut Trace,
 ) -> Result<String, DeleteError> {
     let value = parse_body(body).map_err(DeleteError::Invalid)?;
     let ids = field(&value, "ids")
@@ -802,7 +905,7 @@ fn delete_batch<E: EmbeddingModel>(
     let mut missing = 0u64;
     let mut results = Vec::with_capacity(parsed.len());
     for id in parsed {
-        let ok = delete_one(state, id).map_err(DeleteError::Internal)?;
+        let ok = delete_one(state, id, trace).map_err(DeleteError::Internal)?;
         if ok {
             deleted += 1;
         } else {
@@ -837,7 +940,43 @@ fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
                 .into(),
             ),
         ),
+        (
+            "uptime_seconds".into(),
+            Value::Float(state.telemetry.uptime_seconds()),
+        ),
+        ("version".into(), Value::Str(BUILD_VERSION.into())),
+        (
+            "checkpoint_epoch".into(),
+            Value::UInt(state.epoch.load(Ordering::SeqCst)),
+        ),
     ]))
+}
+
+/// Render `GET /metrics` (Prometheus text exposition). Runs on the I/O fast
+/// path under the same discipline as `/stats`: gauges refresh from published
+/// atomics and rendering takes only the registry's own mutex — **never** a
+/// shard write lock or a WAL lock, so scrapes stay green through
+/// checkpoints and write bursts.
+fn metrics_scrape<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let telemetry = &state.telemetry;
+    let metrics = &telemetry.metrics;
+    metrics.uptime_seconds.set(telemetry.uptime_seconds());
+    let wal_bytes: u64 = state
+        .wal_bytes
+        .iter()
+        .map(|bytes| bytes.load(Ordering::Relaxed))
+        .sum();
+    metrics.wal_bytes.set(wal_bytes as f64);
+    metrics
+        .checkpoint_epoch
+        .set(state.epoch.load(Ordering::SeqCst) as f64);
+    let inflight: u64 = state
+        .inflight
+        .iter()
+        .map(|n| n.load(Ordering::SeqCst))
+        .sum();
+    metrics.queue_inflight.set(inflight as f64);
+    telemetry.registry.render()
 }
 
 /// Render `/stats`. Runs on the I/O fast path, so it must never block on a
@@ -1027,7 +1166,11 @@ fn admit<'a, E: EmbeddingModel>(
     Ok(Admission::Admitted(slots))
 }
 
-fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, IngestError> {
+fn ingest<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    body: &[u8],
+    trace: &mut Trace,
+) -> Result<String, IngestError> {
     let value = parse_body(body).map_err(IngestError::Invalid)?;
     let records = field(&value, "records")
         .and_then(Value::as_seq)
@@ -1054,6 +1197,7 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
         Admission::Refused { shard } => {
             let rejected = parsed.len() as u64;
             state.rejected.fetch_add(rejected, Ordering::Relaxed);
+            state.telemetry.metrics.rejected_records.add(rejected);
             let rate = state.drain_windows[shard]
                 .lock()
                 .expect("drain window poisoned")
@@ -1074,14 +1218,19 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
         let mut guard = state.store.write_shard(shard);
         if let Some(wals) = &state.wals {
             let mut wal = wals[shard].lock().expect("wal lock poisoned");
-            wal.append(&WalOp::Insert(record.clone()))
+            let timing = wal
+                .append_timed(&WalOp::Insert(record.clone()))
                 .map_err(|e| IngestError::Invalid(format!("wal append failed: {e}")))?;
             state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
+            record_wal_timing(state, trace, &timing);
         }
+        let apply_started = Instant::now();
         let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
             .map_err(|e| IngestError::Invalid(e.to_string()))?;
+        trace.add(Stage::Apply, elapsed_ns(apply_started));
         state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
         state.drained[shard].fetch_add(1, Ordering::Relaxed);
+        state.telemetry.metrics.ingested_records.inc();
         drop(guard);
         results.push(Value::Map(vec![
             ("shard".into(), Value::UInt(u64::from(gid.shard))),
@@ -1096,7 +1245,11 @@ fn ingest<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<Stri
     ])))
 }
 
-fn match_one<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<String, String> {
+fn match_one<E: EmbeddingModel>(
+    state: &ServerState<E>,
+    body: &[u8],
+    trace: &mut Trace,
+) -> Result<String, String> {
     let value = parse_body(body)?;
     let record = field(&value, "record")
         .ok_or_else(|| "body must be {\"record\": [...]}".to_string())
@@ -1108,9 +1261,14 @@ fn match_one<E: EmbeddingModel>(state: &ServerState<E>, body: &[u8]) -> Result<S
             state.attributes.len()
         ));
     }
-    let matches: Vec<Value> = state
-        .store
-        .match_record(&record)
+    let (ranked, timing) = state.store.match_record_timed(&record);
+    // The fan-out's wall time decomposes into the slowest shard's search
+    // (the critical path), the merge, and scatter/gather coordination.
+    trace.add(Stage::AnnSearch, timing.ann_max_ns);
+    trace.add(Stage::RankMerge, timing.merge_ns);
+    trace.add(Stage::FanOut, timing.coordination_ns());
+    trace.set_fan_out_width(timing.fan_out);
+    let matches: Vec<Value> = ranked
         .into_iter()
         .map(|(gid, distance)| {
             Value::Map(vec![
@@ -1285,11 +1443,33 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         if let ShardGuard::Write(store) = guard {
             match store.gc_storage() {
                 Ok(deleted) => segments_deleted += deleted,
-                Err(e) => eprintln!("[multiem-serve] segment GC failed (shard {i}): {e}"),
+                Err(e) => state.telemetry.logger.error(
+                    "segment_gc_failed",
+                    &[
+                        ("shard", Value::UInt(i as u64)),
+                        ("error", Value::Str(e.to_string())),
+                    ],
+                ),
             }
         }
         state.store.publish_stats(i, guard.get());
     }
+
+    state.telemetry.metrics.checkpoints.inc();
+    state
+        .telemetry
+        .metrics
+        .checkpoint_epoch
+        .set(new_epoch as f64);
+    state.telemetry.logger.info(
+        "checkpoint",
+        &[
+            ("epoch", Value::UInt(new_epoch)),
+            ("snapshots_written", Value::UInt(snapshots_written)),
+            ("wal_bytes_truncated", Value::UInt(truncated)),
+            ("segments_deleted", Value::UInt(segments_deleted)),
+        ],
+    );
 
     Ok(render(Value::Map(vec![
         ("checkpointed".into(), Value::Bool(true)),

@@ -33,6 +33,38 @@ use multiem_table::{EntityId, Record, Schema};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+/// Where the wall time of one [`ShardedEntityStore::match_record_timed`]
+/// fan-out went, in nanoseconds (feeds the request trace's `fan_out` /
+/// `ann_search` / `rank_merge` spans).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchTiming {
+    /// Wall time of the whole fan-out + merge section.
+    pub wall_ns: u64,
+    /// The slowest single shard's in-shard search time — the parallel
+    /// section's critical path.
+    pub ann_max_ns: u64,
+    /// Merging per-shard candidates into the global top-K.
+    pub merge_ns: u64,
+    /// Shards queried.
+    pub fan_out: u64,
+}
+
+impl MatchTiming {
+    /// Scatter/gather overhead beyond the slowest shard's own search and the
+    /// merge: `wall - ann_max - merge`, clamped at zero.
+    pub fn coordination_ns(&self) -> u64 {
+        self.wall_ns
+            .saturating_sub(self.ann_max_ns)
+            .saturating_sub(self.merge_ns)
+    }
+}
+
+/// Nanoseconds since `started`, saturated into a `u64`.
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 /// A cluster handle that is unique across the whole sharded store: the shard
 /// index plus the shard-local [`EntityId`].
@@ -261,20 +293,33 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
     /// by the paper's mutual top-K rule and threshold `m` inside its shard)
     /// into one globally ranked top-K.
     pub fn match_record(&self, record: &Record) -> Vec<(GlobalEntityId, f32)> {
+        self.match_record_timed(record).0
+    }
+
+    /// [`ShardedEntityStore::match_record`] plus a [`MatchTiming`] breakdown
+    /// of where the fan-out's wall time went (each shard times its own
+    /// search, so the critical path — the slowest shard — is separable from
+    /// scatter/gather overhead and the final merge).
+    pub fn match_record_timed(&self, record: &Record) -> (Vec<(GlobalEntityId, f32)>, MatchTiming) {
+        let section = Instant::now();
+        let mut ann_max = 0u64;
         let per_shard: Vec<Vec<(GlobalEntityId, f32)>> = self
             .shards
             .par_iter()
             .map(|shard| {
-                shard
+                let started = Instant::now();
+                let hits = shard
                     .store
                     .read()
                     .expect("shard lock poisoned")
-                    .match_record(record)
+                    .match_record(record);
+                (hits, elapsed_ns(started))
             })
-            .collect::<Vec<Vec<(EntityId, f32)>>>()
+            .collect::<Vec<(Vec<(EntityId, f32)>, u64)>>()
             .into_iter()
             .enumerate()
-            .map(|(shard, hits)| {
+            .map(|(shard, (hits, shard_ns))| {
+                ann_max = ann_max.max(shard_ns);
                 hits.into_iter()
                     .map(|(entity, distance)| {
                         (
@@ -288,7 +333,15 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
                     .collect()
             })
             .collect();
-        merge_ranked(&per_shard, self.k)
+        let merge_started = Instant::now();
+        let ranked = merge_ranked(&per_shard, self.k);
+        let timing = MatchTiming {
+            wall_ns: elapsed_ns(section),
+            ann_max_ns: ann_max,
+            merge_ns: elapsed_ns(merge_started),
+            fan_out: self.shards.len() as u64,
+        };
+        (ranked, timing)
     }
 
     /// Members of the cluster containing `id`, or `None` for unknown ids.

@@ -88,6 +88,24 @@ impl WalOp {
     }
 }
 
+/// Where one [`Wal::append_timed`] call's time and bytes went.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendTiming {
+    /// Frame bytes (header + payload) this append added to the log.
+    pub appended_bytes: u64,
+    /// Whether the append fsynced (policy-dependent).
+    pub fsynced: bool,
+    /// Time inside `fdatasync` (0 when not fsynced).
+    pub fsync_ns: u64,
+    /// Whole append wall time, fsync included.
+    pub total_ns: u64,
+}
+
+/// Nanoseconds since `started`, saturated into a `u64`.
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// Outcome of opening a WAL file.
 #[derive(Debug)]
 pub struct WalRecovery {
@@ -162,22 +180,38 @@ impl Wal {
     /// kill; the configured [`FsyncPolicy`] decides whether (and how often)
     /// the append is additionally fsynced for machine-crash durability.
     pub fn append(&mut self, op: &WalOp) -> io::Result<()> {
+        self.append_timed(op).map(|_| ())
+    }
+
+    /// [`Wal::append`] plus an [`AppendTiming`] breakdown (the request
+    /// trace's `wal_append` and `fsync` spans, and the WAL byte/fsync
+    /// counters on `/metrics`).
+    pub fn append_timed(&mut self, op: &WalOp) -> io::Result<AppendTiming> {
+        let started = Instant::now();
         let payload = op.to_bytes();
         let mut writer = BufWriter::new(&mut self.file);
         wire::write_frame(&mut writer, &payload)?;
         writer.flush()?;
         drop(writer);
-        self.bytes += (wire::FRAME_HEADER_BYTES + payload.len()) as u64;
-        match self.fsync {
-            FsyncPolicy::Never => {}
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::Interval(interval) => {
-                if self.last_sync.elapsed() >= interval {
-                    self.sync()?;
-                }
-            }
+        let appended_bytes = (wire::FRAME_HEADER_BYTES + payload.len()) as u64;
+        self.bytes += appended_bytes;
+        let due = match self.fsync {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval(interval) => self.last_sync.elapsed() >= interval,
+        };
+        let mut fsync_ns = 0u64;
+        if due {
+            let sync_started = Instant::now();
+            self.sync()?;
+            fsync_ns = elapsed_ns(sync_started);
         }
-        Ok(())
+        Ok(AppendTiming {
+            appended_bytes,
+            fsynced: due,
+            fsync_ns,
+            total_ns: elapsed_ns(started),
+        })
     }
 
     /// Force an fsync now (checkpoints call this before snapshotting so the

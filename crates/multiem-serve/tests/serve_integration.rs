@@ -1187,6 +1187,310 @@ fn concurrent_writers_and_readers_lose_nothing() {
     }
 }
 
+// --------------------------------------------------------------------------
+// Observability: /metrics exposition, request counters, sampled traces,
+// access log, healthz build info, scrape-under-load
+// --------------------------------------------------------------------------
+
+fn get_metrics(client: &mut HttpClient) -> String {
+    let (status, headers, body) = client
+        .request_with_headers("GET", "/metrics", None)
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        headers
+            .iter()
+            .any(|(name, value)| name == "content-type" && value.starts_with("text/plain")),
+        "metrics must use the text exposition content type: {headers:?}"
+    );
+    body
+}
+
+/// The value of the first sample line starting with `prefix` (counters and
+/// gauges render as plain numbers at end of line).
+fn sample(body: &str, prefix: &str) -> f64 {
+    body.lines()
+        .find(|line| line.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no sample starts with {prefix}:\n{body}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric sample value")
+}
+
+#[test]
+fn metrics_endpoint_counts_requests_and_exports_histograms() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    for i in 0..3 {
+        post_records(&mut client, &[&format!("metrics item {i}")]);
+    }
+    match_title(&mut client, "metrics item 0");
+    match_title(&mut client, "metrics item 1");
+    let (status, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client.request("GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+
+    let body = get_metrics(&mut client);
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_requests_total{endpoint=\"records\",status=\"2xx\"}"
+        ),
+        3.0
+    );
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_requests_total{endpoint=\"match\",status=\"2xx\"}"
+        ),
+        2.0
+    );
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_requests_total{endpoint=\"healthz\",status=\"2xx\"}"
+        ),
+        1.0
+    );
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_requests_total{endpoint=\"other\",status=\"4xx\"}"
+        ),
+        1.0
+    );
+    // Worker-path latencies land in per-endpoint histograms.
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_request_duration_seconds_count{endpoint=\"match\"}"
+        ),
+        2.0
+    );
+    assert!(
+        sample(
+            &body,
+            "multiem_request_duration_seconds_sum{endpoint=\"records\"}"
+        ) > 0.0
+    );
+    // Per-stage histograms saw the search pipeline.
+    assert!(
+        sample(
+            &body,
+            "multiem_stage_duration_seconds_count{stage=\"ann_search\"}"
+        ) >= 2.0
+    );
+    // Ingest/domain counters and build info are exported too.
+    assert_eq!(sample(&body, "multiem_ingested_records_total"), 3.0);
+    assert_eq!(
+        sample(
+            &body,
+            &format!(
+                "multiem_build_info{{version=\"{}\"}}",
+                env!("CARGO_PKG_VERSION")
+            )
+        ),
+        1.0
+    );
+    assert!(sample(&body, "multiem_uptime_seconds") >= 0.0);
+    assert!(sample(&body, "multiem_connections_accepted_total") >= 1.0);
+
+    // The scrape itself is counted like any other request.
+    let second = get_metrics(&mut client);
+    assert!(
+        sample(
+            &second,
+            "multiem_requests_total{endpoint=\"metrics\",status=\"2xx\"}"
+        ) >= 1.0
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn no_telemetry_keeps_counters_but_drops_histograms() {
+    let mut config = ServeConfig::default();
+    config.obs.telemetry = false;
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    post_records(&mut client, &["kill switch item a"]);
+    post_records(&mut client, &["kill switch item b"]);
+    let body = get_metrics(&mut client);
+    // Counters are always on...
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_requests_total{endpoint=\"records\",status=\"2xx\"}"
+        ),
+        2.0
+    );
+    // ...but nothing with measurable cost recorded.
+    assert_eq!(
+        sample(
+            &body,
+            "multiem_request_duration_seconds_count{endpoint=\"records\"}"
+        ),
+        0.0
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sampled_match_trace_sums_exactly_to_access_log_latency() {
+    let dir = temp_dir("obs-trace");
+    let log_path = dir.join("server.log");
+    let access_path = dir.join("access.log");
+    let mut config = ServeConfig::default();
+    config.obs.trace_sample_rate = 1.0;
+    config.obs.log_file = Some(log_path.clone());
+    config.obs.access_log = Some(access_path.clone());
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    post_records(
+        &mut client,
+        &["golden heart river", "makita drill 18v", "dyson v11 vacuum"],
+    );
+    match_title(&mut client, "golden heart river live");
+    handle.shutdown();
+
+    let field = |value: &serde::Value, name: &str| -> Option<serde::Value> {
+        value
+            .as_map()?
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, v)| v.clone())
+    };
+    let lines_of = |path: &std::path::Path| -> Vec<serde::Value> {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("log line is JSON"))
+            .collect()
+    };
+
+    // Every request was sampled; find the /match trace.
+    let traces: Vec<serde::Value> = lines_of(&log_path)
+        .into_iter()
+        .filter(|v| {
+            field(v, "event").and_then(|e| e.as_str().map(String::from))
+                == Some("trace".to_string())
+                && field(v, "path").and_then(|p| p.as_str().map(String::from))
+                    == Some("/match".to_string())
+        })
+        .collect();
+    assert_eq!(traces.len(), 1, "exactly one /match request was made");
+    let trace = &traces[0];
+    let total_ns = field(trace, "total_ns").and_then(|v| v.as_u64()).unwrap();
+    let spans = field(trace, "spans").expect("trace has spans");
+    let spans = spans.as_map().expect("spans is a map");
+    // The pipeline stages are visible by name...
+    let span_names: Vec<&str> = spans.iter().map(|(k, _)| k.as_str()).collect();
+    for required in ["parse_ns", "ann_search_ns", "respond_ns"] {
+        assert!(
+            span_names.contains(&required),
+            "trace lacks {required}: {span_names:?}"
+        );
+    }
+    // ...the search fanned out over every shard...
+    assert_eq!(field(trace, "fan_out").and_then(|v| v.as_u64()), Some(4));
+    // ...and the stage durations sum EXACTLY to the request latency (the
+    // acceptance bar is within 10%; respond is defined as the residual).
+    let span_sum: u64 = spans.iter().filter_map(|(_, v)| v.as_u64()).sum();
+    assert_eq!(span_sum, total_ns, "spans must sum to total_ns: {trace:?}");
+
+    // The access log carries the same request with the same latency.
+    let request_id = field(trace, "request_id").and_then(|v| v.as_u64()).unwrap();
+    let access_lines = lines_of(&access_path);
+    let access = access_lines
+        .iter()
+        .find(|v| field(v, "request_id").and_then(|id| id.as_u64()) == Some(request_id))
+        .expect("access log has the /match request");
+    assert_eq!(
+        field(access, "latency_ns").and_then(|v| v.as_u64()),
+        Some(total_ns),
+        "access latency must equal the traced total"
+    );
+    assert_eq!(field(access, "status").and_then(|v| v.as_u64()), Some(200));
+    // One access line per worker request: the ingest batch and the match.
+    assert_eq!(access_lines.len(), 2, "one access line per worker request");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healthz_and_metrics_expose_uptime_version_and_checkpoint_epoch() {
+    let dir = temp_dir("obs-healthz");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    let (status, body) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"uptime_seconds\":"), "{body}");
+    assert!(
+        body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+        "{body}"
+    );
+    assert!(body.contains("\"checkpoint_epoch\":0"), "{body}");
+
+    post_records(&mut client, &["golden heart river"]);
+    let (status, _) = client.request("POST", "/snapshot", None).unwrap();
+    assert_eq!(status, 200);
+
+    let (_, body) = client.request("GET", "/healthz", None).unwrap();
+    assert!(body.contains("\"checkpoint_epoch\":1"), "{body}");
+    let metrics = get_metrics(&mut client);
+    assert_eq!(sample(&metrics, "multiem_checkpoint_epoch"), 1.0);
+    assert_eq!(sample(&metrics, "multiem_checkpoints_total"), 1.0);
+    assert!(sample(&metrics, "multiem_wal_appended_bytes_total") > 0.0);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_scrape_stays_responsive_under_write_load() {
+    // The scrape path must never wait on shard or WAL locks: while writers
+    // hold them continuously, repeated scrapes (served on the I/O fast
+    // path) all answer promptly.
+    let (handle, addr) = spawn_server(ServeConfig {
+        shards: 2,
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    std::thread::scope(|scope| {
+        let writer_addr = addr.clone();
+        scope.spawn(move || {
+            let mut client = HttpClient::connect(&writer_addr).unwrap();
+            for i in 0..60 {
+                let body = format!("{{\"records\":[[\"load item {i}\"]]}}");
+                let (status, _) = client.request("POST", "/records", Some(&body)).unwrap();
+                assert_eq!(status, 200);
+            }
+        });
+        let mut client = HttpClient::connect(&addr).unwrap();
+        for _ in 0..20 {
+            let body = get_metrics(&mut client);
+            assert!(body.contains("multiem_requests_total"));
+        }
+    });
+
+    let body = {
+        let mut client = HttpClient::connect(&addr).unwrap();
+        get_metrics(&mut client)
+    };
+    assert_eq!(sample(&body, "multiem_ingested_records_total"), 60.0);
+    handle.shutdown();
+}
+
 #[test]
 fn concurrent_http_clients_see_zero_errors() {
     let (handle, addr) = spawn_server(ServeConfig {
