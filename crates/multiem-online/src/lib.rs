@@ -66,7 +66,7 @@ pub mod wire;
 
 pub use config::{DiskStorageConfig, OnlineConfig, SelectionStrategy, StorageConfig};
 pub use error::OnlineError;
-pub use storage::{CompactionReport, RecordStore, StorageStats};
+pub use storage::{CompactionReport, RecordStore, SegmentStats, StorageStats};
 pub use store::{EntityStore, IngestReport, StoreStats};
 pub use wire::SnapshotFormat;
 

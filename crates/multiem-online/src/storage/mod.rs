@@ -80,6 +80,26 @@ pub struct StorageStats {
     pub cache_misses: u64,
 }
 
+/// Health of one sealed segment file (the per-segment rows of the serving
+/// layer's `/debug/storage` surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SegmentStats {
+    /// Frames in the file (live records at seal time).
+    pub records: usize,
+    /// Frames tombstoned since the file was sealed.
+    pub dead: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+impl SegmentStats {
+    /// Fraction of the file's frames still live (compaction triggers once
+    /// this falls to the configured threshold).
+    pub fn live_ratio(&self) -> f64 {
+        (self.records - self.dead) as f64 / self.records.max(1) as f64
+    }
+}
+
 /// Outcome of one [`RecordStore::compact`] pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CompactionReport {
@@ -178,6 +198,12 @@ pub trait RecordStore {
 
     /// Storage counters.
     fn stats(&self) -> StorageStats;
+
+    /// Per-segment health, in segment order (empty for backends without
+    /// segment files — the memory backend keeps the default).
+    fn segment_stats(&self) -> Vec<SegmentStats> {
+        Vec::new()
+    }
 }
 
 /// The concrete storage backends, selected by
@@ -278,6 +304,10 @@ impl RecordStore for RecordStorage {
 
     fn stats(&self) -> StorageStats {
         delegate!(self, s => s.stats())
+    }
+
+    fn segment_stats(&self) -> Vec<SegmentStats> {
+        delegate!(self, s => s.segment_stats())
     }
 }
 

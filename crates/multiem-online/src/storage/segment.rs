@@ -43,7 +43,9 @@
 //! One live writer per directory — concurrent writers would race on
 //! segment file names.
 
-use super::{record_heap_bytes, CompactionReport, RecordIter, RecordStore, StorageStats};
+use super::{
+    record_heap_bytes, CompactionReport, RecordIter, RecordStore, SegmentStats, StorageStats,
+};
 use crate::config::DiskStorageConfig;
 use crate::error::OnlineError;
 use crate::wire::{self, Frame};
@@ -887,5 +889,16 @@ impl RecordStore for SegmentRecordStore {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
         }
+    }
+
+    fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.segments
+            .iter()
+            .map(|meta| SegmentStats {
+                records: meta.records,
+                dead: meta.dead,
+                bytes: meta.bytes,
+            })
+            .collect()
     }
 }

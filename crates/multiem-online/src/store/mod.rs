@@ -35,7 +35,7 @@
 
 use crate::config::{OnlineConfig, SelectionStrategy};
 use crate::error::OnlineError;
-use crate::storage::{CompactionReport, RecordStorage, RecordStore, StorageStats};
+use crate::storage::{CompactionReport, RecordStorage, RecordStore, SegmentStats, StorageStats};
 use crate::wire::{self, SnapshotFormat};
 use crate::Result;
 use multiem_ann::{BruteForceIndex, DynamicVectorIndex, HnswIndex, Neighbor, VectorIndex};
@@ -287,6 +287,12 @@ impl<E: EmbeddingModel> EntityStore<E> {
     /// they reset on restore and differ between otherwise identical stores.
     pub fn storage_stats(&self) -> StorageStats {
         self.state.records.stats()
+    }
+
+    /// Per-segment health of the record-storage backend, in segment order
+    /// (empty for the memory backend).
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.state.records.segment_stats()
     }
 
     /// Persist buffered storage state: a disk-backed store seals its

@@ -7,7 +7,9 @@
 //! not an error: the client honours the server's `Retry-After` (capped at 2s
 //! per wait) and retries a bounded number of times. Without `--addr` it
 //! spins up an embedded in-memory server so the run is fully self-contained
-//! (what CI does).
+//! (what CI does). Fresh titles skew ~30% of the traffic onto one brand, so
+//! embedded `--scrape-metrics` runs can also assert the server's windowed
+//! heavy-hitter sketch (`GET /debug/top`) names the true hottest source.
 //!
 //! `--connections` opens more keep-alive sockets than there are in-flight
 //! requests (`--clients` drives concurrency; each client thread rotates its
@@ -157,7 +159,9 @@ fn main() {
                      \x20 --scrape-metrics    fetch GET /metrics after the run and print\n\
                      \x20                     the server-side p50/p99 next to the client's\n\
                      \x20                     (embedded runs also cross-check the request\n\
-                     \x20                     counters against what this tool issued)\n\
+                     \x20                     counters against what this tool issued and\n\
+                     \x20                     assert /debug/top names the skewed hottest\n\
+                     \x20                     ingest source)\n\
                      \x20 --smoke             small CI-sized run (4 clients, 240 requests,\n\
                      \x20                     32 connections over 4 workers)"
                 );
@@ -362,6 +366,28 @@ fn main() {
                 std::process::exit(1);
             }
             println!("  server counters match: {issued} issued == {issued} counted");
+            // The workload skews ~30% of fresh titles onto BRANDS[0], so
+            // the windowed heavy-hitter sketch must name it the hottest
+            // ingest source of the current window.
+            match hottest_source(&addr) {
+                Ok(Some(key)) if key == BRANDS[0] => {
+                    println!("  hottest source agrees: /debug/top reports `{key}`");
+                }
+                Ok(Some(key)) => {
+                    eprintln!(
+                        "error: /debug/top reports hottest source `{key}`, expected `{}`",
+                        BRANDS[0]
+                    );
+                    std::process::exit(1);
+                }
+                Ok(None) => {
+                    println!("  /debug/top: analytics disabled; skipping hottest-source check");
+                }
+                Err(e) => {
+                    eprintln!("error: GET /debug/top: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
     println!("{report}");
@@ -502,6 +528,36 @@ fn merged_quantile_ms(merged: &BTreeMap<u64, u64>, q: f64) -> f64 {
         .map_or(0.0, |le| le * 1000.0)
 }
 
+/// The hottest current-window ingest source from `GET /debug/top`, or
+/// `None` when the analytics layer is disabled on the server.
+fn hottest_source(addr: &str) -> Result<Option<String>, String> {
+    fn field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+        value
+            .as_map()?
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, v)| v)
+    }
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let (status, body) = client
+        .request("GET", "/debug/top", None)
+        .map_err(|e| format!("request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("answered {status}"));
+    }
+    let value: serde::Value = serde_json::from_str(&body).map_err(|e| format!("bad JSON: {e}"))?;
+    if !matches!(field(&value, "enabled"), Some(serde::Value::Bool(true))) {
+        return Ok(None);
+    }
+    Ok(field(&value, "sources")
+        .and_then(|section| field(section, "current"))
+        .and_then(serde::Value::as_seq)
+        .and_then(|hitters| hitters.first())
+        .and_then(|hitter| field(hitter, "key"))
+        .and_then(serde::Value::as_str)
+        .map(str::to_string))
+}
+
 /// True when `a` and `b` disagree by more than 2x (both must be measured).
 fn diverges_2x(a: f64, b: f64) -> bool {
     a > 0.0 && b > 0.0 && (a.max(b) / a.min(b)) > 2.0
@@ -551,9 +607,19 @@ fn run_client(
                 let base = &written[rng.gen_range(0..written.len())];
                 format!("{base}{}", VARIANTS[rng.gen_range(0..VARIANTS.len())])
             } else {
+                // Brand popularity is deliberately skewed: ~30% of fresh
+                // titles lead with BRANDS[0], the rest pick uniformly. That
+                // gives the server's heavy-hitter sketch a true hottest
+                // source to find (embedded --scrape-metrics runs assert
+                // /debug/top agrees).
+                let brand = if rng.gen_bool(0.3) {
+                    BRANDS[0]
+                } else {
+                    BRANDS[rng.gen_range(0..BRANDS.len())]
+                };
                 format!(
                     "{} {} {}",
-                    BRANDS[rng.gen_range(0..BRANDS.len())],
+                    brand,
                     PRODUCTS[rng.gen_range(0..PRODUCTS.len())],
                     rng.gen_range(0..10_000u32)
                 )

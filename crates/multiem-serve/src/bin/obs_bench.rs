@@ -1,7 +1,9 @@
 //! Telemetry-overhead gate: prove observability is cheap enough to leave on.
 //!
 //! Runs the same seeded mixed workload twice — against an embedded server
-//! with full telemetry (histograms, per-stage spans, sampled traces) and
+//! with full telemetry (histograms, per-stage spans, sampled traces, and
+//! the workload-analytics layer: rolling windows, top-K sketches,
+//! slow-request exemplars) and
 //! against one started with the `--no-telemetry` kill switch — interleaving
 //! best-of-N trials so machine noise hits both modes evenly, then reports
 //! the throughput cost of telemetry as a percentage. CI runs this with
@@ -155,8 +157,14 @@ fn run_trial(opts: &Options, telemetry: bool, trial: usize) -> f64 {
     };
     config.obs.telemetry = telemetry;
     if telemetry {
-        // Realistic "on" shape: sample some traces too, not just histograms.
+        // Realistic "on" shape: sample some traces too, not just histograms,
+        // and run the full analytics layer (rolling windows, heavy-hitter
+        // sketches, slow-request exemplars) at its default settings — the
+        // gate covers everything `--no-telemetry` turns off.
         config.obs.trace_sample_rate = 0.01;
+        config.obs.window_secs = 60;
+        config.obs.topk = 16;
+        config.obs.exemplars = 8;
     }
     // Keep trace/log output off the bench's stderr.
     config.obs.log_level = multiem_serve::obs::Level::Error;

@@ -62,6 +62,27 @@ fn main() {
                     parse(&value("--slow-request-ms"), "--slow-request-ms");
             }
             "--no-telemetry" => config.obs.telemetry = false,
+            "--window-secs" => {
+                config.obs.window_secs = parse(&value("--window-secs"), "--window-secs");
+            }
+            "--topk" => config.obs.topk = parse(&value("--topk"), "--topk"),
+            "--exemplars" => config.obs.exemplars = parse(&value("--exemplars"), "--exemplars"),
+            "--ready-max-backlog" => {
+                config.obs.ready_max_backlog =
+                    parse(&value("--ready-max-backlog"), "--ready-max-backlog");
+            }
+            "--ready-max-fsync-ms" => {
+                config.obs.ready_max_fsync_ms =
+                    parse(&value("--ready-max-fsync-ms"), "--ready-max-fsync-ms");
+            }
+            "--log-rotate-bytes" => {
+                config.obs.log_rotate_bytes =
+                    parse(&value("--log-rotate-bytes"), "--log-rotate-bytes");
+            }
+            "--log-rotate-keep" => {
+                config.obs.log_rotate_keep =
+                    parse(&value("--log-rotate-keep"), "--log-rotate-keep");
+            }
             "--help" | "-h" => {
                 println!(
                     "multiem-serve: sharded entity-matching service\n\n\
@@ -91,7 +112,21 @@ fn main() {
                      \x20 --slow-request-ms N  force-emit traces of requests slower\n\
                      \x20                    than N ms, sampled or not (0 disables)\n\
                      \x20 --no-telemetry     disable histograms, traces and the\n\
-                     \x20                    access log (counters stay on)"
+                     \x20                    access log (counters stay on)\n\
+                     \x20 --window-secs N    rolling analytics window for /debug/*\n\
+                     \x20                    and the windowed /metrics series\n\
+                     \x20                    (default 60; 0 disables analytics)\n\
+                     \x20 --topk K           heavy hitters tracked per window\n\
+                     \x20                    (default 16; 0 disables /debug/top)\n\
+                     \x20 --exemplars N      slowest-request traces kept per window\n\
+                     \x20                    (default 8; 0 disables /debug/slow)\n\
+                     \x20 --ready-max-backlog N   /readyz answers 503 past N queued\n\
+                     \x20                    ingest records (0 disables)\n\
+                     \x20 --ready-max-fsync-ms N  /readyz answers 503 past N ms\n\
+                     \x20                    windowed p99 fsync latency (0 disables)\n\
+                     \x20 --log-rotate-bytes N  rotate --log-file / --access-log\n\
+                     \x20                    at N bytes (0 disables rotation)\n\
+                     \x20 --log-rotate-keep N  rotated generations kept (default 3)"
                 );
                 return;
             }
@@ -118,7 +153,7 @@ fn main() {
     );
     println!(
         "  POST /records  POST /match  POST /snapshot  POST /admin/shutdown  \
-         GET /stats  GET /healthz  GET /metrics"
+         GET /stats  GET /healthz  GET /readyz  GET /metrics  GET /debug/*"
     );
     if let Err(e) = server.run() {
         fail(&format!("server error: {e}"));

@@ -32,8 +32,9 @@
 //!   ([`multiem_online::RecordStore::compact`]);
 //! * [`MatchServer`] — a dependency-free HTTP/1.1 server exposing
 //!   `POST /records`, `DELETE /records/{id}`, `POST /match`,
-//!   `POST /snapshot`, `POST /admin/shutdown`, `GET /stats` and
-//!   `GET /healthz`, fronted by
+//!   `POST /snapshot`, `POST /admin/shutdown`, `GET /stats`,
+//!   `GET /healthz`, `GET /readyz` and the `GET /debug/*` introspection
+//!   surface, fronted by
 //!   the event-driven [`Reactor`] in [`net`]: an acceptor plus a few I/O
 //!   event loops multiplex *many* nonblocking keep-alive connections
 //!   (incremental request parsing, buffered writeback), and only fully
@@ -49,9 +50,18 @@
 //!   lock-free log-linear latency histograms), per-request span traces
 //!   (`--trace-sample-rate`, `--slow-request-ms`) whose stage durations sum
 //!   exactly to the access-log latency, and leveled JSON-lines structured
-//!   logging (`--log-level`, `--access-log`). Scraping never takes a shard
-//!   or WAL lock, and everything with measurable cost sits behind
-//!   `--no-telemetry` so CI can gate the overhead.
+//!   logging (`--log-level`, `--access-log`, size-based rotation via
+//!   `--log-rotate-bytes`). Scraping never takes a shard or WAL lock, and
+//!   everything with measurable cost sits behind `--no-telemetry` so CI can
+//!   gate the overhead;
+//! * workload analytics ([`obs::window`], [`obs::topk`], [`obs::exemplar`])
+//!   — a rolling time window of per-endpoint latency histograms, windowed
+//!   heavy-hitter sketches over ingest sources / shards / matched entities,
+//!   and a ring of slowest-request exemplars, served lock-free from
+//!   `GET /debug/window`, `/debug/top`, `/debug/slow` and `/debug/storage`
+//!   on the I/O fast path (rendered live by the `obstop` terminal
+//!   dashboard), with `GET /readyz` degrading to `503` on ingest backlog or
+//!   windowed fsync-latency thresholds.
 //!
 //! ```no_run
 //! use multiem_embed::HashedLexicalEncoder;

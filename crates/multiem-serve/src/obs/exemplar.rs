@@ -1,0 +1,237 @@
+//! Slow-request exemplars: keep the traces of the worst requests around.
+//!
+//! Sampled tracing (PR 6) answers "what does a typical request look like";
+//! the question after an SLO blip is "show me the request that just blew
+//! it". An [`ExemplarRing`] retains the full span [`Trace`]s of the
+//! slowest requests of the current rolling window (plus the previous
+//! window, so a spike remains inspectable for a while after it ends),
+//! retrievable as JSON from `GET /debug/slow` — no log spelunking, no
+//! hoping the sampler picked the outlier.
+//!
+//! Cost discipline: admission is pre-filtered by two relaxed atomic loads
+//! (the floor — the slowest ring's *fastest* member); only requests that
+//! would actually displace an exemplar take the ring's mutex. Under steady
+//! traffic almost every request fails the floor check and pays nothing.
+
+use super::trace::Trace;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Wall-clock milliseconds since the Unix epoch (for exemplar timestamps).
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One retained slow request: the finished trace plus the request facts the
+/// trace alone does not carry.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The finished span stack (spans sum to `total_ns`).
+    pub trace: Trace,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// End-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// Wall-clock milliseconds since the Unix epoch at completion.
+    pub ts_ms: u64,
+}
+
+/// Fixed-capacity ring of the slowest requests per rolling window. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct ExemplarRing {
+    capacity: usize,
+    /// Admission floor: requests at or below this latency cannot enter the
+    /// current window's ring. Valid only for the window `floor_stamp`
+    /// holds; `0` admits everything (ring not full, or window just
+    /// rotated).
+    floor_ns: AtomicU64,
+    floor_stamp: AtomicU64,
+    inner: Mutex<ExemplarWindows>,
+}
+
+#[derive(Debug)]
+struct ExemplarWindows {
+    /// Window epoch of `current`, +1 (`0` = nothing recorded yet).
+    stamp: u64,
+    current: Vec<Exemplar>,
+    previous: Vec<Exemplar>,
+}
+
+impl ExemplarRing {
+    /// A ring keeping the `capacity` slowest requests per window (`0`
+    /// disables exemplars).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            floor_ns: AtomicU64::new(0),
+            floor_stamp: AtomicU64::new(0),
+            inner: Mutex::new(ExemplarWindows {
+                stamp: 0,
+                current: Vec::new(),
+                previous: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether the ring retains anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Cheap pre-check (two relaxed loads) for whether a request of
+    /// `total_ns` could enter the window `window_epoch` — lets callers skip
+    /// building the [`Exemplar`] (string clones) for the overwhelming
+    /// majority of requests. Racy in the admitting direction only: a `true`
+    /// may still be rejected under the lock, a `false` is always final.
+    pub fn admits(&self, window_epoch: u64, total_ns: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        !(self.floor_stamp.load(Ordering::Relaxed) == window_epoch + 1
+            && total_ns <= self.floor_ns.load(Ordering::Relaxed))
+    }
+
+    /// Offer one finished request to the window `window_epoch`. Fast-path
+    /// rejects (two relaxed loads) when the request is no slower than the
+    /// current window's floor; otherwise displaces the fastest retained
+    /// exemplar under the mutex.
+    pub fn offer(&self, window_epoch: u64, exemplar: Exemplar) {
+        if !self.admits(window_epoch, exemplar.total_ns) {
+            return;
+        }
+        let stamp = window_epoch + 1;
+        let mut inner = self.inner.lock().expect("exemplar lock poisoned");
+        self.advance(&mut inner, stamp);
+        if inner.current.len() < self.capacity {
+            inner.current.push(exemplar);
+        } else {
+            let (at, fastest) = inner
+                .current
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total_ns)
+                .map(|(i, e)| (i, e.total_ns))
+                .expect("capacity > 0 implies exemplars");
+            if exemplar.total_ns <= fastest {
+                return;
+            }
+            inner.current[at] = exemplar;
+        }
+        if inner.current.len() == self.capacity {
+            // Publish the new floor for the fast-path filter.
+            let floor = inner.current.iter().map(|e| e.total_ns).min().unwrap_or(0);
+            self.floor_ns.store(floor, Ordering::Relaxed);
+            self.floor_stamp.store(stamp, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained exemplars as of `window_epoch` — current window first,
+    /// then the previous one, each slowest-first.
+    pub fn snapshot_at(&self, window_epoch: u64) -> Vec<Exemplar> {
+        if self.capacity == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock().expect("exemplar lock poisoned");
+        self.advance(&mut inner, window_epoch + 1);
+        let mut current = inner.current.clone();
+        let mut previous = inner.previous.clone();
+        drop(inner);
+        current.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        previous.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        current.extend(previous);
+        current
+    }
+
+    /// Lazily rotate so `current` belongs to the window of `stamp`: one
+    /// window forward keeps the old ring as `previous`, a larger jump
+    /// empties both. Resets the admission floor either way.
+    fn advance(&self, inner: &mut ExemplarWindows, stamp: u64) {
+        if inner.stamp == stamp {
+            return;
+        }
+        let old = std::mem::take(&mut inner.current);
+        inner.previous = if inner.stamp + 1 == stamp {
+            old
+        } else {
+            Vec::new()
+        };
+        inner.stamp = stamp;
+        self.floor_ns.store(0, Ordering::Relaxed);
+        self.floor_stamp.store(stamp, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplar(id: u64, total_ns: u64) -> Exemplar {
+        let mut trace = Trace::new(id, false);
+        trace.finish(total_ns);
+        Exemplar {
+            trace,
+            method: "POST".into(),
+            path: "/match".into(),
+            status: 200,
+            total_ns,
+            ts_ms: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_slowest_of_the_window() {
+        let ring = ExemplarRing::new(3);
+        assert!(ring.enabled());
+        for (id, ns) in [
+            (1, 500),
+            (2, 9_000),
+            (3, 100),
+            (4, 7_000),
+            (5, 8_000),
+            (6, 50),
+        ] {
+            ring.offer(0, exemplar(id, ns));
+        }
+        let kept = ring.snapshot_at(0);
+        let ids: Vec<u64> = kept.iter().map(|e| e.trace.id).collect();
+        // Slowest three, slowest first; the fast requests never displaced
+        // anything.
+        assert_eq!(ids, [2, 5, 4]);
+        assert_eq!(kept[0].total_ns, 9_000);
+
+        let off = ExemplarRing::new(0);
+        assert!(!off.enabled());
+        off.offer(0, exemplar(1, 1));
+        assert!(off.snapshot_at(0).is_empty());
+    }
+
+    #[test]
+    fn windows_rotate_and_previous_stays_visible() {
+        let ring = ExemplarRing::new(2);
+        ring.offer(3, exemplar(1, 1_000));
+        ring.offer(3, exemplar(2, 2_000));
+        ring.offer(3, exemplar(3, 3_000)); // displaces id 1
+
+        // Next window: the previous window's exemplars remain retrievable
+        // behind the current (empty, then refilling) window's.
+        ring.offer(4, exemplar(9, 10));
+        let kept = ring.snapshot_at(4);
+        let ids: Vec<u64> = kept.iter().map(|e| e.trace.id).collect();
+        assert_eq!(ids, [9, 3, 2]);
+
+        // A fast request is admitted again after rotation reset the floor.
+        assert_eq!(kept[0].total_ns, 10);
+
+        // Jumping windows clears everything.
+        assert!(ring.snapshot_at(9).is_empty());
+    }
+}

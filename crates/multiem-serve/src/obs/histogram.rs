@@ -122,6 +122,18 @@ impl Histogram {
             .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Reset every bucket to zero (relaxed stores). Not a linearization
+    /// point: a sample recorded concurrently lands in either the old or the
+    /// new generation — acceptable for the rolling-window telemetry this
+    /// backs, where a window boundary is already coarse.
+    pub fn clear(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the bucket counts, taken without stopping
     /// writers (a sample recorded concurrently may or may not be included).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -147,6 +159,18 @@ pub struct HistogramSnapshot {
     buckets: Vec<(usize, u64)>,
     count: u64,
     sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    /// An empty snapshot (no samples; quantiles answer `None`). The identity
+    /// of [`HistogramSnapshot::merge`].
+    fn default() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -320,5 +344,10 @@ mod tests {
         assert_eq!(snapshot.count(), 2);
         assert_eq!(snapshot.quantile(0.0), Some(0));
         assert_eq!(snapshot.quantile(1.0), Some(u64::MAX));
+        // Clearing recycles the histogram back to its empty state.
+        hist.clear();
+        assert_eq!(hist.snapshot(), HistogramSnapshot::default());
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.sum(), 0);
     }
 }

@@ -10,11 +10,17 @@
 //! The same type backs the access log (`--access-log PATH`): an access
 //! [`Logger`] is just a file-bound logger whose every line is an `access`
 //! event, one per request.
+//!
+//! File sinks rotate by size when asked (`--log-rotate-bytes`): past the
+//! threshold the live file becomes `<path>.1`, older generations shift up
+//! (the oldest beyond `--log-rotate-keep` is dropped), and the fresh file
+//! opens with a `log_rotated` event — so a chatty access log can run
+//! unattended without eating the disk.
 
 use serde::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -60,7 +66,72 @@ impl Level {
 #[derive(Debug)]
 enum Sink {
     Stderr,
-    File(BufWriter<File>),
+    File(FileSink),
+}
+
+/// A file destination with optional size-based rotation
+/// (`--log-rotate-bytes`): when the live file passes `rotate_bytes`, it is
+/// renamed to `<path>.1` (older generations shift to `.2`, `.3`, ... up to
+/// `keep`, the oldest dropped) and a fresh file takes its place, opened
+/// with a `log_rotated` event as its first line.
+#[derive(Debug)]
+struct FileSink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    /// Bytes written to the live file (seeded from its length on open, so
+    /// rotation thresholds survive restarts of an appending server).
+    bytes: u64,
+    /// Rotate past this many bytes (`0` = never rotate).
+    rotate_bytes: u64,
+    /// Rotated generations kept (at least 1 when rotation is on).
+    keep: usize,
+}
+
+impl FileSink {
+    /// The rotated name of generation `n` (`server.log` -> `server.log.2`).
+    fn generation(&self, n: usize) -> PathBuf {
+        PathBuf::from(format!("{}.{n}", self.path.display()))
+    }
+
+    /// Shift the generations up, move the live file to `.1` and reopen a
+    /// fresh one. Best-effort like all logging: a failed rename keeps
+    /// writing to the old file rather than taking the server down.
+    fn rotate(&mut self) {
+        let _ = self.writer.flush();
+        let keep = self.keep.max(1);
+        let _ = std::fs::remove_file(self.generation(keep));
+        for n in (1..keep).rev() {
+            let _ = std::fs::rename(self.generation(n), self.generation(n + 1));
+        }
+        if std::fs::rename(&self.path, self.generation(1)).is_err() {
+            return;
+        }
+        let Ok(file) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        else {
+            return;
+        };
+        self.writer = BufWriter::new(file);
+        self.bytes = 0;
+        // First line of the fresh file records the rotation itself (written
+        // directly: the caller already holds the sink mutex).
+        let line = render_line(
+            Level::Info,
+            "log_rotated",
+            &[
+                (
+                    "rotated_to",
+                    Value::Str(self.generation(1).display().to_string()),
+                ),
+                ("keep", Value::UInt(keep as u64)),
+            ],
+        );
+        let _ = writeln!(self.writer, "{line}");
+        let _ = self.writer.flush();
+        self.bytes += line.len() as u64 + 1;
+    }
 }
 
 /// A leveled JSON-lines logger. Cheap to share (`Arc`), cheap to skip
@@ -81,12 +152,31 @@ impl Logger {
         }
     }
 
-    /// A logger appending to the file at `path` at `level`.
+    /// A logger appending to the file at `path` at `level` (no rotation).
     pub fn file(level: Level, path: &Path) -> io::Result<Self> {
+        Self::rotating_file(level, path, 0, 0)
+    }
+
+    /// A file logger that rotates past `rotate_bytes` bytes, keeping `keep`
+    /// rotated generations (`<path>.1` ... `<path>.keep`). `rotate_bytes ==
+    /// 0` disables rotation.
+    pub fn rotating_file(
+        level: Level,
+        path: &Path,
+        rotate_bytes: u64,
+        keep: usize,
+    ) -> io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(Self {
             level,
-            sink: Mutex::new(Sink::File(BufWriter::new(file))),
+            sink: Mutex::new(Sink::File(FileSink {
+                writer: BufWriter::new(file),
+                path: path.to_path_buf(),
+                bytes,
+                rotate_bytes,
+                keep,
+            })),
         })
     }
 
@@ -103,14 +193,7 @@ impl Logger {
         if !self.enabled(level) {
             return;
         }
-        let mut entries: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 3);
-        entries.push(("ts_ms".into(), Value::UInt(now_ms())));
-        entries.push(("level".into(), Value::Str(level.name().into())));
-        entries.push(("event".into(), Value::Str(event.into())));
-        for (name, value) in fields {
-            entries.push(((*name).into(), value.clone()));
-        }
-        let line = serde_json::to_string(&Value::Map(entries)).unwrap_or_else(|_| "{}".into());
+        let line = render_line(level, event, fields);
         let mut sink = self.sink.lock().expect("log sink poisoned");
         match &mut *sink {
             Sink::Stderr => {
@@ -118,11 +201,15 @@ impl Logger {
                 let mut out = stderr.lock();
                 let _ = writeln!(out, "{line}");
             }
-            Sink::File(writer) => {
-                let _ = writeln!(writer, "{line}");
+            Sink::File(file) => {
+                let _ = writeln!(file.writer, "{line}");
                 // One flush per line keeps `tail -f` live; lines are small
                 // and the page cache absorbs the write.
-                let _ = writer.flush();
+                let _ = file.writer.flush();
+                file.bytes += line.len() as u64 + 1;
+                if file.rotate_bytes > 0 && file.bytes >= file.rotate_bytes {
+                    file.rotate();
+                }
             }
         }
     }
@@ -146,6 +233,19 @@ impl Logger {
     pub fn debug(&self, event: &str, fields: &[(&str, Value)]) {
         self.log(Level::Debug, event, fields);
     }
+}
+
+/// Render one event line: `{"ts_ms":..., "level":..., "event":...,
+/// ...fields}` (field order preserved).
+fn render_line(level: Level, event: &str, fields: &[(&str, Value)]) -> String {
+    let mut entries: Vec<(String, Value)> = Vec::with_capacity(fields.len() + 3);
+    entries.push(("ts_ms".into(), Value::UInt(now_ms())));
+    entries.push(("level".into(), Value::Str(level.name().into())));
+    entries.push(("event".into(), Value::Str(event.into())));
+    for (name, value) in fields {
+        entries.push(((*name).into(), value.clone()));
+    }
+    serde_json::to_string(&Value::Map(entries)).unwrap_or_else(|_| "{}".into())
 }
 
 /// Milliseconds since the Unix epoch.
@@ -205,6 +305,56 @@ mod tests {
         assert_eq!(field("shards").and_then(|v| v.as_u64()), Some(4));
         assert!(matches!(field("ts_ms").and_then(|v| v.as_u64()), Some(ms) if ms > 0));
         assert!(lines[1].contains("\"event\":\"wal_torn_tail\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn size_based_rotation_shifts_generations_and_logs_the_event() {
+        let dir = std::env::temp_dir().join(format!("multiem-rotate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        // Tiny threshold: every line (~60-80 bytes with its envelope)
+        // triggers a rotation, exercising the generation shift repeatedly.
+        let logger = Logger::rotating_file(Level::Info, &path, 64, 2).unwrap();
+        for i in 0..5u64 {
+            logger.info("access", &[("request_id", Value::UInt(i))]);
+        }
+        let gen = |n: usize| PathBuf::from(format!("{}.{n}", path.display()));
+        assert!(path.exists(), "live file must exist");
+        assert!(gen(1).exists(), "first rotated generation must exist");
+        assert!(gen(2).exists(), "second rotated generation must exist");
+        assert!(!gen(3).exists(), "generations beyond keep must be dropped");
+        // The live file's first line is the rotation event of the rotation
+        // that created it.
+        let live = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            live.lines()
+                .next()
+                .unwrap()
+                .contains("\"event\":\"log_rotated\""),
+            "fresh file must open with the rotation event: {live}"
+        );
+        // Every line everywhere is still one parseable JSON object.
+        for text in [live, std::fs::read_to_string(gen(1)).unwrap()] {
+            for line in text.lines() {
+                serde_json::from_str::<Value>(line).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrotated_file_logger_never_rotates() {
+        let dir =
+            std::env::temp_dir().join(format!("multiem-norotate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.log");
+        let logger = Logger::file(Level::Info, &path).unwrap();
+        for i in 0..50u64 {
+            logger.info("event", &[("i", Value::UInt(i))]);
+        }
+        assert!(!PathBuf::from(format!("{}.1", path.display())).exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 50);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

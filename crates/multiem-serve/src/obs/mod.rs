@@ -17,23 +17,43 @@
 //!   apply → respond), sampled by `--trace-sample-rate` and force-emitted
 //!   past `--slow-request-ms`;
 //! * [`log`] — a leveled JSON-lines logger (`--log-level`, `--log-file`)
-//!   plus an optional per-request access log (`--access-log`).
+//!   plus an optional per-request access log (`--access-log`), both with
+//!   size-based rotation (`--log-rotate-bytes`).
 //!
-//! [`Telemetry`] bundles all four and lives in the server state. The
+//! On top of the cumulative layer sits the **workload-analytics** layer —
+//! the live-diagnosis counterpart to lifetime counters:
+//!
+//! * [`window`] — rolling time-window telemetry: rings of the lock-free
+//!   histograms rotated on a coarse epoch tick, so `/metrics` and
+//!   `GET /debug/window` answer rates and p50/p99 *over the last
+//!   `--window-secs` seconds* instead of since startup;
+//! * [`topk`] — space-saving heavy-hitter sketches over ingest sources,
+//!   routed shards and match-result entities (`GET /debug/top`);
+//! * [`exemplar`] — a fixed ring of the slowest requests' full span traces
+//!   per window (`GET /debug/slow`).
+//!
+//! [`Telemetry`] bundles all of it and lives in the server state. The
 //! always-on part (request counters) is a relaxed `fetch_add` per request;
-//! everything with measurable cost — histograms, traces, the access log —
-//! sits behind the `enabled` flag that `--no-telemetry` clears, which is
-//! what the CI overhead gate (`BENCH_obs.json`, ≤5%) compares against.
+//! everything with measurable cost — histograms, traces, the access log,
+//! the analytics layer — sits behind the `enabled` flag that
+//! `--no-telemetry` clears, which is what the CI overhead gate
+//! (`BENCH_obs.json`, ≤5%) compares against.
 
+pub mod exemplar;
 pub mod histogram;
 pub mod log;
 pub mod registry;
+pub mod topk;
 pub mod trace;
+pub mod window;
 
+pub use exemplar::{Exemplar, ExemplarRing};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use log::{Level, Logger};
 pub use registry::{Counter, Gauge, Registry};
+pub use topk::{HeavyHitter, SpaceSaving, WindowedTopK};
 pub use trace::{Stage, Trace, Tracer};
+pub use window::{WindowedHistogram, WorkloadWindows};
 
 use serde::Value;
 use std::io;
@@ -64,6 +84,25 @@ pub struct ObsConfig {
     /// Force-emit the trace of any request at least this slow (`0`
     /// disables the threshold).
     pub slow_request_ms: u64,
+    /// Rolling analytics window length in seconds (`--window-secs`); `0`
+    /// disables the whole analytics layer (windows, top-K, exemplars).
+    pub window_secs: u64,
+    /// Heavy-hitter sketch capacity per window (`--topk`; `0` disables).
+    pub topk: usize,
+    /// Slow-request exemplars retained per window (`--exemplars`; `0`
+    /// disables).
+    pub exemplars: usize,
+    /// `/readyz` degrades (503) past this many in-flight ingest records
+    /// (`0` disables the check).
+    pub ready_max_backlog: u64,
+    /// `/readyz` degrades (503) past this windowed p99 fsync latency in
+    /// milliseconds (`0` disables the check).
+    pub ready_max_fsync_ms: u64,
+    /// Rotate `--log-file`/`--access-log` once they reach this many bytes
+    /// (`0` disables rotation).
+    pub log_rotate_bytes: u64,
+    /// Rotated generations kept per log file.
+    pub log_rotate_keep: usize,
 }
 
 impl Default for ObsConfig {
@@ -75,6 +114,13 @@ impl Default for ObsConfig {
             access_log: None,
             trace_sample_rate: 0.0,
             slow_request_ms: 0,
+            window_secs: 60,
+            topk: 16,
+            exemplars: 8,
+            ready_max_backlog: 0,
+            ready_max_fsync_ms: 0,
+            log_rotate_bytes: 0,
+            log_rotate_keep: 3,
         }
     }
 }
@@ -84,10 +130,14 @@ impl Default for ObsConfig {
 pub enum Endpoint {
     /// `GET /healthz`.
     Healthz,
+    /// `GET /readyz`.
+    Readyz,
     /// `GET /stats`.
     Stats,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/*` (introspection surface).
+    Debug,
     /// `POST /records` (ingest).
     Records,
     /// `DELETE /records/{id}` and `POST /records/delete`.
@@ -104,13 +154,15 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Number of endpoint classes.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// All endpoint classes, in label order.
     pub const ALL: [Endpoint; Endpoint::COUNT] = [
         Endpoint::Healthz,
+        Endpoint::Readyz,
         Endpoint::Stats,
         Endpoint::Metrics,
+        Endpoint::Debug,
         Endpoint::Records,
         Endpoint::RecordsDelete,
         Endpoint::Match,
@@ -123,8 +175,10 @@ impl Endpoint {
     pub fn name(self) -> &'static str {
         match self {
             Endpoint::Healthz => "healthz",
+            Endpoint::Readyz => "readyz",
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
+            Endpoint::Debug => "debug",
             Endpoint::Records => "records",
             Endpoint::RecordsDelete => "records_delete",
             Endpoint::Match => "match",
@@ -138,8 +192,10 @@ impl Endpoint {
     pub fn of(method: &str, path: &str) -> Endpoint {
         match (method, path) {
             ("GET", "/healthz") => Endpoint::Healthz,
+            ("GET", "/readyz") => Endpoint::Readyz,
             ("GET", "/stats") => Endpoint::Stats,
             ("GET", "/metrics") => Endpoint::Metrics,
+            ("GET", p) if p.starts_with("/debug/") => Endpoint::Debug,
             ("POST", "/records") => Endpoint::Records,
             ("POST", "/records/delete") => Endpoint::RecordsDelete,
             ("DELETE", p) if p.starts_with("/records/") => Endpoint::RecordsDelete,
@@ -203,6 +259,21 @@ pub struct ServeMetrics {
     pub checkpoint_epoch: Arc<Gauge>,
     /// Records admitted to ingest queues but not yet applied (scrape time).
     pub queue_inflight: Arc<Gauge>,
+    /// Record-store hot-cache hits across shards (refreshed at scrape
+    /// time).
+    pub storage_cache_hits: Arc<Gauge>,
+    /// Record-store hot-cache misses across shards (refreshed at scrape
+    /// time).
+    pub storage_cache_misses: Arc<Gauge>,
+    /// Requests/second over the rolling window, one gauge per endpoint
+    /// (refreshed at scrape time; `0` with analytics disabled).
+    request_rate: Vec<Arc<Gauge>>,
+    /// Windowed p50 latency per endpoint, seconds (scrape time).
+    window_p50: Vec<Arc<Gauge>>,
+    /// Windowed p99 latency per endpoint, seconds (scrape time).
+    window_p99: Vec<Arc<Gauge>>,
+    /// Windowed p99 WAL fsync latency, seconds (scrape time).
+    pub fsync_window_p99: Arc<Gauge>,
 }
 
 impl ServeMetrics {
@@ -237,6 +308,36 @@ impl ServeMetrics {
                     "multiem_stage_duration_seconds",
                     "Per-stage request latency (see the trace span schema).",
                     &format!("stage=\"{}\"", stage.name()),
+                )
+            })
+            .collect();
+        let request_rate = Endpoint::ALL
+            .iter()
+            .map(|endpoint| {
+                registry.gauge(
+                    "multiem_request_rate",
+                    "Requests per second over the rolling analytics window.",
+                    &format!("endpoint=\"{}\"", endpoint.name()),
+                )
+            })
+            .collect();
+        let window_p50 = Endpoint::ALL
+            .iter()
+            .map(|endpoint| {
+                registry.gauge(
+                    "multiem_request_window_p50_seconds",
+                    "Median request latency over the rolling analytics window.",
+                    &format!("endpoint=\"{}\"", endpoint.name()),
+                )
+            })
+            .collect();
+        let window_p99 = Endpoint::ALL
+            .iter()
+            .map(|endpoint| {
+                registry.gauge(
+                    "multiem_request_window_p99_seconds",
+                    "p99 request latency over the rolling analytics window.",
+                    &format!("endpoint=\"{}\"", endpoint.name()),
                 )
             })
             .collect();
@@ -302,7 +403,32 @@ impl ServeMetrics {
                 "Records admitted to ingest queues but not yet applied.",
                 "",
             ),
+            storage_cache_hits: registry.gauge(
+                "multiem_storage_cache_hits",
+                "Record-store hot-cache hits across shards.",
+                "",
+            ),
+            storage_cache_misses: registry.gauge(
+                "multiem_storage_cache_misses",
+                "Record-store hot-cache misses across shards.",
+                "",
+            ),
+            request_rate,
+            window_p50,
+            window_p99,
+            fsync_window_p99: registry.gauge(
+                "multiem_fsync_window_p99_seconds",
+                "p99 WAL fsync latency over the rolling analytics window.",
+                "",
+            ),
         }
+    }
+
+    /// Publish one endpoint's windowed rate and quantiles (seconds).
+    pub fn set_window_gauges(&self, endpoint: Endpoint, rate: f64, p50_s: f64, p99_s: f64) {
+        self.request_rate[endpoint.index()].set(rate);
+        self.window_p50[endpoint.index()].set(p50_s);
+        self.window_p99[endpoint.index()].set(p99_s);
     }
 
     /// Count one request outcome (always on — one relaxed add).
@@ -349,9 +475,27 @@ impl NetMetrics {
     }
 }
 
+/// The workload-analytics bundle: rolling windows, heavy-hitter sketches,
+/// and the slow-request exemplar ring — everything behind `/debug/*`.
+/// Present on [`Telemetry`] only when telemetry is on and `--window-secs`
+/// is non-zero.
+#[derive(Debug)]
+pub struct Analytics {
+    /// Rolling latency windows (per endpoint + WAL fsync).
+    pub windows: WorkloadWindows,
+    /// Hottest ingest source tokens this window.
+    pub sources: WindowedTopK,
+    /// Hottest routed shards this window.
+    pub shards: WindowedTopK,
+    /// Hottest match-result entities this window.
+    pub entities: WindowedTopK,
+    /// Slowest requests' full traces this window.
+    pub exemplars: ExemplarRing,
+}
+
 /// The server's observability bundle: registry + metric handles, structured
-/// logger, optional access logger, tracer, and the start instant behind
-/// `uptime_seconds`. See the [module docs](self).
+/// logger, optional access logger, tracer, workload analytics, and the
+/// start instant behind `uptime_seconds`. See the [module docs](self).
 #[derive(Debug)]
 pub struct Telemetry {
     /// Whether measurable-cost telemetry (histograms, traces, access log)
@@ -367,6 +511,9 @@ pub struct Telemetry {
     pub tracer: Tracer,
     /// All pre-registered metric handles.
     pub metrics: ServeMetrics,
+    /// Workload analytics (`None` when telemetry is off or `--window-secs`
+    /// is `0`).
+    pub analytics: Option<Analytics>,
     started: Instant,
 }
 
@@ -377,15 +524,38 @@ impl Telemetry {
         let registry = Registry::new();
         let metrics = ServeMetrics::register(&registry);
         let logger = Arc::new(match &config.log_file {
-            Some(path) => Logger::file(config.log_level, path)?,
+            Some(path) => Logger::rotating_file(
+                config.log_level,
+                path,
+                config.log_rotate_bytes,
+                config.log_rotate_keep,
+            )?,
             None => Logger::stderr(config.log_level),
         });
         let access = if config.telemetry {
             config
                 .access_log
                 .as_ref()
-                .map(|path| Logger::file(Level::Info, path))
+                .map(|path| {
+                    Logger::rotating_file(
+                        Level::Info,
+                        path,
+                        config.log_rotate_bytes,
+                        config.log_rotate_keep,
+                    )
+                })
                 .transpose()?
+        } else {
+            None
+        };
+        let analytics = if config.telemetry && config.window_secs > 0 {
+            Some(Analytics {
+                windows: WorkloadWindows::new(config.window_secs),
+                sources: WindowedTopK::new(config.topk),
+                shards: WindowedTopK::new(config.topk),
+                entities: WindowedTopK::new(config.topk),
+                exemplars: ExemplarRing::new(config.exemplars),
+            })
         } else {
             None
         };
@@ -396,6 +566,7 @@ impl Telemetry {
             access,
             tracer: Tracer::new(config.trace_sample_rate, config.slow_request_ms),
             metrics,
+            analytics,
             started: Instant::now(),
         })
     }
@@ -403,6 +574,66 @@ impl Telemetry {
     /// Seconds since the server started.
     pub fn uptime_seconds(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Count one ingest-source token in this window's heavy-hitter sketch.
+    pub fn note_source(&self, key: &str) {
+        if let Some(analytics) = &self.analytics {
+            analytics
+                .sources
+                .hit_at(analytics.windows.window_epoch(), key);
+        }
+    }
+
+    /// Count one routed shard in this window's heavy-hitter sketch.
+    pub fn note_shard(&self, shard: usize) {
+        if let Some(analytics) = &self.analytics {
+            if analytics.shards.enabled() {
+                analytics
+                    .shards
+                    .hit_at(analytics.windows.window_epoch(), &format!("shard-{shard}"));
+            }
+        }
+    }
+
+    /// Count one match-result entity in this window's heavy-hitter sketch.
+    pub fn note_match_entity(&self, key: &str) {
+        if let Some(analytics) = &self.analytics {
+            analytics
+                .entities
+                .hit_at(analytics.windows.window_epoch(), key);
+        }
+    }
+
+    /// Record one WAL fsync latency into the rolling fsync window.
+    pub fn record_fsync_window(&self, ns: u64) {
+        if let Some(analytics) = &self.analytics {
+            analytics.windows.record_fsync(ns);
+        }
+    }
+
+    /// Refresh the windowed gauge families (`multiem_request_rate`,
+    /// `multiem_request_window_p{50,99}_seconds`,
+    /// `multiem_fsync_window_p99_seconds`) from the rolling windows. Called
+    /// at scrape time; a no-op when analytics is off (the gauges then stay
+    /// at their zero default).
+    pub fn refresh_window_metrics(&self) {
+        let Some(analytics) = &self.analytics else {
+            return;
+        };
+        for endpoint in Endpoint::ALL {
+            let snap = analytics.windows.endpoint_window(endpoint);
+            self.metrics.set_window_gauges(
+                endpoint,
+                analytics.windows.rate(snap.count()),
+                snap.quantile_ms(0.5) / 1_000.0,
+                snap.quantile_ms(0.99) / 1_000.0,
+            );
+        }
+        let fsync = analytics.windows.fsync_window();
+        self.metrics
+            .fsync_window_p99
+            .set(fsync.quantile_ms(0.99) / 1_000.0);
     }
 
     /// The reactor's counter pair.
@@ -438,6 +669,23 @@ impl Telemetry {
         for (stage, ns) in trace.spans() {
             self.metrics.stage(stage).record(ns);
         }
+        if let Some(analytics) = &self.analytics {
+            analytics.windows.record_request(endpoint, total_ns);
+            let epoch = analytics.windows.window_epoch();
+            if analytics.exemplars.admits(epoch, total_ns) {
+                analytics.exemplars.offer(
+                    epoch,
+                    Exemplar {
+                        trace: trace.clone(),
+                        method: method.to_string(),
+                        path: path.to_string(),
+                        status,
+                        total_ns,
+                        ts_ms: exemplar::unix_ms(),
+                    },
+                );
+            }
+        }
         if self.tracer.should_emit(trace, total_ns) {
             let slow = self.tracer.slow_ns() > 0 && total_ns >= self.tracer.slow_ns();
             trace::emit(&self.logger, trace, method, path, status, total_ns, slow);
@@ -466,7 +714,11 @@ mod tests {
     #[test]
     fn endpoints_classify_the_route_table() {
         assert_eq!(Endpoint::of("GET", "/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of("GET", "/readyz"), Endpoint::Readyz);
         assert_eq!(Endpoint::of("GET", "/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of("GET", "/debug/top"), Endpoint::Debug);
+        assert_eq!(Endpoint::of("GET", "/debug/window"), Endpoint::Debug);
+        assert_eq!(Endpoint::of("POST", "/debug/top"), Endpoint::Other);
         assert_eq!(Endpoint::of("POST", "/records"), Endpoint::Records);
         assert_eq!(
             Endpoint::of("POST", "/records/delete"),
@@ -516,6 +768,24 @@ mod tests {
         // Respond picked up the residual: spans sum to the total latency.
         assert_eq!(trace.get(Stage::Respond), 4_000);
         assert_eq!(trace.total_ns(), 10_000);
+        // The analytics layer saw the request: rolling window + exemplar.
+        let analytics = on.analytics.as_ref().expect("analytics on by default");
+        let epoch = analytics.windows.window_epoch();
+        assert_eq!(
+            analytics.windows.endpoint_window(Endpoint::Match).count(),
+            1
+        );
+        assert_eq!(analytics.exemplars.snapshot_at(epoch).len(), 1);
+        on.note_source("acme");
+        on.note_shard(3);
+        on.note_match_entity("0-1-2");
+        assert_eq!(analytics.sources.top_at(epoch).0[0].key, "acme");
+        assert_eq!(analytics.shards.top_at(epoch).0[0].key, "shard-3");
+        assert_eq!(analytics.entities.top_at(epoch).0[0].key, "0-1-2");
+        on.refresh_window_metrics();
+        let text = on.registry.render();
+        assert!(text.contains("multiem_request_rate{endpoint=\"match\"}"));
+        assert!(text.contains("multiem_request_window_p99_seconds{endpoint=\"match\"}"));
 
         let off = Telemetry::new(&ObsConfig {
             telemetry: false,
@@ -533,9 +803,13 @@ mod tests {
             10_000,
             &mut trace,
         );
-        // Counters stay on; the histogram does not record.
+        // Counters stay on; the histogram does not record, the analytics
+        // layer is absent entirely.
         assert_eq!(off.metrics.requests_for(Endpoint::Match), 1);
         assert_eq!(off.metrics.duration(Endpoint::Match).count(), 0);
+        assert!(off.analytics.is_none());
+        off.note_source("acme"); // must be a safe no-op
+        off.refresh_window_metrics();
         // The scrape still renders a complete exposition.
         let text = off.registry.render();
         assert!(text.contains("multiem_requests_total{endpoint=\"match\",status=\"429\"} 1"));

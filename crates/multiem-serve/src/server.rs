@@ -13,8 +13,13 @@
 //! | Route            | Body                                   | Effect |
 //! |------------------|----------------------------------------|--------|
 //! | `GET /healthz`   | —                                      | liveness probe (answered on the I/O thread, no shard locks) |
+//! | `GET /readyz`    | —                                      | readiness: `503` when the ingest backlog or the windowed p99 fsync latency crosses its `--ready-max-*` threshold |
 //! | `GET /stats`     | —                                      | aggregate + per-shard [`StoreStats`], WAL size, queue/storage counters (lock-free: shards a writer holds report their last published stats) |
-//! | `GET /metrics`   | —                                      | Prometheus text exposition: request/ingest/delete/429 counters, WAL byte/fsync counters, end-to-end + per-stage latency histograms, uptime/epoch/queue gauges (same lock-free discipline as `/stats`) |
+//! | `GET /metrics`   | —                                      | Prometheus text exposition: request/ingest/delete/429 counters, WAL byte/fsync counters, end-to-end + per-stage latency histograms, uptime/epoch/queue/cache gauges, windowed rate + quantile gauges (same lock-free discipline as `/stats`) |
+//! | `GET /debug/window` | —                                   | per-endpoint rates and p50/p99 over the rolling `--window-secs` window, plus windowed fsync latency |
+//! | `GET /debug/top` | —                                      | heavy hitters of the current + previous window: ingest sources, routed shards, match-result entities |
+//! | `GET /debug/slow` | —                                     | the slowest requests of the current + previous window, with full span traces |
+//! | `GET /debug/storage` | —                                  | per-shard storage health: cache hit rate, WAL bytes, per-segment live ratios |
 //! | `POST /records`  | `{"records": [[v, ...], ...]}`         | WAL-append + insert each record into its shard; `429` + adaptive `Retry-After` (backlog / drain rate, clamped 1..=30) when a target shard's ingest queue is full |
 //! | `DELETE /records/{shard}-{source}-{row}` | —              | WAL-append + delete one record (404 for unknown/already-deleted ids) |
 //! | `POST /records/delete` | `{"ids": [[shard, source, row], ...]}` | batch deletion; per-id outcomes, unknown ids report `false` |
@@ -207,6 +212,11 @@ struct ServerState<E: EmbeddingModel> {
     /// by `queue_depth` (backpressure).
     inflight: Vec<AtomicU64>,
     queue_depth: u64,
+    /// `/readyz` degrades past this total ingest backlog (0 = disabled).
+    ready_max_backlog: u64,
+    /// `/readyz` degrades past this windowed p99 fsync latency in
+    /// milliseconds (0 = disabled).
+    ready_max_fsync_ms: u64,
     /// Records refused with `429 Too Many Requests` since startup.
     rejected: AtomicU64,
     /// Per-shard records *applied* through the HTTP ingest path since
@@ -436,6 +446,8 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 checkpoint_seq: Mutex::new(vec![0u64; num_shards]),
                 inflight: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
                 queue_depth: config.queue_depth,
+                ready_max_backlog: config.obs.ready_max_backlog,
+                ready_max_fsync_ms: config.obs.ready_max_fsync_ms,
                 rejected: AtomicU64::new(0),
                 drained: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
                 drain_windows: (0..num_shards)
@@ -513,29 +525,46 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
             },
         );
 
-        // Liveness probes and the metrics scrape are answered inline on the
-        // I/O threads: they take no shard or WAL locks, so they stay green
-        // even when every worker is busy or a checkpoint holds the store.
-        // Fast-path requests count toward `multiem_requests_total` but not
-        // the duration histograms — those cover exactly the worker path.
+        // Probes, the metrics scrape, and the `/debug/*` introspection
+        // surface are answered inline on the I/O threads: they take no
+        // shard or WAL locks, so they stay green even when every worker is
+        // busy or a checkpoint holds the store. Fast-path requests count
+        // toward `multiem_requests_total` but not the duration histograms —
+        // those cover exactly the worker path.
         let fast_state = Arc::clone(&state);
         let fast = Arc::new(move |request: &Request| -> Option<(Vec<u8>, bool)> {
-            let (body, content_type) = match (request.method.as_str(), request.path.as_str()) {
-                ("GET", "/healthz") => (healthz(&fast_state), "application/json"),
-                ("GET", "/stats") => (stats(&fast_state), "application/json"),
-                ("GET", "/metrics") => (
-                    metrics_scrape(&fast_state),
-                    "text/plain; version=0.0.4; charset=utf-8",
-                ),
-                _ => return None,
-            };
+            const JSON: &str = "application/json";
+            let (status, reason, body, content_type) =
+                match (request.method.as_str(), request.path.as_str()) {
+                    ("GET", "/healthz") => (200, "OK", healthz(&fast_state), JSON),
+                    ("GET", "/readyz") => {
+                        let (ready, body) = readyz(&fast_state);
+                        if ready {
+                            (200, "OK", body, JSON)
+                        } else {
+                            (503, "Service Unavailable", body, JSON)
+                        }
+                    }
+                    ("GET", "/stats") => (200, "OK", stats(&fast_state), JSON),
+                    ("GET", "/metrics") => (
+                        200,
+                        "OK",
+                        metrics_scrape(&fast_state),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    ),
+                    ("GET", "/debug/window") => (200, "OK", debug_window(&fast_state), JSON),
+                    ("GET", "/debug/top") => (200, "OK", debug_top(&fast_state), JSON),
+                    ("GET", "/debug/slow") => (200, "OK", debug_slow(&fast_state), JSON),
+                    ("GET", "/debug/storage") => (200, "OK", debug_storage(&fast_state), JSON),
+                    _ => return None,
+                };
             fast_state.requests.fetch_add(1, Ordering::Relaxed);
             fast_state
                 .telemetry
                 .metrics
-                .count_request(Endpoint::of(&request.method, &request.path), 200);
+                .count_request(Endpoint::of(&request.method, &request.path), status);
             Some((
-                render_response_typed(200, "OK", content_type, &body, request.close, &[]),
+                render_response_typed(status, reason, content_type, &body, request.close, &[]),
                 request.close,
             ))
         });
@@ -697,13 +726,25 @@ fn route<E: EmbeddingModel>(
     trace: &mut Trace,
 ) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        // The reactor normally intercepts these three on its inline fast
-        // path (see `run`); the arms stay as the single source of the
-        // route table in case the front-end wiring ever changes, and call
-        // the same renderers.
+        // The reactor normally intercepts these read-only routes on its
+        // inline fast path (see `run`); the arms stay as the single source
+        // of the route table in case the front-end wiring ever changes, and
+        // call the same renderers.
         ("GET", "/healthz") => Response::new(200, "OK", healthz(state)),
+        ("GET", "/readyz") => {
+            let (ready, body) = readyz(state);
+            if ready {
+                Response::new(200, "OK", body)
+            } else {
+                Response::new(503, "Service Unavailable", body)
+            }
+        }
         ("GET", "/stats") => Response::new(200, "OK", stats(state)),
         ("GET", "/metrics") => Response::new(200, "OK", metrics_scrape(state)),
+        ("GET", "/debug/window") => Response::new(200, "OK", debug_window(state)),
+        ("GET", "/debug/top") => Response::new(200, "OK", debug_top(state)),
+        ("GET", "/debug/slow") => Response::new(200, "OK", debug_slow(state)),
+        ("GET", "/debug/storage") => Response::new(200, "OK", debug_storage(state)),
         ("POST", "/admin/shutdown") => {
             // Begin the graceful drain: the reactor stops parsing new
             // requests, finishes in-flight ones (this response included),
@@ -850,6 +891,8 @@ fn record_wal_timing<E: EmbeddingModel>(
     metrics.wal_appended_bytes.add(timing.appended_bytes);
     if timing.fsynced {
         metrics.wal_fsyncs.inc();
+        // The rolling fsync window is the `/readyz` degradation signal.
+        state.telemetry.record_fsync_window(timing.fsync_ns);
     }
 }
 
@@ -952,6 +995,270 @@ fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     ]))
 }
 
+/// The degradation rule behind `GET /readyz`: which configured thresholds
+/// the current signals cross (`0` disables a threshold). Empty = ready.
+/// Pure so the rule is unit-testable without a server.
+fn degraded_reasons(
+    backlog: u64,
+    max_backlog: u64,
+    fsync_p99_ms: f64,
+    max_fsync_ms: u64,
+) -> Vec<&'static str> {
+    let mut reasons = Vec::new();
+    if max_backlog > 0 && backlog > max_backlog {
+        reasons.push("ingest backlog above --ready-max-backlog");
+    }
+    if max_fsync_ms > 0 && fsync_p99_ms > max_fsync_ms as f64 {
+        reasons.push("windowed fsync p99 above --ready-max-fsync-ms");
+    }
+    reasons
+}
+
+/// Render `GET /readyz`: readiness as distinct from liveness. `/healthz`
+/// answers "is the process up"; this answers "should a load balancer send
+/// traffic here" — `false` (a 503 from the caller) when the ingest backlog
+/// or the rolling-window p99 fsync latency crosses its configured
+/// threshold. Lock-free like every fast-path route: the backlog reads the
+/// admission atomics, the fsync signal reads the analytics window.
+fn readyz<E: EmbeddingModel>(state: &ServerState<E>) -> (bool, String) {
+    let backlog: u64 = state
+        .inflight
+        .iter()
+        .map(|n| n.load(Ordering::SeqCst))
+        .sum();
+    let fsync_p99_ms = state
+        .telemetry
+        .analytics
+        .as_ref()
+        .map(|a| a.windows.fsync_window().quantile_ms(0.99))
+        .unwrap_or(0.0);
+    let reasons = degraded_reasons(
+        backlog,
+        state.ready_max_backlog,
+        fsync_p99_ms,
+        state.ready_max_fsync_ms,
+    );
+    let ready = reasons.is_empty();
+    let body = render(Value::Map(vec![
+        (
+            "status".into(),
+            Value::Str(if ready { "ready" } else { "degraded" }.into()),
+        ),
+        ("backlog".into(), Value::UInt(backlog)),
+        ("max_backlog".into(), Value::UInt(state.ready_max_backlog)),
+        ("fsync_window_p99_ms".into(), Value::Float(fsync_p99_ms)),
+        ("max_fsync_ms".into(), Value::UInt(state.ready_max_fsync_ms)),
+        (
+            "reasons".into(),
+            Value::Seq(reasons.into_iter().map(|r| Value::Str(r.into())).collect()),
+        ),
+    ]));
+    (ready, body)
+}
+
+/// The `{"enabled": false}` body every `/debug/*` route answers when the
+/// analytics layer is off (`--no-telemetry` or `--window-secs 0`).
+fn analytics_disabled() -> String {
+    render(Value::Map(vec![("enabled".into(), Value::Bool(false))]))
+}
+
+/// Render `GET /debug/window`: per-endpoint request rates and latency
+/// quantiles over the rolling window, plus the windowed fsync latency.
+/// Endpoints with no traffic inside the window are omitted. The raw
+/// nanosecond quantiles ride along so machine consumers (the integration
+/// tests, `obstop`) need not re-derive them from the millisecond floats.
+fn debug_window<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let Some(analytics) = &state.telemetry.analytics else {
+        return analytics_disabled();
+    };
+    let windows = &analytics.windows;
+    let mut endpoints = Vec::new();
+    for endpoint in Endpoint::ALL {
+        let snap = windows.endpoint_window(endpoint);
+        if snap.count() == 0 {
+            continue;
+        }
+        endpoints.push(Value::Map(vec![
+            ("endpoint".into(), Value::Str(endpoint.name().into())),
+            ("count".into(), Value::UInt(snap.count())),
+            ("rate_rps".into(), Value::Float(windows.rate(snap.count()))),
+            ("p50_ms".into(), Value::Float(snap.quantile_ms(0.5))),
+            ("p99_ms".into(), Value::Float(snap.quantile_ms(0.99))),
+            (
+                "p50_ns".into(),
+                Value::UInt(snap.quantile(0.5).unwrap_or(0)),
+            ),
+            (
+                "p99_ns".into(),
+                Value::UInt(snap.quantile(0.99).unwrap_or(0)),
+            ),
+        ]));
+    }
+    let fsync = windows.fsync_window();
+    render(Value::Map(vec![
+        ("enabled".into(), Value::Bool(true)),
+        ("window_secs".into(), Value::UInt(windows.window_secs())),
+        ("covered_secs".into(), Value::Float(windows.covered_secs())),
+        ("endpoints".into(), Value::Seq(endpoints)),
+        (
+            "fsync".into(),
+            Value::Map(vec![
+                ("count".into(), Value::UInt(fsync.count())),
+                ("p50_ms".into(), Value::Float(fsync.quantile_ms(0.5))),
+                ("p99_ms".into(), Value::Float(fsync.quantile_ms(0.99))),
+            ]),
+        ),
+    ]))
+}
+
+/// JSON rows for one heavy-hitter list.
+fn hitters_value(hitters: &[crate::obs::HeavyHitter]) -> Value {
+    Value::Seq(
+        hitters
+            .iter()
+            .map(|h| {
+                Value::Map(vec![
+                    ("key".into(), Value::Str(h.key.clone())),
+                    ("count".into(), Value::UInt(h.count)),
+                    ("error".into(), Value::UInt(h.error)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render `GET /debug/top`: the hottest ingest sources, routed shards, and
+/// match-result entities of the current window (previous window alongside).
+/// Counts come from space-saving sketches: a `count` overestimates the true
+/// frequency by at most its `error`.
+fn debug_top<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let Some(analytics) = &state.telemetry.analytics else {
+        return analytics_disabled();
+    };
+    let epoch = analytics.windows.window_epoch();
+    let section = |topk: &crate::obs::WindowedTopK| {
+        let (current, previous) = topk.top_at(epoch);
+        Value::Map(vec![
+            ("current".into(), hitters_value(&current)),
+            ("previous".into(), hitters_value(&previous)),
+        ])
+    };
+    render(Value::Map(vec![
+        ("enabled".into(), Value::Bool(true)),
+        ("window_epoch".into(), Value::UInt(epoch)),
+        ("sources".into(), section(&analytics.sources)),
+        ("shards".into(), section(&analytics.shards)),
+        ("entities".into(), section(&analytics.entities)),
+    ]))
+}
+
+/// Render `GET /debug/slow`: the retained slow-request exemplars (current
+/// window first, then the previous one, slowest first), each with its full
+/// span decomposition — the request that blew the SLO, inspectable after
+/// the fact without log spelunking.
+fn debug_slow<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let Some(analytics) = &state.telemetry.analytics else {
+        return analytics_disabled();
+    };
+    let exemplars = analytics
+        .exemplars
+        .snapshot_at(analytics.windows.window_epoch());
+    let entries: Vec<Value> = exemplars
+        .iter()
+        .map(|e| {
+            let spans: Vec<(String, Value)> = e
+                .trace
+                .spans()
+                .map(|(stage, ns)| (stage.name().to_string(), Value::UInt(ns)))
+                .collect();
+            Value::Map(vec![
+                ("request_id".into(), Value::UInt(e.trace.id)),
+                ("method".into(), Value::Str(e.method.clone())),
+                ("path".into(), Value::Str(e.path.clone())),
+                ("status".into(), Value::UInt(u64::from(e.status))),
+                ("total_ns".into(), Value::UInt(e.total_ns)),
+                ("ts_ms".into(), Value::UInt(e.ts_ms)),
+                ("fan_out".into(), Value::UInt(e.trace.fan_out_width())),
+                ("spans".into(), Value::Map(spans)),
+            ])
+        })
+        .collect();
+    render(Value::Map(vec![
+        ("enabled".into(), Value::Bool(true)),
+        ("exemplars".into(), Value::Seq(entries)),
+    ]))
+}
+
+/// Render `GET /debug/storage`: per-shard storage health — cache hit rates,
+/// WAL sizes, and per-segment live ratios (what compaction will act on) —
+/// plus the windowed fsync latency. Never blocks: a shard held by a writer
+/// reports its published counters with its segment list omitted.
+fn debug_storage<E: EmbeddingModel>(state: &ServerState<E>) -> String {
+    let details = state.store.shard_storage_details();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut shards = Vec::with_capacity(details.len());
+    for (i, (stats, segments)) in details.iter().enumerate() {
+        cache_hits += stats.cache_hits;
+        cache_misses += stats.cache_misses;
+        let mut entries = match stats.to_value() {
+            Value::Map(entries) => entries,
+            other => vec![("stats".into(), other)],
+        };
+        entries.insert(0, ("shard".into(), Value::UInt(i as u64)));
+        entries.push((
+            "wal_bytes".into(),
+            Value::UInt(state.wal_bytes[i].load(Ordering::Relaxed)),
+        ));
+        entries.push((
+            "segment_files".into(),
+            Value::Seq(
+                segments
+                    .iter()
+                    .map(|s| {
+                        Value::Map(vec![
+                            ("records".into(), Value::UInt(s.records as u64)),
+                            ("dead".into(), Value::UInt(s.dead as u64)),
+                            ("bytes".into(), Value::UInt(s.bytes)),
+                            ("live_ratio".into(), Value::Float(s.live_ratio())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        shards.push(Value::Map(entries));
+    }
+    let looked_up = cache_hits + cache_misses;
+    let hit_rate = if looked_up > 0 {
+        cache_hits as f64 / looked_up as f64
+    } else {
+        0.0
+    };
+    let fsync_p99_ms = state
+        .telemetry
+        .analytics
+        .as_ref()
+        .map(|a| a.windows.fsync_window().quantile_ms(0.99))
+        .unwrap_or(0.0);
+    render(Value::Map(vec![
+        ("cache_hits".into(), Value::UInt(cache_hits)),
+        ("cache_misses".into(), Value::UInt(cache_misses)),
+        ("cache_hit_rate".into(), Value::Float(hit_rate)),
+        (
+            "wal_bytes".into(),
+            Value::UInt(
+                state
+                    .wal_bytes
+                    .iter()
+                    .map(|bytes| bytes.load(Ordering::Relaxed))
+                    .sum(),
+            ),
+        ),
+        ("fsync_window_p99_ms".into(), Value::Float(fsync_p99_ms)),
+        ("shards".into(), Value::Seq(shards)),
+    ]))
+}
+
 /// Render `GET /metrics` (Prometheus text exposition). Runs on the I/O fast
 /// path under the same discipline as `/stats`: gauges refresh from published
 /// atomics and rendering takes only the registry's own mutex — **never** a
@@ -976,6 +1283,15 @@ fn metrics_scrape<E: EmbeddingModel>(state: &ServerState<E>) -> String {
         .map(|n| n.load(Ordering::SeqCst))
         .sum();
     metrics.queue_inflight.set(inflight as f64);
+    // Storage cache counters ride the same nonblocking per-shard pass
+    // `/stats` uses; windowed rate/quantile gauges refresh from the rolling
+    // analytics windows (no-op with analytics off).
+    let storage = state.store.storage_stats();
+    metrics.storage_cache_hits.set(storage.cache_hits as f64);
+    metrics
+        .storage_cache_misses
+        .set(storage.cache_misses as f64);
+    telemetry.refresh_window_metrics();
     telemetry.registry.render()
 }
 
@@ -1215,6 +1531,14 @@ fn ingest<E: EmbeddingModel>(
         // Lock order: shard write lock first, then that shard's WAL (see
         // module docs). Writers to different shards share nothing here.
         let shard = state.store.shard_of(&record);
+        // Heavy-hitter analytics, before the shard lock: the source key is
+        // the routing token, so `/debug/top` ranks what drives placement.
+        if state.telemetry.analytics.is_some() {
+            state
+                .telemetry
+                .note_source(&crate::shard::route_token(&record));
+            state.telemetry.note_shard(shard);
+        }
         let mut guard = state.store.write_shard(shard);
         if let Some(wals) = &state.wals {
             let mut wal = wals[shard].lock().expect("wal lock poisoned");
@@ -1268,6 +1592,13 @@ fn match_one<E: EmbeddingModel>(
     trace.add(Stage::RankMerge, timing.merge_ns);
     trace.add(Stage::FanOut, timing.coordination_ns());
     trace.set_fan_out_width(timing.fan_out);
+    // The best match is this request's "result entity" for /debug/top.
+    if let Some((gid, _)) = ranked.first() {
+        state.telemetry.note_match_entity(&format!(
+            "{}-{}-{}",
+            gid.shard, gid.entity.source, gid.entity.row
+        ));
+    }
     let matches: Vec<Value> = ranked
         .into_iter()
         .map(|(gid, distance)| {
@@ -1562,6 +1893,22 @@ mod tests {
         assert_eq!(again, rate);
         // A fresh window has no estimate yet.
         assert_eq!(DrainWindow::new().sample(0), 0.0);
+    }
+
+    #[test]
+    fn readiness_degrades_only_past_enabled_thresholds() {
+        // Disabled thresholds (0) never degrade, whatever the signals say.
+        assert!(degraded_reasons(1_000_000, 0, 1e9, 0).is_empty());
+        // Backlog at the threshold is still ready; one past it degrades.
+        assert!(degraded_reasons(100, 100, 0.0, 0).is_empty());
+        let reasons = degraded_reasons(101, 100, 0.0, 0);
+        assert_eq!(reasons, ["ingest backlog above --ready-max-backlog"]);
+        // Windowed fsync p99 crossing its threshold degrades independently.
+        assert!(degraded_reasons(0, 100, 5.0, 5).is_empty());
+        let reasons = degraded_reasons(0, 100, 5.1, 5);
+        assert_eq!(reasons, ["windowed fsync p99 above --ready-max-fsync-ms"]);
+        // Both at once report both reasons.
+        assert_eq!(degraded_reasons(101, 100, 6.0, 5).len(), 2);
     }
 
     #[test]

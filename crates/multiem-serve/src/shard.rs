@@ -27,7 +27,7 @@
 use multiem_ann::merge_ranked;
 use multiem_embed::EmbeddingModel;
 use multiem_online::{
-    EntityStore, OnlineConfig, OnlineError, SnapshotFormat, StorageStats, StoreStats,
+    EntityStore, OnlineConfig, OnlineError, SegmentStats, SnapshotFormat, StorageStats, StoreStats,
 };
 use multiem_table::{EntityId, Record, Schema};
 use rayon::prelude::*;
@@ -436,6 +436,27 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
     pub fn storage_stats(&self) -> StorageStats {
         self.stats_with_storage().1
     }
+
+    /// Per-shard storage counters plus per-segment health, for the
+    /// `/debug/storage` surface. Never blocks on a write lock: a held shard
+    /// reports its last published counters with an empty segment list
+    /// (segment health is diagnostic, not worth waiting on a checkpoint
+    /// for).
+    pub fn shard_storage_details(&self) -> Vec<(StorageStats, Vec<SegmentStats>)> {
+        self.shards
+            .iter()
+            .map(|shard| match shard.store.try_read() {
+                Ok(store) => {
+                    shard.publish(&store);
+                    (store.storage_stats(), store.segment_stats())
+                }
+                Err(_) => (
+                    shard.published.lock().expect("stats lock poisoned").1,
+                    Vec::new(),
+                ),
+            })
+            .collect()
+    }
 }
 
 /// Apply one insert to an already write-locked shard, returning the global
@@ -462,20 +483,27 @@ pub fn apply_insert<E: EmbeddingModel>(
     ))
 }
 
-/// Stable FNV-1a 64 over a record's routing key: the lowercased leading
-/// token of the first non-empty attribute (see
-/// [`ShardedEntityStore::shard_of`]). Records with no non-empty value hash
-/// their (empty) key to a fixed shard.
-fn record_route_hash(record: &Record) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let token = record
+/// A record's routing key: the lowercased leading token of the first
+/// non-empty attribute (empty when no value renders to text). This is both
+/// what [`ShardedEntityStore::shard_of`] hashes and the "source" key the
+/// serving layer's heavy-hitter analytics counts, so `/debug/top` ranks
+/// exactly the keys that drive shard routing.
+pub fn route_token(record: &Record) -> String {
+    record
         .values()
         .iter()
         .map(multiem_table::Value::render)
         .find_map(|text| text.split_whitespace().next().map(str::to_ascii_lowercase))
-        .unwrap_or_default();
+        .unwrap_or_default()
+}
+
+/// Stable FNV-1a 64 over a record's routing key (see [`route_token`]).
+/// Records with no non-empty value hash their (empty) key to a fixed shard.
+fn record_route_hash(record: &Record) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let token = route_token(record);
     for byte in token.as_bytes() {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(PRIME);

@@ -1531,3 +1531,228 @@ fn concurrent_http_clients_see_zero_errors() {
     );
     handle.shutdown();
 }
+
+/// The value of key `name` inside a parsed JSON map (debug surfaces).
+fn json_field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+    value
+        .as_map()?
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, v)| v)
+}
+
+fn get_json(client: &mut HttpClient, path: &str) -> serde::Value {
+    let (status, body) = client.request("GET", path, None).unwrap();
+    assert_eq!(status, 200, "GET {path}: {body}");
+    serde_json::from_str(&body).unwrap_or_else(|e| panic!("GET {path}: bad JSON {e}: {body}"))
+}
+
+#[test]
+fn windowed_p99_agrees_with_the_client_observed_p99() {
+    use multiem_serve::obs::histogram::{bucket_bound, bucket_width};
+
+    let mut config = ServeConfig {
+        shards: 4,
+        ..ServeConfig::default()
+    };
+    // A long window so every sample of this test stays inside it.
+    config.obs.window_secs = 300;
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    // Batched ingests cost the server tens of milliseconds each; at that
+    // scale one log-linear bucket is ~6% wide, so the fixed dispatch and
+    // loopback overhead the client measures on top of the server-side
+    // latency (sub-millisecond) cannot push its view past one bucket.
+    const REQUESTS: usize = 40;
+    const PER_BATCH: usize = 15;
+    let mut client_ns: Vec<u64> = (0..REQUESTS)
+        .map(|batch| {
+            let titles: Vec<String> = (0..PER_BATCH)
+                .map(|i| format!("corpus item {} batch {batch}", batch * PER_BATCH + i))
+                .collect();
+            let refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+            let started = std::time::Instant::now();
+            post_records(&mut client, &refs);
+            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        })
+        .collect();
+    client_ns.sort_unstable();
+    // Same nearest-rank rule the server's histogram quantile applies.
+    let rank = ((REQUESTS - 1) as f64 * 0.99).round() as usize;
+    let client_p99 = client_ns[rank];
+
+    let window = get_json(&mut client, "/debug/window");
+    assert!(matches!(
+        json_field(&window, "enabled"),
+        Some(serde::Value::Bool(true))
+    ));
+    let endpoints = json_field(&window, "endpoints")
+        .and_then(serde::Value::as_seq)
+        .expect("window has endpoints");
+    let records_entry = endpoints
+        .iter()
+        .find(|e| json_field(e, "endpoint").and_then(serde::Value::as_str) == Some("records"))
+        .expect("records endpoint visible in the window");
+    assert_eq!(
+        json_field(records_entry, "count").and_then(serde::Value::as_u64),
+        Some(REQUESTS as u64),
+        "the window saw exactly the ingests this test issued"
+    );
+    let server_p99 = json_field(records_entry, "p99_ns")
+        .and_then(serde::Value::as_u64)
+        .expect("window reports p99_ns");
+
+    // The reported quantile is a bucket's inclusive upper bound; the
+    // acceptance bar is agreement within that bucket's width.
+    let index = (0..4096)
+        .find(|&i| bucket_bound(i) == server_p99)
+        .expect("reported p99 is a bucket bound");
+    let tolerance = bucket_width(index);
+    assert!(
+        client_p99.abs_diff(server_p99) <= tolerance,
+        "client p99 {client_p99}ns vs windowed p99 {server_p99}ns differs by more than one \
+         bucket width ({tolerance}ns)"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn debug_top_names_the_hottest_ingest_source() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    // 60 records lead with "zeta"; four decoy sources get 5 each. The
+    // source key is the leading title token (the shard-routing token).
+    let hot: Vec<String> = (0..60).map(|i| format!("zeta item {i}")).collect();
+    let refs: Vec<&str> = hot.iter().map(String::as_str).collect();
+    post_records(&mut client, &refs);
+    for decoy in ["alpha", "beta", "gamma", "delta"] {
+        let titles: Vec<String> = (0..5).map(|i| format!("{decoy} item {i}")).collect();
+        let refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+        post_records(&mut client, &refs);
+    }
+
+    let top = get_json(&mut client, "/debug/top");
+    assert!(matches!(
+        json_field(&top, "enabled"),
+        Some(serde::Value::Bool(true))
+    ));
+    let hitters = json_field(&top, "sources")
+        .and_then(|s| json_field(s, "current"))
+        .and_then(serde::Value::as_seq)
+        .expect("sources.current present");
+    let first = hitters.first().expect("at least one hot source");
+    assert_eq!(
+        json_field(first, "key").and_then(serde::Value::as_str),
+        Some("zeta"),
+        "the sketch must name the true hottest source: {hitters:?}"
+    );
+    // Five distinct sources fit the sketch exactly: no eviction error.
+    assert_eq!(
+        json_field(first, "count").and_then(serde::Value::as_u64),
+        Some(60)
+    );
+    assert_eq!(
+        json_field(first, "error").and_then(serde::Value::as_u64),
+        Some(0)
+    );
+    // Shard traffic is tracked under synthetic shard-N keys.
+    let shard_hitters = json_field(&top, "shards")
+        .and_then(|s| json_field(s, "current"))
+        .and_then(serde::Value::as_seq)
+        .expect("shards.current present");
+    assert!(
+        shard_hitters.iter().all(|h| {
+            json_field(h, "key")
+                .and_then(serde::Value::as_str)
+                .is_some_and(|k| k.starts_with("shard-"))
+        }),
+        "{shard_hitters:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn readyz_and_debug_surfaces_answer_on_the_fast_path() {
+    let mut config = ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    // Thresholds enabled but far from tripping: /readyz must stay 200.
+    config.obs.ready_max_backlog = 1_000_000;
+    config.obs.ready_max_fsync_ms = 60_000;
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    post_records(&mut client, &["ready item a", "ready item b"]);
+    match_title(&mut client, "ready item a");
+
+    let (status, body) = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+    assert!(body.contains("\"max_backlog\":1000000"), "{body}");
+    assert!(body.contains("\"reasons\":[]"), "{body}");
+
+    // /debug/slow retains the slowest requests with full span breakdowns.
+    let slow = get_json(&mut client, "/debug/slow");
+    assert!(matches!(
+        json_field(&slow, "enabled"),
+        Some(serde::Value::Bool(true))
+    ));
+    let exemplars = json_field(&slow, "exemplars")
+        .and_then(serde::Value::as_seq)
+        .expect("exemplars present");
+    assert!(!exemplars.is_empty(), "worker requests leave exemplars");
+    let slowest = &exemplars[0];
+    assert!(
+        json_field(slowest, "total_ns")
+            .and_then(serde::Value::as_u64)
+            .is_some_and(|ns| ns > 0),
+        "{slowest:?}"
+    );
+    let spans = json_field(slowest, "spans")
+        .and_then(serde::Value::as_map)
+        .expect("exemplar carries spans");
+    assert!(!spans.is_empty(), "{slowest:?}");
+
+    // /debug/storage answers one entry per shard without touching locks.
+    let storage = get_json(&mut client, "/debug/storage");
+    for key in ["cache_hits", "cache_misses", "cache_hit_rate", "wal_bytes"] {
+        assert!(json_field(&storage, key).is_some(), "storage lacks {key}");
+    }
+    let shards = json_field(&storage, "shards")
+        .and_then(serde::Value::as_seq)
+        .expect("storage has shards");
+    assert_eq!(shards.len(), 2, "one entry per shard");
+    handle.shutdown();
+}
+
+#[test]
+fn debug_surfaces_disable_cleanly_without_telemetry() {
+    let mut config = ServeConfig::default();
+    config.obs.telemetry = false;
+    let (handle, addr) = spawn_server(config);
+    let mut client = HttpClient::connect(&addr).unwrap();
+
+    post_records(&mut client, &["kill switch debug item"]);
+    for path in ["/debug/window", "/debug/top", "/debug/slow"] {
+        let body = get_json(&mut client, path);
+        assert!(
+            matches!(
+                json_field(&body, "enabled"),
+                Some(serde::Value::Bool(false))
+            ),
+            "{path} must report the analytics layer as off"
+        );
+    }
+    // Liveness and readiness stay up: with no analytics the fsync check is
+    // simply skipped, and nothing is backlogged.
+    let (status, body) = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ready\""), "{body}");
+    // Storage introspection does not depend on the analytics layer at all.
+    let storage = get_json(&mut client, "/debug/storage");
+    assert!(json_field(&storage, "shards").is_some());
+    handle.shutdown();
+}
