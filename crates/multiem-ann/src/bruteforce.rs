@@ -62,23 +62,73 @@ impl BruteForceIndex {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
+        // The query's norm is loop-invariant across the scan; hoist it.
+        let qnorm = Metric::squared_norm(query);
         let mut results: Vec<Neighbor> = Vec::with_capacity(self.len());
         for i in 0..self.len() {
             if exclude == Some(i) {
                 continue;
             }
-            let d = self.metric.distance(query, self.vector(i));
+            let d = self.metric.distance_qnormed(query, self.vector(i), qnorm);
             results.push(Neighbor::new(i, d));
         }
-        results.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
+        results.sort_by(rank);
         results.truncate(k);
         results
     }
+
+    /// Search several queries in **one pass** over the stored vectors.
+    ///
+    /// The scan is candidates-outer / queries-inner, which saves real work
+    /// twice over per-query scans: each stored vector is loaded once per
+    /// *batch* and scored against every query while it is cache-hot, and —
+    /// for [`Metric::Cosine`] — its squared norm is computed once and shared
+    /// by the whole batch, so the per-pair kernel degenerates to a dot
+    /// product ([`Metric::distance_prenormed`]). A single-query scan cannot
+    /// amortize candidate norms (each candidate is visited once per scan).
+    /// Each query's result is bit-identical to what [`VectorIndex::search`]
+    /// returns for it (same floats, same distance-then-index ranking, same
+    /// top-`k` cut).
+    pub fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        if k == 0 || self.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let keep = k.min(self.len());
+        let qnorms: Vec<f32> = queries.iter().map(|q| Metric::squared_norm(q)).collect();
+        // Per-query bounded insertion sort (ascending, worst hit last): with
+        // small `k` almost every candidate costs one compare against the
+        // current worst, so the inner loop stays distance-computation bound.
+        let mut results = vec![Vec::with_capacity(keep + 1); queries.len()];
+        for i in 0..self.len() {
+            let candidate = self.vector(i);
+            let cnorm = Metric::squared_norm(candidate);
+            for ((query, &qnorm), hits) in queries.iter().zip(&qnorms).zip(results.iter_mut()) {
+                let found = Neighbor::new(
+                    i,
+                    self.metric
+                        .distance_prenormed(query, candidate, qnorm, cnorm),
+                );
+                if hits.len() == keep {
+                    if rank(&found, &hits[keep - 1]) != std::cmp::Ordering::Less {
+                        continue;
+                    }
+                    hits.pop();
+                }
+                let at = hits.partition_point(|h| rank(h, &found) != std::cmp::Ordering::Greater);
+                hits.insert(at, found);
+            }
+        }
+        results
+    }
+}
+
+/// The ranking shared by every search path: ascending distance, ties broken
+/// by insertion index for determinism.
+fn rank(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.distance
+        .partial_cmp(&b.distance)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.index.cmp(&b.index))
 }
 
 impl DynamicVectorIndex for BruteForceIndex {
@@ -174,6 +224,32 @@ mod tests {
     fn add_rejects_wrong_dim() {
         let mut idx = BruteForceIndex::new(3, Metric::Cosine);
         idx.add(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_search_agrees_with_single_searches() {
+        let mut idx = BruteForceIndex::new(4, Metric::Cosine);
+        let mut x = 1.0f32;
+        for _ in 0..57 {
+            // Deterministic pseudo-random-ish vectors, including duplicates.
+            x = (x * 7.31).fract() + 0.1;
+            idx.add(&[x, 1.0 - x, x * x, 0.5]);
+            idx.add(&[x, 1.0 - x, x * x, 0.5]);
+        }
+        let queries: Vec<Vec<f32>> = (0..9)
+            .map(|q| vec![0.1 * q as f32, 1.0, 0.3, 0.2 * q as f32])
+            .collect();
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        for k in [0, 1, 3, 200] {
+            let batched = idx.search_batch(&refs, k);
+            assert_eq!(batched.len(), queries.len());
+            for (query, hits) in refs.iter().zip(&batched) {
+                assert_eq!(hits, &idx.search(query, k));
+            }
+        }
+        assert!(idx.search_batch(&[], 3).is_empty());
+        let empty = BruteForceIndex::new(4, Metric::Cosine);
+        assert_eq!(empty.search_batch(&refs, 3), vec![Vec::new(); 9]);
     }
 
     #[test]

@@ -47,6 +47,128 @@ impl Metric {
         }
     }
 
+    /// [`Metric::distance`] with the query's squared norm `na` precomputed.
+    ///
+    /// A scan evaluates one query against many stored vectors; for
+    /// [`Metric::Cosine`] that makes `Σa²` loop-invariant, so hoisting it
+    /// drops the per-pair work from three accumulations to two (dot product
+    /// and the candidate's norm). Bit-identical to `distance`: each
+    /// accumulation is its own chain in the fused loop, so summing them in
+    /// separate passes yields the same floats. Other metrics have no
+    /// norm term and fall through to `distance` unchanged.
+    #[inline]
+    pub fn distance_qnormed(&self, a: &[f32], b: &[f32], na: f32) -> f32 {
+        match self {
+            Metric::Cosine => {
+                let (dot, nb) = dot_and_norm_lanes(a, b);
+                Self::cosine_from_parts(dot, na, nb)
+            }
+            _ => self.distance(a, b),
+        }
+    }
+
+    /// [`Metric::distance`] with **both** squared norms precomputed, leaving
+    /// only the dot product per pair.
+    ///
+    /// This is the kernel of a *batched* scan, and the reason batching a
+    /// memory- and compute-bound linear scan genuinely saves work: the
+    /// candidate's norm `nb` is computed once per stored vector and shared
+    /// by every query of the batch, which a single-query scan cannot do
+    /// (each candidate is visited once per scan, so there is nothing to
+    /// amortize its norm over). Bit-identical to `distance` for the same
+    /// pair. Other metrics fall through to `distance` unchanged.
+    #[inline]
+    pub fn distance_prenormed(&self, a: &[f32], b: &[f32], na: f32, nb: f32) -> f32 {
+        match self {
+            Metric::Cosine => Self::cosine_from_parts(dot_lanes(a, b), na, nb),
+            _ => self.distance(a, b),
+        }
+    }
+
+    /// Squared L2 norm with the same lane structure as the norm chain of
+    /// [`Metric::distance_qnormed`] (required for bit-parity when hoisted).
+    #[inline]
+    pub fn squared_norm(v: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = v.chunks_exact(LANES);
+        for c in &mut chunks {
+            for (lane, x) in acc.iter_mut().zip(c) {
+                *lane += x * x;
+            }
+        }
+        let mut n = sum_lanes(acc);
+        for x in chunks.remainder() {
+            n += x * x;
+        }
+        n
+    }
+
+    #[inline]
+    fn cosine_from_parts(dot: f32, na: f32, nb: f32) -> f32 {
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+    }
+}
+
+/// Accumulator lanes of the unrolled scan kernels. A single-accumulator
+/// f32 reduction is bound by FMA latency (one chain); eight independent
+/// lanes keep the multiplier ports busy and let LLVM vectorize the body.
+const LANES: usize = 8;
+
+#[inline]
+fn sum_lanes(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Lane-unrolled dot product. Same lane assignment as the dot chain of
+/// [`dot_and_norm_lanes`], so the two produce bit-identical dots.
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for ((lane, x), y) in acc.iter_mut().zip(xs).zip(ys) {
+            *lane += x * y;
+        }
+    }
+    let mut dot = sum_lanes(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        dot += x * y;
+    }
+    dot
+}
+
+/// Fused lane-unrolled dot product and squared norm of `b` — one pass over
+/// both slices, two independent lane sets (bit-identical to [`dot_lanes`]
+/// and [`Metric::squared_norm`] computed separately).
+#[inline]
+fn dot_and_norm_lanes(a: &[f32], b: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot_acc = [0.0f32; LANES];
+    let mut norm_acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for (((dlane, nlane), x), y) in dot_acc.iter_mut().zip(norm_acc.iter_mut()).zip(xs).zip(ys)
+        {
+            *dlane += x * y;
+            *nlane += y * y;
+        }
+    }
+    let mut dot = sum_lanes(dot_acc);
+    let mut norm = sum_lanes(norm_acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        dot += x * y;
+        norm += y * y;
+    }
+    (dot, norm)
+}
+
+impl Metric {
     /// Short name used in experiment records.
     pub fn name(&self) -> &'static str {
         match self {

@@ -142,6 +142,17 @@ impl RepIndex {
         }
     }
 
+    /// Search several queries at once. The brute-force backend answers all
+    /// of them with one candidates-outer pass over its flat vector array;
+    /// HNSW has no batched traversal, so it falls back to per-query graph
+    /// searches. Per-query results are identical to [`RepIndex::search`].
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            RepIndex::Brute(i) => i.search_batch(queries, k),
+            RepIndex::Hnsw(i) => queries.iter().map(|q| i.search(q, k)).collect(),
+        }
+    }
+
     fn approx_bytes(&self) -> usize {
         match self {
             RepIndex::Brute(i) => i.approx_bytes(),
@@ -592,19 +603,56 @@ impl<E: EmbeddingModel> EntityStore<E> {
     /// distance under the merge metric), closest first. The canonical id of a
     /// cluster is its smallest member.
     pub fn match_record(&self, record: &Record) -> Vec<(EntityId, f32)> {
+        self.match_batch(std::slice::from_ref(record))
+            .pop()
+            .expect("a one-record batch yields one result")
+    }
+
+    /// Batched [`EntityStore::match_record`]: answer every query of
+    /// `records` with **one** candidates-outer pass over the representative
+    /// index, so the index's vector array is streamed through the cache
+    /// hierarchy once per batch instead of once per query (the win of the
+    /// serving layer's match micro-batching on a memory-bound scan). Each
+    /// query's result is exactly what `match_record` would return for it;
+    /// the single-record path is a batch of one through here, so the two
+    /// can never drift in semantics.
+    pub fn match_batch(&self, records: &[Record]) -> Vec<Vec<(EntityId, f32)>> {
+        let mut out: Vec<Vec<(EntityId, f32)>> = vec![Vec::new(); records.len()];
         let Some(selected) = self.state.selected.as_deref() else {
-            return Vec::new();
+            return out;
         };
-        let text = serialize_record_projected(record, selected, &self.state.config.base.serialize);
-        let emb = self.encoder.encode(&text);
-        if emb.iter().all(|&x| x == 0.0) {
-            return Vec::new();
+        let k = self.state.config.base.k;
+        if k == 0 {
+            return out;
         }
-        self.search_live(&emb, self.state.config.base.k)
-            .into_iter()
-            .filter(|&(root, _, dist)| dist <= self.state.config.base.m && self.mutual(root, dist))
-            .map(|(root, _, dist)| (self.canonical_id(root), dist))
-            .collect()
+        let embeddings: Vec<(usize, Vec<f32>)> = records
+            .iter()
+            .enumerate()
+            .filter_map(|(query, record)| {
+                let text =
+                    serialize_record_projected(record, selected, &self.state.config.base.serialize);
+                let emb = self.encoder.encode(&text);
+                // Queries with no recognised tokens match nothing.
+                emb.iter().any(|&x| x != 0.0).then_some((query, emb))
+            })
+            .collect();
+        let queries: Vec<&[f32]> = embeddings.iter().map(|(_, e)| e.as_slice()).collect();
+        // Same tombstone over-fetch + live filter + top-k cut as
+        // `search_live`, applied per query.
+        let fetch = (k + self.state.stale_nodes).min(self.state.node_root.len());
+        for ((query, _), hits) in embeddings
+            .iter()
+            .zip(self.state.index.search_batch(&queries, fetch))
+        {
+            out[*query] = hits
+                .into_iter()
+                .filter_map(|n| self.state.node_root[n.index].map(|root| (root, n.distance)))
+                .take(k)
+                .filter(|&(root, dist)| dist <= self.state.config.base.m && self.mutual(root, dist))
+                .map(|(root, dist)| (self.canonical_id(root), dist))
+                .collect();
+        }
+        out
     }
 
     /// Run density-based pruning over all dirty clusters now (the same pass
@@ -1211,6 +1259,38 @@ mod tests {
         assert!(s
             .match_record(&Record::from_texts(["bosch washing machine"]))
             .is_empty());
+    }
+
+    #[test]
+    fn match_batch_agrees_with_match_record() {
+        let schema = title_schema();
+        let mut s = store();
+        s.ingest_batch(&table(
+            "a",
+            &schema,
+            &[
+                "golden heart river",
+                "makita drill 18v",
+                "bosch jigsaw 700w",
+            ],
+        ))
+        .unwrap();
+        let probes: Vec<Record> = [
+            "golden heart river remaster",
+            "bosch washing machine",
+            "makita drill 18 v",
+            "", // no recognised tokens -> zero embedding -> no hits
+        ]
+        .iter()
+        .map(|t| Record::from_texts([*t]))
+        .collect();
+        let batched = s.match_batch(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (probe, hits) in probes.iter().zip(&batched) {
+            assert_eq!(hits, &s.match_record(probe));
+        }
+        assert!(batched[0].len() == 1 && batched[3].is_empty());
+        assert!(s.match_batch(&[]).is_empty());
     }
 
     #[test]

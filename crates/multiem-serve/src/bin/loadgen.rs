@@ -67,10 +67,18 @@ struct Options {
     write_ratio: f64,
     /// Fraction of requests deleting a record this run inserted earlier.
     delete_ratio: f64,
+    /// Requests each client writes onto one socket before reading any
+    /// response back (HTTP/1.1 pipelining). `1` is classic stop-and-wait.
+    pipeline_depth: usize,
     seed: u64,
     shards: usize,
     workers: usize,
     io_threads: usize,
+    /// Match micro-batch window of the embedded server, in microseconds
+    /// (0 = coalescing off — the server default).
+    batch_window_us: u64,
+    /// Match micro-batch size cap of the embedded server.
+    batch_max: usize,
     out: Option<String>,
     /// Fetch `GET /metrics` after the run and print the server-side view.
     scrape_metrics: bool,
@@ -85,10 +93,13 @@ impl Default for Options {
             requests: 2000,
             write_ratio: 0.6,
             delete_ratio: 0.0,
+            pipeline_depth: 1,
             seed: 42,
             shards: 4,
             workers: 4,
             io_threads: 2,
+            batch_window_us: 0,
+            batch_max: 64,
             out: None,
             scrape_metrics: false,
         }
@@ -125,6 +136,13 @@ fn main() {
             "--delete-ratio" => {
                 opts.delete_ratio = parse(&value("--delete-ratio"), "--delete-ratio");
             }
+            "--pipeline-depth" => {
+                opts.pipeline_depth = parse(&value("--pipeline-depth"), "--pipeline-depth");
+            }
+            "--batch-window-us" => {
+                opts.batch_window_us = parse(&value("--batch-window-us"), "--batch-window-us");
+            }
+            "--batch-max" => opts.batch_max = parse(&value("--batch-max"), "--batch-max"),
             "--seed" => opts.seed = parse(&value("--seed"), "--seed"),
             "--shards" => opts.shards = parse(&value("--shards"), "--shards"),
             "--workers" => opts.workers = parse(&value("--workers"), "--workers"),
@@ -151,6 +169,15 @@ fn main() {
                      \x20 --write-ratio F     fraction of writes (default 0.6)\n\
                      \x20 --delete-ratio F    fraction of requests deleting an earlier\n\
                      \x20                     insert of this run (default 0)\n\
+                     \x20 --pipeline-depth N  write N requests per socket before reading\n\
+                     \x20                     any response back — HTTP/1.1 pipelining\n\
+                     \x20                     (default 1 = stop-and-wait)\n\
+                     \x20 --batch-window-us N embedded server: coalesce concurrent /match\n\
+                     \x20                     requests for up to N us (default 0 = off);\n\
+                     \x20                     with --pipeline-depth and a low write ratio\n\
+                     \x20                     this is the batched-match mode\n\
+                     \x20 --batch-max N       embedded server: flush a match micro-batch\n\
+                     \x20                     at N requests (default 64)\n\
                      \x20 --seed N            workload seed (default 42)\n\
                      \x20 --shards N          shards of the embedded server (default 4)\n\
                      \x20 --workers N         workers of the embedded server (default 4)\n\
@@ -173,6 +200,9 @@ fn main() {
     if opts.clients == 0 || opts.requests == 0 {
         fail("--clients and --requests must be at least 1");
     }
+    if opts.pipeline_depth == 0 {
+        fail("--pipeline-depth must be at least 1");
+    }
     // Every client owns at least one socket, so the effective pool is never
     // smaller than --clients (the report records the effective number).
     let connections = if opts.connections == 0 {
@@ -190,6 +220,8 @@ fn main() {
                 shards: opts.shards,
                 workers: opts.workers,
                 io_threads: opts.io_threads,
+                batch_window_us: opts.batch_window_us,
+                batch_max: opts.batch_max,
                 ..ServeConfig::default()
             };
             let server = MatchServer::bind(config, HashedLexicalEncoder::default(), "127.0.0.1:0")
@@ -222,8 +254,17 @@ fn main() {
                 // any moment (the multiplexer must carry them for free).
                 let own =
                     connections / opts.clients + usize::from(client < connections % opts.clients);
+                let depth = opts.pipeline_depth;
                 scope.spawn(move || {
-                    run_client(&addr, seed, per_client, write_ratio, delete_ratio, own)
+                    run_client(
+                        &addr,
+                        seed,
+                        per_client,
+                        write_ratio,
+                        delete_ratio,
+                        own,
+                        depth,
+                    )
                 })
             })
             .collect();
@@ -284,7 +325,8 @@ fn main() {
         })
         .unwrap_or_default();
     let report = format!(
-        "{{\"clients\":{},\"connections\":{},\"workers\":{},\"requests\":{},\"writes\":{},\
+        "{{\"clients\":{},\"connections\":{},\"workers\":{},\"pipeline_depth\":{},\
+         \"requests\":{},\"writes\":{},\
          \"reads\":{},\"deletes\":{},\"errors\":{},\"retried_429\":{},\
          \"write_ratio\":{},\"delete_ratio\":{},\"seed\":{},\"elapsed_s\":{:.3},\
          \"throughput_rps\":{:.1},\
@@ -294,6 +336,7 @@ fn main() {
         opts.clients,
         connections,
         opts.workers,
+        opts.pipeline_depth,
         total,
         write_ns.len(),
         read_ns.len(),
@@ -570,6 +613,97 @@ enum Op {
     Delete((u64, u64, u64)),
 }
 
+/// Generate the next request of the seeded mix.
+fn generate_op(
+    rng: &mut ChaCha8Rng,
+    written: &[String],
+    inserted: &mut Vec<(u64, u64, u64)>,
+    write_ratio: f64,
+    delete_ratio: f64,
+) -> Op {
+    if !inserted.is_empty() && rng.gen_bool(delete_ratio) {
+        return Op::Delete(inserted.swap_remove(rng.gen_range(0..inserted.len())));
+    }
+    if written.is_empty() || rng.gen_bool(write_ratio) {
+        // A third of the writes are near-duplicates of earlier ones, so
+        // the store actually exercises its merge path under load.
+        let title = if !written.is_empty() && rng.gen_bool(0.33) {
+            let base = &written[rng.gen_range(0..written.len())];
+            format!("{base}{}", VARIANTS[rng.gen_range(0..VARIANTS.len())])
+        } else {
+            // Brand popularity is deliberately skewed: ~30% of fresh
+            // titles lead with BRANDS[0], the rest pick uniformly. That
+            // gives the server's heavy-hitter sketch a true hottest
+            // source to find (embedded --scrape-metrics runs assert
+            // /debug/top agrees).
+            let brand = if rng.gen_bool(0.3) {
+                BRANDS[0]
+            } else {
+                BRANDS[rng.gen_range(0..BRANDS.len())]
+            };
+            format!(
+                "{} {} {}",
+                brand,
+                PRODUCTS[rng.gen_range(0..PRODUCTS.len())],
+                rng.gen_range(0..10_000u32)
+            )
+        };
+        Op::Write(title)
+    } else {
+        Op::Read(written[rng.gen_range(0..written.len())].clone())
+    }
+}
+
+/// `(method, path, body)` of one op.
+fn op_request(op: &Op) -> (&'static str, String, Option<String>) {
+    match op {
+        Op::Write(title) => (
+            "POST",
+            "/records".to_string(),
+            Some(format!("{{\"records\":[[{}]]}}", json_string(title))),
+        ),
+        Op::Read(title) => (
+            "POST",
+            "/match".to_string(),
+            Some(format!("{{\"record\":[{}]}}", json_string(title))),
+        ),
+        Op::Delete((shard, source, row)) => {
+            ("DELETE", format!("/records/{shard}-{source}-{row}"), None)
+        }
+    }
+}
+
+/// Fold one successful response into the report and the client's
+/// write/insert bookkeeping.
+fn record_success(
+    op: &Op,
+    ns: u64,
+    response: &str,
+    report: &mut ClientReport,
+    written: &mut Vec<String>,
+    inserted: &mut Vec<(u64, u64, u64)>,
+) {
+    match op {
+        Op::Write(title) => {
+            report.write_ns.push(ns);
+            written.push(title.clone());
+            inserted.extend(extract_ids(response));
+        }
+        Op::Read(_) => report.read_ns.push(ns),
+        Op::Delete(_) => report.delete_ns.push(ns),
+    }
+}
+
+/// The parsed `Retry-After` seconds of a 429, as a capped sleep.
+fn retry_after_sleep(headers: &[(String, String)]) {
+    let wait = headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .and_then(|(_, value)| value.parse::<u64>().ok())
+        .unwrap_or(1);
+    std::thread::sleep(Duration::from_millis((wait * 1000).min(2000)));
+}
+
 fn run_client(
     addr: &str,
     seed: u64,
@@ -577,6 +711,7 @@ fn run_client(
     write_ratio: f64,
     delete_ratio: f64,
     connections: usize,
+    depth: usize,
 ) -> ClientReport {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut report = ClientReport::default();
@@ -585,7 +720,7 @@ fn run_client(
     // delete traffic.
     let mut inserted: Vec<(u64, u64, u64)> = Vec::new();
     // Open the whole connection share up front: all of them are live
-    // keep-alive sockets for the duration, but only one carries a request
+    // keep-alive sockets for the duration, but only one carries requests
     // at any moment (the rest idle on the server's event loops).
     let mut clients: Vec<HttpClient> = Vec::with_capacity(connections);
     for _ in 0..connections {
@@ -597,100 +732,96 @@ fn run_client(
             }
         }
     }
-    for request_index in 0..requests {
-        let op = if !inserted.is_empty() && rng.gen_bool(delete_ratio) {
-            Op::Delete(inserted.swap_remove(rng.gen_range(0..inserted.len())))
-        } else if written.is_empty() || rng.gen_bool(write_ratio) {
-            // A third of the writes are near-duplicates of earlier ones, so
-            // the store actually exercises its merge path under load.
-            let title = if !written.is_empty() && rng.gen_bool(0.33) {
-                let base = &written[rng.gen_range(0..written.len())];
-                format!("{base}{}", VARIANTS[rng.gen_range(0..VARIANTS.len())])
-            } else {
-                // Brand popularity is deliberately skewed: ~30% of fresh
-                // titles lead with BRANDS[0], the rest pick uniformly. That
-                // gives the server's heavy-hitter sketch a true hottest
-                // source to find (embedded --scrape-metrics runs assert
-                // /debug/top agrees).
-                let brand = if rng.gen_bool(0.3) {
-                    BRANDS[0]
-                } else {
-                    BRANDS[rng.gen_range(0..BRANDS.len())]
-                };
-                format!(
-                    "{} {} {}",
-                    brand,
-                    PRODUCTS[rng.gen_range(0..PRODUCTS.len())],
-                    rng.gen_range(0..10_000u32)
-                )
-            };
-            Op::Write(title)
-        } else {
-            Op::Read(written[rng.gen_range(0..written.len())].clone())
-        };
-        let (method, path, body) = match &op {
-            Op::Write(title) => (
-                "POST",
-                "/records".to_string(),
-                Some(format!("{{\"records\":[[{}]]}}", json_string(title))),
-            ),
-            Op::Read(title) => (
-                "POST",
-                "/match".to_string(),
-                Some(format!("{{\"record\":[{}]}}", json_string(title))),
-            ),
-            Op::Delete((shard, source, row)) => {
-                ("DELETE", format!("/records/{shard}-{source}-{row}"), None)
+    // Requests go out in bursts of `depth` pipelined onto one socket, then
+    // the responses come back in request order (`depth == 1` is classic
+    // stop-and-wait). Latency is measured per response from the burst's
+    // first write, so pipelined latencies include in-burst queueing — the
+    // tradeoff pipelining buys throughput with.
+    let mut sent = 0usize;
+    let mut burst_index = 0usize;
+    while sent < requests {
+        let burst = depth.min(requests - sent);
+        sent += burst;
+        let conn = burst_index % connections;
+        burst_index += 1;
+        let ops: Vec<Op> = (0..burst)
+            .map(|_| generate_op(&mut rng, &written, &mut inserted, write_ratio, delete_ratio))
+            .collect();
+        let start = Instant::now();
+        let mut wrote = 0usize;
+        for op in &ops {
+            let (method, path, body) = op_request(op);
+            if clients[conn].send(method, &path, body.as_deref()).is_err() {
+                break;
             }
-        };
-
-        // A 429 answer obeys the server's Retry-After (capped) instead of
-        // counting as an error — the whole point of adaptive backpressure.
-        let mut attempts = 0;
-        loop {
-            attempts += 1;
-            let start = Instant::now();
-            match client_request(
-                &mut clients[request_index % connections],
-                method,
-                &path,
-                &body,
-            ) {
+            wrote += 1;
+        }
+        let mut broken = wrote < ops.len();
+        report.errors += ops.len() - wrote;
+        for op in ops.iter().take(wrote) {
+            if broken {
+                report.errors += 1;
+                continue;
+            }
+            match clients[conn].recv() {
                 Ok((200, _, response)) => {
                     let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                    match &op {
-                        Op::Write(title) => {
-                            report.write_ns.push(ns);
-                            written.push(title.clone());
-                            inserted.extend(extract_ids(&response));
-                        }
-                        Op::Read(_) => report.read_ns.push(ns),
-                        Op::Delete(_) => report.delete_ns.push(ns),
-                    }
-                    break;
+                    record_success(op, ns, &response, &mut report, &mut written, &mut inserted);
                 }
-                Ok((429, headers, _)) if attempts < 4 => {
+                Ok((429, headers, _)) => {
+                    // A 429 obeys the server's Retry-After (capped) instead
+                    // of counting as an error — the whole point of adaptive
+                    // backpressure. The op retries alone, stop-and-wait:
+                    // replaying it mid-pipeline would reorder the burst.
                     report.retried_429 += 1;
-                    let wait = headers
-                        .iter()
-                        .find(|(name, _)| name == "retry-after")
-                        .and_then(|(_, value)| value.parse::<u64>().ok())
-                        .unwrap_or(1);
-                    std::thread::sleep(Duration::from_millis((wait * 1000).min(2000)));
+                    retry_after_sleep(&headers);
+                    let mut attempts = 1;
+                    loop {
+                        attempts += 1;
+                        let (method, path, body) = op_request(op);
+                        let retry_start = Instant::now();
+                        match client_request(&mut clients[conn], method, &path, &body) {
+                            Ok((200, _, response)) => {
+                                let ns = retry_start.elapsed().as_nanos().min(u128::from(u64::MAX))
+                                    as u64;
+                                record_success(
+                                    op,
+                                    ns,
+                                    &response,
+                                    &mut report,
+                                    &mut written,
+                                    &mut inserted,
+                                );
+                                break;
+                            }
+                            Ok((429, headers, _)) if attempts < 4 => {
+                                report.retried_429 += 1;
+                                retry_after_sleep(&headers);
+                            }
+                            Ok((_status, _, _)) => {
+                                report.errors += 1;
+                                break;
+                            }
+                            Err(_) => {
+                                report.errors += 1;
+                                broken = true;
+                                break;
+                            }
+                        }
+                    }
                 }
-                Ok((_status, _, _)) => {
-                    report.errors += 1;
-                    break;
-                }
+                Ok((_status, _, _)) => report.errors += 1,
                 Err(_) => {
                     report.errors += 1;
-                    // The connection may be poisoned; reconnect that slot.
-                    match HttpClient::connect(addr) {
-                        Ok(fresh) => clients[request_index % connections] = fresh,
-                        Err(_) => return report, // server gone; stop this client
-                    }
-                    break;
+                    broken = true;
                 }
+            }
+        }
+        if broken {
+            // The connection may be poisoned; reconnect that slot.
+            match HttpClient::connect(addr) {
+                Ok(fresh) => clients[conn] = fresh,
+                Err(_) => return report, // server gone; stop this client
             }
         }
     }

@@ -344,13 +344,26 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<FullResponse> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Write one request WITHOUT reading its response — HTTP/1.1
+    /// pipelining. The server answers pipelined requests strictly in send
+    /// order, so `n` [`HttpClient::send`]s followed by `n`
+    /// [`HttpClient::recv`]s pair up positionally.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
         let body = body.unwrap_or("");
         write!(
             self.stream,
             "{method} {path} HTTP/1.1\r\nHost: multiem\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )?;
-        self.stream.flush()?;
+        self.stream.flush()
+    }
+
+    /// Read the next response off the connection (send order).
+    pub fn recv(&mut self) -> io::Result<FullResponse> {
         read_response(&mut self.reader)
     }
 }

@@ -20,13 +20,20 @@
 //!   channel (which doubles as its wakeup), and the loop queues the bytes
 //!   on the connection for writeback.
 //!
-//! Each connection runs **stop-and-wait**: one request in flight at a time,
-//! which preserves HTTP/1.1 response ordering without a resequencing
-//! buffer. Pipelined bytes simply wait in the parser; concurrency comes
-//! from the number of connections, not per-connection pipelining. `GET`
-//! probes the server marks *fast* (liveness/stats) are answered inline on
-//! the I/O thread, so they stay responsive even when every worker is busy
-//! or blocked behind a checkpoint.
+//! Each connection is **pipelined**: up to [`MAX_PIPELINE`] requests may be
+//! in flight at once, so a client that writes a burst of requests without
+//! waiting for responses pays one round trip for the whole burst instead of
+//! one per request. HTTP/1.1 requires responses in request order, and the
+//! worker pool completes them in *any* order, so every dispatched request
+//! takes a per-connection sequence number and completions are resequenced:
+//! a response whose turn has not come waits in a small pending buffer, and
+//! responses are appended to the connection's output buffer strictly in
+//! sequence order. `GET` probes the server marks *fast* (liveness/stats)
+//! are answered inline on the I/O thread — they take a sequence number like
+//! any other request, so they cannot jump the queue ahead of an earlier
+//! in-flight request on the same connection. A malformed request mid-
+//! pipeline is sequenced the same way: its 400 flushes after every earlier
+//! response, then the connection closes.
 //!
 //! Without `epoll` in `std` (and with `unsafe` forbidden workspace-wide),
 //! readiness is discovered by polling: a loop that made progress spins
@@ -34,7 +41,10 @@
 //! exponentially backed-off timeout (200 µs → 10 ms), so active periods add
 //! microseconds of latency while idle fleets of connections cost a few
 //! wakeups per second. Worker completions land on the channel and wake the
-//! loop instantly.
+//! loop instantly. A connection with queued work — unflushed response bytes
+//! or buffered pipelined requests stalled behind in-flight ones — resets
+//! the backoff to its shortest park, so queued work never waits out the
+//! 10 ms idle cap.
 //!
 //! # Graceful shutdown
 //!
@@ -75,6 +85,12 @@ const POLL_EMPTY: Duration = Duration::from_millis(50);
 /// Bytes read per `read` call on a ready connection.
 const READ_CHUNK: usize = 16 << 10;
 
+/// Per-connection cap on pipelined requests in flight (dispatched but not
+/// yet sequenced into the output buffer). Reads pause at the cap, so a
+/// connection's parser buffer and pending-response memory stay bounded no
+/// matter how deep the client pipelines.
+pub const MAX_PIPELINE: usize = 32;
+
 /// The worker-pool request handler: consumes a parsed request plus the
 /// instant the I/O loop dispatched it (the difference to the handler's own
 /// entry time is the trace's `queue_wait` span), returns the rendered
@@ -90,11 +106,12 @@ pub type FastHandler = dyn Fn(&Request) -> Option<(Vec<u8>, bool)> + Send + Sync
 enum LoopMsg {
     /// A freshly accepted connection to adopt.
     Accept(TcpStream),
-    /// A worker finished a request for connection `slot` (guarded by
+    /// A worker finished request `seq` for connection `slot` (guarded by
     /// `generation` against slot reuse).
     Response {
         slot: usize,
         generation: u64,
+        seq: u64,
         bytes: Vec<u8>,
         close: bool,
     },
@@ -200,12 +217,23 @@ impl Reactor {
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
-    /// Pending response bytes (`written..` not yet on the wire).
+    /// Pending response bytes (`written..` not yet on the wire). Responses
+    /// are appended strictly in request order; the buffer is compacted once
+    /// fully flushed (capacity is kept for reuse).
     outbuf: Vec<u8>,
     written: usize,
-    /// A request is executing on the worker pool; reads pause (stop-and-
-    /// wait) until its response is queued.
-    busy: bool,
+    /// Sequence number the next dispatched request takes.
+    next_seq: u64,
+    /// Sequence number the next response appended to `outbuf` must carry;
+    /// completions arriving out of order wait in `pending`.
+    flushed_seq: u64,
+    /// Out-of-order completions `(seq, bytes, close)` waiting for their
+    /// turn. At most [`MAX_PIPELINE`] entries; scanned linearly.
+    pending: Vec<(u64, Vec<u8>, bool)>,
+    /// No further requests will be parsed from this connection (the peer
+    /// sent `Connection: close`, or a malformed request was rejected).
+    /// Responses already in flight still flush in order.
+    stopped: bool,
     /// Close once `outbuf` drains.
     close_after: bool,
     /// Peer closed its write half; serve what is queued, then drop.
@@ -219,6 +247,12 @@ struct Conn {
 impl Conn {
     fn has_pending_output(&self) -> bool {
         self.written < self.outbuf.len()
+    }
+
+    /// Requests dispatched whose responses are not yet sequenced into
+    /// `outbuf` (including completions parked in `pending`).
+    fn inflight(&self) -> usize {
+        (self.next_seq - self.flushed_seq) as usize
     }
 }
 
@@ -260,6 +294,13 @@ impl EventLoop {
                 idle_iters = 0;
                 continue;
             }
+            // A connection with queued work — unflushed response bytes, or
+            // buffered pipelined requests stalled behind in-flight ones —
+            // must never wait out the exponential backoff; reset to the
+            // shortest park so it is revisited immediately.
+            if self.has_queued_work() {
+                idle_iters = 0;
+            }
             idle_iters = idle_iters.saturating_add(1);
             let park = if self.live_conns() == 0 && !self.shutdown.load(Ordering::SeqCst) {
                 POLL_EMPTY
@@ -287,13 +328,23 @@ impl EventLoop {
         self.conns.len() - self.free.len()
     }
 
+    /// Whether any connection has work the loop itself must push forward
+    /// (as opposed to waiting on the peer or on a worker completion, both
+    /// of which produce their own wakeups).
+    fn has_queued_work(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|c| c.has_pending_output() || (c.inflight() > 0 && !c.parser.is_empty()))
+    }
+
     /// Whether every connection is quiescent (no request in flight, no
     /// unflushed response bytes) — the condition for a clean shutdown.
     fn drained(&self) -> bool {
         self.conns
             .iter()
             .flatten()
-            .all(|c| !c.busy && !c.has_pending_output())
+            .all(|c| c.inflight() == 0 && !c.has_pending_output())
     }
 
     fn handle(&mut self, msg: LoopMsg) -> bool {
@@ -310,7 +361,10 @@ impl EventLoop {
                     parser: RequestParser::new(),
                     outbuf: Vec::new(),
                     written: 0,
-                    busy: false,
+                    next_seq: 0,
+                    flushed_seq: 0,
+                    pending: Vec::new(),
+                    stopped: false,
                     close_after: false,
                     read_closed: false,
                     generation: self.next_generation,
@@ -325,22 +379,51 @@ impl EventLoop {
             LoopMsg::Response {
                 slot,
                 generation,
+                seq,
                 bytes,
                 close,
             } => {
-                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
-                    return false; // connection died while the worker ran
-                };
-                if conn.generation != generation {
-                    return false; // stale completion for a recycled slot
+                {
+                    let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                        return false; // connection died while the worker ran
+                    };
+                    if conn.generation != generation {
+                        return false; // stale completion for a recycled slot
+                    }
                 }
-                conn.outbuf = bytes;
-                conn.written = 0;
-                conn.busy = false;
-                conn.close_after = close;
+                self.complete(slot, seq, bytes, close);
                 self.service(slot);
                 true
             }
+        }
+    }
+
+    /// Sequence one finished request's response into connection `slot`'s
+    /// output buffer. A completion whose turn has not come yet waits in the
+    /// pending buffer; whenever the next-expected response is available,
+    /// it (and any directly following ones) is appended, so pipelined
+    /// responses always leave in request order.
+    fn complete(&mut self, slot: usize, seq: u64, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        conn.pending.push((seq, bytes, close));
+        while let Some(pos) = conn
+            .pending
+            .iter()
+            .position(|(s, _, _)| *s == conn.flushed_seq)
+        {
+            let (_, bytes, close) = conn.pending.swap_remove(pos);
+            if !conn.has_pending_output() {
+                conn.outbuf.clear();
+                conn.written = 0;
+            }
+            conn.outbuf.extend_from_slice(&bytes);
+            if close {
+                conn.close_after = true;
+                conn.stopped = true;
+            }
+            conn.flushed_seq += 1;
         }
     }
 
@@ -357,9 +440,9 @@ impl EventLoop {
     }
 
     /// Advance one connection's state machine as far as it can go without
-    /// blocking: flush, read, parse, dispatch — looping so an inline
-    /// fast-path response immediately serves the next pipelined request.
-    /// May drop the connection.
+    /// blocking: flush, read, parse, dispatch — looping so every complete
+    /// pipelined request in the buffer dispatches on this tick (up to the
+    /// in-flight cap). May drop the connection.
     fn service(&mut self, slot: usize) -> bool {
         let mut progress = false;
         loop {
@@ -376,17 +459,25 @@ impl EventLoop {
                     return progress;
                 }
                 Action::Dispatch(request) => {
+                    let (seq, generation) = {
+                        let conn = self.conns[slot].as_mut().expect("dispatch conn is live");
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        if request.close {
+                            // `Connection: close`: no request after this one
+                            // will be answered, so stop parsing now.
+                            conn.stopped = true;
+                        }
+                        (seq, conn.generation)
+                    };
                     if let Some((bytes, close)) = (self.fast)(&request) {
-                        let conn = self.conns[slot].as_mut().expect("fast-path conn is live");
-                        conn.outbuf = bytes;
-                        conn.written = 0;
-                        conn.close_after = close;
+                        // Inline fast-path response: completes immediately,
+                        // but still takes its sequenced turn behind earlier
+                        // in-flight requests on this connection.
+                        self.complete(slot, seq, bytes, close);
                         progress = true;
-                        continue; // flush, then maybe the next request
+                        continue;
                     }
-                    let conn = self.conns[slot].as_mut().expect("dispatch conn is live");
-                    conn.busy = true;
-                    let generation = conn.generation;
                     let tx = self.tx.clone();
                     let handler = Arc::clone(&self.handler);
                     let dispatched = Instant::now();
@@ -398,12 +489,31 @@ impl EventLoop {
                             let _ = tx.send(LoopMsg::Response {
                                 slot,
                                 generation,
+                                seq,
                                 bytes,
                                 close,
                             });
                         },
                     );
-                    return progress;
+                    progress = true;
+                    continue; // keep parsing pipelined requests behind it
+                }
+                Action::Reject(msg) => {
+                    // Terminal parse error mid-pipeline: the 400 takes the
+                    // next sequence number, so every earlier response still
+                    // flushes (in order) before the connection closes.
+                    let seq = {
+                        let conn = self.conns[slot].as_mut().expect("reject conn is live");
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.stopped = true;
+                        seq
+                    };
+                    let body = error_body(&msg);
+                    let bytes = render_response(400, "Bad Request", &body, true, &[]);
+                    self.complete(slot, seq, bytes, true);
+                    progress = true;
+                    continue;
                 }
             }
         }
@@ -426,11 +536,15 @@ enum Action {
     Close,
     /// A complete request parsed; the caller dispatches it.
     Dispatch(Request),
+    /// The parser hit a terminal error; the caller sequences a 400 behind
+    /// the in-flight responses and stops parsing.
+    Reject(String),
 }
 
 /// Drive one connection without blocking: flush pending output, read ready
-/// bytes, try to parse one request (stop-and-wait). Returns whether any
-/// byte moved plus the resulting [`Action`].
+/// bytes, try to parse the next pipelined request (the caller loops to pull
+/// out the rest). Returns whether any byte moved plus the resulting
+/// [`Action`].
 fn advance(conn: &mut Conn, draining: bool) -> (bool, Action) {
     let mut progress = false;
 
@@ -451,19 +565,18 @@ fn advance(conn: &mut Conn, draining: bool) -> (bool, Action) {
         return (progress, Action::Keep); // wire is full; next tick
     }
     if !conn.outbuf.is_empty() {
-        conn.outbuf = Vec::new();
+        conn.outbuf.clear();
         conn.written = 0;
     }
     if conn.close_after {
         return (progress, Action::Close);
     }
-    if conn.busy {
-        return (progress, Action::Keep); // stop-and-wait
-    }
 
-    // 2. Read whatever the socket has ready (not during drain: new request
-    // bytes are no longer welcome).
-    if !draining && !conn.read_closed {
+    // 2. Read whatever the socket has ready — not during drain (new request
+    // bytes are no longer welcome), not past a close/parse-error, and not
+    // beyond the pipeline cap (which bounds per-connection parser memory:
+    // bytes beyond it wait in the socket buffer).
+    if !draining && !conn.read_closed && !conn.stopped && conn.inflight() < MAX_PIPELINE {
         let mut chunk = [0u8; READ_CHUNK];
         loop {
             match conn.stream.read(&mut chunk) {
@@ -485,9 +598,10 @@ fn advance(conn: &mut Conn, draining: bool) -> (bool, Action) {
         }
     }
 
-    // 3. Parse at most one request (stop-and-wait keeps HTTP/1.1 response
-    // order without a resequencing buffer).
-    if !draining {
+    // 3. Parse the next pipelined request, up to the in-flight cap. The
+    // caller loops, so each buffered request dispatches before the next is
+    // pulled out.
+    if !draining && !conn.stopped && conn.inflight() < MAX_PIPELINE {
         match conn.parser.try_next() {
             Ok(Some(request)) => {
                 conn.partial_since = None;
@@ -503,20 +617,13 @@ fn advance(conn: &mut Conn, draining: bool) -> (bool, Action) {
                     conn.partial_since = None;
                 }
             }
-            Err(e) => {
-                // Terminal parse error: queue a 400; the write path flushes
-                // it and `close_after` then drops the connection.
-                let body = error_body(&e.to_string());
-                conn.outbuf = render_response(400, "Bad Request", &body, true, &[]);
-                conn.written = 0;
-                conn.close_after = true;
-                return (true, Action::Keep);
-            }
+            Err(e) => return (true, Action::Reject(e.to_string())),
         }
     }
 
-    // 4. A half-closed, quiescent connection is finished.
-    if conn.read_closed && conn.parser.is_empty() {
+    // 4. A half-closed connection with nothing left to parse, execute or
+    // flush is finished.
+    if conn.read_closed && conn.parser.is_empty() && conn.inflight() == 0 {
         return (progress, Action::Close);
     }
     (progress, Action::Keep)

@@ -66,9 +66,9 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Everything that can go wrong while building or operating the service.
 #[derive(Debug)]
@@ -159,6 +159,15 @@ pub struct ServeConfig {
     /// /records` answers `429` with `Retry-After` when a target shard is
     /// full. `0` rejects every write (useful for drain/maintenance).
     pub queue_depth: u64,
+    /// Match micro-batching: how long the first request of a batch waits
+    /// for company, in microseconds (`--batch-window-us`). `0` disables
+    /// coalescing — every match runs its own fan-out, exactly the pre-batch
+    /// behavior.
+    pub batch_window_us: u64,
+    /// Upper bound on concurrent match requests coalesced into one fan-out
+    /// (`--batch-max`); a batch that fills flushes immediately without
+    /// waiting out the window. `<= 1` disables coalescing.
+    pub batch_max: usize,
     /// Observability: metrics, tracing and structured logging (see
     /// [`ObsConfig`]).
     pub obs: ObsConfig,
@@ -182,6 +191,8 @@ impl Default for ServeConfig {
             storage: StorageBackend::Memory,
             fsync: FsyncPolicy::default(),
             queue_depth: 4096,
+            batch_window_us: 0,
+            batch_max: 64,
             obs: ObsConfig::default(),
         }
     }
@@ -235,6 +246,10 @@ struct ServerState<E: EmbeddingModel> {
     data_dir: Option<PathBuf>,
     snapshot_format: SnapshotFormat,
     attributes: Vec<String>,
+    /// Match micro-batch coalescer, present when batching is enabled
+    /// (`batch_window_us > 0 && batch_max > 1`). `None` keeps the direct
+    /// one-request-one-fan-out path byte-for-byte.
+    batcher: Option<MatchBatcher>,
     requests: AtomicU64,
     /// Metrics registry + logger + tracer (`GET /metrics`, the access log,
     /// sampled traces). Recording is atomics; scraping takes only the
@@ -458,6 +473,11 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                 data_dir: config.data_dir.clone(),
                 snapshot_format: config.snapshot_format,
                 attributes: config.attributes.clone(),
+                batcher: MatchBatcher::new(
+                    config.batch_window_us,
+                    config.batch_max,
+                    config.workers,
+                ),
                 requests: AtomicU64::new(0),
                 telemetry,
                 shutdown: Arc::new(AtomicBool::new(false)),
@@ -1095,6 +1115,9 @@ fn debug_window<E: EmbeddingModel>(state: &ServerState<E>) -> String {
         ]));
     }
     let fsync = windows.fsync_window();
+    // Batch occupancy is dimensionless (requests or records per executed
+    // batch), so its quantiles are plain sizes, not latencies.
+    let batch = windows.batch_window();
     render(Value::Map(vec![
         ("enabled".into(), Value::Bool(true)),
         ("window_secs".into(), Value::UInt(windows.window_secs())),
@@ -1106,6 +1129,14 @@ fn debug_window<E: EmbeddingModel>(state: &ServerState<E>) -> String {
                 ("count".into(), Value::UInt(fsync.count())),
                 ("p50_ms".into(), Value::Float(fsync.quantile_ms(0.5))),
                 ("p99_ms".into(), Value::Float(fsync.quantile_ms(0.99))),
+            ]),
+        ),
+        (
+            "batch".into(),
+            Value::Map(vec![
+                ("count".into(), Value::UInt(batch.count())),
+                ("p50".into(), Value::UInt(batch.quantile(0.5).unwrap_or(0))),
+                ("max".into(), Value::UInt(batch.quantile(1.0).unwrap_or(0))),
             ]),
         ),
     ]))
@@ -1526,47 +1557,184 @@ fn ingest<E: EmbeddingModel>(
         }
     };
 
-    let mut results = Vec::with_capacity(parsed.len());
-    for record in parsed {
-        // Lock order: shard write lock first, then that shard's WAL (see
-        // module docs). Writers to different shards share nothing here.
-        let shard = state.store.shard_of(&record);
-        // Heavy-hitter analytics, before the shard lock: the source key is
-        // the routing token, so `/debug/top` ranks what drives placement.
+    // Group-commit: records are grouped by target shard, and each shard's
+    // group rides ONE WAL batch append (one frame run, one fsync decision)
+    // followed by the applies, all under a single acquisition of that
+    // shard's write lock. Per-shard order still follows request order, so
+    // WAL replay reconstructs exactly the same state as per-record appends
+    // — the bytes on disk are identical, there are just fewer fsyncs.
+    let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, record) in parsed.iter().enumerate() {
+        let shard = state.store.shard_of(record);
+        // Heavy-hitter analytics, before any lock: the source key is the
+        // routing token, so `/debug/top` ranks what drives placement.
         if state.telemetry.analytics.is_some() {
             state
                 .telemetry
-                .note_source(&crate::shard::route_token(&record));
+                .note_source(&crate::shard::route_token(record));
             state.telemetry.note_shard(shard);
         }
+        match by_shard.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, indices)) => indices.push(i),
+            None => by_shard.push((shard, vec![i])),
+        }
+    }
+    let mut parsed: Vec<Option<Record>> = parsed.into_iter().map(Some).collect();
+    let mut results: Vec<Option<Value>> = (0..parsed.len()).map(|_| None).collect();
+    for (shard, indices) in by_shard {
+        // Lock order: shard write lock first, then that shard's WAL (see
+        // module docs). Writers to different shards share nothing here.
         let mut guard = state.store.write_shard(shard);
         if let Some(wals) = &state.wals {
+            let ops: Vec<WalOp> = indices
+                .iter()
+                .map(|&i| WalOp::Insert(parsed[i].clone().expect("record consumed twice")))
+                .collect();
             let mut wal = wals[shard].lock().expect("wal lock poisoned");
             let timing = wal
-                .append_timed(&WalOp::Insert(record.clone()))
+                .append_batch_timed(&ops)
                 .map_err(|e| IngestError::Invalid(format!("wal append failed: {e}")))?;
             state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
             record_wal_timing(state, trace, &timing);
         }
         let apply_started = Instant::now();
-        let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
-            .map_err(|e| IngestError::Invalid(e.to_string()))?;
+        let mut applied = 0u64;
+        for &i in &indices {
+            let record = parsed[i].take().expect("record consumed twice");
+            let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
+                .map_err(|e| IngestError::Invalid(e.to_string()))?;
+            applied += 1;
+            results[i] = Some(Value::Map(vec![
+                ("shard".into(), Value::UInt(u64::from(gid.shard))),
+                ("source".into(), Value::UInt(u64::from(gid.entity.source))),
+                ("row".into(), Value::UInt(u64::from(gid.entity.row))),
+                ("matched".into(), Value::Bool(matched)),
+            ]));
+        }
         trace.add(Stage::Apply, elapsed_ns(apply_started));
-        state.write_seq[shard].fetch_add(1, Ordering::SeqCst);
-        state.drained[shard].fetch_add(1, Ordering::Relaxed);
-        state.telemetry.metrics.ingested_records.inc();
+        state.write_seq[shard].fetch_add(applied, Ordering::SeqCst);
+        state.drained[shard].fetch_add(applied, Ordering::Relaxed);
+        state.telemetry.metrics.ingested_records.add(applied);
+        state.telemetry.record_ingest_batch(applied);
         drop(guard);
-        results.push(Value::Map(vec![
-            ("shard".into(), Value::UInt(u64::from(gid.shard))),
-            ("source".into(), Value::UInt(u64::from(gid.entity.source))),
-            ("row".into(), Value::UInt(u64::from(gid.entity.row))),
-            ("matched".into(), Value::Bool(matched)),
-        ]));
     }
+    let results: Vec<Value> = results.into_iter().flatten().collect();
     Ok(render(Value::Map(vec![
         ("ingested".into(), Value::UInt(results.len() as u64)),
         ("results".into(), Value::Seq(results)),
     ])))
+}
+
+/// What one coalesced match request resolves to: its globally ranked hits
+/// plus the timing breakdown attributed to it.
+type MatchOutcome = (
+    Vec<(crate::shard::GlobalEntityId, f32)>,
+    crate::shard::MatchTiming,
+);
+
+/// One match request parked in the coalescing queue: its completion slot,
+/// filled by whichever worker executes the batch.
+struct MatchSlot {
+    result: Mutex<Option<MatchOutcome>>,
+    ready: Condvar,
+}
+
+/// The match micro-batch coalescer. Concurrent `POST /match` workers park
+/// their parsed records here; the **first** request of an empty queue
+/// becomes the batch leader and waits up to `window` for company (woken
+/// early when the batch fills to `max`), then swaps the queue out and runs
+/// one [`ShardedEntityStore::match_batch_timed`] fan-out for everyone —
+/// one lock acquisition and one index pass per shard instead of one per
+/// request. Followers block on their slot until the leader distributes
+/// results. A request arriving while a leader executes starts the next
+/// batch, so batches overlap and the queue never convoys behind a slow
+/// fan-out.
+struct MatchBatcher {
+    window: Duration,
+    max: usize,
+    queue: Mutex<Vec<(Record, Arc<MatchSlot>)>>,
+    /// Signalled by enqueuers when the queue fills to `max`, so the leader
+    /// flushes immediately instead of sleeping out the window.
+    full: Condvar,
+}
+
+impl MatchBatcher {
+    /// A coalescer for the configured knobs, or `None` when they disable
+    /// batching (`window == 0`, `max <= 1`, or a single-worker pool, where
+    /// no two requests can ever be in flight to coalesce). The effective
+    /// cap is clamped to the worker count: each parked request occupies one
+    /// worker, so a batch can never hold more than `workers` requests —
+    /// an uncapped `max` would just stall every leader for the full window.
+    fn new(window_us: u64, max: usize, workers: usize) -> Option<Self> {
+        let max = max.min(workers);
+        (window_us > 0 && max > 1).then(|| Self {
+            window: Duration::from_micros(window_us),
+            max,
+            queue: Mutex::new(Vec::new()),
+            full: Condvar::new(),
+        })
+    }
+
+    /// Run `record` through a coalesced fan-out, blocking until its result
+    /// is available (bounded by the batch window plus one batch execution).
+    fn run<E: EmbeddingModel>(
+        &self,
+        store: &ShardedEntityStore<E>,
+        telemetry: &Telemetry,
+        record: Record,
+    ) -> (
+        Vec<(crate::shard::GlobalEntityId, f32)>,
+        crate::shard::MatchTiming,
+    ) {
+        let slot = Arc::new(MatchSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let mut queue = self.queue.lock().expect("batch queue poisoned");
+        let leader = queue.is_empty();
+        queue.push((record, Arc::clone(&slot)));
+        if queue.len() >= self.max {
+            self.full.notify_all();
+        }
+        if leader {
+            let deadline = Instant::now() + self.window;
+            while queue.len() < self.max {
+                let Some(remaining) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = self
+                    .full
+                    .wait_timeout(queue, remaining)
+                    .expect("batch queue poisoned");
+                queue = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let batch = std::mem::take(&mut *queue);
+            drop(queue);
+            let flushed_full = batch.len() >= self.max;
+            telemetry.record_match_batch(batch.len() as u64, flushed_full);
+            let (records, slots): (Vec<Record>, Vec<Arc<MatchSlot>>) = batch.into_iter().unzip();
+            let results = store.match_batch_timed(&records);
+            for (slot, result) in slots.iter().zip(results) {
+                *slot.result.lock().expect("batch slot poisoned") = Some(result);
+                slot.ready.notify_one();
+            }
+        } else {
+            drop(queue);
+        }
+        let mut result = slot.result.lock().expect("batch slot poisoned");
+        loop {
+            match result.take() {
+                Some(result) => return result,
+                None => result = slot.ready.wait(result).expect("batch slot poisoned"),
+            }
+        }
+    }
 }
 
 fn match_one<E: EmbeddingModel>(
@@ -1585,7 +1753,10 @@ fn match_one<E: EmbeddingModel>(
             state.attributes.len()
         ));
     }
-    let (ranked, timing) = state.store.match_record_timed(&record);
+    let (ranked, timing) = match &state.batcher {
+        Some(batcher) => batcher.run(&state.store, &state.telemetry, record),
+        None => state.store.match_record_timed(&record),
+    };
     // The fan-out's wall time decomposes into the slowest shard's search
     // (the critical path), the merge, and scatter/gather coordination.
     trace.add(Stage::AnnSearch, timing.ann_max_ns);

@@ -1756,3 +1756,161 @@ fn debug_surfaces_disable_cleanly_without_telemetry() {
     assert!(json_field(&storage, "shards").is_some());
     handle.shutdown();
 }
+
+// --------------------------------------------------------------------------
+// HTTP/1.1 pipelining: multiple in-flight requests per connection
+// --------------------------------------------------------------------------
+
+#[test]
+fn pipelined_requests_trickled_across_buffers_answer_in_order() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+
+    // Three pipelined requests written back-to-back, then re-chunked at
+    // boundaries that straddle the seams between them: the incremental
+    // parser must recover each request no matter where a read ends, and the
+    // responses must come back in request order.
+    let ingest = b"{\"records\":[[\"pipelined golden heart\"]]}";
+    let mut wire = Vec::new();
+    wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n");
+    wire.extend_from_slice(
+        format!(
+            "POST /records HTTP/1.1\r\nHost: p\r\nContent-Length: {}\r\n\r\n",
+            ingest.len()
+        )
+        .as_bytes(),
+    );
+    wire.extend_from_slice(ingest);
+    wire.extend_from_slice(b"GET /stats HTTP/1.1\r\nHost: p\r\n\r\n");
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // 7-byte chunks land mid-request-line, mid-header, and mid-body.
+    for piece in wire.chunks(7) {
+        stream.write_all(piece).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "first must be healthz");
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ingested\":1"), "second must be the ingest");
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"records\":1"),
+        "third must be stats: {body}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_slow_and_fast_requests_return_in_request_order() {
+    // Batching on: a /match parks in the coalescing queue for up to a full
+    // window while /healthz answers on the fast path in microseconds. If the
+    // reactor wrote responses as they completed, the healthz bytes would
+    // overtake the match bytes and corrupt the pipeline; per-connection
+    // ordering must hold them back.
+    let (handle, addr) = spawn_server(ServeConfig {
+        workers: 4,
+        batch_window_us: 20_000,
+        batch_max: 4,
+        ..ServeConfig::default()
+    });
+    let mut setup = HttpClient::connect(&addr).unwrap();
+    post_records(&mut setup, &["golden heart river", "makita drill 18v"]);
+
+    let mut wire = Vec::new();
+    let slow = b"{\"record\":[\"golden heart river live\"]}";
+    wire.extend_from_slice(
+        format!(
+            "POST /match HTTP/1.1\r\nHost: p\r\nContent-Length: {}\r\n\r\n",
+            slow.len()
+        )
+        .as_bytes(),
+    );
+    wire.extend_from_slice(slow);
+    wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n");
+    wire.extend_from_slice(b"GET /stats HTTP/1.1\r\nHost: p\r\n\r\n");
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"matches\""),
+        "slow match must answer first despite the batch window: {body}"
+    );
+    assert!(
+        body.contains("\"distance\""),
+        "the river must match: {body}"
+    );
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "then healthz: {body}");
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"records\":2"), "then stats: {body}");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_request_mid_pipeline_flushes_earlier_responses_then_closes() {
+    let (handle, addr) = spawn_server(ServeConfig::default());
+    let mut client = HttpClient::connect(&addr).unwrap();
+    post_records(&mut client, &["golden heart river"]);
+
+    // Two good requests, then garbage, then another good request that must
+    // never be served: the earlier responses flush, the garbage earns a 400,
+    // and the connection closes without touching what follows.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n");
+    wire.extend_from_slice(b"GET /stats HTTP/1.1\r\nHost: p\r\n\r\n");
+    wire.extend_from_slice(b"NOT-HTTP GARBAGE\r\n\r\n");
+    wire.extend_from_slice(b"POST /records HTTP/1.1\r\nHost: p\r\nContent-Length: 36\r\n\r\n{\"records\":[[\"must never be stored\"]]}");
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(&wire).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"records\":1"), "{body}");
+    let (status, _, body) = read_response(&mut reader).unwrap();
+    assert_eq!(status, 400, "garbage must earn a 400: {body}");
+    // After the 400 the connection closes; the trailing ingest is dropped.
+    use std::io::Read;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "connection must close after the mid-pipeline parse error"
+    );
+    assert_eq!(
+        counter(&get_stats(&mut client), "records"),
+        1,
+        "the request after the garbage must never execute"
+    );
+    handle.shutdown();
+}
