@@ -5,6 +5,8 @@
 //! time (plus throughput when declared), so `cargo bench` produces comparable
 //! relative numbers without the real statistics engine.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

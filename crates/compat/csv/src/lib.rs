@@ -2,6 +2,8 @@
 //! comma-separated records with quoting, covering the builder API surface the
 //! workspace uses.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 

@@ -2,6 +2,8 @@
 //! workspace uses (`Rng::gen_range` / `gen_bool`, `SeedableRng::seed_from_u64`
 //! and `seq::SliceRandom`), backed by any [`RngCore`] implementation.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.

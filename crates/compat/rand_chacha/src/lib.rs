@@ -1,6 +1,8 @@
 //! Offline stand-in for `rand_chacha`: a deterministic ChaCha8-based RNG
 //! implementing the vendored `rand` traits.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 /// ChaCha with 8 rounds, keyed from a 64-bit seed.

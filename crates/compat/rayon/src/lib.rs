@@ -147,6 +147,7 @@ fn run_scoped_width<F: Fn(usize) + Sync>(width: usize, jobs: usize, f: &F) {
     thread::scope(|scope| {
         for _ in 0..width {
             scope.spawn(|| loop {
+                // relaxed-ok: job-ticket dispenser; the RMW uniqueness is all that matters
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;

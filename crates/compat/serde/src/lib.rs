@@ -11,6 +11,8 @@
 //! `[key, value]` pairs, which keeps a single generic map impl and still
 //! round-trips through the JSON stand-in.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};

@@ -12,6 +12,8 @@
 //! Generics are intentionally unsupported; deriving on a generic type fails
 //! with a compile error rather than generating wrong code.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]

@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`: renders and parses the [`serde::Value`]
 //! tree of the vendored serde replacement as JSON text.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 

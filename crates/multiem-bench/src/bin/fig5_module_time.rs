@@ -6,6 +6,8 @@
 //! MULTIEM_SCALE=0.05 cargo run --release -p multiem-bench --bin fig5_module_time
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::{run_multiem_grid, HarnessConfig, MultiEmVariant};
 use multiem_core::MultiEm;
 use multiem_embed::HashedLexicalEncoder;

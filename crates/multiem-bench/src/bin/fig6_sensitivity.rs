@@ -7,6 +7,8 @@
 //! cargo run --release -p multiem-bench --bin fig6_sensitivity -- gamma   # one panel
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::HarnessConfig;
 use multiem_core::{MultiEm, MultiEmConfig};
 use multiem_datagen::BenchmarkDataset;

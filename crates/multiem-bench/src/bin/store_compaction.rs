@@ -15,6 +15,8 @@
 //! disk backend to). Matching equality between a disk and a memory store
 //! that saw the identical insert+delete sequence is always asserted.
 
+#![forbid(unsafe_code)]
+
 use multiem_core::MultiEmConfig;
 use multiem_datagen::benchmark_dataset;
 use multiem_embed::HashedLexicalEncoder;

@@ -13,6 +13,8 @@
 //! with ingest throughput within 2x. Matching output equality between the
 //! backends is always asserted.
 
+#![forbid(unsafe_code)]
+
 use multiem_core::MultiEmConfig;
 use multiem_datagen::benchmark_dataset;
 use multiem_embed::{EmbeddingModel, HashedLexicalEncoder};

@@ -9,6 +9,8 @@
 //! scales shrink entity counts proportionally while preserving the number of
 //! sources, the schema and the tuple-size distribution.
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::HarnessConfig;
 use multiem_eval::TextTable;
 

@@ -9,6 +9,8 @@
 //! Methods that would exceed the harness size guards are skipped and marked
 //! `\`, mirroring the `-` / `\` entries of the paper.
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::{pct, run_baselines, run_multiem_variants, skip_marker, HarnessConfig};
 use multiem_eval::TextTable;
 

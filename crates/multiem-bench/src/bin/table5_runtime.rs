@@ -11,6 +11,8 @@
 //! entirely once the dataset exceeds their size guard — the analogue of the
 //! paper's 7-day timeouts).
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::{run_baselines, run_multiem_variants, skip_marker, HarnessConfig};
 use multiem_eval::{format_duration, TextTable};
 

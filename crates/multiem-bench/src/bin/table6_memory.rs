@@ -11,6 +11,8 @@
 //! up quadratically and the supervised baselines carry the largest constant
 //! overhead.
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::{run_baselines, run_multiem_variants, skip_marker, HarnessConfig};
 use multiem_eval::{format_bytes, TextTable};
 

@@ -5,6 +5,8 @@
 //! MULTIEM_SCALE=0.05 cargo run --release -p multiem-bench --bin table7_attributes
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_bench::HarnessConfig;
 use multiem_core::{select_attributes, MultiEmConfig};
 use multiem_embed::HashedLexicalEncoder;

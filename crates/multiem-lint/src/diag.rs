@@ -1,0 +1,250 @@
+//! Diagnostics and the `lint:allow` escape hatch.
+//!
+//! A diagnostic pins a rule id to a `file:line` with a message. Any
+//! diagnostic can be suppressed with a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // lint:allow(rule-id): written justification for why this is safe
+//! ```
+//!
+//! The justification is mandatory — an allow without one is itself a
+//! diagnostic (`lint-allow-needs-reason`), as is an allow that suppresses
+//! nothing (`unused-lint-allow`) or one naming an unknown rule
+//! (`unknown-lint-allow`). This keeps the escape hatch honest: every
+//! suppression in the tree carries a reviewable reason and stays attached to
+//! a live violation.
+
+use crate::scan::ScannedFile;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: String,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(rule: &str, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// `file:line: error[rule]: message` — stable, grep-friendly, and
+    /// clickable in editors.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}]: {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+}
+
+/// One parsed `lint:allow(rule): reason` directive.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    reason: String,
+    /// 1-indexed line the comment sits on.
+    line: usize,
+}
+
+/// Parse `lint:allow(...)` directives in a file's comment channel. A
+/// directive must *start* its comment (`// lint:allow(…): …`), so prose that
+/// merely mentions the syntax mid-sentence is not a directive. Several
+/// directives may share one comment, separated by further `lint:allow(`.
+fn parse_allows(scanned: &ScannedFile) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for line_no in 1..=scanned.line_count() {
+        let comment = scanned.comment_line(line_no).trim_start();
+        if !comment.starts_with("lint:allow(") {
+            continue;
+        }
+        let mut rest = comment;
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            let mut reason = tail.strip_prefix(':').unwrap_or("");
+            if let Some(next) = reason.find("lint:allow(") {
+                reason = &reason[..next];
+            }
+            allows.push(Allow {
+                rule,
+                reason: reason.trim().to_string(),
+                line: line_no,
+            });
+            rest = tail;
+        }
+    }
+    allows
+}
+
+/// Apply a file's `lint:allow` directives to its raw rule hits.
+///
+/// Returns the surviving diagnostics plus any meta-diagnostics about the
+/// directives themselves. `known_rules` validates allow targets.
+pub fn apply_allows(
+    scanned: &ScannedFile,
+    file: &str,
+    raw: Vec<Diagnostic>,
+    known_rules: &[&str],
+) -> Vec<Diagnostic> {
+    let allows = parse_allows(scanned);
+    let mut used = vec![false; allows.len()];
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for diag in raw {
+        // An allow suppresses hits on its own line or the line below it
+        // (i.e. a comment on its own line annotates the next code line).
+        let suppressed = allows.iter().enumerate().find(|(_, a)| {
+            a.rule == diag.rule
+                && !a.reason.is_empty()
+                && (a.line == diag.line || a.line + 1 == diag.line)
+        });
+        if let Some((idx, _)) = suppressed {
+            used[idx] = true;
+        } else {
+            out.push(diag);
+        }
+    }
+
+    for (idx, allow) in allows.iter().enumerate() {
+        if !known_rules.contains(&allow.rule.as_str()) {
+            out.push(Diagnostic::error(
+                "unknown-lint-allow",
+                file,
+                allow.line,
+                format!("lint:allow names unknown rule `{}`", allow.rule),
+            ));
+        } else if allow.reason.is_empty() {
+            out.push(Diagnostic::error(
+                "lint-allow-needs-reason",
+                file,
+                allow.line,
+                format!(
+                    "lint:allow({}) has no justification; write `lint:allow({}): <reason>`",
+                    allow.rule, allow.rule
+                ),
+            ));
+        } else if !used[idx] {
+            out.push(Diagnostic::error(
+                "unused-lint-allow",
+                file,
+                allow.line,
+                format!(
+                    "lint:allow({}) suppresses nothing on this or the next line",
+                    allow.rule
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    const KNOWN: &[&str] = &["demo-rule"];
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line() {
+        let s = scan("bad(); // lint:allow(demo-rule): intentional here\n");
+        let raw = vec![Diagnostic::error("demo-rule", "f.rs", 1, "bad")];
+        let out = apply_allows(&s, "f.rs", raw, KNOWN);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let s = scan("// lint:allow(demo-rule): next line is fine\nbad();\n");
+        let raw = vec![Diagnostic::error("demo-rule", "f.rs", 2, "bad")];
+        let out = apply_allows(&s, "f.rs", raw, KNOWN);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_flagged_and_does_not_suppress() {
+        let s = scan("bad(); // lint:allow(demo-rule)\n");
+        let raw = vec![Diagnostic::error("demo-rule", "f.rs", 1, "bad")];
+        let out = apply_allows(&s, "f.rs", raw, KNOWN);
+        let rules: Vec<&str> = out.iter().map(|d| d.rule.as_str()).collect();
+        assert!(rules.contains(&"demo-rule"));
+        assert!(rules.contains(&"lint-allow-needs-reason"));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let s = scan("// lint:allow(demo-rule): nothing here violates it\nfine();\n");
+        let out = apply_allows(&s, "f.rs", Vec::new(), KNOWN);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-lint-allow");
+    }
+
+    #[test]
+    fn unknown_rule_allow_is_flagged() {
+        let s = scan("// lint:allow(no-such-rule): whatever\nfine();\n");
+        let out = apply_allows(&s, "f.rs", Vec::new(), KNOWN);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unknown-lint-allow");
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_a_directive() {
+        let s = scan("//! Suppress with a `lint:allow(demo-rule): reason` comment.\nfine();\n");
+        let out = apply_allows(&s, "f.rs", Vec::new(), KNOWN);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn two_directives_share_a_comment() {
+        let s = scan("// lint:allow(a-rule): first lint:allow(b-rule): second\nbad();\n");
+        let raw = vec![
+            Diagnostic::error("a-rule", "f.rs", 2, "a"),
+            Diagnostic::error("b-rule", "f.rs", 2, "b"),
+        ];
+        let out = apply_allows(&s, "f.rs", raw, &["a-rule", "b-rule"]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let s = scan("// lint:allow(demo-rule): misdirected\nother();\n");
+        let raw = vec![Diagnostic::error("other-rule", "f.rs", 2, "bad")];
+        let out = apply_allows(&s, "f.rs", raw, &["demo-rule", "other-rule"]);
+        let rules: Vec<&str> = out.iter().map(|d| d.rule.as_str()).collect();
+        assert!(rules.contains(&"other-rule"));
+        assert!(rules.contains(&"unused-lint-allow"));
+    }
+}

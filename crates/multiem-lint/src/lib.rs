@@ -1,0 +1,69 @@
+//! # multiem-lint — workspace invariant linter
+//!
+//! Project-specific static analysis for the MultiEM serving stack. The serve
+//! path rests on invariants the compiler cannot check — the shard → WAL lock
+//! order, lock-free fast-path routes, fsync-before-rename commit points,
+//! justified `Ordering::Relaxed` — and this crate turns them into CI-gated
+//! rules instead of tribal knowledge.
+//!
+//! Pipeline: [`scan`] lexes each source file into a blanked code channel, a
+//! comment channel, test-region flags, and function spans; [`rules`] runs
+//! token-level matchers over that shape; [`diag`] applies the
+//! `// lint:allow(rule-id): <reason>` escape hatch (justification required)
+//! and renders `file:line: error[rule]: message` diagnostics; [`workspace`]
+//! discovers and classifies every member's `src/` tree.
+//!
+//! Known scanner limits (documented, acceptable for this codebase): raw
+//! *byte* strings (`br#"…"#`) are not recognized, and `fn` items emitted by
+//! macros are invisible. Neither shape appears in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use std::path::Path;
+
+use diag::Diagnostic;
+use workspace::FileInfo;
+
+/// Lint one source text with an explicit classification. Returns final
+/// diagnostics (rule hits surviving `lint:allow`, plus allow meta-diagnostics).
+pub fn lint_source(info: &FileInfo, source: &str) -> Vec<Diagnostic> {
+    let scanned = scan::scan(source);
+    let raw = rules::check_file(info, &scanned);
+    diag::apply_allows(&scanned, &info.rel, raw, &rules::rule_ids())
+}
+
+/// Lint every workspace member's `src/` tree under `root`. Diagnostics are
+/// sorted by (file, line, rule). I/O errors surface as diagnostics so a
+/// vanished file fails the gate instead of passing silently.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let files = match workspace::discover(root) {
+        Ok(files) => files,
+        Err(err) => {
+            return vec![Diagnostic::error(
+                "workspace-walk",
+                "Cargo.toml",
+                1,
+                format!("failed to walk workspace: {err}"),
+            )]
+        }
+    };
+    let mut out = Vec::new();
+    for info in &files {
+        match std::fs::read_to_string(&info.path) {
+            Ok(source) => out.extend(lint_source(info, &source)),
+            Err(err) => out.push(Diagnostic::error(
+                "workspace-walk",
+                &info.rel,
+                1,
+                format!("failed to read source: {err}"),
+            )),
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}

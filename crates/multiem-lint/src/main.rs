@@ -1,0 +1,98 @@
+//! `multiem-lint` CLI: walk the workspace and report invariant violations.
+//!
+//! Exit status 0 means the tree is clean (every suppression justified);
+//! any diagnostic — including a malformed or unused `lint:allow` — exits 1.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use multiem_lint::{lint_workspace, rules};
+
+const USAGE: &str = "usage: multiem-lint [--workspace] [--root <dir>] [--list-rules]
+
+  --workspace    lint every workspace member's src/ tree (root auto-detected
+                 by walking up from the current directory)
+  --root <dir>   override the workspace root
+  --list-rules   print each rule id and the invariant it guards";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut run_workspace = false;
+    let mut root_override: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => run_workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in rules::RULES {
+                    println!(
+                        "{:28} {}",
+                        rule.id,
+                        rule.summary
+                            .split_whitespace()
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !run_workspace && root_override.is_none() {
+        println!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root_override {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("cannot determine current directory: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match multiem_lint::workspace::find_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diagnostics = lint_workspace(&root);
+    for diag in &diagnostics {
+        println!("{}", diag.render());
+    }
+    if diagnostics.is_empty() {
+        println!(
+            "multiem-lint: workspace clean ({} rules)",
+            rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("multiem-lint: {} diagnostic(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

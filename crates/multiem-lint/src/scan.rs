@@ -1,0 +1,607 @@
+//! Lexical region scanner for Rust sources.
+//!
+//! The linter's rules are line-oriented token matchers, so the scanner's job
+//! is to turn raw source text into a shape where naive substring matching is
+//! sound:
+//!
+//! * `code`: one entry per source line, with comment text and the *contents*
+//!   of string/char literals blanked to spaces. Line and column structure is
+//!   preserved, so byte offsets within a line still line up with the original
+//!   file. A rule that greps `code` can never match inside a comment, a doc
+//!   comment, or a string literal.
+//! * `comments`: one entry per source line holding the comment text that
+//!   appeared on that line (line comments, doc comments, and each line's
+//!   share of a block comment). This is where `lint:allow(...)`,
+//!   `relaxed-ok:` and `lint:fast-path` markers are looked up.
+//! * `test`: one flag per line, true when the line sits inside an item
+//!   annotated `#[test]` / `#[cfg(test)]` (e.g. a `mod tests` block). Rules
+//!   skip test regions.
+//! * `functions`: `fn` spans (header line + body brace range) so rules can
+//!   reason about ordering *within* one function (lock order, fsync before
+//!   rename) and about marked functions (`lint:fast-path`).
+//!
+//! The scanner handles nested block comments, raw strings (`r"…"`,
+//! `r#"…"#`), byte and char literals, and lifetime/char-literal
+//! disambiguation. It is intentionally not a full parser: exotic shapes
+//! (raw byte strings `br#"…"#`, macros generating `fn` items) are out of
+//! scope and documented in the crate README.
+
+/// A scanned function span. Lines are 1-indexed and inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Identifier following the `fn` keyword.
+    pub name: String,
+    /// Line holding the `fn` keyword.
+    pub header_line: usize,
+    /// Line of the opening `{` of the body.
+    pub body_start: usize,
+    /// Line of the matching closing `}`.
+    pub body_end: usize,
+}
+
+/// Result of scanning one source file. All vectors are indexed by
+/// zero-based line number and have identical length.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Source lines with comments and literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment text per line (no `//` / `/*` markers).
+    pub comments: Vec<String>,
+    /// True when the line is inside a `#[test]` / `#[cfg(test)]` item.
+    pub test: Vec<bool>,
+    /// Function spans, in source order (nested fns are separate entries).
+    pub functions: Vec<FnSpan>,
+}
+
+impl ScannedFile {
+    /// 1-indexed accessor used by rules; out-of-range lines read as empty.
+    pub fn code_line(&self, line: usize) -> &str {
+        self.code
+            .get(line.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// 1-indexed comment accessor.
+    pub fn comment_line(&self, line: usize) -> &str {
+        self.comments
+            .get(line.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// 1-indexed test-region check; out-of-range lines read as non-test.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    pub fn line_count(&self) -> usize {
+        self.code.len()
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Scan a whole source file.
+pub fn scan(source: &str) -> ScannedFile {
+    let (code_text, comments) = strip(source);
+    let code: Vec<String> = split_lines(&code_text);
+    let (test, functions) = analyze(&code);
+    debug_assert_eq!(code.len(), comments.len());
+    ScannedFile {
+        code,
+        comments,
+        test,
+        functions,
+    }
+}
+
+/// Split preserving the convention that a trailing newline does not create a
+/// phantom final line, but an empty file still has one (empty) line.
+fn split_lines(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = text.split('\n').map(str::to_string).collect();
+    if lines.len() > 1 && lines.last().is_some_and(String::is_empty) {
+        lines.pop();
+    }
+    lines
+}
+
+/// Pass 1: blank comments and literal contents out of the code channel and
+/// collect comment text per line.
+fn strip(source: &str) -> (String, Vec<String>) {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut code = String::with_capacity(source.len());
+    let mut comments: Vec<String> = vec![String::new()];
+
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        match c {
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment (covers `///` and `//!` too). Capture text.
+                code.push_str("  ");
+                i += 2;
+                while i < n && chars[i] == '/' {
+                    code.push(' ');
+                    i += 1;
+                }
+                while i < n && chars[i] != '\n' {
+                    comments
+                        .last_mut()
+                        .expect("comments starts non-empty")
+                        .push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment; Rust block comments nest.
+                code.push_str("  ");
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '\n' {
+                        code.push('\n');
+                        comments.push(String::new());
+                        i += 1;
+                    } else {
+                        comments
+                            .last_mut()
+                            .expect("comments starts non-empty")
+                            .push(chars[i]);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Cooked string literal (also reached for the `"` of `b"…"`).
+                code.push('"');
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' if i + 1 < n => {
+                            code.push_str("  ");
+                            if chars[i + 1] == '\n' {
+                                // String continuation escape: keep structure.
+                                code.pop();
+                                code.push('\n');
+                                comments.push(String::new());
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            code.push('\n');
+                            comments.push(String::new());
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if (i == 0 || !is_ident_char(chars[i - 1]))
+                && raw_string_hashes(&chars, i).is_some() =>
+            {
+                let hashes = raw_string_hashes(&chars, i).expect("checked in guard");
+                // Blank the `r##"` opener.
+                for _ in 0..(hashes + 2) {
+                    code.push(' ');
+                }
+                i += hashes + 2;
+                // Consume until `"` followed by `hashes` '#'s.
+                while i < n {
+                    if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                        for _ in 0..(hashes + 1) {
+                            code.push(' ');
+                        }
+                        i += hashes + 1;
+                        break;
+                    } else if chars[i] == '\n' {
+                        code.push('\n');
+                        comments.push(String::new());
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                if let Some(end) = char_literal_end(&chars, i) {
+                    code.push('\'');
+                    for &ch in &chars[(i + 1)..end] {
+                        code.push(if ch == '\n' { '\n' } else { ' ' });
+                        if ch == '\n' {
+                            comments.push(String::new());
+                        }
+                    }
+                    code.push('\'');
+                    i = end + 1;
+                } else {
+                    // Lifetime (or stray quote): keep as code.
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                code.push('\n');
+                comments.push(String::new());
+                i += 1;
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    // Align the comment channel with the code channel's line count.
+    let code_lines = split_lines(&code).len();
+    while comments.len() < code_lines {
+        comments.push(String::new());
+    }
+    comments.truncate(code_lines.max(1));
+    (code, comments)
+}
+
+/// If `chars[i] == 'r'` begins a raw string (`r"`, `r#"`, `r##"`, …),
+/// return the number of `#`s; otherwise `None`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < chars.len() && chars[j] == '"').then_some(hashes)
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    if i + hashes >= chars.len() {
+        return false;
+    }
+    chars[i + 1..=i + hashes].iter().all(|&c| c == '#')
+}
+
+/// If `chars[i] == '\''` begins a char literal, return the index of the
+/// closing quote; `None` means lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if chars[i + 1] == '\\' {
+        // Escaped char: scan for the closing quote within a short window
+        // (covers `'\u{10FFFF}'`); bail out rather than eat the file.
+        let mut j = i + 2;
+        while j < n && j - i < 16 {
+            if chars[j] == '\'' && j > i + 2 {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    } else if i + 2 < n && chars[i + 1] != '\'' && chars[i + 2] == '\'' {
+        // Plain single-char literal like 'a' or '🦀'. A lifetime is never
+        // followed by a quote at distance two.
+        Some(i + 2)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug)]
+enum Frame {
+    Anon,
+    Test {
+        start_line: usize,
+    },
+    Fn {
+        name: String,
+        header_line: usize,
+        body_start: usize,
+    },
+}
+
+/// Pass 2: walk the blanked code channel to mark `#[test]`/`#[cfg(test)]`
+/// item regions and record function spans via brace matching.
+fn analyze(code: &[String]) -> (Vec<bool>, Vec<FnSpan>) {
+    let mut test = vec![false; code.len()];
+    let mut functions: Vec<FnSpan> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_fn: Option<(String, usize)> = None;
+    let mut pending_test_attr = false;
+
+    for (line_idx, line) in code.iter().enumerate() {
+        let line_no = line_idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '#'
+                && i + 1 < chars.len()
+                && (chars[i + 1] == '['
+                    || (chars[i + 1] == '!' && i + 2 < chars.len() && chars[i + 2] == '['))
+            {
+                let inner = chars[i + 1] == '!';
+                let open = if inner { i + 2 } else { i + 1 };
+                let (attr_text, end) = read_attr(&chars, open);
+                if !inner && mentions_test(&attr_text) {
+                    pending_test_attr = true;
+                }
+                i = end;
+                continue;
+            }
+            if is_ident_start(c) {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "fn" {
+                    // Capture the following identifier (skip whitespace).
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if j < chars.len() && is_ident_start(chars[j]) {
+                        let name_start = j;
+                        while j < chars.len() && is_ident_char(chars[j]) {
+                            j += 1;
+                        }
+                        let name: String = chars[name_start..j].iter().collect();
+                        pending_fn = Some((name, line_no));
+                        i = j;
+                    }
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    if pending_test_attr {
+                        stack.push(Frame::Test {
+                            start_line: line_no,
+                        });
+                        pending_test_attr = false;
+                        pending_fn = None;
+                    } else if let Some((name, header_line)) = pending_fn.take() {
+                        stack.push(Frame::Fn {
+                            name,
+                            header_line,
+                            body_start: line_no,
+                        });
+                    } else {
+                        stack.push(Frame::Anon);
+                    }
+                }
+                '}' => match stack.pop() {
+                    Some(Frame::Test { start_line }) => {
+                        for flag in test.iter_mut().take(line_no).skip(start_line - 1) {
+                            *flag = true;
+                        }
+                    }
+                    Some(Frame::Fn {
+                        name,
+                        header_line,
+                        body_start,
+                    }) => {
+                        functions.push(FnSpan {
+                            name,
+                            header_line,
+                            body_start,
+                            body_end: line_no,
+                        });
+                    }
+                    _ => {}
+                },
+                ';' => {
+                    // A `;` before any `{` ends the pending item (trait method
+                    // declaration, `#[cfg(test)] use …;`, etc.). Mark the
+                    // single-item span for test attrs.
+                    if pending_test_attr {
+                        test[line_idx] = true;
+                    }
+                    pending_fn = None;
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Inner test frames can close before outer ones; sort spans for stable
+    // output order by header line.
+    functions.sort_by_key(|f| (f.header_line, f.body_start));
+    (test, functions)
+}
+
+/// Read an attribute's bracketed content starting at the `[` index; returns
+/// (content, index one past the closing `]`). Tolerates attrs that run past
+/// end of line (content ends there — good enough for `test` detection).
+fn read_attr(chars: &[char], open: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut text = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (text, i + 1);
+                }
+            }
+            c => text.push(c),
+        }
+        i += 1;
+    }
+    (text, i)
+}
+
+/// Does an attribute body mark a test item? True for `test`, `cfg(test)`,
+/// `cfg(all(test, …))`; false for `cfg(not(test))`.
+fn mentions_test(attr: &str) -> bool {
+    if attr.contains("not(test") {
+        return false;
+    }
+    let chars: Vec<char> = attr.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if is_ident_start(chars[i]) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            if chars[start..i].iter().collect::<String>() == "test" {
+                return true;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments_and_captures_text() {
+        let s = scan("let x = 1; // lint:allow(foo): reason\n");
+        assert!(!s.code_line(1).contains("lint:allow"));
+        assert!(s.comment_line(1).contains("lint:allow(foo): reason"));
+        assert!(s.code_line(1).contains("let x = 1;"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let s = scan("let x = \"unwrap() // not a comment\";\n");
+        assert!(!s.code_line(1).contains("unwrap"));
+        assert!(s.comment_line(1).is_empty());
+        assert_eq!(s.code_line(1).matches('"').count(), 2);
+    }
+
+    #[test]
+    fn handles_raw_strings() {
+        let s = scan("let x = r#\"panic!() \"quoted\" more\"#;\nlet y = 2;\n");
+        assert!(!s.code_line(1).contains("panic"));
+        assert!(s.code_line(2).contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ let z = 3;\n");
+        assert!(s.code_line(1).contains("let z = 3;"));
+        assert!(!s.code_line(1).contains("outer"));
+        assert!(s.comment_line(1).contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let s = scan("/* one\ntwo unwrap()\n*/ let a = 1;\n");
+        assert!(!s.code_line(2).contains("unwrap"));
+        assert!(s.comment_line(2).contains("two unwrap()"));
+        assert!(s.code_line(3).contains("let a = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(s.code_line(1).contains("&'a str"));
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].name, "f");
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = scan("let c = 'x'; let esc = '\\n'; let brace = '{';\n");
+        assert!(!s.code_line(1).contains('x'), "{:?}", s.code_line(1));
+        // The '{' literal must not open a brace frame.
+        assert!(s.functions.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn prod2() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_fn_marked() {
+        let src = "#[test]\nfn check() {\n    assert!(true);\n}\nfn prod() {}\n";
+        let s = scan(src);
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(3));
+        assert!(!s.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod_only() {\n    work();\n}\n";
+        let s = scan(src);
+        assert!(!s.is_test_line(2));
+        assert!(!s.is_test_line(3));
+    }
+
+    #[test]
+    fn function_spans_cover_bodies() {
+        let src =
+            "fn outer(a: u32) -> u32 {\n    let f = |x| x + 1;\n    fn inner() {}\n    f(a)\n}\n";
+        let s = scan(src);
+        let names: Vec<&str> = s.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        let outer = &s.functions[0];
+        assert_eq!(outer.header_line, 1);
+        assert_eq!(outer.body_end, 5);
+    }
+
+    #[test]
+    fn trait_method_decl_does_not_open_span() {
+        let src = "trait T {\n    fn decl(&self) -> u32;\n    fn with_default(&self) -> u32 {\n        1\n    }\n}\n";
+        let s = scan(src);
+        let names: Vec<&str> = s.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default"]);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_function() {
+        let s = scan("type Cb = fn(u32) -> u32;\nfn real() {}\n");
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].name, "real");
+    }
+}

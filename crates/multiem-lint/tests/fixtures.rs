@@ -1,0 +1,131 @@
+//! Golden-file fixture corpus for the lint rules.
+//!
+//! Every rule has at least one firing (`*_bad.rs`) and one clean
+//! (`*_ok.rs`) fixture under `tests/fixtures/`; the sibling `.expected`
+//! file pins the exact rendered diagnostics. The first line of each
+//! fixture declares how the file should be classified:
+//!
+//! ```text
+//! // fixture: crate-root | bin | hot-path | plain
+//! ```
+//!
+//! Regenerate the goldens with
+//! `BLESS=1 cargo test -p multiem-lint --test fixtures`
+//! and review the diff before committing.
+
+use multiem_lint::workspace::FileInfo;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_sources() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures must exist")
+        .map(|entry| entry.expect("readable fixtures dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "rs"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Map the `// fixture: <role>` directive to the [`FileInfo`] the walker
+/// would have produced for a real file in that position.
+fn classify(name: &str, source: &str) -> FileInfo {
+    let role = source
+        .lines()
+        .next()
+        .and_then(|line| line.strip_prefix("// fixture:"))
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("{name}: first line must be `// fixture: <role>`"));
+    match role {
+        "crate-root" => FileInfo::synthetic(name, true, false, false),
+        "bin" => FileInfo::synthetic(name, true, true, false),
+        "hot-path" => FileInfo::synthetic(name, false, false, true),
+        "plain" => FileInfo::synthetic(name, false, false, false),
+        other => panic!("{name}: unknown fixture role `{other}`"),
+    }
+}
+
+#[test]
+fn fixtures_match_their_golden_diagnostics() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let paths = fixture_sources();
+    assert!(
+        paths.len() >= 16,
+        "expected at least two fixtures per rule plus allow-directive \
+         fixtures, found {}",
+        paths.len()
+    );
+
+    for path in &paths {
+        let name = path
+            .file_name()
+            .expect("fixture has a file name")
+            .to_string_lossy()
+            .into_owned();
+        let source = fs::read_to_string(path).expect("readable fixture");
+        let info = classify(&name, &source);
+        let rendered: String = multiem_lint::lint_source(&info, &source)
+            .iter()
+            .map(|diag| diag.render() + "\n")
+            .collect();
+        let golden = path.with_extension("expected");
+        if bless {
+            fs::write(&golden, &rendered).expect("write blessed golden");
+        }
+        let expected = fs::read_to_string(&golden).unwrap_or_else(|_| {
+            panic!(
+                "{name}: missing golden file {}; run with BLESS=1 to create it",
+                golden.display()
+            )
+        });
+        assert_eq!(
+            rendered, expected,
+            "{name}: diagnostics diverge from the golden file; \
+             rerun with BLESS=1 if the change is intentional"
+        );
+
+        // The corpus convention carries meaning: `_bad` fixtures must
+        // fire, `_ok` fixtures must stay silent.
+        let stem = name.trim_end_matches(".rs");
+        if stem.ends_with("_bad") {
+            assert!(
+                !rendered.is_empty(),
+                "{name}: bad fixture produced no diagnostics"
+            );
+        }
+        if stem.ends_with("_ok") {
+            assert!(
+                rendered.is_empty(),
+                "{name}: ok fixture produced diagnostics:\n{rendered}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_fires_on_at_least_one_fixture() {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for path in fixture_sources() {
+        let name = path
+            .file_name()
+            .expect("fixture has a file name")
+            .to_string_lossy()
+            .into_owned();
+        let source = fs::read_to_string(&path).expect("readable fixture");
+        let info = classify(&name, &source);
+        for diag in multiem_lint::lint_source(&info, &source) {
+            seen.insert(diag.rule.to_string());
+        }
+    }
+    for rule in multiem_lint::rules::rule_ids() {
+        assert!(
+            seen.contains(rule),
+            "rule `{rule}` has no fixture that makes it fire"
+        );
+    }
+}

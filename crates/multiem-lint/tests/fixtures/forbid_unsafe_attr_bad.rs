@@ -1,0 +1,4 @@
+// fixture: crate-root
+//! A crate root that forgot to ban `unsafe`.
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+// fixture: crate-root
+//! A crate root with the ban in place.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,15 @@
+// fixture: plain
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+fn commit(tmp: &Path, dst: &Path) -> io::Result<()> {
+    std::fs::write(tmp, b"state")?;
+    std::fs::rename(tmp, dst)
+}
+
+fn commit_sync_too_late(file: &File, tmp: &Path, dst: &Path) -> io::Result<()> {
+    std::fs::rename(tmp, dst)?;
+    file.sync_all()
+}

@@ -1,0 +1,12 @@
+// fixture: plain
+
+use std::io::Write;
+use std::path::Path;
+
+fn commit(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,0 +1,12 @@
+// fixture: plain
+
+fn emergency_log(message: &str) {
+    // lint:allow(no-raw-eprintln)
+    eprintln!("fallback: {message}");
+}
+
+// lint:allow(no-such-rule): misspelled rule id
+fn quiet() {}
+
+// lint:allow(no-raw-eprintln): suppresses nothing here
+fn silent() {}

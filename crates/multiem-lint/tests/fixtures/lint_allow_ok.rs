@@ -1,0 +1,6 @@
+// fixture: plain
+
+fn emergency_log(message: &str) {
+    // lint:allow(no-raw-eprintln): the logger itself failed; stderr is the last resort
+    eprintln!("fallback: {message}");
+}

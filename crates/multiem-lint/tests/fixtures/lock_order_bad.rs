@@ -1,0 +1,10 @@
+// fixture: plain
+
+use std::sync::{Mutex, RwLock};
+
+struct Store;
+
+fn inverted(wals: &[Mutex<u32>], shards: &[RwLock<Store>]) {
+    let _wal = wals[0].lock();
+    let _shard = shards[0].read();
+}

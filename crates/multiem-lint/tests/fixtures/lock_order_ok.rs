@@ -1,0 +1,10 @@
+// fixture: plain
+
+use std::sync::{Mutex, RwLock};
+
+struct Store;
+
+fn declared_order(wals: &[Mutex<u32>], shards: &[RwLock<Store>]) {
+    let _shard = shards[0].write();
+    let _wal = wals[0].lock();
+}

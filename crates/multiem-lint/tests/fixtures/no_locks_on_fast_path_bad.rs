@@ -1,0 +1,8 @@
+// fixture: plain
+
+use std::sync::Mutex;
+
+// lint:fast-path — the scrape answers inline on the I/O threads.
+fn scrape(state: &Mutex<u64>) -> u64 {
+    *state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

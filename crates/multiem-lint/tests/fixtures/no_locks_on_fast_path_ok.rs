@@ -1,0 +1,17 @@
+// fixture: plain
+
+use std::sync::RwLock;
+
+// lint:fast-path — falls back to the published value under contention.
+fn scrape(state: &RwLock<u64>, published: u64) -> u64 {
+    match state.try_read() {
+        Ok(guard) => *guard,
+        Err(_) => published,
+    }
+}
+
+fn rebuild(state: &RwLock<u64>) {
+    if let Ok(mut guard) = state.write() {
+        *guard += 1;
+    }
+}

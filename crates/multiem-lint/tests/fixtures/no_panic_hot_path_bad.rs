@@ -1,0 +1,17 @@
+// fixture: hot-path
+
+fn lookup(values: &[u32], index: usize) -> u32 {
+    let value = values.get(index).copied().unwrap();
+    if value == 0 {
+        panic!("zero is not a value");
+    }
+    value
+}
+
+fn config(map: &std::collections::HashMap<String, u32>) -> u32 {
+    *map.get("limit").expect("limit must be configured")
+}
+
+fn pending() -> u32 {
+    todo!()
+}

@@ -1,0 +1,17 @@
+// fixture: hot-path
+
+fn lookup(values: &[u32], index: usize) -> Option<u32> {
+    values.get(index).copied()
+}
+
+fn config(map: &std::collections::HashMap<String, u32>) -> u32 {
+    map.get("limit").copied().unwrap_or(64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(super::lookup(&[7], 0).unwrap(), 7);
+    }
+}

@@ -1,0 +1,5 @@
+// fixture: plain
+
+fn warn_directly(message: &str) {
+    eprintln!("warning: {message}");
+}

@@ -1,0 +1,6 @@
+// fixture: bin
+#![forbid(unsafe_code)]
+
+fn main() {
+    eprintln!("usage: tool <arg>");
+}

@@ -1,0 +1,11 @@
+// fixture: plain
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

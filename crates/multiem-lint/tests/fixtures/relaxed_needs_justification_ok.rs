@@ -1,0 +1,12 @@
+// fixture: plain
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: standalone counter; nothing else is ordered by it
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed) // relaxed-ok: monitoring read tolerates skew
+}

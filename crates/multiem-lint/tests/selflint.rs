@@ -1,0 +1,19 @@
+//! The workspace itself must stay lint-clean — the same gate CI enforces
+//! with `cargo run -p multiem-lint -- --workspace`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let diagnostics = multiem_lint::lint_workspace(&root);
+    let rendered: Vec<String> = diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "the workspace has unjustified lint diagnostics:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -80,6 +80,28 @@ pub struct StorageStats {
     pub cache_misses: u64,
 }
 
+impl Default for StorageStats {
+    /// All-zero counters tagged with the default (`"memory"`) backend —
+    /// the identity element for the serving layer's cross-shard merges.
+    fn default() -> Self {
+        StorageStats {
+            backend: "memory",
+            records: 0,
+            deleted_records: 0,
+            resident_records: 0,
+            resident_bytes: 0,
+            spilled_records: 0,
+            spilled_bytes: 0,
+            segments: 0,
+            segments_deleted: 0,
+            compactions: 0,
+            reclaimed_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
 /// Health of one sealed segment file (the per-segment rows of the serving
 /// layer's `/debug/storage` surface).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]

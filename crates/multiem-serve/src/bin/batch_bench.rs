@@ -22,6 +22,8 @@
 //! cargo run --release -p multiem-serve --bin batch_bench -- --gate --out BENCH_batch.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_embed::HashedLexicalEncoder;
 use multiem_serve::http::HttpClient;
 use multiem_serve::metrics::percentile_ms;

@@ -25,6 +25,8 @@
 //!
 //! Exits non-zero if any request fails, so it doubles as a smoke gate.
 
+#![forbid(unsafe_code)]
+
 use multiem_embed::HashedLexicalEncoder;
 use multiem_serve::http::HttpClient;
 use multiem_serve::metrics::percentile_ms;

@@ -14,6 +14,8 @@
 //! cargo run --release -p multiem-serve --bin obs_bench -- --gate 5 --out BENCH_obs.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_embed::HashedLexicalEncoder;
 use multiem_serve::http::HttpClient;
 use multiem_serve::{MatchServer, ServeConfig};

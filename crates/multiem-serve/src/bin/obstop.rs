@@ -13,6 +13,8 @@
 //! `--iterations N` renders N frames and exits (use `1` for a one-shot
 //! snapshot in scripts); the default runs until interrupted.
 
+#![forbid(unsafe_code)]
+
 use multiem_serve::http::HttpClient;
 use serde::Value;
 

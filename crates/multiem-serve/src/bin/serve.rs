@@ -6,6 +6,8 @@
 //!     --data-dir ./multiem-data --attrs title
 //! ```
 
+#![forbid(unsafe_code)]
+
 use multiem_embed::HashedLexicalEncoder;
 use multiem_online::SnapshotFormat;
 use multiem_serve::obs::Level;

@@ -85,10 +85,12 @@ pub mod net;
 pub mod obs;
 pub mod server;
 pub mod shard;
+pub mod sync;
 pub mod wal;
 
 pub use net::Reactor;
 pub use obs::{ObsConfig, Telemetry};
 pub use server::{MatchServer, ServeConfig, ServeError, ServerHandle, StorageBackend};
 pub use shard::{GlobalEntityId, MatchTiming, ShardedEntityStore, ShardedStats};
+pub use sync::{lock_unpoisoned, LockClass, OrderedMutex, OrderedRwLock};
 pub use wal::{AppendTiming, FsyncPolicy, Wal, WalOp};

@@ -460,7 +460,12 @@ impl EventLoop {
                 }
                 Action::Dispatch(request) => {
                     let (seq, generation) = {
-                        let conn = self.conns[slot].as_mut().expect("dispatch conn is live");
+                        // `advance` just borrowed this slot, so it is live;
+                        // stay panic-free anyway — a vacated slot simply ends
+                        // the connection's tick instead of killing the loop.
+                        let Some(conn) = self.conns[slot].as_mut() else {
+                            return progress;
+                        };
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         if request.close {
@@ -503,7 +508,10 @@ impl EventLoop {
                     // next sequence number, so every earlier response still
                     // flushes (in order) before the connection closes.
                     let seq = {
-                        let conn = self.conns[slot].as_mut().expect("reject conn is live");
+                        // Same defensive shape as the dispatch arm above.
+                        let Some(conn) = self.conns[slot].as_mut() else {
+                            return progress;
+                        };
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         conn.stopped = true;

@@ -96,8 +96,11 @@ impl ExemplarRing {
         if self.capacity == 0 {
             return false;
         }
-        !(self.floor_stamp.load(Ordering::Relaxed) == window_epoch + 1
-            && total_ns <= self.floor_ns.load(Ordering::Relaxed))
+        // relaxed-ok: advisory admission filter; the mutex path re-checks
+        let sealed_stamp = self.floor_stamp.load(Ordering::Relaxed);
+        // relaxed-ok: advisory admission filter; the mutex path re-checks
+        let floor_ns = self.floor_ns.load(Ordering::Relaxed);
+        !(sealed_stamp == window_epoch + 1 && total_ns <= floor_ns)
     }
 
     /// Offer one finished request to the window `window_epoch`. Fast-path
@@ -109,18 +112,22 @@ impl ExemplarRing {
             return;
         }
         let stamp = window_epoch + 1;
-        let mut inner = self.inner.lock().expect("exemplar lock poisoned");
+        let mut inner = crate::sync::lock_unpoisoned(&self.inner);
         self.advance(&mut inner, stamp);
         if inner.current.len() < self.capacity {
             inner.current.push(exemplar);
         } else {
-            let (at, fastest) = inner
+            // The ring is at capacity (> 0), so a fastest entry exists; the
+            // `else` keeps the path panic-free regardless.
+            let Some((at, fastest)) = inner
                 .current
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.total_ns)
                 .map(|(i, e)| (i, e.total_ns))
-                .expect("capacity > 0 implies exemplars");
+            else {
+                return;
+            };
             if exemplar.total_ns <= fastest {
                 return;
             }
@@ -129,7 +136,9 @@ impl ExemplarRing {
         if inner.current.len() == self.capacity {
             // Publish the new floor for the fast-path filter.
             let floor = inner.current.iter().map(|e| e.total_ns).min().unwrap_or(0);
+            // relaxed-ok: advisory admission filter; the mutex path re-checks
             self.floor_ns.store(floor, Ordering::Relaxed);
+            // relaxed-ok: advisory admission filter; the mutex path re-checks
             self.floor_stamp.store(stamp, Ordering::Relaxed);
         }
     }
@@ -140,7 +149,7 @@ impl ExemplarRing {
         if self.capacity == 0 {
             return Vec::new();
         }
-        let mut inner = self.inner.lock().expect("exemplar lock poisoned");
+        let mut inner = crate::sync::lock_unpoisoned(&self.inner);
         self.advance(&mut inner, window_epoch + 1);
         let mut current = inner.current.clone();
         let mut previous = inner.previous.clone();
@@ -165,7 +174,9 @@ impl ExemplarRing {
             Vec::new()
         };
         inner.stamp = stamp;
+        // relaxed-ok: advisory admission filter; the mutex path re-checks
         self.floor_ns.store(0, Ordering::Relaxed);
+        // relaxed-ok: advisory admission filter; the mutex path re-checks
         self.floor_stamp.store(stamp, Ordering::Relaxed);
     }
 }

@@ -90,19 +90,19 @@ impl Histogram {
 
     /// Record one sample. Lock-free: two relaxed adds.
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
+        self.sum.fetch_add(value, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
     }
 
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed-ok: independent stats counter; readers tolerate skew
     }
 
     /// Sum of all recorded samples.
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // relaxed-ok: independent stats counter; readers tolerate skew
     }
 
     /// Merge every sample of `other` into `self` (bucket-wise atomic adds;
@@ -111,15 +111,15 @@ impl Histogram {
     /// the aggregate directly.
     pub fn absorb(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = theirs.load(Ordering::Relaxed);
+            let n = theirs.load(Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
             if n > 0 {
-                mine.fetch_add(n, Ordering::Relaxed);
+                mine.fetch_add(n, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
             }
         }
         self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
         self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
     }
 
     /// Reset every bucket to zero (relaxed stores). Not a linearization
@@ -128,10 +128,10 @@ impl Histogram {
     /// backs, where a window boundary is already coarse.
     pub fn clear(&self) {
         for bucket in self.buckets.iter() {
-            bucket.store(0, Ordering::Relaxed);
+            bucket.store(0, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
         }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
+        self.sum.store(0, Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
     }
 
     /// A point-in-time copy of the bucket counts, taken without stopping
@@ -139,15 +139,15 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         for (index, bucket) in self.buckets.iter().enumerate() {
-            let n = bucket.load(Ordering::Relaxed);
+            let n = bucket.load(Ordering::Relaxed); // relaxed-ok: independent stats counter; readers tolerate skew
             if n > 0 {
                 buckets.push((index, n));
             }
         }
         HistogramSnapshot {
             buckets,
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed), // relaxed-ok: independent stats counter; readers tolerate skew
+            sum: self.sum.load(Ordering::Relaxed), // relaxed-ok: independent stats counter; readers tolerate skew
         }
     }
 }

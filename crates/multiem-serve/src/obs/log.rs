@@ -101,8 +101,10 @@ impl FileSink {
         let keep = self.keep.max(1);
         let _ = std::fs::remove_file(self.generation(keep));
         for n in (1..keep).rev() {
+            // lint:allow(fsync-before-rename): best-effort log rotation — losing a tail of telemetry lines in a crash is acceptable, an fsync per rotation is not
             let _ = std::fs::rename(self.generation(n), self.generation(n + 1));
         }
+        // lint:allow(fsync-before-rename): best-effort log rotation — losing a tail of telemetry lines in a crash is acceptable, an fsync per rotation is not
         if std::fs::rename(&self.path, self.generation(1)).is_err() {
             return;
         }
@@ -194,7 +196,7 @@ impl Logger {
             return;
         }
         let line = render_line(level, event, fields);
-        let mut sink = self.sink.lock().expect("log sink poisoned");
+        let mut sink = crate::sync::lock_unpoisoned(&self.sink);
         match &mut *sink {
             Sink::Stderr => {
                 let stderr = io::stderr();

@@ -29,17 +29,17 @@ pub struct Counter {
 impl Counter {
     /// Add one.
     pub fn inc(&self) {
-        self.value.fetch_add(1, Ordering::Relaxed);
+        self.value.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone metric cell; scrape skew is fine
     }
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed); // relaxed-ok: standalone metric cell; scrape skew is fine
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // relaxed-ok: standalone metric cell; scrape skew is fine
     }
 }
 
@@ -52,12 +52,12 @@ pub struct Gauge {
 impl Gauge {
     /// Set the current value.
     pub fn set(&self, value: f64) {
-        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        self.bits.store(value.to_bits(), Ordering::Relaxed); // relaxed-ok: standalone metric cell; scrape skew is fine
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed)) // relaxed-ok: standalone metric cell; scrape skew is fine
     }
 }
 
@@ -96,7 +96,7 @@ impl Registry {
     }
 
     fn register(&self, name: &str, help: &str, kind: &'static str, child: Child) {
-        let mut families = self.families.lock().expect("registry lock poisoned");
+        let mut families = crate::sync::lock_unpoisoned(&self.families);
         match families.iter_mut().find(|f| f.name == name) {
             Some(family) => {
                 debug_assert_eq!(family.kind, kind, "metric {name} re-registered as {kind}");
@@ -167,7 +167,7 @@ impl Registry {
     /// Render the whole registry in Prometheus text exposition format.
     pub fn render(&self) -> String {
         use std::fmt::Write;
-        let families = self.families.lock().expect("registry lock poisoned");
+        let families = crate::sync::lock_unpoisoned(&self.families);
         let mut out = String::with_capacity(4096);
         for family in families.iter() {
             let _ = writeln!(out, "# HELP {} {}", family.name, family.help);

@@ -77,11 +77,11 @@ impl SpaceSaving {
         // count as the error bound (the key may have occurred up to that
         // many times while untracked — never more, or it would have evicted
         // its way in earlier).
-        let min = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| e.count)
-            .expect("capacity > 0 implies entries");
+        // A full sketch (capacity > 0) always has a minimum entry; the
+        // `else` keeps the path panic-free — an empty sketch drops the hit.
+        let Some(min) = self.entries.iter_mut().min_by_key(|e| e.count) else {
+            return;
+        };
         min.error = min.count;
         min.count += 1;
         min.key.clear();
@@ -165,7 +165,7 @@ impl WindowedTopK {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("topk lock poisoned");
+        let mut inner = crate::sync::lock_unpoisoned(&self.inner);
         inner.advance(self.capacity, window_epoch);
         inner.current.hit(key);
     }
@@ -176,7 +176,7 @@ impl WindowedTopK {
         if self.capacity == 0 {
             return (Vec::new(), Vec::new());
         }
-        let mut inner = self.inner.lock().expect("topk lock poisoned");
+        let mut inner = crate::sync::lock_unpoisoned(&self.inner);
         inner.advance(self.capacity, window_epoch);
         (inner.current.top(), inner.previous.top())
     }

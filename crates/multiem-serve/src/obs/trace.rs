@@ -187,10 +187,10 @@ impl Tracer {
 
     /// Admit one request: assign the next id and roll the sampler.
     pub fn start(&self) -> Trace {
-        let id = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = self.seq.fetch_add(1, Ordering::Relaxed) + 1; // relaxed-ok: id/tick dispenser; only RMW uniqueness matters
         let sampled = match self.sample_every {
             0 => false,
-            n => self.tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(n),
+            n => self.tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(n), // relaxed-ok: id/tick dispenser; only RMW uniqueness matters
         };
         Trace::new(id, sampled)
     }

@@ -112,11 +112,11 @@ impl WindowedHistogram {
     pub fn record_at(&self, epoch: u64, value: u64) {
         let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
         let stamp = epoch + 1;
-        let seen = slot.stamp.load(Ordering::Relaxed);
+        let seen = slot.stamp.load(Ordering::Relaxed); // relaxed-ok: lazy slot recycling; racers land in either generation (see doc)
         if seen != stamp
             && slot
                 .stamp
-                .compare_exchange(seen, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .compare_exchange(seen, stamp, Ordering::Relaxed, Ordering::Relaxed) // relaxed-ok: lazy slot recycling; racers land in either generation (see doc)
                 .is_ok()
         {
             slot.hist.clear();
@@ -132,7 +132,7 @@ impl WindowedHistogram {
         let window = self.slots.len() as u64;
         let mut merged = HistogramSnapshot::default();
         for slot in &self.slots {
-            let stamp = slot.stamp.load(Ordering::Relaxed);
+            let stamp = slot.stamp.load(Ordering::Relaxed); // relaxed-ok: monitoring read; a racing rotation skews one snapshot
             if stamp == 0 {
                 continue;
             }

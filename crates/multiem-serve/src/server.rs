@@ -56,17 +56,18 @@ use crate::http::{render_response, render_response_typed, Request};
 use crate::net::Reactor;
 use crate::obs::{Endpoint, Logger, ObsConfig, Stage, Telemetry, Trace, BUILD_VERSION};
 use crate::shard::ShardedEntityStore;
+use crate::sync::{lock_unpoisoned, LockClass, OrderedMutex, OrderedReadGuard, OrderedWriteGuard};
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 use multiem_embed::EmbeddingModel;
 use multiem_online::{DiskStorageConfig, OnlineConfig, OnlineError, SnapshotFormat, StorageConfig};
 use multiem_table::{EntityId, Record, Schema, Value as AttrValue};
 use rayon::ThreadPool;
 use serde::{Serialize, Value};
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -202,8 +203,9 @@ struct ServerState<E: EmbeddingModel> {
     store: ShardedEntityStore<E>,
     /// One WAL per shard (same index), present in durable mode. Lock order
     /// is always `shard i write lock → wals[i]`; the checkpoint takes every
-    /// shard lock (ascending) before any WAL lock.
-    wals: Option<Vec<Mutex<Wal>>>,
+    /// shard lock (ascending) before any WAL lock. The [`OrderedMutex`]
+    /// enforces that order dynamically in debug builds (see [`crate::sync`]).
+    wals: Option<Vec<OrderedMutex<Wal>>>,
     /// Checkpoint epoch: WAL files are named by it, and the manifest names
     /// the only epoch that is ever loaded. Mutated only under all shard +
     /// WAL locks (the checkpoint).
@@ -324,11 +326,16 @@ fn snapshot_path(dir: &Path, shard: usize, epoch: u64) -> PathBuf {
     dir.join(format!("shard-{shard:03}-{epoch:06}.snap"))
 }
 
-/// Atomically publish `bytes` at `path` via a temp file + rename, so a crash
-/// mid-write can never leave a torn file under the final name.
+/// Atomically publish `bytes` at `path` via a temp file + fsync + rename, so
+/// a crash mid-write can never leave a torn file under the final name. The
+/// `sync_all` before the rename matters: without it the rename can become
+/// durable *before* the file contents, and a power cut would commit a
+/// manifest or snapshot full of zeros.
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
     std::fs::rename(&tmp, path)
 }
 
@@ -429,7 +436,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                         // checkpoint must re-snapshot it.
                         *dirtied += 1;
                     }
-                    logs.push(Mutex::new(log));
+                    logs.push(OrderedMutex::new(LockClass::Wal, log));
                 }
                 wals = Some(logs);
                 store
@@ -446,7 +453,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         let wal_bytes = match &wals {
             Some(wals) => wals
                 .iter()
-                .map(|wal| AtomicU64::new(wal.lock().expect("wal lock poisoned").bytes()))
+                .map(|wal| AtomicU64::new(wal.lock().bytes()))
                 .collect(),
             None => (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
         };
@@ -516,6 +523,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         let handler = Arc::new(
             move |request: Request, dispatched: Instant| -> (Vec<u8>, bool) {
                 let entered = Instant::now();
+                // relaxed-ok: standalone request counter, no ordering with other state
                 handler_state.requests.fetch_add(1, Ordering::Relaxed);
                 let mut trace = handler_state.telemetry.tracer.start();
                 trace.add(Stage::Parse, request.parse_ns);
@@ -578,6 +586,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
                     ("GET", "/debug/storage") => (200, "OK", debug_storage(&fast_state), JSON),
                     _ => return None,
                 };
+            // relaxed-ok: standalone request counter, no ordering with other state
             fast_state.requests.fetch_add(1, Ordering::Relaxed);
             fast_state
                 .telemetry
@@ -605,7 +614,7 @@ impl<E: EmbeddingModel + Clone + 'static> MatchServer<E> {
         // Make everything acknowledged durable before exiting.
         if let Some(wals) = &state.wals {
             for wal in wals {
-                let _ = wal.lock().expect("wal lock poisoned").sync();
+                let _ = wal.lock().sync();
             }
         }
         Ok(())
@@ -878,10 +887,11 @@ fn delete_one<E: EmbeddingModel>(
     }
     let mut guard = state.store.write_shard(shard);
     if let Some(wals) = &state.wals {
-        let mut wal = wals[shard].lock().expect("wal lock poisoned");
+        let mut wal = wals[shard].lock();
         let timing = wal
             .append_timed(&WalOp::Delete(id.entity))
             .map_err(|e| format!("wal append failed: {e}"))?;
+        // relaxed-ok: published size for lock-free /stats; staleness is benign
         state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
         record_wal_timing(state, trace, &timing);
     }
@@ -983,6 +993,7 @@ fn delete_batch<E: EmbeddingModel>(
     ])))
 }
 
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn healthz<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     render(Value::Map(vec![
         ("status".into(), Value::Str("ok".into())),
@@ -1040,6 +1051,7 @@ fn degraded_reasons(
 /// or the rolling-window p99 fsync latency crosses its configured
 /// threshold. Lock-free like every fast-path route: the backlog reads the
 /// admission atomics, the fsync signal reads the analytics window.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn readyz<E: EmbeddingModel>(state: &ServerState<E>) -> (bool, String) {
     let backlog: u64 = state
         .inflight
@@ -1087,6 +1099,7 @@ fn analytics_disabled() -> String {
 /// Endpoints with no traffic inside the window are omitted. The raw
 /// nanosecond quantiles ride along so machine consumers (the integration
 /// tests, `obstop`) need not re-derive them from the millisecond floats.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn debug_window<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let Some(analytics) = &state.telemetry.analytics else {
         return analytics_disabled();
@@ -1162,6 +1175,7 @@ fn hitters_value(hitters: &[crate::obs::HeavyHitter]) -> Value {
 /// match-result entities of the current window (previous window alongside).
 /// Counts come from space-saving sketches: a `count` overestimates the true
 /// frequency by at most its `error`.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn debug_top<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let Some(analytics) = &state.telemetry.analytics else {
         return analytics_disabled();
@@ -1187,6 +1201,7 @@ fn debug_top<E: EmbeddingModel>(state: &ServerState<E>) -> String {
 /// window first, then the previous one, slowest first), each with its full
 /// span decomposition — the request that blew the SLO, inspectable after
 /// the fact without log spelunking.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn debug_slow<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let Some(analytics) = &state.telemetry.analytics else {
         return analytics_disabled();
@@ -1224,6 +1239,7 @@ fn debug_slow<E: EmbeddingModel>(state: &ServerState<E>) -> String {
 /// WAL sizes, and per-segment live ratios (what compaction will act on) —
 /// plus the windowed fsync latency. Never blocks: a shard held by a writer
 /// reports its published counters with its segment list omitted.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn debug_storage<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let details = state.store.shard_storage_details();
     let mut cache_hits = 0u64;
@@ -1239,6 +1255,7 @@ fn debug_storage<E: EmbeddingModel>(state: &ServerState<E>) -> String {
         entries.insert(0, ("shard".into(), Value::UInt(i as u64)));
         entries.push((
             "wal_bytes".into(),
+            // relaxed-ok: monitoring read of a published counter
             Value::UInt(state.wal_bytes[i].load(Ordering::Relaxed)),
         ));
         entries.push((
@@ -1281,6 +1298,7 @@ fn debug_storage<E: EmbeddingModel>(state: &ServerState<E>) -> String {
                 state
                     .wal_bytes
                     .iter()
+                    // relaxed-ok: monitoring read of published counters
                     .map(|bytes| bytes.load(Ordering::Relaxed))
                     .sum(),
             ),
@@ -1295,6 +1313,7 @@ fn debug_storage<E: EmbeddingModel>(state: &ServerState<E>) -> String {
 /// atomics and rendering takes only the registry's own mutex — **never** a
 /// shard write lock or a WAL lock, so scrapes stay green through
 /// checkpoints and write bursts.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn metrics_scrape<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let telemetry = &state.telemetry;
     let metrics = &telemetry.metrics;
@@ -1302,6 +1321,7 @@ fn metrics_scrape<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     let wal_bytes: u64 = state
         .wal_bytes
         .iter()
+        // relaxed-ok: monitoring read of published counters
         .map(|bytes| bytes.load(Ordering::Relaxed))
         .sum();
     metrics.wal_bytes.set(wal_bytes as f64);
@@ -1330,6 +1350,7 @@ fn metrics_scrape<E: EmbeddingModel>(state: &ServerState<E>) -> String {
 /// shard write lock or a WAL lock: shard stats fall back to their last
 /// published value when a writer holds the shard
 /// ([`ShardedEntityStore::stats`]), and WAL sizes read published atomics.
+// lint:fast-path — answered inline on the I/O threads; must stay lock-free.
 fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     // One nonblocking pass yields both the store and the storage counters.
     let (sharded, storage) = state.store.stats_with_storage();
@@ -1344,6 +1365,7 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
             state
                 .wal_bytes
                 .iter()
+                // relaxed-ok: monitoring read of published counters
                 .map(|bytes| bytes.load(Ordering::Relaxed))
                 .sum()
         })
@@ -1351,6 +1373,7 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     entries.push(("wal_bytes".into(), Value::UInt(wal_bytes)));
     entries.push((
         "requests".into(),
+        // relaxed-ok: monitoring read of a standalone counter
         Value::UInt(state.requests.load(Ordering::Relaxed)),
     ));
     // Everything below `requests` is process-local (counters reset on
@@ -1358,6 +1381,7 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
     // byte-identical across a kill + WAL replay.
     entries.push((
         "rejected".into(),
+        // relaxed-ok: monitoring read of a standalone counter
         Value::UInt(state.rejected.load(Ordering::Relaxed)),
     ));
     entries.push(("queue_depth".into(), Value::UInt(state.queue_depth)));
@@ -1369,8 +1393,8 @@ fn stats<E: EmbeddingModel>(state: &ServerState<E>) -> String {
 /// memory backend (reads keep serving), exclusive for the disk backend
 /// (its storage tail is sealed under the lock).
 enum ShardGuard<'a, E: EmbeddingModel> {
-    Read(std::sync::RwLockReadGuard<'a, multiem_online::EntityStore<E>>),
-    Write(std::sync::RwLockWriteGuard<'a, multiem_online::EntityStore<E>>),
+    Read(OrderedReadGuard<'a, multiem_online::EntityStore<E>>),
+    Write(OrderedWriteGuard<'a, multiem_online::EntityStore<E>>),
 }
 
 impl<E: EmbeddingModel> ShardGuard<'_, E> {
@@ -1543,12 +1567,12 @@ fn ingest<E: EmbeddingModel>(
         Admission::Admitted(slots) => slots,
         Admission::Refused { shard } => {
             let rejected = parsed.len() as u64;
+            // relaxed-ok: standalone rejection counter, no ordering with other state
             state.rejected.fetch_add(rejected, Ordering::Relaxed);
             state.telemetry.metrics.rejected_records.add(rejected);
-            let rate = state.drain_windows[shard]
-                .lock()
-                .expect("drain window poisoned")
-                .sample(state.drained[shard].load(Ordering::Relaxed));
+            // relaxed-ok: the drain estimate is advisory; a stale read skews one Retry-After
+            let drained_now = state.drained[shard].load(Ordering::Relaxed);
+            let rate = lock_unpoisoned(&state.drain_windows[shard]).sample(drained_now);
             let backlog = state.inflight[shard].load(Ordering::SeqCst) + rejected;
             return Err(IngestError::Overloaded {
                 rejected,
@@ -1586,21 +1610,30 @@ fn ingest<E: EmbeddingModel>(
         // module docs). Writers to different shards share nothing here.
         let mut guard = state.store.write_shard(shard);
         if let Some(wals) = &state.wals {
+            // `indices` partitions `0..parsed.len()`, so every slot is still
+            // `Some` here; `filter_map` keeps the path panic-free regardless.
             let ops: Vec<WalOp> = indices
                 .iter()
-                .map(|&i| WalOp::Insert(parsed[i].clone().expect("record consumed twice")))
+                .filter_map(|&i| parsed[i].clone().map(WalOp::Insert))
                 .collect();
-            let mut wal = wals[shard].lock().expect("wal lock poisoned");
+            let mut wal = wals[shard].lock();
             let timing = wal
                 .append_batch_timed(&ops)
                 .map_err(|e| IngestError::Invalid(format!("wal append failed: {e}")))?;
+            // relaxed-ok: published size for lock-free /stats; staleness is benign
             state.wal_bytes[shard].store(wal.bytes(), Ordering::Relaxed);
             record_wal_timing(state, trace, &timing);
         }
         let apply_started = Instant::now();
         let mut applied = 0u64;
         for &i in &indices {
-            let record = parsed[i].take().expect("record consumed twice");
+            // Each index is visited exactly once (see above), so the slot is
+            // populated; a `None` would mean a routing bug, answered as 400.
+            let Some(record) = parsed[i].take() else {
+                return Err(IngestError::Invalid(format!(
+                    "internal routing error: records[{i}] dispatched twice"
+                )));
+            };
             let (gid, matched) = crate::shard::apply_insert(&mut guard, shard, record)
                 .map_err(|e| IngestError::Invalid(e.to_string()))?;
             applied += 1;
@@ -1613,6 +1646,7 @@ fn ingest<E: EmbeddingModel>(
         }
         trace.add(Stage::Apply, elapsed_ns(apply_started));
         state.write_seq[shard].fetch_add(applied, Ordering::SeqCst);
+        // relaxed-ok: drain-rate sample counter; the estimate is advisory
         state.drained[shard].fetch_add(applied, Ordering::Relaxed);
         state.telemetry.metrics.ingested_records.add(applied);
         state.telemetry.record_ingest_batch(applied);
@@ -1690,7 +1724,10 @@ impl MatchBatcher {
             result: Mutex::new(None),
             ready: Condvar::new(),
         });
-        let mut queue = self.queue.lock().expect("batch queue poisoned");
+        // Poison-tolerant throughout: the queue and slots hold plain data
+        // (Vec pushes, Option writes) that stays consistent across a
+        // panicking holder, and a match worker must never panic a request.
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         let leader = queue.is_empty();
         queue.push((record, Arc::clone(&slot)));
         if queue.len() >= self.max {
@@ -1708,7 +1745,7 @@ impl MatchBatcher {
                 let (guard, timeout) = self
                     .full
                     .wait_timeout(queue, remaining)
-                    .expect("batch queue poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = guard;
                 if timeout.timed_out() {
                     break;
@@ -1721,17 +1758,22 @@ impl MatchBatcher {
             let (records, slots): (Vec<Record>, Vec<Arc<MatchSlot>>) = batch.into_iter().unzip();
             let results = store.match_batch_timed(&records);
             for (slot, result) in slots.iter().zip(results) {
-                *slot.result.lock().expect("batch slot poisoned") = Some(result);
+                *lock_unpoisoned(&slot.result) = Some(result);
                 slot.ready.notify_one();
             }
         } else {
             drop(queue);
         }
-        let mut result = slot.result.lock().expect("batch slot poisoned");
+        let mut result = lock_unpoisoned(&slot.result);
         loop {
             match result.take() {
                 Some(result) => return result,
-                None => result = slot.ready.wait(result).expect("batch slot poisoned"),
+                None => {
+                    result = slot
+                        .ready
+                        .wait(result)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
             }
         }
     }
@@ -1839,12 +1881,12 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
             StorageBackend::Disk => ShardGuard::Write(state.store.write_shard(i)),
         })
         .collect();
-    let mut wal_guards: Vec<_> = wals
-        .iter()
-        .map(|wal| wal.lock().expect("wal lock poisoned"))
-        .collect();
-    let mut shard_epochs = state.shard_epochs.lock().expect("epoch lock poisoned");
-    let mut checkpoint_seq = state.checkpoint_seq.lock().expect("seq lock poisoned");
+    let mut wal_guards: Vec<_> = wals.iter().map(|wal| wal.lock()).collect();
+    // Checkpoint bookkeeping vectors: only ever mutated inside this
+    // all-locks critical section, and every update lands before the commit
+    // rename — recovering a poisoned guard observes a consistent vector.
+    let mut shard_epochs = lock_unpoisoned(&state.shard_epochs);
+    let mut checkpoint_seq = lock_unpoisoned(&state.checkpoint_seq);
     let old_epoch = state.epoch.load(Ordering::SeqCst);
     let new_epoch = old_epoch + 1;
 
@@ -1929,6 +1971,7 @@ fn checkpoint<E: EmbeddingModel>(state: &ServerState<E>) -> Result<String, Serve
         let old = std::mem::replace(&mut *wal_guards[shard], new_wal);
         truncated += old.bytes();
         drop(old);
+        // relaxed-ok: published size for lock-free /stats; staleness is benign
         state.wal_bytes[shard].store(0, Ordering::Relaxed);
         std::fs::remove_file(wal_path(dir, shard, old_epoch)).ok();
     }

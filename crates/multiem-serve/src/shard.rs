@@ -24,6 +24,7 @@
 //! counts therefore want to stay modest (4–16) unless write pressure demands
 //! more; `1` recovers the exact single-store behaviour.
 
+use crate::sync::{lock_unpoisoned, LockClass, OrderedReadGuard, OrderedRwLock, OrderedWriteGuard};
 use multiem_ann::merge_ranked;
 use multiem_embed::EmbeddingModel;
 use multiem_online::{
@@ -32,7 +33,7 @@ use multiem_online::{
 use multiem_table::{EntityId, Record, Schema};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One shard's answer to a match batch: per-query ranked hits plus the
@@ -105,7 +106,7 @@ pub struct ShardedStats {
 /// shard write lock.
 #[derive(Debug)]
 struct Shard<E: EmbeddingModel> {
-    store: RwLock<EntityStore<E>>,
+    store: OrderedRwLock<EntityStore<E>>,
     published: Mutex<(StoreStats, StorageStats)>,
 }
 
@@ -113,27 +114,28 @@ impl<E: EmbeddingModel> Shard<E> {
     fn new(store: EntityStore<E>) -> Self {
         let published = Mutex::new((store.stats(), store.storage_stats()));
         Self {
-            store: RwLock::new(store),
+            store: OrderedRwLock::new(LockClass::Shard, store),
             published,
         }
     }
 
     /// Fresh stats when the shard is readable right now, else the last
-    /// published copy (never blocks on a writer).
+    /// published copy (never blocks on a writer). The published copy is a
+    /// self-consistent value pair, so a poisoned publisher just means we
+    /// keep serving the last good copy ([`lock_unpoisoned`]).
     fn stats_nonblocking(&self) -> (StoreStats, StorageStats) {
         match self.store.try_read() {
-            Ok(store) => {
+            Some(store) => {
                 let fresh = (store.stats(), store.storage_stats());
-                *self.published.lock().expect("stats lock poisoned") = fresh;
+                *lock_unpoisoned(&self.published) = fresh;
                 fresh
             }
-            Err(_) => *self.published.lock().expect("stats lock poisoned"),
+            None => *lock_unpoisoned(&self.published),
         }
     }
 
     fn publish(&self, store: &EntityStore<E>) {
-        *self.published.lock().expect("stats lock poisoned") =
-            (store.stats(), store.storage_stats());
+        *lock_unpoisoned(&self.published) = (store.stats(), store.storage_stats());
     }
 }
 
@@ -248,20 +250,15 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
 
     /// Write-lock one shard (ingestion, refresh). Callers that also append
     /// to a WAL must take this lock *before* the WAL lock — the serving
-    /// layer's lock order is `shard → wal` everywhere.
-    pub fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, EntityStore<E>> {
-        self.shards[shard]
-            .store
-            .write()
-            .expect("shard lock poisoned")
+    /// layer's lock order is `shard → wal` everywhere. The guard is
+    /// order-checked by the debug-build sanitizer in [`crate::sync`].
+    pub fn write_shard(&self, shard: usize) -> OrderedWriteGuard<'_, EntityStore<E>> {
+        self.shards[shard].store.write()
     }
 
-    /// Read-lock one shard.
-    pub fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, EntityStore<E>> {
-        self.shards[shard]
-            .store
-            .read()
-            .expect("shard lock poisoned")
+    /// Read-lock one shard (order-checked, see [`crate::sync`]).
+    pub fn read_shard(&self, shard: usize) -> OrderedReadGuard<'_, EntityStore<E>> {
+        self.shards[shard].store.read()
     }
 
     /// Republish one shard's stats for the lock-free stats path. Callers
@@ -307,9 +304,11 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
     /// [`ShardedEntityStore::match_batch_timed`], so single and batched
     /// matches can never drift in semantics.
     pub fn match_record_timed(&self, record: &Record) -> (Vec<(GlobalEntityId, f32)>, MatchTiming) {
+        // A one-record batch yields exactly one result; the empty-result
+        // default is unreachable but keeps this panic-free.
         self.match_batch_timed(std::slice::from_ref(record))
             .pop()
-            .expect("a one-record batch yields one result")
+            .unwrap_or_default()
     }
 
     /// Micro-batched fan-out: answer every query of `records` with **one**
@@ -335,7 +334,7 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
             .par_iter()
             .map(|shard| {
                 let started = Instant::now();
-                let guard = shard.store.read().expect("shard lock poisoned");
+                let guard = shard.store.read();
                 // One candidates-outer index pass answers the whole batch
                 // (see `EntityStore::match_batch`), on top of the one lock
                 // acquisition amortized here.
@@ -444,10 +443,9 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
             pruned_outliers: shards.iter().map(|s| s.pruned_outliers).sum(),
             shards,
         };
-        (
-            sharded,
-            storage.expect("a sharded store has at least one shard"),
-        )
+        // A sharded store always has at least one shard; the default only
+        // papers over that impossibility without a panic path.
+        (sharded, storage.unwrap_or_default())
     }
 
     /// Run density-based pruning + index maintenance on every shard
@@ -483,14 +481,11 @@ impl<E: EmbeddingModel> ShardedEntityStore<E> {
         self.shards
             .iter()
             .map(|shard| match shard.store.try_read() {
-                Ok(store) => {
+                Some(store) => {
                     shard.publish(&store);
                     (store.storage_stats(), store.segment_stats())
                 }
-                Err(_) => (
-                    shard.published.lock().expect("stats lock poisoned").1,
-                    Vec::new(),
-                ),
+                None => (lock_unpoisoned(&shard.published).1, Vec::new()),
             })
             .collect()
     }
